@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples smoke determinism clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/mail_system.exe
+	dune exec examples/file_server.exe
+	dune exec examples/object_editor.exe
+	dune exec examples/load_balancer.exe
+	dune exec examples/cluster_monitor.exe
+
+# Exercise the CLI end to end.
+smoke:
+	dune exec bin/edenctl.exe -- info
+	dune exec bin/edenctl.exe -- demo --nodes 4
+	dune exec bin/edenctl.exe -- heartbeat --nodes 3 --kill 1
+	dune exec bin/edenctl.exe -- efs --txns 6 --optimistic
+	printf 'mk doc d\nappend d hello\nshow d\nquit\n' | \
+	  dune exec bin/edenctl.exe -- edit --nodes 2
+
+# The whole experiment suite must be bit-reproducible.
+determinism:
+	dune exec bench/main.exe -- E1 E9 > /tmp/eden_bench_a.txt 2>&1
+	dune exec bench/main.exe -- E1 E9 > /tmp/eden_bench_b.txt 2>&1
+	diff /tmp/eden_bench_a.txt /tmp/eden_bench_b.txt
+	@echo "deterministic: OK"
+
+clean:
+	dune clean
