@@ -1,0 +1,1 @@
+bench/common.ml: Api Cluster Eden_hw Eden_kernel Eden_sim Eden_util Engine Error List Opclass Printf Reliability Result Stats String Time Typemgr Value

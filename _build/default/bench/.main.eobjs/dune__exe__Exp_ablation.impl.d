@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Cluster Common Eden_hw Eden_kernel Eden_sim Eden_util Fun List Printf Promise Stats Table Transport Value

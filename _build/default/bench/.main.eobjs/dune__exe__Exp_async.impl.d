@@ -1,0 +1,1 @@
+bench/exp_async.ml: Cluster Common Eden_kernel Eden_sim Eden_util List Printf Promise Table Time Value

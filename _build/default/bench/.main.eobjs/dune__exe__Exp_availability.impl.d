@@ -1,0 +1,1 @@
+bench/exp_availability.ml: Array Cluster Common Eden_kernel Eden_sim Eden_util Engine Float List Printf Splitmix Stats Table Time Value

@@ -1,0 +1,1 @@
+bench/exp_checkpoint.ml: Cluster Common Eden_kernel Eden_util List Printf Stats Table Value

@@ -1,0 +1,1 @@
+bench/exp_classes.ml: Api Cluster Common Eden_hw Eden_kernel Eden_sim Eden_util List Machine Opclass Printf Promise Table Time Typemgr Value

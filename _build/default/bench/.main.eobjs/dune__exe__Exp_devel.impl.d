@@ -1,0 +1,1 @@
+bench/exp_devel.ml: Cluster Common Compile Eden_efs Eden_kernel Eden_util Eden_workload List Printf Schema Stats Table

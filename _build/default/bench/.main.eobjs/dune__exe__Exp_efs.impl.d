@@ -1,0 +1,1 @@
+bench/exp_efs.ml: Array Client Cluster Common Eden_efs Eden_kernel Eden_sim Eden_util Engine List Printf Schema Splitmix Stats Table Time Txn Value

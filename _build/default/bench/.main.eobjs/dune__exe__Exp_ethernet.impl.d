@@ -1,0 +1,1 @@
+bench/exp_ethernet.ml: Array Common Eden_net Eden_sim Eden_util Engine Float Lan List Params Printf Splitmix Stats Table Time

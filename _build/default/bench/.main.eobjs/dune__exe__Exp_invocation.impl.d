@@ -1,0 +1,1 @@
+bench/exp_invocation.ml: Cluster Common Eden_kernel Eden_util Eden_workload List Printf Stats Synthetic Table Time Value

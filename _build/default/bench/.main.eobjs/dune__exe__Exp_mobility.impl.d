@@ -1,0 +1,1 @@
+bench/exp_mobility.ml: Cluster Common Eden_kernel Eden_util Error List Printf Stats Table Time Value

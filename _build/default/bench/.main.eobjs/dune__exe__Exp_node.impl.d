@@ -1,0 +1,1 @@
+bench/exp_node.ml: Cluster Common Eden_hw Eden_kernel Eden_sim Eden_util Error List Machine Printf Table Time Value

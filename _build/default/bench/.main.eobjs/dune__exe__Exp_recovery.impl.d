@@ -1,0 +1,1 @@
+bench/exp_recovery.ml: Cluster Common Eden_kernel Eden_util List Printf Table Value

@@ -1,0 +1,1 @@
+bench/exp_replication.ml: Cluster Common Eden_kernel Eden_sim Eden_util Fun List Printf Promise Stats Table Value

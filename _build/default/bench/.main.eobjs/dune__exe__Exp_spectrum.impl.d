@@ -1,0 +1,1 @@
+bench/exp_spectrum.ml: Common Eden_baseline Eden_util Eden_workload List Printf Stats Synthetic Table Time

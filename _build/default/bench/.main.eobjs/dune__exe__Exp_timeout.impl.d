@@ -1,0 +1,1 @@
+bench/exp_timeout.ml: Cluster Common Eden_kernel Eden_util Error List Printf Table Time Value

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Cluster Common Eden_kernel Eden_sim Eden_util Engine Float Instance Int List Measure Pqueue Printf Semaphore Splitmix Staged Table Test Time Toolkit Value

@@ -1,0 +1,116 @@
+(* Shared plumbing for the experiment harness. *)
+
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Api
+
+let heading id title =
+  Printf.printf "\n%s\n%s  %s\n%s\n"
+    (String.make 72 '=') id title (String.make 72 '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "-- %s\n" s) fmt
+
+(* A self-describing served object used across experiments: a counter
+   with a CPU-burning op and reliability controls. *)
+let bench_type =
+  Typemgr.make_exn ~name:"bench_obj"
+    ~classes:
+      (Opclass.one_class ~name:"all"
+         ~operations:
+           [ "ping"; "work"; "grow"; "save"; "die"; "get"; "set_rel" ]
+         ~limit:16)
+    [
+      Typemgr.operation "ping" ~mutates:false (fun _ args ->
+          let* _ = Ok args in
+          reply []);
+      Typemgr.operation "work" ~mutates:false (fun ctx args ->
+          let* a, b = arg2 args in
+          let* us = int_arg b in
+          ctx.compute (Time.us us);
+          reply [ a ]);
+      Typemgr.operation "grow" (fun ctx args ->
+          (* Replace the representation with a blob of the given size. *)
+          let* v = arg1 args in
+          let* bytes = int_arg v in
+          let* () = ctx.set_repr (Value.Blob bytes) in
+          reply_unit);
+      Typemgr.operation "save" (fun ctx args ->
+          let* () = no_args args in
+          let* () = ctx.checkpoint () in
+          reply_unit);
+      Typemgr.operation "die" (fun ctx args ->
+          let* () = no_args args in
+          ctx.crash ();
+          reply_unit);
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+      Typemgr.operation "set_rel" (fun ctx args ->
+          (* Int -1 = local; Int n = remote at n; List = mirrored. *)
+          let* v = arg1 args in
+          let* rel =
+            match v with
+            | Value.Int -1 -> Ok Reliability.Local
+            | Value.Int n -> Ok (Reliability.Remote n)
+            | Value.List sites ->
+              Ok
+                (Reliability.Mirrored
+                   (List.filter_map
+                      (fun s -> Result.to_option (Value.to_int s))
+                      sites))
+            | _ -> Error (Error.Bad_arguments "set_rel: int or list")
+          in
+          let* () = ctx.set_reliability rel in
+          reply_unit);
+    ]
+
+let fresh_cluster ?(seed = 42L) ~n () =
+  let cl = Cluster.default ~seed ~n_nodes:n () in
+  Cluster.register_type cl bench_type;
+  cl
+
+(* Nodes with enough memory to host megabyte representations (the
+   checkpoint and mobility sweeps need headroom beyond 1 MB). *)
+let big_cluster ?(seed = 42L) ~n () =
+  let configs =
+    List.init n (fun i ->
+        {
+          (Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i)) with
+          Eden_hw.Machine.memory_bytes = 4_000_000;
+        })
+  in
+  let cl = Cluster.create ~seed ~configs () in
+  Cluster.register_type cl bench_type;
+  cl
+
+(* Run [body] as a driver and return its value once the sim drains. *)
+let drive cl body =
+  let result = ref None in
+  let _ = Cluster.in_process cl (fun () -> result := Some (body ())) in
+  Cluster.run cl;
+  match !result with
+  | Some r -> r
+  | None -> failwith "bench driver did not complete"
+
+let must label = function
+  | Ok v -> v
+  | Error e -> failwith (label ^ ": " ^ Error.to_string e)
+
+(* Simulated duration of [thunk], which must be called in-process. *)
+let timed cl thunk =
+  let eng = Cluster.engine cl in
+  let t0 = Engine.now eng in
+  let r = thunk () in
+  (Time.diff (Engine.now eng) t0, r)
+
+let mean_over cl ~warmup ~iters thunk =
+  for _ = 1 to warmup do
+    ignore (thunk ())
+  done;
+  let s = Stats.create () in
+  for _ = 1 to iters do
+    let d, _ = timed cl thunk in
+    Stats.add_time s d
+  done;
+  s

@@ -1,0 +1,68 @@
+(* E5 — section 4.4: checkpoint cost against representation size and
+   reliability level (checksite placement). *)
+
+open Eden_util
+open Eden_kernel
+open Common
+
+let sizes = [ 1_024; 16_384; 65_536; 262_144; 1_000_000 ]
+
+let measure cl cap rel_arg =
+  drive cl (fun () ->
+      ignore
+        (must "set_rel"
+           (Cluster.invoke cl ~from:0 cap ~op:"set_rel" [ rel_arg ]));
+      let save () =
+        must "save" (Cluster.invoke cl ~from:0 cap ~op:"save" [])
+      in
+      ignore (save ());
+      let s = mean_over cl ~warmup:0 ~iters:3 save in
+      Stats.mean s)
+
+let run () =
+  heading "E5" "checkpoint cost vs size and reliability level (sec. 4.4)";
+  let t =
+    Table.create ~title:"E5  mean checkpoint latency"
+      ~columns:
+        [
+          ("repr size", Table.Right);
+          ("local", Table.Right);
+          ("remote", Table.Right);
+          ("mirrored x2", Table.Right);
+        ]
+  in
+  List.iter
+    (fun size ->
+      let cell rel_arg =
+        let cl = big_cluster ~n:3 () in
+        let v =
+          drive cl (fun () ->
+              let cap =
+                must "create"
+                  (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                     Value.Unit)
+              in
+              ignore
+                (must "grow"
+                   (Cluster.invoke cl ~from:0 cap ~op:"grow"
+                      [ Value.Int size ]));
+              cap)
+        in
+        measure cl v rel_arg
+      in
+      let local = cell (Value.Int (-1)) in
+      let remote = cell (Value.Int 1) in
+      let mirrored = cell (Value.List [ Value.Int 1; Value.Int 2 ]) in
+      Table.add_row t
+        [
+          Printf.sprintf "%dKB" (size / 1024);
+          Printf.sprintf "%.1fms" (local *. 1e3);
+          Printf.sprintf "%.1fms" (remote *. 1e3);
+          Printf.sprintf "%.1fms" (mirrored *. 1e3);
+        ])
+    sizes;
+  Table.print t;
+  note
+    "expected shape: cost linear in representation size; a remote \
+     checksite adds the network transfer; mirrored sites overlap, so \
+     mirrored ~ max(copies), not the sum."

@@ -1,0 +1,111 @@
+(* E1 — Figure 1 / section 4.2: the cost of location-independent
+   invocation, and how aggregate capacity scales with node count. *)
+
+open Eden_util
+open Eden_kernel
+open Eden_workload
+open Common
+
+let latency_table () =
+  let payloads = [ 0; 256; 1_024; 4_096 ] in
+  let t =
+    Table.create ~title:"E1a  invocation latency: local vs remote (null work)"
+      ~columns:
+        [
+          ("payload", Table.Right);
+          ("local", Table.Right);
+          ("remote cold", Table.Right);
+          ("remote warm", Table.Right);
+          ("warm/local", Table.Right);
+        ]
+  in
+  List.iter
+    (fun payload ->
+      let cl = fresh_cluster ~n:3 () in
+      let row =
+        drive cl (fun () ->
+            let cap =
+              must "create"
+                (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                   Value.Unit)
+            in
+            let args = [ Value.Blob payload; Value.Int 0 ] in
+            let invoke from () =
+              must "work" (Cluster.invoke cl ~from cap ~op:"work" args)
+            in
+            (* Warm the local path once (type already loaded). *)
+            ignore (invoke 0 ());
+            let local = mean_over cl ~warmup:2 ~iters:10 (invoke 0) in
+            (* Node 1 has no hint yet: the first remote call pays the
+               broadcast locate. *)
+            let cold, _ = timed cl (invoke 1) in
+            let warm = mean_over cl ~warmup:2 ~iters:10 (invoke 1) in
+            ( Stats.mean local,
+              Time.to_sec cold,
+              Stats.mean warm ))
+      in
+      let local, cold, warm = row in
+      Table.add_row t
+        [
+          Printf.sprintf "%dB" payload;
+          Printf.sprintf "%.2fms" (local *. 1e3);
+          Printf.sprintf "%.2fms" (cold *. 1e3);
+          Printf.sprintf "%.2fms" (warm *. 1e3);
+          Printf.sprintf "%.1fx" (warm /. local);
+        ])
+    payloads;
+  Table.print t
+
+let scaling_table () =
+  let t =
+    Table.create
+      ~title:"E1b  aggregate throughput vs cluster size (local-heavy work)"
+      ~columns:
+        [
+          ("nodes", Table.Right);
+          ("completed", Table.Right);
+          ("throughput", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let spec =
+    {
+      Synthetic.objects_per_node = 2;
+      users_per_node = 3;
+      requests_per_user = 30;
+      locality = 1.0;
+      payload_bytes = 128;
+      compute_per_request = Time.ms 5;
+      think_mean_s = 0.002;
+    }
+  in
+  let base = ref None in
+  List.iter
+    (fun n ->
+      let cl = fresh_cluster ~n () in
+      let r = Synthetic.run_eden cl spec in
+      let tput = r.Synthetic.throughput in
+      let speedup =
+        match !base with
+        | None ->
+          base := Some tput;
+          1.0
+        | Some b -> tput /. b
+      in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          Table.cell_int r.Synthetic.completed;
+          Printf.sprintf "%.0f/s" tput;
+          Printf.sprintf "%.2fx" speedup;
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print t
+
+let run () =
+  heading "E1" "invocation cost and cluster scaling (Fig. 1, sec. 4.2)";
+  latency_table ();
+  scaling_table ();
+  note
+    "expected shape: remote >> local; cold pays the locate broadcast; \
+     throughput scales near-linearly when work is local."

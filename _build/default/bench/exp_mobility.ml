@@ -1,0 +1,71 @@
+(* E7 — section 4.3: object mobility.  The cost of the move primitive
+   against object size, and the invocation-latency trajectory around a
+   move: before, first-after (forwarded through the old host), and
+   after the hint cache repairs itself. *)
+
+open Eden_util
+open Eden_kernel
+open Common
+
+let sizes = [ 1_024; 16_384; 65_536; 262_144; 524_288 ]
+
+let row size =
+  let cl = big_cluster ~n:3 () in
+  drive cl (fun () ->
+      let cap =
+        must "create"
+          (Cluster.create_object cl ~node:0 ~type_name:"bench_obj" Value.Unit)
+      in
+      ignore
+        (must "grow"
+           (Cluster.invoke cl ~from:0 cap ~op:"grow" [ Value.Int size ]));
+      let ping () =
+        must "ping" (Cluster.invoke cl ~from:2 cap ~op:"ping" [])
+      in
+      (* Warm node 2's hint toward node 0. *)
+      ignore (ping ());
+      let before = mean_over cl ~warmup:1 ~iters:5 ping in
+      let move_time, move_result =
+        timed cl (fun () -> Cluster.move cl cap ~to_node:1)
+      in
+      (match move_result with
+      | Ok () -> ()
+      | Error e -> failwith ("move: " ^ Error.to_string e));
+      (* First call still aims at node 0 and gets forwarded (and node 2
+         receives a hint update). *)
+      let forwarded, _ = timed cl ping in
+      let repaired = mean_over cl ~warmup:1 ~iters:5 ping in
+      (Stats.mean before, move_time, Time.to_sec forwarded,
+       Stats.mean repaired))
+
+let run () =
+  heading "E7" "object mobility (sec. 4.3)";
+  let t =
+    Table.create
+      ~title:"E7  move cost and invocation latency around a move (node 2's view)"
+      ~columns:
+        [
+          ("object size", Table.Right);
+          ("move", Table.Right);
+          ("invoke before", Table.Right);
+          ("first after (forwarded)", Table.Right);
+          ("repaired", Table.Right);
+        ]
+  in
+  List.iter
+    (fun size ->
+      let before, move_time, forwarded, repaired = row size in
+      Table.add_row t
+        [
+          Printf.sprintf "%dKB" (size / 1024);
+          Table.cell_time move_time;
+          Printf.sprintf "%.2fms" (before *. 1e3);
+          Printf.sprintf "%.2fms" (forwarded *. 1e3);
+          Printf.sprintf "%.2fms" (repaired *. 1e3);
+        ])
+    sizes;
+  Table.print t;
+  note
+    "expected shape: move cost grows with the shipped representation; \
+     the first post-move invocation pays one extra hop through the \
+     forwarding pointer; the hint update restores flat cost."

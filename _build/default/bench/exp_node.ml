@@ -1,0 +1,115 @@
+(* E2 — Figure 2 / section 3: node machine provisioning.  Invocation
+   throughput against the GDP count (the "field upgrade" from 2 to 4
+   processors), and the memory ceiling on the active-object
+   population. *)
+
+open Eden_util
+open Eden_hw
+open Eden_kernel
+open Common
+
+let gdp_table () =
+  let t =
+    Table.create ~title:"E2a  one node, 32 concurrent 10ms invocations"
+      ~columns:
+        [
+          ("GDPs", Table.Right);
+          ("makespan", Table.Right);
+          ("throughput", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let base = ref None in
+  List.iter
+    (fun gdps ->
+      let config =
+        { (Machine.default_config ~name:"n0") with Machine.gdps }
+      in
+      let cl = Cluster.create ~configs:[ config ] () in
+      Cluster.register_type cl bench_type;
+      let makespan =
+        drive cl (fun () ->
+            let cap =
+              must "create"
+                (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                   Value.Unit)
+            in
+            ignore
+              (must "warm" (Cluster.invoke cl ~from:0 cap ~op:"ping" []));
+            let d, () =
+              timed cl (fun () ->
+                  let ps =
+                    List.init 32 (fun _ ->
+                        Cluster.invoke_async cl ~from:0 cap ~op:"work"
+                          [ Value.Blob 0; Value.Int 10_000 ])
+                  in
+                  List.iter
+                    (fun p -> ignore (Eden_sim.Promise.await p))
+                    ps)
+            in
+            d)
+      in
+      let tput = 32.0 /. Time.to_sec makespan in
+      let speedup =
+        match !base with
+        | None ->
+          base := Some tput;
+          1.0
+        | Some b -> tput /. b
+      in
+      Table.add_row t
+        [
+          Table.cell_int gdps;
+          Table.cell_time makespan;
+          Printf.sprintf "%.0f/s" tput;
+          Printf.sprintf "%.2fx" speedup;
+        ])
+    [ 1; 2; 4 ];
+  Table.print t
+
+let memory_table () =
+  let t =
+    Table.create
+      ~title:"E2b  active-object capacity vs memory (64KB objects)"
+      ~columns:
+        [
+          ("memory", Table.Right);
+          ("objects activated", Table.Right);
+          ("then", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (label, bytes) ->
+      let config =
+        {
+          (Machine.default_config ~name:"n0") with
+          Machine.memory_bytes = bytes;
+        }
+      in
+      let cl = Cluster.create ~configs:[ config ] () in
+      Cluster.register_type cl bench_type;
+      let created, stopped_by =
+        drive cl (fun () ->
+            let rec fill k =
+              match
+                Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                  (Value.Blob 65_536)
+              with
+              | Ok _ -> fill (k + 1)
+              | Error Error.Out_of_memory -> (k, "out of memory")
+              | Error e -> (k, Error.to_string e)
+            in
+            fill 0)
+      in
+      Table.add_row t
+        [ label; Table.cell_int created; stopped_by ])
+    [ ("1.0 MB (default)", 1_000_000); ("2.5 MB (upgraded)", 2_500_000) ];
+  Table.print t
+
+let run () =
+  heading "E2" "node machine provisioning (Fig. 2, sec. 3)";
+  gdp_table ();
+  memory_table ();
+  note
+    "expected shape: doubling GDPs helps until the serial kernel path \
+     dominates; memory bounds the resident object population linearly."

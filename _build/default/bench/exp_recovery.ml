@@ -1,0 +1,87 @@
+(* E6 — section 4.4: crash and reincarnation.  The latency of the first
+   invocation after a crash (which reincarnates the object from disk)
+   against the representation size, plus whole-node failure recovery. *)
+
+open Eden_util
+open Eden_kernel
+open Common
+
+let sizes = [ 1_024; 65_536; 262_144; 1_000_000 ]
+
+let object_crash_row size =
+  let cl = big_cluster ~n:2 () in
+  drive cl (fun () ->
+      let cap =
+        must "create"
+          (Cluster.create_object cl ~node:0 ~type_name:"bench_obj" Value.Unit)
+      in
+      ignore
+        (must "grow"
+           (Cluster.invoke cl ~from:0 cap ~op:"grow" [ Value.Int size ]));
+      ignore (must "save" (Cluster.invoke cl ~from:0 cap ~op:"save" []));
+      let warm, _ =
+        timed cl (fun () -> must "ping" (Cluster.invoke cl ~from:0 cap ~op:"ping" []))
+      in
+      ignore (Cluster.invoke cl ~from:0 cap ~op:"die" []);
+      let reincarnation, _ =
+        timed cl (fun () ->
+            must "ping after crash"
+              (Cluster.invoke cl ~from:0 cap ~op:"ping" []))
+      in
+      (warm, reincarnation))
+
+let node_crash_row size =
+  let cl = big_cluster ~n:3 () in
+  let cap =
+    drive cl (fun () ->
+        let cap =
+          must "create"
+            (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+               Value.Unit)
+        in
+        ignore
+          (must "grow"
+             (Cluster.invoke cl ~from:0 cap ~op:"grow" [ Value.Int size ]));
+        ignore (must "save" (Cluster.invoke cl ~from:0 cap ~op:"save" []));
+        cap)
+  in
+  Cluster.crash_node cl 0;
+  Cluster.restart_node cl 0;
+  drive cl (fun () ->
+      (* Node 1 never invoked this object: full locate + reincarnate. *)
+      let d, _ =
+        timed cl (fun () ->
+            must "ping after node failure"
+              (Cluster.invoke cl ~from:1 cap ~op:"ping" []))
+      in
+      d)
+
+let run () =
+  heading "E6" "crash and reincarnation latency (sec. 4.4)";
+  let t =
+    Table.create ~title:"E6  first invocation after failure"
+      ~columns:
+        [
+          ("repr size", Table.Right);
+          ("warm invoke", Table.Right);
+          ("after object crash", Table.Right);
+          ("after node crash+restart", Table.Right);
+        ]
+  in
+  List.iter
+    (fun size ->
+      let warm, reinc = object_crash_row size in
+      let node_rec = node_crash_row size in
+      Table.add_row t
+        [
+          Printf.sprintf "%dKB" (size / 1024);
+          Table.cell_time warm;
+          Table.cell_time reinc;
+          Table.cell_time node_rec;
+        ])
+    sizes;
+  Table.print t;
+  note
+    "expected shape: reincarnation = disk read of the representation + \
+     activation, so it grows with size; node recovery adds the locate \
+     broadcast.  No invocation is lost, only delayed."

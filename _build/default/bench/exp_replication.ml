@@ -1,0 +1,99 @@
+(* E8 — section 4.3: frozen objects and replication.  "Such an object
+   can be replicated and cached at several sites in order to save the
+   overhead of remote invocations" — the frozen compiler scenario. *)
+
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Common
+
+let nodes = 8
+
+let build_cluster replicas =
+  let cl = fresh_cluster ~n:nodes () in
+  let cap =
+    drive cl (fun () ->
+        let cap =
+          must "create"
+            (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+               (Value.Blob 32_768))
+        in
+        ignore (must "freeze" (Cluster.freeze cl cap));
+        List.iter
+          (fun k ->
+            ignore (must "replicate" (Cluster.replicate cl cap ~to_node:k)))
+          (List.init replicas (fun i -> i + 1));
+        cap)
+  in
+  (cl, cap)
+
+(* Mean latency of a 2ms "compile" invoked once from every node. *)
+let latency_experiment replicas =
+  let cl, cap = build_cluster replicas in
+  let before_remote = Cluster.stats_remote_invocations cl in
+  let s =
+    drive cl (fun () ->
+        let s = Stats.create () in
+        for from = 0 to nodes - 1 do
+          let d, _ =
+            timed cl (fun () ->
+                must "work"
+                  (Cluster.invoke cl ~from cap ~op:"work"
+                     [ Value.Blob 64; Value.Int 2_000 ]))
+          in
+          Stats.add_time s d
+        done;
+        s)
+  in
+  (Stats.mean s, Cluster.stats_remote_invocations cl - before_remote)
+
+(* Every node fires a burst at once: the single copy saturates. *)
+let burst_experiment replicas =
+  let cl, cap = build_cluster replicas in
+  drive cl (fun () ->
+      let d, () =
+        timed cl (fun () ->
+            let ps =
+              List.concat_map
+                (fun from ->
+                  List.init 10 (fun _ ->
+                      Cluster.invoke_async cl ~from cap ~op:"work"
+                        [ Value.Blob 64; Value.Int 2_000 ]))
+                (List.init nodes Fun.id)
+            in
+            List.iter (fun p -> ignore (Promise.await p)) ps)
+      in
+      d)
+
+let run () =
+  heading "E8" "frozen-object replication (sec. 4.3)";
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8  a frozen 32KB object invoked from all %d nodes" nodes)
+      ~columns:
+        [
+          ("replicas", Table.Right);
+          ("mean latency", Table.Right);
+          ("remote invocations", Table.Right);
+          ("80-burst makespan", Table.Right);
+        ]
+  in
+  List.iter
+    (fun replicas ->
+      let latency, remotes = latency_experiment replicas in
+      let makespan = burst_experiment replicas in
+      Table.add_row t
+        [
+          Table.cell_int replicas;
+          Printf.sprintf "%.2fms" (latency *. 1e3);
+          Table.cell_int remotes;
+          Table.cell_time makespan;
+        ])
+    [ 0; 1; 2; 4; 7 ];
+  Table.print t;
+  note
+    "expected shape: each replica converts one node's invocations from \
+     remote to local; with 7 replicas every node runs locally and the \
+     burst no longer saturates the single host."

@@ -1,0 +1,108 @@
+(* E12 — sections 2 and 4.2: failure tolerance of the invocation
+   machinery.  User-supplied timeouts fire on schedule against an
+   unreachable object, and never fire spuriously against a healthy
+   one. *)
+
+open Eden_util
+open Eden_kernel
+open Common
+
+let unreachable_table () =
+  let t =
+    Table.create
+      ~title:"E12a  invocation against a powered-off node (stale hint)"
+      ~columns:
+        [
+          ("requested timeout", Table.Right);
+          ("observed wait", Table.Right);
+          ("outcome", Table.Left);
+        ]
+  in
+  List.iter
+    (fun ms ->
+      let cl = fresh_cluster ~n:2 () in
+      let cap =
+        drive cl (fun () ->
+            let cap =
+              must "create"
+                (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                   Value.Unit)
+            in
+            (* Give node 1 a hint pointing at node 0. *)
+            ignore (must "warm" (Cluster.invoke cl ~from:1 cap ~op:"ping" []));
+            cap)
+      in
+      Cluster.crash_node cl 0;
+      let observed, outcome =
+        drive cl (fun () ->
+            timed cl (fun () ->
+                match
+                  Cluster.invoke cl ~from:1 ~timeout:(Time.ms ms) cap
+                    ~op:"ping" []
+                with
+                | Error Error.Timeout -> "timeout (as requested)"
+                | Error e -> Error.to_string e
+                | Ok _ -> "unexpected success"))
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%dms" ms;
+          Table.cell_time observed;
+          outcome;
+        ])
+    [ 10; 50; 100; 500 ];
+  Table.print t
+
+let healthy_table () =
+  let t =
+    Table.create
+      ~title:"E12b  false-timeout rate against a healthy 5ms operation"
+      ~columns:
+        [
+          ("timeout budget", Table.Right);
+          ("attempts", Table.Right);
+          ("timeouts", Table.Right);
+          ("successes", Table.Right);
+        ]
+  in
+  List.iter
+    (fun ms ->
+      let cl = fresh_cluster ~n:2 () in
+      let timeouts, successes =
+        drive cl (fun () ->
+            let cap =
+              must "create"
+                (Cluster.create_object cl ~node:0 ~type_name:"bench_obj"
+                   Value.Unit)
+            in
+            ignore (must "warm" (Cluster.invoke cl ~from:1 cap ~op:"ping" []));
+            let timeouts = ref 0 and successes = ref 0 in
+            for _ = 1 to 50 do
+              match
+                Cluster.invoke cl ~from:1 ~timeout:(Time.ms ms) cap ~op:"work"
+                  [ Value.Blob 64; Value.Int 5_000 ]
+              with
+              | Ok _ -> incr successes
+              | Error Error.Timeout -> incr timeouts
+              | Error _ -> ()
+            done;
+            (!timeouts, !successes))
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%dms" ms;
+          Table.cell_int 50;
+          Table.cell_int timeouts;
+          Table.cell_int successes;
+        ])
+    [ 3; 10; 50; 200 ];
+  Table.print t
+
+let run () =
+  heading "E12" "timeouts: prompt on failure, silent on health (sec. 4.2)";
+  unreachable_table ();
+  healthy_table ();
+  note
+    "expected shape: the observed wait equals the requested budget \
+     against a dead node; generous budgets never fire against a \
+     healthy object, budgets below the true service time always do."

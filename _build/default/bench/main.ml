@@ -1,0 +1,54 @@
+(* The experiment harness: one entry per experiment in EXPERIMENTS.md.
+
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- E5 E7     # run a subset
+     dune exec bench/main.exe -- --list    # enumerate experiments *)
+
+let experiments =
+  [
+    ("E1", "invocation cost and cluster scaling", Exp_invocation.run);
+    ("E2", "node machine provisioning (GDPs, memory)", Exp_node.run);
+    ("E3", "Ethernet behaviour under load", Exp_ethernet.run);
+    ("E4", "invocation-class concurrency bounds", Exp_classes.run);
+    ("E5", "checkpoint cost vs size and reliability", Exp_checkpoint.run);
+    ("E6", "crash and reincarnation latency", Exp_recovery.run);
+    ("E7", "object mobility", Exp_mobility.run);
+    ("E8", "frozen-object replication", Exp_replication.run);
+    ("E9", "integration vs distribution (thesis)", Exp_spectrum.run);
+    ("E10", "EFS concurrency control and replication", Exp_efs.run);
+    ("E11", "sync vs async invocation", Exp_async.run);
+    ("E12", "timeout behaviour", Exp_timeout.run);
+    ("E13", "location-machinery ablation", Exp_ablation.run);
+    ("E14", "edit/compile development workload", Exp_devel.run);
+    ("E15", "two-segment Eden: bridge cost", Exp_segments.run);
+    ("E16", "availability under node churn", Exp_availability.run);
+    ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
+  ]
+
+let list_experiments () =
+  List.iter
+    (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
+    experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_experiments ()
+  | [] ->
+    Printf.printf
+      "Eden reproduction experiment suite (all experiments; pass ids to \
+       select, --list to enumerate)\n";
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | ids ->
+    List.iter
+      (fun id ->
+        match
+          List.find_opt
+            (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id)
+            experiments
+        with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; try --list\n" id;
+          exit 1)
+      ids

@@ -1,0 +1,569 @@
+(* edenctl — drive Eden scenarios from the command line.
+
+     edenctl demo      [--nodes N] [--seed S] [--trace]
+     edenctl mail      [--nodes N] [--users K] [--messages M] [--trace]
+     edenctl synth     [--nodes N] [--locality F] [--requests R] [--trace]
+     edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace]
+     edenctl heartbeat [--nodes N] [--kill I] [--trace]
+     edenctl edit      [--nodes N]      (interactive object editor)
+     edenctl info *)
+
+open Cmdliner
+open Eden_util
+open Eden_sim
+open Eden_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let nodes_t =
+  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Dump the kernel trace tail after the run.")
+
+let setup_trace cl enabled =
+  if enabled then Trace.enable (Cluster.trace cl)
+
+let dump_trace cl enabled =
+  if enabled then begin
+    print_endline "--- trace tail ---";
+    List.iter
+      (fun r -> print_endline (Format.asprintf "%a" Trace.pp_record r))
+      (Trace.recent (Cluster.trace cl))
+  end
+
+let summary cl =
+  Printf.printf
+    "\nsimulated time %s; %d invocations (%d remote); %d events\n"
+    (Time.to_string (Engine.now (Cluster.engine cl)))
+    (Cluster.stats_invocations cl)
+    (Cluster.stats_remote_invocations cl)
+    (Engine.events_processed (Cluster.engine cl))
+
+(* ------------------------------------------------------------------ *)
+(* demo: counters shared across the cluster *)
+
+let counter_type =
+  let open Api in
+  Typemgr.make_exn ~name:"ctl_counter"
+    [
+      Typemgr.operation "incr" (fun ctx args ->
+          let* () = no_args args in
+          let* n = int_arg (ctx.get_repr ()) in
+          let* () = ctx.set_repr (Value.Int (n + 1)) in
+          reply [ Value.Int (n + 1) ]);
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+    ]
+
+let run_demo nodes seed trace =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  Cluster.register_type cl counter_type;
+  setup_trace cl trace;
+  let _ =
+    Cluster.in_process cl (fun () ->
+        match
+          Cluster.create_object cl ~node:0 ~type_name:"ctl_counter"
+            (Value.Int 0)
+        with
+        | Error e -> Printf.printf "create failed: %s\n" (Error.to_string e)
+        | Ok cap ->
+          for from = 0 to nodes - 1 do
+            match Cluster.invoke cl ~from cap ~op:"incr" [] with
+            | Ok [ Value.Int n ] ->
+              Printf.printf "node %d incremented the shared counter to %d\n"
+                from n
+            | Ok _ | Error _ -> Printf.printf "node %d: invocation failed\n" from
+          done)
+  in
+  Cluster.run cl;
+  dump_trace cl trace;
+  summary cl
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Shared counter incremented from every node.")
+    Term.(const run_demo $ nodes_t $ seed_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* mail *)
+
+let run_mail nodes seed users messages trace =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  Eden_workload.Mail.register_types cl;
+  setup_trace cl trace;
+  let setup = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        match
+          Eden_workload.Mail.build cl ~registry_node:0 ~users_per_node:users
+        with
+        | Ok s -> setup := Some s
+        | Error e -> Printf.printf "build failed: %s\n" (Error.to_string e))
+  in
+  Cluster.run cl;
+  (match !setup with
+  | None -> ()
+  | Some s ->
+    let r =
+      Eden_workload.Mail.run cl s ~messages_per_user:messages
+        ~think_mean_s:0.02
+    in
+    Printf.printf "sent=%d failures=%d delivered=%d\nsend latency: %s\n"
+      r.Eden_workload.Mail.sent r.Eden_workload.Mail.send_failures
+      r.Eden_workload.Mail.fetched
+      (Format.asprintf "%a" Stats.pp_summary r.Eden_workload.Mail.send_latency));
+  dump_trace cl trace;
+  summary cl
+
+let mail_cmd =
+  let users_t =
+    Arg.(value & opt int 2 & info [ "users" ] ~docv:"K" ~doc:"Users per node.")
+  in
+  let messages_t =
+    Arg.(
+      value & opt int 8
+      & info [ "messages" ] ~docv:"M" ~doc:"Messages per user.")
+  in
+  Cmd.v
+    (Cmd.info "mail" ~doc:"Multi-user mail workload.")
+    Term.(const run_mail $ nodes_t $ seed_t $ users_t $ messages_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* synth *)
+
+let run_synth nodes seed locality requests trace =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  setup_trace cl trace;
+  let spec =
+    {
+      Eden_workload.Synthetic.default_spec with
+      Eden_workload.Synthetic.locality;
+      requests_per_user = requests;
+    }
+  in
+  let r = Eden_workload.Synthetic.run_eden cl spec in
+  Format.printf "%a@." Eden_workload.Synthetic.pp_results r;
+  dump_trace cl trace;
+  summary cl
+
+let synth_cmd =
+  let locality_t =
+    Arg.(
+      value & opt float 0.8
+      & info [ "locality" ] ~docv:"F" ~doc:"Fraction of local requests.")
+  in
+  let requests_t =
+    Arg.(
+      value & opt int 25
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per user.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthetic invocation workload.")
+    Term.(const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* efs *)
+
+let run_efs nodes seed txns optimistic trace =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  Eden_efs.Schema.register cl;
+  setup_trace cl trace;
+  let mode = if optimistic then Eden_efs.Txn.Optimistic else Eden_efs.Txn.Locking in
+  let committed = ref 0 and conflicts = ref 0 in
+  let file = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root =
+          match Eden_efs.Client.make_root cl ~node:0 with
+          | Ok r -> r
+          | Error e -> failwith (Error.to_string e)
+        in
+        match
+          Eden_efs.Client.create_file cl ~from:0 ~dir:root ~name:"shared"
+            ~content:(Value.Int 0) ()
+        with
+        | Error e -> failwith (Error.to_string e)
+        | Ok f ->
+          file := Some f;
+          for i = 0 to txns - 1 do
+            ignore
+              (Cluster.in_process cl (fun () ->
+                   let rec attempt k =
+                     if k > 10 then ()
+                     else begin
+                       let t =
+                         Eden_efs.Txn.begin_txn cl ~from:(i mod nodes) ~mode
+                       in
+                       let read =
+                         match mode with
+                         | Eden_efs.Txn.Locking ->
+                           Eden_efs.Txn.read_for_update t f
+                         | Eden_efs.Txn.Optimistic | Eden_efs.Txn.Snapshot ->
+                           Eden_efs.Txn.read t f
+                       in
+                       match read with
+                       | Ok (Value.Int v) -> (
+                         ignore
+                           (Eden_efs.Txn.write t f (Value.Int (v + 1)));
+                         match Eden_efs.Txn.commit t with
+                         | Eden_efs.Txn.Committed -> incr committed
+                         | Eden_efs.Txn.Conflict | Eden_efs.Txn.Failed _ ->
+                           incr conflicts;
+                           attempt (k + 1))
+                       | Ok _ | Error _ ->
+                         Eden_efs.Txn.abort t;
+                         attempt (k + 1)
+                     end
+                   in
+                   attempt 0))
+          done)
+  in
+  Cluster.run cl;
+  let final = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        match !file with
+        | Some f -> final := Some (Eden_efs.Client.read_file cl ~from:0 f)
+        | None -> ())
+  in
+  Cluster.run cl;
+  Printf.printf "%s: committed=%d conflicts=%d final=%s\n"
+    (match mode with
+    | Eden_efs.Txn.Locking -> "2PL"
+    | Eden_efs.Txn.Optimistic -> "optimistic"
+    | Eden_efs.Txn.Snapshot -> "snapshot")
+    !committed !conflicts
+    (match !final with
+    | Some (Ok (Value.Int n)) -> string_of_int n
+    | _ -> "?");
+  dump_trace cl trace;
+  summary cl
+
+let efs_cmd =
+  let txns_t =
+    Arg.(
+      value & opt int 10
+      & info [ "txns" ] ~docv:"T" ~doc:"Concurrent transactions.")
+  in
+  let optimistic_t =
+    Arg.(
+      value & flag
+      & info [ "optimistic" ] ~doc:"Optimistic concurrency control (default 2PL).")
+  in
+  Cmd.v
+    (Cmd.info "efs" ~doc:"EFS transaction workload on one shared file.")
+    Term.(const run_efs $ nodes_t $ seed_t $ txns_t $ optimistic_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* heartbeat: poll the node objects *)
+
+let run_heartbeat nodes seed kill trace =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  setup_trace cl trace;
+  (match kill with
+  | Some victim when victim >= 0 && victim < nodes ->
+    Engine.schedule (Cluster.engine cl) ~after:(Time.ms 400) (fun () ->
+        Cluster.crash_node cl victim)
+  | Some _ | None -> ());
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for round = 1 to 3 do
+          Engine.delay (Time.ms 300);
+          Printf.printf "round %d:" round;
+          for i = 0 to nodes - 1 do
+            let status =
+              match
+                Cluster.invoke cl ~from:0 ~timeout:(Time.ms 150)
+                  (Cluster.node_object cl i) ~op:"info" []
+              with
+              | Ok [ Value.Int gdps; _; Value.Int avail; Value.Int active ] ->
+                Printf.sprintf "UP gdps=%d free=%dK objs=%d" gdps
+                  (avail / 1000) active
+              | Ok _ -> "odd reply"
+              | Error e -> "DOWN (" ^ Error.to_string e ^ ")"
+            in
+            Printf.printf "  node%d: %s" i status
+          done;
+          print_newline ()
+        done)
+  in
+  Cluster.run cl;
+  dump_trace cl trace;
+  summary cl
+
+let heartbeat_cmd =
+  let kill_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill" ] ~docv:"I" ~doc:"Crash node $(docv) mid-run.")
+  in
+  Cmd.v
+    (Cmd.info "heartbeat" ~doc:"Poll every node object; detect failures.")
+    Term.(const run_heartbeat $ nodes_t $ seed_t $ kill_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* edit: the interactive object editor (the paper's editing paradigm:
+   every interaction is an edit of an object's structured visual
+   representation) *)
+
+let editor_hierarchy () =
+  let open Api in
+  let h = Eden_typesys.Hierarchy.create () in
+  Eden_typesys.Hierarchy.declare_exn h
+    (Eden_typesys.Hierarchy.decl ~name:"editable"
+       ~attributes:[ ("display", Value.Str "record") ]
+       [
+         Typemgr.operation "view" ~mutates:false (fun ctx args ->
+             let* () = no_args args in
+             reply [ ctx.get_repr () ]);
+         Typemgr.operation "fail" (fun ctx args ->
+             let* () = no_args args in
+             ctx.crash ();
+             reply_unit);
+       ]);
+  Eden_typesys.Hierarchy.declare_exn h
+    (Eden_typesys.Hierarchy.decl ~name:"document" ~parent:"editable"
+       ~attributes:[ ("display", Value.Str "text") ]
+       [
+         Typemgr.operation "append_line" (fun ctx args ->
+             let* v = arg1 args in
+             let* line = str_arg v in
+             let* old = str_arg (ctx.get_repr ()) in
+             let* () = ctx.set_repr (Value.Str (old ^ "\n" ^ line)) in
+             reply_unit);
+         Typemgr.operation "replace_text" (fun ctx args ->
+             let* v = arg1 args in
+             let* _ = str_arg v in
+             let* () = ctx.set_repr v in
+             reply_unit);
+       ]);
+  Eden_typesys.Hierarchy.declare_exn h
+    (Eden_typesys.Hierarchy.decl ~name:"queue" ~parent:"editable"
+       ~attributes:[ ("display", Value.Str "list") ]
+       [
+         Typemgr.operation "push" (fun ctx args ->
+             let* v = arg1 args in
+             let* items =
+               Value.to_list (ctx.get_repr ())
+               |> Result.map_error (fun m -> Error.Bad_arguments m)
+             in
+             let* () = ctx.set_repr (Value.List (items @ [ v ])) in
+             reply_unit);
+         Typemgr.operation "pop" (fun ctx args ->
+             let* () = no_args args in
+             let* items =
+               Value.to_list (ctx.get_repr ())
+               |> Result.map_error (fun m -> Error.Bad_arguments m)
+             in
+             match items with
+             | [] -> user_error "queue is empty"
+             | x :: rest ->
+               let* () = ctx.set_repr (Value.List rest) in
+               reply [ x ]);
+       ]);
+  h
+
+let editor_help () =
+  print_string
+    "commands:\n\
+    \  mk doc|queue <name>        create an object (round-robin placement)\n\
+    \  ls                         list objects\n\
+    \  show <name>                render the structured representation\n\
+    \  append <name> <text...>    document: add a line\n\
+    \  push <name> <text>         queue: enqueue\n\
+    \  pop <name>                 queue: dequeue\n\
+    \  move <name> <node>         migrate the object\n\
+    \  checkpoint <name>          save long-term state\n\
+    \  crash <name>               simulate a failure (reincarnates on use)\n\
+    \  nodes                      node heartbeats\n\
+    \  help | quit\n"
+
+let run_edit nodes seed =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  let h = editor_hierarchy () in
+  (match Eden_typesys.Hierarchy.register_all h cl with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let objects : (string, string * Capability.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let next_node = ref 0 in
+  (* Run one blocking action against the cluster and drain the sim. *)
+  let step f =
+    let out = ref None in
+    let _ = Cluster.in_process cl (fun () -> out := Some (f ())) in
+    Cluster.run cl;
+    !out
+  in
+  let find name =
+    match Hashtbl.find_opt objects name with
+    | Some x -> Some x
+    | None ->
+      Printf.printf "no object %S (try ls)\n" name;
+      None
+  in
+  let show name =
+    match find name with
+    | None -> ()
+    | Some (tname, cap) -> (
+      match step (fun () -> Cluster.invoke cl ~from:0 cap ~op:"view" []) with
+      | Some (Ok [ repr ]) ->
+        print_endline
+          (Eden_typesys.Display.render h ~type_name:tname ~title:name repr)
+      | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+      | Some (Ok _) | None -> print_endline "unviewable")
+  in
+  let invoke_and_show name op args =
+    match find name with
+    | None -> ()
+    | Some (_, cap) -> (
+      match step (fun () -> Cluster.invoke cl ~from:0 cap ~op args) with
+      | Some (Ok _) -> show name
+      | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+      | None -> ())
+  in
+  editor_help ();
+  let quit = ref false in
+  while not !quit do
+    print_string "edit> ";
+    match In_channel.input_line stdin with
+    | None -> quit := true
+    | Some line -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] -> ()
+      | [ "quit" ] | [ "exit" ] -> quit := true
+      | [ "help" ] -> editor_help ()
+      | [ "ls" ] ->
+        Hashtbl.iter
+          (fun name (tname, cap) ->
+            let where =
+              match Cluster.where_is cl cap with
+              | Some n -> Printf.sprintf "node %d" n
+              | None -> "passive"
+            in
+            Printf.printf "  %-12s %-10s %s\n" name tname where)
+          objects
+      | [ "nodes" ] ->
+        for i = 0 to nodes - 1 do
+          let status =
+            match
+              step (fun () ->
+                  Cluster.invoke cl ~from:0 ~timeout:(Time.ms 150)
+                    (Cluster.node_object cl i) ~op:"ping" [])
+            with
+            | Some (Ok _) -> "UP"
+            | Some (Error _) | None -> "DOWN"
+          in
+          Printf.printf "  node%d: %s\n" i status
+        done
+      | [ "mk"; kind; name ] when kind = "doc" || kind = "queue" ->
+        if Hashtbl.mem objects name then
+          Printf.printf "%S already exists\n" name
+        else begin
+          let tname, init =
+            if kind = "doc" then ("document", Value.Str (name ^ ":"))
+            else ("queue", Value.List [])
+          in
+          let node = !next_node mod nodes in
+          incr next_node;
+          match
+            step (fun () ->
+                Cluster.create_object cl ~node ~type_name:tname init)
+          with
+          | Some (Ok cap) ->
+            Hashtbl.replace objects name (tname, cap);
+            Printf.printf "created %s %S on node %d\n" tname name node
+          | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+          | None -> ()
+        end
+      | [ "show"; name ] -> show name
+      | "append" :: name :: rest ->
+        invoke_and_show name "append_line"
+          [ Value.Str (String.concat " " rest) ]
+      | "push" :: name :: rest ->
+        invoke_and_show name "push" [ Value.Str (String.concat " " rest) ]
+      | [ "pop"; name ] -> invoke_and_show name "pop" []
+      | [ "move"; name; node ] -> (
+        match (find name, int_of_string_opt node) with
+        | Some (_, cap), Some n when n >= 0 && n < nodes -> (
+          match step (fun () -> Cluster.move cl cap ~to_node:n) with
+          | Some (Ok ()) -> Printf.printf "moved %S to node %d\n" name n
+          | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+          | None -> ())
+        | Some _, _ -> print_endline "bad node"
+        | None, _ -> ())
+      | [ "checkpoint"; name ] -> (
+        match find name with
+        | None -> ()
+        | Some (_, cap) -> (
+          match step (fun () -> Cluster.checkpoint_of cl cap) with
+          | Some (Ok ()) -> Printf.printf "%S checkpointed\n" name
+          | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+          | None -> ()))
+      | [ "crash"; name ] -> (
+        match find name with
+        | None -> ()
+        | Some (_, cap) -> (
+          match
+            step (fun () -> Cluster.invoke cl ~from:0 cap ~op:"fail" [])
+          with
+          | Some (Error Error.Object_crashed) ->
+            Printf.printf
+              "%S crashed; it will reincarnate from its last checkpoint \
+               on next use (if it has one)\n"
+              name
+          | Some (Error e) -> Printf.printf "error: %s\n" (Error.to_string e)
+          | Some (Ok _) | None -> print_endline "crash did not happen"))
+      | _ -> print_endline "unrecognised (try help)")
+  done;
+  Printf.printf "bye: %d invocations (%d remote), %s simulated\n"
+    (Cluster.stats_invocations cl)
+    (Cluster.stats_remote_invocations cl)
+    (Time.to_string (Engine.now (Cluster.engine cl)))
+
+let edit_cmd =
+  Cmd.v
+    (Cmd.info "edit" ~doc:"Interactive object editor (the editing paradigm).")
+    Term.(const run_edit $ nodes_t $ seed_t)
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let run_info () =
+  print_endline "Eden reproduction (SOSP 1981, Lazowska et al.)";
+  print_endline "";
+  print_endline "libraries: eden_util eden_sim eden_net eden_hw eden_kernel";
+  print_endline "           eden_typesys eden_efs eden_baseline eden_workload";
+  print_endline "examples : dune exec examples/quickstart.exe (and 4 more)";
+  print_endline "benches  : dune exec bench/main.exe -- --list";
+  print_endline "";
+  Printf.printf "default node machine: %d GDPs, %d bytes memory\n"
+    (Eden_hw.Machine.default_config ~name:"x").Eden_hw.Machine.gdps
+    (Eden_hw.Machine.default_config ~name:"x").Eden_hw.Machine.memory_bytes;
+  let p = Eden_net.Params.default in
+  Printf.printf "network: %d Mb/s Ethernet, slot %s, max frame %dB\n"
+    (p.Eden_net.Params.bandwidth_bps / 1_000_000)
+    (Time.to_string p.Eden_net.Params.slot)
+    p.Eden_net.Params.max_frame_bytes
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Show build configuration.")
+    Term.(const run_info $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "edenctl" ~version:"1.0"
+             ~doc:"Drive scenarios on the Eden reproduction.")
+          [ demo_cmd; mail_cmd; synth_cmd; efs_cmd; heartbeat_cmd; edit_cmd; info_cmd ]))

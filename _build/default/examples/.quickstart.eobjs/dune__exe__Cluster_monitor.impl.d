@@ -1,0 +1,1 @@
+examples/cluster_monitor.ml: Cluster Eden_kernel Eden_sim Eden_util Eden_workload Engine Error List Option Printf String Time Value

@@ -1,0 +1,1 @@
+examples/file_server.ml: Client Cluster Eden_efs Eden_hw Eden_kernel Eden_sim Eden_util Engine Error List Machine Option Printf Schema Time Txn Value

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Array Cluster Eden_kernel Eden_sim Eden_util Eden_workload Engine Error List Policy Printf Splitmix Stats Synthetic Time Value

@@ -1,0 +1,1 @@
+examples/mail_system.ml: Cluster Eden_kernel Eden_sim Eden_util Eden_workload Engine Error Format Mail Option Printf Stats Time Value

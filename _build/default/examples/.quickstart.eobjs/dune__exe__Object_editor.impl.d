@@ -1,0 +1,1 @@
+examples/object_editor.ml: Api Cluster Display Eden_kernel Eden_typesys Error Hierarchy Printf Result Typemgr Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Cluster Eden_kernel Eden_sim Eden_util Engine Error Format List Printf Result String Time Typemgr Value

@@ -1,0 +1,1 @@
+lib/baseline/central.ml: Cluster Eden_hw Eden_kernel List Machine Printf

@@ -1,0 +1,1 @@
+lib/baseline/central.mli: Eden_kernel

@@ -1,0 +1,1 @@
+lib/baseline/rpc.ml: Array Costs Cpu Eden_hw Eden_kernel Eden_net Eden_sim Eden_util Engine Error Hashtbl Idgen List Machine Msglink Printexc Printf Promise String Time Value

@@ -1,0 +1,1 @@
+lib/baseline/rpc.mli: Eden_hw Eden_kernel Eden_net Eden_sim Eden_util Error Time Value

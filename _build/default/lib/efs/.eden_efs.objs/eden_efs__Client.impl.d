@@ -1,0 +1,1 @@
+lib/efs/client.ml: Capability Cluster Eden_kernel Error List Name Option Printf Result Schema String Value

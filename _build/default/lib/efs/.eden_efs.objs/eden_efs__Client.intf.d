@@ -1,0 +1,1 @@
+lib/efs/client.mli: Capability Cluster Eden_kernel Error Value

@@ -1,0 +1,1 @@
+lib/efs/schema.ml: Api Cluster Eden_kernel Eden_sim Eden_util Error List Opclass Printf Reliability Result Time Typemgr Value

@@ -1,0 +1,1 @@
+lib/efs/schema.mli: Eden_kernel

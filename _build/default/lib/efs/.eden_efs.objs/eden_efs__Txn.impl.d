@@ -1,0 +1,1 @@
+lib/efs/txn.ml: Capability Client Cluster Eden_kernel Error List Name Option Printf Result Value

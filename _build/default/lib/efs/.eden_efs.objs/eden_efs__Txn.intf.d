@@ -1,0 +1,1 @@
+lib/efs/txn.mli: Capability Cluster Eden_kernel Error Value

@@ -1,0 +1,210 @@
+open Eden_kernel
+
+let ( let* ) = Result.bind
+
+let lift_conv r = Result.map_error (fun m -> Error.Bad_arguments m) r
+
+let make_root cl ~node =
+  Cluster.create_object cl ~node ~type_name:"efs_dir" (Value.List [])
+
+let bind cl ~from ~dir ~name cap =
+  let* _ =
+    Cluster.invoke cl ~from dir ~op:"bind" [ Value.Str name; Value.Cap cap ]
+  in
+  Ok ()
+
+let new_version cl ~from ~node content =
+  ignore from;
+  let* vcap = Cluster.create_object cl ~node ~type_name:"efs_version" content in
+  let* () = Cluster.freeze cl vcap in
+  Ok vcap
+
+let mkdir cl ~from ~dir ~name ?node () =
+  let target = Option.value ~default:from node in
+  let* sub =
+    Cluster.create_object cl ~node:target ~type_name:"efs_dir" (Value.List [])
+  in
+  let* () = bind cl ~from ~dir ~name sub in
+  Ok sub
+
+(* Append [vcap] as the next version, driving the file's own
+   prepare/commit protocol as a single-file transaction. *)
+let append_version cl ~from ~file vcap ~txn =
+  let* r =
+    Cluster.invoke cl ~from file ~op:"prepare"
+      [ Value.Str txn; Value.Int (-1) ]
+  in
+  match r with
+  | [ Value.Bool true ] ->
+    let* _ =
+      Cluster.invoke cl ~from file ~op:"commit_version"
+        [ Value.Str txn; Value.Cap vcap ]
+    in
+    Ok ()
+  | [ Value.Bool false ] ->
+    Error (Error.User_error "file busy with another transaction")
+  | _ -> Error (Error.User_error "unexpected prepare reply")
+
+let create_file cl ~from ~dir ~name ?node ?content () =
+  let target = Option.value ~default:from node in
+  let* file =
+    Cluster.create_object cl ~node:target ~type_name:"efs_file"
+      Schema.empty_file_repr
+  in
+  let* () = bind cl ~from ~dir ~name file in
+  match content with
+  | None -> Ok file
+  | Some c ->
+    let* vcap = new_version cl ~from ~node:target c in
+    let* () =
+      append_version cl ~from ~file vcap
+        ~txn:(Printf.sprintf "create:%s" (Name.to_string (Capability.name file)))
+    in
+    Ok file
+
+let resolve cl ~from ~root path =
+  let components = String.split_on_char '/' path in
+  let components = List.filter (fun c -> c <> "") components in
+  if components = [] then Error (Error.Bad_arguments "empty path")
+  else
+    List.fold_left
+      (fun acc comp ->
+        let* dir = acc in
+        let* r = Cluster.invoke cl ~from dir ~op:"lookup" [ Value.Str comp ] in
+        match r with
+        | [ Value.Cap c ] -> Ok c
+        | _ -> Error (Error.User_error "unexpected lookup reply"))
+      (Ok root) components
+
+let current cl ~from file =
+  let* r = Cluster.invoke cl ~from file ~op:"current" [] in
+  match r with
+  | [ Value.Int vno; Value.Cap c ] -> Ok (vno, c)
+  | _ -> Error (Error.User_error "unexpected current reply")
+
+let read_version cl ~from vcap =
+  let* r = Cluster.invoke cl ~from vcap ~op:"read" [] in
+  match r with
+  | [ content ] -> Ok content
+  | _ -> Error (Error.User_error "unexpected read reply")
+
+let read_file cl ~from file =
+  let* _vno, vcap = current cl ~from file in
+  read_version cl ~from vcap
+
+let read_version_at cl ~from file vno =
+  let* r = Cluster.invoke cl ~from file ~op:"version_at" [ Value.Int vno ] in
+  match r with
+  | [ Value.Cap vcap ] -> read_version cl ~from vcap
+  | _ -> Error (Error.User_error "unexpected version_at reply")
+
+let version_count cl ~from file =
+  let* r = Cluster.invoke cl ~from file ~op:"version_count" [] in
+  match r with
+  | [ v ] -> lift_conv (Value.to_int v)
+  | _ -> Error (Error.User_error "unexpected version_count reply")
+
+let list_dir cl ~from dir =
+  let* r = Cluster.invoke cl ~from dir ~op:"list" [] in
+  match r with
+  | [ Value.List names ] ->
+    Ok
+      (List.filter_map
+         (fun v -> match v with Value.Str s -> Some s | _ -> None)
+         names)
+  | _ -> Error (Error.User_error "unexpected list reply")
+
+let replicate_current_version cl ~from file ~to_nodes =
+  let* _vno, vcap = current cl ~from file in
+  List.fold_left
+    (fun acc node ->
+      let* () = acc in
+      Cluster.replicate cl vcap ~to_node:node)
+    (Ok ()) to_nodes
+
+let make_durable cl ~from file ~mirrors =
+  let sites = Value.List (List.map (fun n -> Value.Int n) mirrors) in
+  let* _ = Cluster.invoke cl ~from file ~op:"set_checksites" [ sites ] in
+  let* count = version_count cl ~from file in
+  let rec each vno =
+    if vno >= count then Ok ()
+    else
+      let* r =
+        Cluster.invoke cl ~from file ~op:"version_at" [ Value.Int vno ]
+      in
+      match r with
+      | [ Value.Cap vcap ] ->
+        let* _ = Cluster.invoke cl ~from vcap ~op:"set_checksites" [ sites ] in
+        each (vno + 1)
+      | _ -> Error (Error.User_error "unexpected version_at reply")
+  in
+  each 0
+
+(* A bound capability is a directory iff it answers "entries"; files
+   answer with No_such_operation and are checkpointed with their
+   version objects. *)
+let rec checkpoint_tree cl ~from ~root =
+  let* _ = Cluster.invoke cl ~from root ~op:"checkpoint_now" [] in
+  let* r = Cluster.invoke cl ~from root ~op:"entries" [] in
+  let* entries =
+    match r with
+    | [ Value.List entries ] -> Ok entries
+    | _ -> Error (Error.User_error "unexpected entries reply")
+  in
+  List.fold_left
+    (fun acc entry ->
+      let* count = acc in
+      match entry with
+      | Value.Pair (Value.Str _, Value.Cap child) -> (
+        match checkpoint_tree cl ~from ~root:child with
+        | Ok sub -> Ok (count + sub)
+        | Error (Error.No_such_operation _) ->
+          (* A file: checkpoint it and each of its versions. *)
+          let* _ = Cluster.invoke cl ~from child ~op:"checkpoint_now" [] in
+          let* n = version_count cl ~from child in
+          let rec save_versions vno saved =
+            if vno >= n then Ok saved
+            else
+              let* r =
+                Cluster.invoke cl ~from child ~op:"version_at"
+                  [ Value.Int vno ]
+              in
+              match r with
+              | [ Value.Cap vcap ] ->
+                let* () = Cluster.checkpoint_of cl vcap in
+                save_versions (vno + 1) (saved + 1)
+              | _ -> Error (Error.User_error "unexpected version_at reply")
+          in
+          let* versions_saved = save_versions 0 0 in
+          Ok (count + 1 + versions_saved)
+        | Error e -> Error e)
+      | _ -> Ok count)
+    (Ok 1) entries
+
+let delete_file cl ~from ~dir ~name =
+  let* r = Cluster.invoke cl ~from dir ~op:"lookup" [ Value.Str name ] in
+  let* file =
+    match r with
+    | [ Value.Cap c ] -> Ok c
+    | _ -> Error (Error.User_error "unexpected lookup reply")
+  in
+  let* count = version_count cl ~from file in
+  (* Collect version capabilities before the file goes away. *)
+  let rec versions acc vno =
+    if vno >= count then Ok (List.rev acc)
+    else
+      let* r =
+        Cluster.invoke cl ~from file ~op:"version_at" [ Value.Int vno ]
+      in
+      match r with
+      | [ Value.Cap vcap ] -> versions (vcap :: acc) (vno + 1)
+      | _ -> Error (Error.User_error "unexpected version_at reply")
+  in
+  let* vcaps = versions [] 0 in
+  let* _ = Cluster.invoke cl ~from dir ~op:"unbind" [ Value.Str name ] in
+  let* () = Cluster.destroy cl file in
+  List.fold_left
+    (fun acc vcap ->
+      let* () = acc in
+      Cluster.destroy cl vcap)
+    (Ok ()) vcaps

@@ -1,0 +1,100 @@
+(** EFS client operations: naming, files and plain reads.
+
+    All functions are blocking (call them from a simulation process)
+    and issue ordinary kernel invocations — the client library owns no
+    private channel to the file system. *)
+
+open Eden_kernel
+
+val make_root :
+  Cluster.t -> node:int -> (Capability.t, Error.t) result
+(** Create an empty root directory on [node]. *)
+
+val mkdir :
+  Cluster.t ->
+  from:int ->
+  dir:Capability.t ->
+  name:string ->
+  ?node:int ->
+  unit ->
+  (Capability.t, Error.t) result
+(** Create a directory (on [node], default: where [dir]'s node is
+    unknown to the client so [from]) and bind it into [dir]. *)
+
+val create_file :
+  Cluster.t ->
+  from:int ->
+  dir:Capability.t ->
+  name:string ->
+  ?node:int ->
+  ?content:Value.t ->
+  unit ->
+  (Capability.t, Error.t) result
+(** Create a file, bind it in [dir], and if [content] is given store it
+    as version 0. *)
+
+val new_version :
+  Cluster.t ->
+  from:int ->
+  node:int ->
+  Value.t ->
+  (Capability.t, Error.t) result
+(** Create and freeze a version object holding [content]. *)
+
+val resolve :
+  Cluster.t ->
+  from:int ->
+  root:Capability.t ->
+  string ->
+  (Capability.t, Error.t) result
+(** Resolve a ["a/b/c"] path. Empty components are rejected. *)
+
+val read_file :
+  Cluster.t -> from:int -> Capability.t -> (Value.t, Error.t) result
+(** Contents of the current version. *)
+
+val read_version_at :
+  Cluster.t -> from:int -> Capability.t -> int -> (Value.t, Error.t) result
+
+val version_count :
+  Cluster.t -> from:int -> Capability.t -> (int, Error.t) result
+
+val list_dir :
+  Cluster.t -> from:int -> Capability.t -> (string list, Error.t) result
+
+val replicate_current_version :
+  Cluster.t ->
+  from:int ->
+  Capability.t ->
+  to_nodes:int list ->
+  (unit, Error.t) result
+(** Install read-only replicas of the file's current (frozen) version
+    at the given nodes. *)
+
+val make_durable :
+  Cluster.t ->
+  from:int ->
+  Capability.t ->
+  mirrors:int list ->
+  (unit, Error.t) result
+(** Reliability replication (paper §5: versions "replicated at multiple
+    sites for reliability"): set mirrored checksites on the file and on
+    every existing version, checkpointing each — the file then survives
+    the permanent loss of any single checksite. *)
+
+val checkpoint_tree :
+  Cluster.t -> from:int -> root:Capability.t -> (int, Error.t) result
+(** Make an entire naming tree durable: checkpoint the directory, every
+    file bound in it (and their version objects), recursing into
+    sub-directories.  Returns the number of objects checkpointed.
+    Requires full-rights capabilities in the tree (the default). *)
+
+val delete_file :
+  Cluster.t ->
+  from:int ->
+  dir:Capability.t ->
+  name:string ->
+  (unit, Error.t) result
+(** Unbind [name] from [dir] and destroy the file object and every one
+    of its versions (requires full rights on the bound capability).
+    Version immutability ends where the file's existence does. *)

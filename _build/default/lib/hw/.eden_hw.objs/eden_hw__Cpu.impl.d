@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Eden_sim Eden_util Resource Time

@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Eden_sim Eden_util Resource Time

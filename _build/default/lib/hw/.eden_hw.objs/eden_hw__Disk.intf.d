@@ -1,0 +1,1 @@
+lib/hw/disk.mli: Eden_sim Eden_util

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Costs Cpu Disk Eden_sim Engine Memory

@@ -1,0 +1,42 @@
+open Eden_util
+
+type t = {
+  invoke_request_cpu : Time.t;
+  invoke_dispatch_cpu : Time.t;
+  process_create_cpu : Time.t;
+  invoke_reply_cpu : Time.t;
+  per_byte_copy : Time.t;
+  locate_lookup_cpu : Time.t;
+  checkpoint_fixed_cpu : Time.t;
+  activation_fixed_cpu : Time.t;
+}
+
+let default =
+  {
+    invoke_request_cpu = Time.us 400;
+    invoke_dispatch_cpu = Time.us 300;
+    process_create_cpu = Time.us 900;
+    invoke_reply_cpu = Time.us 250;
+    per_byte_copy = Time.ns 800;
+    locate_lookup_cpu = Time.us 50;
+    checkpoint_fixed_cpu = Time.us 500;
+    activation_fixed_cpu = Time.ms 2;
+  }
+
+let scale c f =
+  if not (Float.is_finite f) || f <= 0.0 then invalid_arg "Costs.scale";
+  let s t = Time.mul_float t f in
+  {
+    invoke_request_cpu = s c.invoke_request_cpu;
+    invoke_dispatch_cpu = s c.invoke_dispatch_cpu;
+    process_create_cpu = s c.process_create_cpu;
+    invoke_reply_cpu = s c.invoke_reply_cpu;
+    per_byte_copy = s c.per_byte_copy;
+    locate_lookup_cpu = s c.locate_lookup_cpu;
+    checkpoint_fixed_cpu = s c.checkpoint_fixed_cpu;
+    activation_fixed_cpu = s c.activation_fixed_cpu;
+  }
+
+let copy_cost c ~bytes =
+  if bytes < 0 then invalid_arg "Costs.copy_cost: negative size";
+  Time.scale c.per_byte_copy bytes

@@ -1,0 +1,35 @@
+(** Calibrated per-primitive CPU service times.
+
+    These constants stand in for the Intel iAPX 432 General Data
+    Processor.  The paper flags invocation and address-space creation
+    as the GDP's performance question marks, so those paths carry the
+    largest costs.  Absolute values are synthetic-but-plausible for
+    ~1981 hardware (a sub-1-MIPS processor); experiments depend on
+    their ratios, not their absolute magnitudes. *)
+
+type t = {
+  invoke_request_cpu : Eden_util.Time.t;
+      (** caller side: capability check, message construction *)
+  invoke_dispatch_cpu : Eden_util.Time.t;
+      (** coordinator: rights verification, class dispatch *)
+  process_create_cpu : Eden_util.Time.t;
+      (** creating an invocation process (432 address-space creation) *)
+  invoke_reply_cpu : Eden_util.Time.t;
+      (** packaging and consuming the reply *)
+  per_byte_copy : Eden_util.Time.t;  (** marshalling cost per payload byte *)
+  locate_lookup_cpu : Eden_util.Time.t;
+      (** one location-table or hint-cache probe *)
+  checkpoint_fixed_cpu : Eden_util.Time.t;
+      (** preparing a representation snapshot, excluding disk I/O *)
+  activation_fixed_cpu : Eden_util.Time.t;
+      (** coordinator creation + reincarnation-handler entry *)
+}
+
+val default : t
+
+val scale : t -> float -> t
+(** [scale c f] multiplies every service time by [f] (a faster or
+    slower processor generation).  Requires [f > 0]. *)
+
+val copy_cost : t -> bytes:int -> Eden_util.Time.t
+(** Marshalling cost for a payload of the given size. *)

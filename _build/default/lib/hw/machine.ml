@@ -1,0 +1,52 @@
+open Eden_sim
+
+type config = {
+  name : string;
+  gdps : int;
+  memory_bytes : int;
+  disk_profile : Disk.profile;
+  costs : Costs.t;
+}
+
+let default_config ~name =
+  {
+    name;
+    gdps = 2;
+    memory_bytes = 1_000_000;
+    disk_profile = Disk.small_profile;
+    costs = Costs.default;
+  }
+
+let upgraded_config ~name =
+  { (default_config ~name) with gdps = 4; memory_bytes = 2_500_000 }
+
+let file_server_config ~name =
+  {
+    (default_config ~name) with
+    memory_bytes = 2_500_000;
+    disk_profile = Disk.server_profile;
+  }
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  m_cpu : Cpu.t;
+  m_mem : Memory.t;
+  m_disk : Disk.t;
+}
+
+let create eng cfg =
+  {
+    cfg;
+    eng;
+    m_cpu = Cpu.create eng ~gdps:cfg.gdps ~name:(cfg.name ^ ".cpu");
+    m_mem = Memory.create ~bytes:cfg.memory_bytes;
+    m_disk = Disk.create eng ~profile:cfg.disk_profile ~name:(cfg.name ^ ".disk");
+  }
+
+let config m = m.cfg
+let name m = m.cfg.name
+let cpu m = m.m_cpu
+let memory m = m.m_mem
+let disk m = m.m_disk
+let engine m = m.eng

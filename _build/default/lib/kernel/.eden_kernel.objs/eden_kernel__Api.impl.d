@@ -1,0 +1,1 @@
+lib/kernel/api.ml: Capability Eden_sim Eden_util Error List Printf Reliability Result Value

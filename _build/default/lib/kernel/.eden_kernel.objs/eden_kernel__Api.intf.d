@@ -1,0 +1,1 @@
+lib/kernel/api.mli: Capability Eden_sim Eden_util Error Reliability Value

@@ -1,0 +1,1 @@
+lib/kernel/capability.ml: Format Name Rights

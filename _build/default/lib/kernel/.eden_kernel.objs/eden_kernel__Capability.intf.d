@@ -1,0 +1,1 @@
+lib/kernel/capability.mli: Format Name Rights

@@ -1,0 +1,1 @@
+lib/kernel/cluster.mli: Api Capability Eden_hw Eden_net Eden_sim Eden_util Error Transport Typemgr Value

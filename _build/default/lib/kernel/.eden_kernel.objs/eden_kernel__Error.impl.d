@@ -1,0 +1,1 @@
+lib/kernel/error.ml: Format String

@@ -1,0 +1,1 @@
+lib/kernel/message.ml: Api Capability Error Name Printf Reliability Rights String Value

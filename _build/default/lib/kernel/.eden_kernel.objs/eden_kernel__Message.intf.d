@@ -1,0 +1,1 @@
+lib/kernel/message.mli: Api Capability Error Name Reliability Rights Value

@@ -1,0 +1,1 @@
+lib/kernel/name.ml: Format Hashtbl Int

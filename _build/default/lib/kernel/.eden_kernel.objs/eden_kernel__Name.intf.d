@@ -1,0 +1,1 @@
+lib/kernel/name.mli: Format Hashtbl

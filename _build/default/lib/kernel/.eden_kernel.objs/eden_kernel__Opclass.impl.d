@@ -1,0 +1,1 @@
+lib/kernel/opclass.ml: List Printf

@@ -1,0 +1,1 @@
+lib/kernel/policy.ml: Array Cluster Eden_sim Engine Fun List

@@ -1,0 +1,1 @@
+lib/kernel/policy.mli: Capability Cluster Eden_sim Eden_util

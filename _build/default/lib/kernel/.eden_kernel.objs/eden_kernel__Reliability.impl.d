@@ -1,0 +1,1 @@
+lib/kernel/reliability.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/rights.ml: Format Int List Printf String

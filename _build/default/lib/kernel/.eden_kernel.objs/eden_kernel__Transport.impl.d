@@ -1,0 +1,1 @@
+lib/kernel/transport.ml: Eden_net Internet Message

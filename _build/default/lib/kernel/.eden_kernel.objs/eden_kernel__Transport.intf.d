@@ -1,0 +1,1 @@
+lib/kernel/transport.mli: Eden_net Eden_sim Eden_util Message

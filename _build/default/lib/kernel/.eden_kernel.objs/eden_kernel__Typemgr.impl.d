@@ -1,0 +1,1 @@
+lib/kernel/typemgr.ml: Api List Opclass Printf Rights String

@@ -1,0 +1,1 @@
+lib/kernel/typemgr.mli: Api Opclass Rights

@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Bool Capability Format Int List Printf String

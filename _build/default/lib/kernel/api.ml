@@ -1,0 +1,71 @@
+type invoke_result = (Value.t list, Error.t) result
+
+type ctx = {
+  self : Capability.t;
+  node_id : unit -> int;
+  now : unit -> Eden_util.Time.t;
+  random : Eden_util.Splitmix.t;
+  compute : Eden_util.Time.t -> unit;
+  log : string -> unit;
+  get_repr : unit -> Value.t;
+  set_repr : Value.t -> (unit, Error.t) result;
+  invoke :
+    ?timeout:Eden_util.Time.t ->
+    Capability.t ->
+    op:string ->
+    Value.t list ->
+    invoke_result;
+  invoke_async :
+    ?timeout:Eden_util.Time.t ->
+    Capability.t ->
+    op:string ->
+    Value.t list ->
+    invoke_result Eden_sim.Promise.t;
+  create_object :
+    type_name:string ->
+    ?node:int ->
+    Value.t ->
+    (Capability.t, Error.t) result;
+  checkpoint : unit -> (unit, Error.t) result;
+  set_reliability : Reliability.t -> (unit, Error.t) result;
+  crash : unit -> unit;
+  move_to : int -> (unit, Error.t) result;
+  freeze : unit -> unit;
+  replicate_to : int -> (unit, Error.t) result;
+  semaphore : string -> init:int -> Eden_sim.Semaphore.t;
+  port : string -> Value.t Eden_sim.Mailbox.t;
+  spawn_subprocess : (unit -> unit) -> unit;
+}
+
+type handler = ctx -> Value.t list -> invoke_result
+
+let reply vs = Ok vs
+let fail e = Error e
+let reply_unit = Ok []
+let user_error msg = Error (Error.User_error msg)
+let bad_arguments msg = Error (Error.Bad_arguments msg)
+
+let arity_error n got =
+  Error
+    (Error.Bad_arguments
+       (Printf.sprintf "expected %d argument(s), got %d" n got))
+
+let arg1 = function [ a ] -> Ok a | l -> arity_error 1 (List.length l)
+let arg2 = function [ a; b ] -> Ok (a, b) | l -> arity_error 2 (List.length l)
+
+let arg3 = function
+  | [ a; b; c ] -> Ok (a, b, c)
+  | l -> arity_error 3 (List.length l)
+
+let no_args = function [] -> Ok () | l -> arity_error 0 (List.length l)
+
+let lift_conversion = function
+  | Ok v -> Ok v
+  | Error msg -> Error (Error.Bad_arguments msg)
+
+let int_arg v = lift_conversion (Value.to_int v)
+let str_arg v = lift_conversion (Value.to_str v)
+let cap_arg v = lift_conversion (Value.to_cap v)
+let bool_arg v = lift_conversion (Value.to_bool v)
+
+let ( let* ) = Result.bind

@@ -1,0 +1,85 @@
+(** The kernel interface seen from inside an object.
+
+    Every operation handler, reincarnation handler and behaviour
+    receives a {!ctx}: the set of kernel-supplied facilities available
+    to type code.  From the outside an object is just a capability; the
+    two-level view the paper describes — single-level for the invoker,
+    explicit location / concurrency / recovery for the type programmer
+    — lives entirely in this record. *)
+
+type invoke_result = (Value.t list, Error.t) result
+
+type ctx = {
+  self : Capability.t;  (** full-rights capability for this object *)
+  node_id : unit -> int;  (** the node currently executing us *)
+  now : unit -> Eden_util.Time.t;
+  random : Eden_util.Splitmix.t;  (** per-object deterministic stream *)
+  compute : Eden_util.Time.t -> unit;
+      (** consume CPU service time on this node's processor pool *)
+  log : string -> unit;  (** App-category trace *)
+  (* representation *)
+  get_repr : unit -> Value.t;
+  set_repr : Value.t -> (unit, Error.t) result;
+      (** fails with [Frozen_immutable] on frozen objects *)
+  (* invocation of other objects *)
+  invoke :
+    ?timeout:Eden_util.Time.t ->
+    Capability.t ->
+    op:string ->
+    Value.t list ->
+    invoke_result;
+  invoke_async :
+    ?timeout:Eden_util.Time.t ->
+    Capability.t ->
+    op:string ->
+    Value.t list ->
+    invoke_result Eden_sim.Promise.t;
+  create_object :
+    type_name:string ->
+    ?node:int ->
+    Value.t ->
+    (Capability.t, Error.t) result;
+      (** create a sibling object (default: on this node) *)
+  (* reliability *)
+  checkpoint : unit -> (unit, Error.t) result;
+  set_reliability : Reliability.t -> (unit, Error.t) result;
+  crash : unit -> unit;
+      (** destroy all active state; does not return (the invocation
+          process is killed) *)
+  (* location *)
+  move_to : int -> (unit, Error.t) result;
+  freeze : unit -> unit;
+  replicate_to : int -> (unit, Error.t) result;
+      (** install a read-only replica of this frozen object *)
+  (* intra-object communication, the kernel's semaphore and message
+     port primitives; names are scoped to this object and created on
+     first use, shared across its invocations and behaviours *)
+  semaphore : string -> init:int -> Eden_sim.Semaphore.t;
+  port : string -> Value.t Eden_sim.Mailbox.t;
+  (* concurrency *)
+  spawn_subprocess : (unit -> unit) -> unit;
+      (** a subordinate process of the current invocation; it is killed
+          with the object on crash *)
+}
+
+type handler = ctx -> Value.t list -> invoke_result
+(** An operation implementation. *)
+
+val reply : Value.t list -> invoke_result
+val fail : Error.t -> invoke_result
+val reply_unit : invoke_result
+val user_error : string -> invoke_result
+val bad_arguments : string -> invoke_result
+
+val arg1 : Value.t list -> (Value.t, Error.t) result
+val arg2 : Value.t list -> (Value.t * Value.t, Error.t) result
+val arg3 : Value.t list -> (Value.t * Value.t * Value.t, Error.t) result
+val no_args : Value.t list -> (unit, Error.t) result
+
+val int_arg : Value.t -> (int, Error.t) result
+val str_arg : Value.t -> (string, Error.t) result
+val cap_arg : Value.t -> (Capability.t, Error.t) result
+val bool_arg : Value.t -> (bool, Error.t) result
+
+val ( let* ) :
+  ('a, Error.t) result -> ('a -> ('b, Error.t) result) -> ('b, Error.t) result

@@ -1,0 +1,1726 @@
+open Eden_util
+open Eden_sim
+open Eden_hw
+
+type node_id = int
+
+(* -------------------------------------------------------------------- *)
+(* Internal structures *)
+
+(* How to deliver an invocation's result back to its caller. *)
+type reply_route =
+  | Reply_local of Api.invoke_result Promise.t
+  | Reply_remote of { requester : node_id; inv_id : Message.request_id }
+
+type work = {
+  w_op : string;
+  w_args : Value.t list;
+  w_presented : Rights.t;
+  w_route : reply_route;
+}
+
+type obj_status = Running | Draining | Dead
+
+type obj = {
+  ob_name : Name.t;
+  ob_type : Typemgr.t;
+  mutable ob_repr : Value.t;
+  mutable ob_frozen : bool;
+  mutable ob_reliability : Reliability.t;
+  mutable ob_home : node_id;
+  mutable ob_status : obj_status;
+  ob_is_replica : bool;
+  ob_queue : work Mailbox.t;  (* the coordinator's port *)
+  ob_stash : work Fifo.t;  (* held while draining for a move *)
+  ob_class_running : (string, int ref) Hashtbl.t;
+  ob_class_queue : (string, work Fifo.t) Hashtbl.t;
+  ob_inflight : (int, work) Hashtbl.t;  (* pid -> work being served *)
+  mutable ob_running_total : int;
+  ob_drained : Condition.t;
+  mutable ob_coordinator : Engine.Pid.t option;
+  mutable ob_behaviour_pids : Engine.Pid.t list;
+  mutable ob_proc_pids : Engine.Pid.t list;  (* invocation + subprocesses *)
+  ob_sems : (string, Semaphore.t) Hashtbl.t;
+  ob_ports : (string, Value.t Mailbox.t) Hashtbl.t;
+  ob_rng : Splitmix.t;
+  mutable ob_mem : int;  (* bytes reserved on the current home *)
+  mutable ob_ckpt_sites : node_id list;
+}
+
+type snapshot = {
+  ss_type : string;
+  mutable ss_repr : Value.t;
+  mutable ss_reliability : Reliability.t;
+  mutable ss_frozen : bool;
+  mutable ss_passive : bool;
+      (* true when this snapshot is authoritative: the object is known
+         not to be active anywhere *)
+}
+
+(* What a requester is waiting for, keyed by sequence number. *)
+type inv_outcome = Inv_result of Api.invoke_result | Inv_nacked
+
+type locate_state = {
+  mutable loc_candidates : (node_id * Message.residence) list;
+  loc_active : (node_id * Message.residence) Promise.t;
+      (* filled as soon as an active/replica site answers *)
+}
+
+type pending =
+  | P_invoke of inv_outcome Promise.t
+  | P_locate of locate_state
+  | P_create of (Capability.t, Error.t) result Promise.t
+  | P_ack of bool Promise.t
+
+type node = {
+  nd_id : node_id;
+  nd_machine : Machine.t;
+  nd_tp : Transport.t;
+  mutable nd_up : bool;
+  mutable nd_mem : Memory.t;
+  nd_active : obj Name.Table.t;
+  nd_replicas : obj Name.Table.t;
+  nd_store : snapshot Name.Table.t;  (* survives node crashes *)
+  nd_hints : node_id Name.Table.t;
+  nd_forward : node_id Name.Table.t;  (* objects that moved away *)
+  nd_activating : (obj, Error.t) result Promise.t Name.Table.t;
+  nd_locating : (node_id * Message.residence) option Promise.t Name.Table.t;
+      (* coalesces concurrent locate broadcasts for one name *)
+  nd_pending : (int, pending) Hashtbl.t;
+  nd_seq : Idgen.t;
+  nd_types_loaded : (string, unit) Hashtbl.t;
+  mutable nd_kprocs : Engine.Pid.t list;
+}
+
+type options = {
+  use_hint_cache : bool;
+  use_forwarding : bool;
+  coalesce_locates : bool;
+}
+
+let default_options =
+  { use_hint_cache = true; use_forwarding = true; coalesce_locates = true }
+
+type t = {
+  eng : Engine.t;
+  tr : Trace.t;
+  c_lan : Transport.net;
+  nodes : node array;
+  types : (string, Typemgr.t) Hashtbl.t;
+  c_rng : Splitmix.t;
+  opts : options;
+  mutable c_node_objects : Capability.t array;
+      (* one kernel-created node object per node, fixed names *)
+  mutable n_inv : int;
+  mutable n_remote : int;
+}
+
+let locate_window = Time.ms 3
+let locate_retries = 3
+
+(* Checkpoint/move/replica acknowledgements: generous enough for a
+   megabyte representation to cross the wire and settle on an era disk
+   (~1 MB/s at best), tight enough to detect a dead peer. *)
+let ack_timeout = Time.s 15
+let max_hops = 8
+
+exception Fatal of string
+(* Internal invariant violations surface loudly instead of corrupting
+   the simulation. *)
+
+(* -------------------------------------------------------------------- *)
+(* Small helpers *)
+
+let node_of cl i =
+  if i < 0 || i >= Array.length cl.nodes then
+    invalid_arg (Printf.sprintf "Cluster: no such node %d" i)
+  else cl.nodes.(i)
+
+let costs node = (Machine.config node.nd_machine).Machine.costs
+let cpu node = Machine.cpu node.nd_machine
+let consume node t = Cpu.consume (cpu node) t
+let home cl obj = cl.nodes.(obj.ob_home)
+
+let tracef cl cat fmt = Trace.emitf cl.tr (Engine.now cl.eng) cat fmt
+
+let next_seq node = Idgen.next node.nd_seq
+
+let new_request_id node =
+  { Message.origin = node.nd_id; seq = next_seq node }
+
+let add_pending node seq p = Hashtbl.replace node.nd_pending seq p
+
+let take_pending node seq =
+  match Hashtbl.find_opt node.nd_pending seq with
+  | None -> None
+  | Some p ->
+    Hashtbl.remove node.nd_pending seq;
+    Some p
+
+let deadline_of ?timeout eng =
+  Option.map (fun d -> Time.add (Engine.now eng) d) timeout
+
+let remaining eng = function
+  | None -> None
+  | Some dl ->
+    let now = Engine.now eng in
+    Some (if Time.(dl > now) then Time.diff dl now else Time.zero)
+
+let spawn_kproc cl node ~name f =
+  let pid = Engine.spawn cl.eng ~name f in
+  Engine.set_daemon cl.eng pid;
+  node.nd_kprocs <- pid :: node.nd_kprocs;
+  if List.length node.nd_kprocs > 256 then
+    node.nd_kprocs <-
+      List.filter (fun p -> Engine.alive cl.eng p) node.nd_kprocs;
+  pid
+
+let send_msg cl node ~dst msg =
+  if node.nd_up && dst <> node.nd_id then begin
+    tracef cl Trace.Kern "%d->%d %s" node.nd_id dst (Message.describe msg);
+    Transport.send node.nd_tp ~dst msg
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Forward declarations via references (the invocation path, object
+   crash and activation are mutually recursive through ctx closures). *)
+
+let ref_do_invoke :
+    (t ->
+    from:node_id ->
+    ?timeout:Time.t ->
+    Capability.t ->
+    op:string ->
+    Value.t list ->
+    Api.invoke_result)
+    ref =
+  ref (fun _ ~from:_ ?timeout:_ _ ~op:_ _ -> raise (Fatal "not initialised"))
+
+let ref_do_crash : (t -> obj -> unit) ref =
+  ref (fun _ _ -> raise (Fatal "not initialised"))
+
+let ref_do_checkpoint : (t -> obj -> (unit, Error.t) result) ref =
+  ref (fun _ _ -> raise (Fatal "not initialised"))
+
+let ref_do_move : (t -> obj -> to_node:node_id -> self_inflight:bool -> (unit, Error.t) result) ref =
+  ref (fun _ _ ~to_node:_ ~self_inflight:_ -> raise (Fatal "not initialised"))
+
+let ref_do_replicate : (t -> obj -> to_node:node_id -> (unit, Error.t) result) ref =
+  ref (fun _ _ ~to_node:_ -> raise (Fatal "not initialised"))
+
+let ref_do_create :
+    (t -> from:node_id -> node:node_id -> type_name:string -> Value.t ->
+    (Capability.t, Error.t) result)
+    ref =
+  ref (fun _ ~from:_ ~node:_ ~type_name:_ _ -> raise (Fatal "not initialised"))
+
+(* -------------------------------------------------------------------- *)
+(* The kernel interface handed to type code *)
+
+let make_ctx cl obj =
+  let find_or_add tbl key create =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+      let v = create () in
+      Hashtbl.replace tbl key v;
+      v
+  in
+  {
+    Api.self = Capability.make obj.ob_name Rights.all;
+    node_id = (fun () -> obj.ob_home);
+    now = (fun () -> Engine.now cl.eng);
+    random = obj.ob_rng;
+    compute = (fun t -> consume (home cl obj) t);
+    log =
+      (fun s ->
+        tracef cl Trace.App "%s: %s" (Name.to_string obj.ob_name) s);
+    get_repr = (fun () -> obj.ob_repr);
+    set_repr =
+      (fun v ->
+        if obj.ob_frozen then Error Error.Frozen_immutable
+        else begin
+          let node = home cl obj in
+          let old_size = Value.size_bytes obj.ob_repr in
+          let new_size = Value.size_bytes v in
+          if new_size > old_size then begin
+            match Memory.reserve node.nd_mem (new_size - old_size) with
+            | Error `Out_of_memory -> Error Error.Out_of_memory
+            | Ok () ->
+              obj.ob_mem <- obj.ob_mem + (new_size - old_size);
+              obj.ob_repr <- v;
+              Ok ()
+          end
+          else begin
+            Memory.release node.nd_mem (old_size - new_size);
+            obj.ob_mem <- obj.ob_mem - (old_size - new_size);
+            obj.ob_repr <- v;
+            Ok ()
+          end
+        end);
+    invoke =
+      (fun ?timeout cap ~op args ->
+        !ref_do_invoke cl ~from:obj.ob_home ?timeout cap ~op args);
+    invoke_async =
+      (fun ?timeout cap ~op args ->
+        let pr = Promise.create cl.eng in
+        let pid =
+          Engine.spawn cl.eng ~name:"invoke_async" (fun () ->
+              let r = !ref_do_invoke cl ~from:obj.ob_home ?timeout cap ~op args in
+              ignore (Promise.fill pr r))
+        in
+        Engine.set_daemon cl.eng pid;
+        pr);
+    create_object =
+      (fun ~type_name ?node init ->
+        let target = Option.value ~default:obj.ob_home node in
+        !ref_do_create cl ~from:obj.ob_home ~node:target ~type_name init);
+    checkpoint = (fun () -> !ref_do_checkpoint cl obj);
+    set_reliability =
+      (fun r ->
+        match Reliability.validate r ~node_count:(Array.length cl.nodes) with
+        | Error e -> Error (Error.Bad_arguments e)
+        | Ok () ->
+          obj.ob_reliability <- r;
+          Ok ());
+    crash = (fun () -> !ref_do_crash cl obj);
+    move_to =
+      (fun n ->
+        if n < 0 || n >= Array.length cl.nodes then
+          Error (Error.Move_refused "no such node")
+        else !ref_do_move cl obj ~to_node:n ~self_inflight:true);
+    freeze = (fun () -> obj.ob_frozen <- true);
+    replicate_to = (fun n -> !ref_do_replicate cl obj ~to_node:n);
+    semaphore =
+      (fun name ~init ->
+        find_or_add obj.ob_sems name (fun () ->
+            Semaphore.create cl.eng ~init));
+    port =
+      (fun name ->
+        find_or_add obj.ob_ports name (fun () -> Mailbox.create cl.eng));
+    spawn_subprocess =
+      (fun f ->
+        let pid =
+          Engine.spawn cl.eng
+            ~name:(Name.to_string obj.ob_name ^ ".sub")
+            f
+        in
+        Engine.set_daemon cl.eng pid;
+        obj.ob_proc_pids <- pid :: obj.ob_proc_pids);
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Delivering replies *)
+
+let resolve_inv_pending node seq outcome =
+  match take_pending node seq with
+  | Some (P_invoke pr) -> ignore (Promise.fill pr outcome)
+  | Some (P_locate _ | P_create _ | P_ack _) ->
+    raise (Fatal "pending kind mismatch for invocation reply")
+  | None -> () (* late reply after timeout: dropped *)
+
+let deliver_reply cl obj route result =
+  let node = home cl obj in
+  match route with
+  | Reply_local pr -> ignore (Promise.fill pr result)
+  | Reply_remote { requester; inv_id } ->
+    if requester = node.nd_id then
+      (* The object moved to the requester's node mid-request. *)
+      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
+    else
+      send_msg cl node ~dst:requester
+        (Message.Inv_reply { inv_id; result })
+
+let fail_work cl obj w error = deliver_reply cl obj w.w_route (Error error)
+
+(* -------------------------------------------------------------------- *)
+(* The coordinator: dispatching invocations inside an object *)
+
+let class_state obj class_name =
+  let running =
+    match Hashtbl.find_opt obj.ob_class_running class_name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace obj.ob_class_running class_name r;
+      r
+  in
+  let queue =
+    match Hashtbl.find_opt obj.ob_class_queue class_name with
+    | Some q -> q
+    | None ->
+      let q = Fifo.create () in
+      Hashtbl.replace obj.ob_class_queue class_name q;
+      q
+  in
+  (running, queue)
+
+let rec start_invocation cl obj spec w =
+  let node = home cl obj in
+  let running, _ = class_state obj spec.Opclass.class_name in
+  incr running;
+  obj.ob_running_total <- obj.ob_running_total + 1;
+  (* Creating the invocation process is the 432's expensive step. *)
+  consume node (costs node).Costs.process_create_cpu;
+  let op =
+    match Typemgr.find_operation obj.ob_type w.w_op with
+    | Some op -> op
+    | None -> raise (Fatal "dispatched an unknown operation")
+  in
+  let pid =
+    Engine.spawn cl.eng
+      ~name:(Printf.sprintf "%s.%s" (Name.to_string obj.ob_name) w.w_op)
+      (fun () ->
+        let self = Engine.self () in
+        Fun.protect
+          ~finally:(fun () -> finish_invocation cl obj spec self)
+          (fun () ->
+            Hashtbl.replace obj.ob_inflight
+              (Engine.Pid.to_int self)
+              w;
+            let ctx = make_ctx cl obj in
+            let result =
+              try op.Typemgr.op_handler ctx w.w_args with
+              | Engine.Killed as e -> raise e
+              | Engine.Stalled_waiting as e -> raise e
+              | exn -> Error (Error.User_error (Printexc.to_string exn))
+            in
+            Hashtbl.remove obj.ob_inflight (Engine.Pid.to_int self);
+            deliver_reply cl obj w.w_route result))
+  in
+  obj.ob_proc_pids <- pid :: obj.ob_proc_pids
+
+and finish_invocation cl obj spec self =
+  Hashtbl.remove obj.ob_inflight (Engine.Pid.to_int self);
+  let running, queue = class_state obj spec.Opclass.class_name in
+  decr running;
+  obj.ob_running_total <- obj.ob_running_total - 1;
+  Condition.broadcast obj.ob_drained;
+  match obj.ob_status with
+  | Running -> (
+    match Fifo.pop queue with
+    | Some next -> start_invocation cl obj spec next
+    | None -> ())
+  | Draining | Dead -> ()
+
+(* Validation and class admission for one incoming work item. *)
+let coordinator_admit cl obj w =
+  let node = home cl obj in
+  consume node (costs node).Costs.invoke_dispatch_cpu;
+  match obj.ob_status with
+  | Dead -> fail_work cl obj w Error.Object_crashed
+  | Draining -> Fifo.push_exn obj.ob_stash w
+  | Running -> (
+    match Typemgr.find_operation obj.ob_type w.w_op with
+    | None -> fail_work cl obj w (Error.No_such_operation w.w_op)
+    | Some op ->
+      if not (Rights.subset op.Typemgr.required_rights w.w_presented) then
+        fail_work cl obj w (Error.Rights_violation w.w_op)
+      else if obj.ob_frozen && op.Typemgr.mutates then
+        fail_work cl obj w Error.Frozen_immutable
+      else begin
+        let spec = Opclass.class_of (Typemgr.classes obj.ob_type) ~op:w.w_op in
+        let running, queue = class_state obj spec.Opclass.class_name in
+        if !running < spec.Opclass.limit then start_invocation cl obj spec w
+        else Fifo.push_exn queue w
+      end)
+
+let coordinator_loop cl obj () =
+  let rec loop () =
+    match Mailbox.recv obj.ob_queue with
+    | None -> loop ()
+    | Some w ->
+      coordinator_admit cl obj w;
+      loop ()
+  in
+  loop ()
+
+let spawn_coordinator cl obj =
+  let pid =
+    Engine.spawn cl.eng
+      ~name:("coord:" ^ Name.to_string obj.ob_name)
+      (coordinator_loop cl obj)
+  in
+  Engine.set_daemon cl.eng pid;
+  obj.ob_coordinator <- Some pid
+
+let spawn_behaviours cl obj =
+  if not obj.ob_is_replica then
+    List.iter
+      (fun b ->
+        let pid =
+          Engine.spawn cl.eng
+            ~name:
+              (Printf.sprintf "%s!%s" (Name.to_string obj.ob_name)
+                 b.Typemgr.b_name)
+            (fun () ->
+              let ctx = make_ctx cl obj in
+              b.Typemgr.b_body ctx)
+        in
+        Engine.set_daemon cl.eng pid;
+        obj.ob_behaviour_pids <- pid :: obj.ob_behaviour_pids)
+      (Typemgr.behaviours obj.ob_type)
+
+(* -------------------------------------------------------------------- *)
+(* Memory and type-code loading *)
+
+let load_type_code cl node tm =
+  let tname = Typemgr.name tm in
+  if Hashtbl.mem node.nd_types_loaded tname then Ok ()
+  else begin
+    let bytes = Typemgr.code_bytes tm in
+    match Memory.reserve node.nd_mem bytes with
+    | Error `Out_of_memory -> Error Error.Out_of_memory
+    | Ok () ->
+      (* Code segments come off the local disk (or, on a diskless
+         node, would come from a file server; we model a local read). *)
+      Disk.read (Machine.disk node.nd_machine) ~bytes;
+      Hashtbl.replace node.nd_types_loaded tname ();
+      tracef cl Trace.Kern "node %d loaded type code %s" node.nd_id tname;
+      Ok ()
+  end
+
+let object_footprint tm repr =
+  Value.size_bytes repr + Typemgr.short_term_bytes tm
+
+(* -------------------------------------------------------------------- *)
+(* Object construction (shared by create / activate / replicate) *)
+
+let build_obj cl ~name ~tm ~repr ~frozen ~reliability ~home ~is_replica ~mem =
+  {
+    ob_name = name;
+    ob_type = tm;
+    ob_repr = repr;
+    ob_frozen = frozen;
+    ob_reliability = reliability;
+    ob_home = home;
+    ob_status = Running;
+    ob_is_replica = is_replica;
+    ob_queue = Mailbox.create cl.eng;
+    ob_stash = Fifo.create ();
+    ob_class_running = Hashtbl.create 4;
+    ob_class_queue = Hashtbl.create 4;
+    ob_inflight = Hashtbl.create 4;
+    ob_running_total = 0;
+    ob_drained = Condition.create cl.eng;
+    ob_coordinator = None;
+    ob_behaviour_pids = [];
+    ob_proc_pids = [];
+    ob_sems = Hashtbl.create 4;
+    ob_ports = Hashtbl.create 4;
+    ob_rng = Splitmix.split cl.c_rng;
+    ob_mem = mem;
+    ob_ckpt_sites = [];
+  }
+
+(* Create a brand-new object on [node].  Blocking. *)
+let do_create_local cl node type_name init =
+  if not node.nd_up then Error Error.Node_down
+  else
+    match Hashtbl.find_opt cl.types type_name with
+    | None -> Error (Error.Bad_arguments ("unknown type " ^ type_name))
+    | Some tm -> (
+      match load_type_code cl node tm with
+      | Error e -> Error e
+      | Ok () -> (
+        let footprint = object_footprint tm init in
+        match Memory.reserve node.nd_mem footprint with
+        | Error `Out_of_memory -> Error Error.Out_of_memory
+        | Ok () ->
+          consume node (costs node).Costs.process_create_cpu;
+          let name =
+            Name.make ~birth_node:node.nd_id ~serial:(next_seq node)
+          in
+          let obj =
+            build_obj cl ~name ~tm ~repr:init ~frozen:false
+              ~reliability:Reliability.Local ~home:node.nd_id
+              ~is_replica:false ~mem:footprint
+          in
+          spawn_coordinator cl obj;
+          spawn_behaviours cl obj;
+          Name.Table.replace node.nd_active name obj;
+          tracef cl Trace.Kern "created %s type=%s on node %d"
+            (Name.to_string name) type_name node.nd_id;
+          Ok (Capability.make name Rights.all)))
+
+(* Reincarnate a passive object from its snapshot on [node].  Blocking.
+   Concurrent activations of the same object on one node coalesce. *)
+let activate cl node name =
+  match Name.Table.find_opt node.nd_active name with
+  | Some obj -> Ok obj
+  | None -> (
+    match Name.Table.find_opt node.nd_activating name with
+    | Some pr -> (
+      match Promise.await pr with
+      | Some r -> r
+      | None -> raise (Fatal "activation promise has no timeout"))
+    | None -> (
+      match Name.Table.find_opt node.nd_store name with
+      | None -> Error Error.No_such_object
+      | Some snap -> (
+        let pr = Promise.create cl.eng in
+        Name.Table.replace node.nd_activating name pr;
+        let finish r =
+          Name.Table.remove node.nd_activating name;
+          ignore (Promise.fill pr r);
+          r
+        in
+        match Hashtbl.find_opt cl.types snap.ss_type with
+        | None ->
+          finish (Error (Error.Bad_arguments ("unknown type " ^ snap.ss_type)))
+        | Some tm -> (
+          match load_type_code cl node tm with
+          | Error e -> finish (Error e)
+          | Ok () -> (
+            let footprint = object_footprint tm snap.ss_repr in
+            match Memory.reserve node.nd_mem footprint with
+            | Error `Out_of_memory -> finish (Error Error.Out_of_memory)
+            | Ok () ->
+              (* Read the long-term representation from disk. *)
+              Disk.read (Machine.disk node.nd_machine)
+                ~bytes:(Value.size_bytes snap.ss_repr);
+              consume node (costs node).Costs.activation_fixed_cpu;
+              let obj =
+                build_obj cl ~name ~tm ~repr:snap.ss_repr
+                  ~frozen:snap.ss_frozen ~reliability:snap.ss_reliability
+                  ~home:node.nd_id ~is_replica:false ~mem:footprint
+              in
+              obj.ob_ckpt_sites <-
+                Reliability.checksites snap.ss_reliability ~home:node.nd_id;
+              snap.ss_passive <- false;
+              (* Tell sibling checksites the object lives again. *)
+              List.iter
+                (fun site ->
+                  if site <> node.nd_id then
+                    send_msg cl node ~dst:site
+                      (Message.Ckpt_mark { target = name; passive = false }))
+                obj.ob_ckpt_sites;
+              (* The reincarnation condition handler runs before any
+                 invocation is dispatched. *)
+              (match Typemgr.reincarnate tm with
+              | None -> ()
+              | Some handler -> handler (make_ctx cl obj));
+              if obj.ob_status = Dead then
+                finish (Error Error.Object_crashed)
+              else begin
+                spawn_coordinator cl obj;
+                spawn_behaviours cl obj;
+                Name.Table.replace node.nd_active name obj;
+                tracef cl Trace.Store "reincarnated %s on node %d"
+                  (Name.to_string name) node.nd_id;
+                finish (Ok obj)
+              end)))))
+
+(* -------------------------------------------------------------------- *)
+(* Checkpointing, crash, reincarnation *)
+
+let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
+    ~passive =
+  Disk.write (Machine.disk node.nd_machine) ~bytes:(Value.size_bytes repr);
+  (match Name.Table.find_opt node.nd_store target with
+  | Some snap ->
+    snap.ss_repr <- repr;
+    snap.ss_reliability <- reliability;
+    snap.ss_frozen <- frozen;
+    snap.ss_passive <- passive
+  | None ->
+    Name.Table.replace node.nd_store target
+      {
+        ss_type = type_name;
+        ss_repr = repr;
+        ss_reliability = reliability;
+        ss_frozen = frozen;
+        ss_passive = passive;
+      });
+  tracef cl Trace.Store "node %d stored snapshot of %s (%dB)" node.nd_id
+    (Name.to_string target) (Value.size_bytes repr)
+
+let do_checkpoint cl obj =
+  if obj.ob_is_replica then
+    Error (Error.Bad_arguments "replicas do not checkpoint")
+  else if obj.ob_status = Dead then Error Error.Object_crashed
+  else begin
+    let node = home cl obj in
+    consume node (costs node).Costs.checkpoint_fixed_cpu;
+    let repr = obj.ob_repr in
+    let sites =
+      Reliability.checksites obj.ob_reliability ~home:node.nd_id
+    in
+    (* Launch remote writes first so they overlap the local disk write. *)
+    let remote_acks =
+      List.filter_map
+        (fun site ->
+          if site = node.nd_id then None
+          else begin
+            let req_id = new_request_id node in
+            let pr = Promise.create cl.eng in
+            add_pending node req_id.Message.seq (P_ack pr);
+            send_msg cl node ~dst:site
+              (Message.Ckpt_write
+                 {
+                   req_id;
+                   target = obj.ob_name;
+                   type_name = Typemgr.name obj.ob_type;
+                   repr;
+                   reliability = obj.ob_reliability;
+                   frozen = obj.ob_frozen;
+                   reply_to = node.nd_id;
+                 });
+            Some (site, req_id, pr)
+          end)
+        sites
+    in
+    if List.mem node.nd_id sites then
+      write_snapshot cl node ~target:obj.ob_name
+        ~type_name:(Typemgr.name obj.ob_type) ~repr
+        ~reliability:obj.ob_reliability ~frozen:obj.ob_frozen ~passive:false;
+    let ok_sites, failed =
+      List.fold_left
+        (fun (oks, failed) (site, req_id, pr) ->
+          match Promise.await ~timeout:ack_timeout pr with
+          | Some true -> (site :: oks, failed)
+          | Some false | None ->
+            Hashtbl.remove node.nd_pending req_id.Message.seq;
+            (oks, site :: failed))
+        ((if List.mem node.nd_id sites then [ node.nd_id ] else []), [])
+        remote_acks
+    in
+    (* Remove snapshots at sites no longer in the checksite set. *)
+    List.iter
+      (fun old_site ->
+        if not (List.mem old_site sites) then
+          if old_site = node.nd_id then
+            Name.Table.remove node.nd_store obj.ob_name
+          else
+            send_msg cl node ~dst:old_site
+              (Message.Ckpt_delete { target = obj.ob_name }))
+      obj.ob_ckpt_sites;
+    obj.ob_ckpt_sites <- List.rev ok_sites;
+    match failed with
+    | [] -> Ok ()
+    | _ :: _ -> Error Error.Node_down
+  end
+
+(* Collect every request the object is holding, in admission order. *)
+let outstanding_works obj =
+  let inflight = Hashtbl.fold (fun _ w acc -> w :: acc) obj.ob_inflight [] in
+  let queued =
+    Hashtbl.fold (fun _ q acc -> Fifo.to_list q @ acc) obj.ob_class_queue []
+  in
+  let stashed = Fifo.to_list obj.ob_stash in
+  let buffered =
+    let rec drain acc =
+      match Mailbox.try_recv obj.ob_queue with
+      | Some w -> drain (w :: acc)
+      | None -> List.rev acc
+    in
+    drain []
+  in
+  inflight @ queued @ stashed @ buffered
+
+let kill_object_procs cl obj =
+  let self = [] in
+  let pids =
+    (match obj.ob_coordinator with Some p -> [ p ] | None -> [])
+    @ obj.ob_behaviour_pids @ obj.ob_proc_pids
+  in
+  obj.ob_coordinator <- None;
+  obj.ob_behaviour_pids <- [];
+  obj.ob_proc_pids <- [];
+  (* If the current process is one of the object's own (crash called
+     from a handler or behaviour), kill it last so the rest of the
+     dismantling completes. *)
+  let here =
+    match Engine.self () with
+    | pid -> Some pid
+    | exception Invalid_argument _ -> None
+  in
+  let mine, others =
+    match here with
+    | None -> (self, pids)
+    | Some me ->
+      List.partition (fun p -> Engine.Pid.equal p me) pids
+  in
+  List.iter (fun p -> Engine.kill cl.eng p) others;
+  List.iter (fun p -> Engine.kill cl.eng p) mine
+
+let unregister cl obj =
+  let node = home cl obj in
+  if obj.ob_is_replica then Name.Table.remove node.nd_replicas obj.ob_name
+  else Name.Table.remove node.nd_active obj.ob_name;
+  Memory.release node.nd_mem obj.ob_mem;
+  obj.ob_mem <- 0
+
+(* The crash primitive: destroy all active state.  If the object has a
+   checkpoint it becomes passive; otherwise it is gone for good. *)
+let do_crash cl obj =
+  if obj.ob_status <> Dead then begin
+    obj.ob_status <- Dead;
+    let node = home cl obj in
+    let works = outstanding_works obj in
+    List.iter (fun w -> fail_work cl obj w Error.Object_crashed) works;
+    (* Flip the stored snapshots to passive-authoritative. *)
+    List.iter
+      (fun site ->
+        if site = node.nd_id then begin
+          match Name.Table.find_opt node.nd_store obj.ob_name with
+          | Some snap -> snap.ss_passive <- true
+          | None -> ()
+        end
+        else
+          send_msg cl node ~dst:site
+            (Message.Ckpt_mark { target = obj.ob_name; passive = true }))
+      obj.ob_ckpt_sites;
+    unregister cl obj;
+    tracef cl Trace.Kern "%s crashed on node %d" (Name.to_string obj.ob_name)
+      node.nd_id;
+    kill_object_procs cl obj
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Mobility: move, freeze, replicate *)
+
+let do_move cl obj ~to_node ~self_inflight =
+  let source = home cl obj in
+  if obj.ob_is_replica then Error (Error.Move_refused "replicas cannot move")
+  else if to_node = obj.ob_home then Ok ()
+  else if obj.ob_status <> Running then
+    Error (Error.Move_refused "object is not quiescent")
+  else begin
+    let target = node_of cl to_node in
+    obj.ob_status <- Draining;
+    let floor = if self_inflight then 1 else 0 in
+    let rec wait_drain () =
+      if obj.ob_running_total > floor then begin
+        ignore (Condition.await obj.ob_drained);
+        wait_drain ()
+      end
+    in
+    wait_drain ();
+    (* Ship the representation; the Move_transfer message carries the
+       object's long-term state across the wire. *)
+    let transfer_id = new_request_id source in
+    let pr = Promise.create cl.eng in
+    add_pending source transfer_id.Message.seq (P_ack pr);
+    send_msg cl source ~dst:to_node
+      (Message.Move_transfer
+         {
+           target = obj.ob_name;
+           type_name = Typemgr.name obj.ob_type;
+           repr = obj.ob_repr;
+           frozen = obj.ob_frozen;
+           reliability = obj.ob_reliability;
+           from_node = source.nd_id;
+           transfer_id;
+         });
+    let accepted = Promise.await ~timeout:ack_timeout pr in
+    Hashtbl.remove source.nd_pending transfer_id.Message.seq;
+    (* Whatever the outcome, requests stashed while draining must be
+       re-admitted once the object is running again. *)
+    let resume_and_flush () =
+      obj.ob_status <- Running;
+      let rec flush () =
+        match Fifo.pop obj.ob_stash with
+        | Some w ->
+          let ok = Mailbox.try_send obj.ob_queue w in
+          assert ok;
+          flush ()
+        | None -> ()
+      in
+      flush ()
+    in
+    match accepted with
+    | Some true ->
+      (* Behaviours stop at the source and restart at the target. *)
+      let behaviours = obj.ob_behaviour_pids in
+      obj.ob_behaviour_pids <- [];
+      List.iter (fun p -> Engine.kill cl.eng p) behaviours;
+      Name.Table.remove source.nd_active obj.ob_name;
+      Memory.release source.nd_mem obj.ob_mem;
+      if cl.opts.use_forwarding then
+        Name.Table.replace source.nd_forward obj.ob_name to_node;
+      obj.ob_home <- to_node;
+      obj.ob_mem <- object_footprint obj.ob_type obj.ob_repr;
+      Name.Table.replace target.nd_active obj.ob_name obj;
+      spawn_behaviours cl obj;
+      resume_and_flush ();
+      tracef cl Trace.Move "moved %s: node %d -> node %d"
+        (Name.to_string obj.ob_name) source.nd_id to_node;
+      Ok ()
+    | Some false ->
+      resume_and_flush ();
+      Error Error.Out_of_memory
+    | None ->
+      resume_and_flush ();
+      Error Error.Node_down
+  end
+
+let do_replicate cl obj ~to_node =
+  let node = home cl obj in
+  if not obj.ob_frozen then
+    Error (Error.Move_refused "only frozen objects can be replicated")
+  else if to_node = obj.ob_home then Ok ()
+  else begin
+    let transfer_id = new_request_id node in
+    let pr = Promise.create cl.eng in
+    add_pending node transfer_id.Message.seq (P_ack pr);
+    send_msg cl node ~dst:to_node
+      (Message.Replica_install
+         {
+           target = obj.ob_name;
+           type_name = Typemgr.name obj.ob_type;
+           repr = obj.ob_repr;
+           transfer_id;
+           from_node = node.nd_id;
+         });
+    let accepted = Promise.await ~timeout:ack_timeout pr in
+    Hashtbl.remove node.nd_pending transfer_id.Message.seq;
+    match accepted with
+    | Some true ->
+      tracef cl Trace.Move "replicated %s to node %d"
+        (Name.to_string obj.ob_name) to_node;
+      Ok ()
+    | Some false -> Error Error.Out_of_memory
+    | None -> Error Error.Node_down
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Location and the invocation path *)
+
+let enqueue_work cl obj w =
+  if obj.ob_status = Dead then fail_work cl obj w Error.Object_crashed
+  else begin
+    cl.n_inv <- cl.n_inv + 1;
+    let ok = Mailbox.try_send obj.ob_queue w in
+    assert ok
+  end
+
+(* Broadcast locate; prefer an actively-hosting node, else a replica,
+   else a passive checksite. *)
+let locate_once cl node name ~window =
+  let req_id = new_request_id node in
+  let st =
+    { loc_candidates = []; loc_active = Promise.create cl.eng }
+  in
+  add_pending node req_id.Message.seq (P_locate st);
+  Transport.broadcast node.nd_tp
+    (Message.Locate_request { req_id; target = name; reply_to = node.nd_id });
+  let early = Promise.await ~timeout:window st.loc_active in
+  Hashtbl.remove node.nd_pending req_id.Message.seq;
+  match early with
+  | Some hit -> Some hit
+  | None ->
+    let pick res =
+      List.find_opt (fun (_, r) -> r = res) (List.rev st.loc_candidates)
+    in
+    (match pick Message.Res_replica with
+    | Some hit -> Some hit
+    | None -> pick Message.Res_passive)
+
+(* Retries widen the reply window geometrically: under a burst of
+   traffic the first window routinely expires while replies sit in
+   collision backoff.  Windows are clamped to the caller's deadline so
+   a tight invocation timeout is honoured even during location. *)
+let rec locate_backoff cl node name ~attempts ~window ~deadline =
+  if attempts <= 0 then `Nowhere
+  else
+    let window =
+      match remaining cl.eng deadline with
+      | None -> window
+      | Some left -> if Time.(left < window) then left else window
+    in
+    if Time.is_zero window then `Deadline
+    else
+      match locate_once cl node name ~window with
+      | Some hit -> `Found hit
+      | None ->
+        locate_backoff cl node name ~attempts:(attempts - 1)
+          ~window:(Time.scale window 3) ~deadline
+
+(* Concurrent locates of the same name from one node share a single
+   broadcast (and its answer). *)
+let locate cl node name ~deadline =
+  if not cl.opts.coalesce_locates then
+    locate_backoff cl node name ~attempts:locate_retries
+      ~window:locate_window ~deadline
+  else
+  match Name.Table.find_opt node.nd_locating name with
+  | Some pr -> (
+    (* Wait for the initiator's answer, but no longer than our own
+       deadline allows. *)
+    match Promise.await ?timeout:(remaining cl.eng deadline) pr with
+    | Some (Some hit) -> `Found hit
+    | Some None -> `Nowhere
+    | None -> `Deadline)
+  | None ->
+    let pr = Promise.create cl.eng in
+    Name.Table.replace node.nd_locating name pr;
+    Fun.protect
+      ~finally:(fun () ->
+        Name.Table.remove node.nd_locating name;
+        ignore (Promise.fill pr None))
+      (fun () ->
+        match
+          locate_backoff cl node name ~attempts:locate_retries
+            ~window:locate_window ~deadline
+        with
+        | `Found hit ->
+          ignore (Promise.fill pr (Some hit));
+          `Found hit
+        | (`Nowhere | `Deadline) as r -> r)
+
+(* Send the request to [dst] and wait for the outcome. *)
+let send_request_and_wait cl node ~dst ~deadline ~may_activate cap ~op args =
+  let inv_id = new_request_id node in
+  let pr = Promise.create cl.eng in
+  add_pending node inv_id.Message.seq (P_invoke pr);
+  cl.n_remote <- cl.n_remote + 1;
+  consume node
+    (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+  send_msg cl node ~dst
+    (Message.Inv_request
+       {
+         inv_id;
+         target = Capability.name cap;
+         op;
+         args;
+         presented = Capability.rights cap;
+         reply_to = node.nd_id;
+         hops = 0;
+         may_activate;
+       });
+  let outcome = Promise.await ?timeout:(remaining cl.eng deadline) pr in
+  Hashtbl.remove node.nd_pending inv_id.Message.seq;
+  match outcome with
+  | None ->
+    (* The node we trusted never answered: distrust the cached
+       location so the next attempt re-locates instead of sending
+       into the void again. *)
+    Name.Table.remove node.nd_hints (Capability.name cap);
+    Name.Table.remove node.nd_forward (Capability.name cap);
+    `Result (Error Error.Timeout)
+  | Some (Inv_result r) ->
+    (match r with
+    | Ok vs ->
+      consume node (costs node).Costs.invoke_reply_cpu;
+      consume node
+        (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes vs))
+    | Error _ -> ());
+    `Result r
+  | Some Inv_nacked -> `Nacked
+
+let dispatch_local_and_wait cl obj ~deadline cap ~op args =
+  let pr = Promise.create cl.eng in
+  enqueue_work cl obj
+    {
+      w_op = op;
+      w_args = args;
+      w_presented = Capability.rights cap;
+      w_route = Reply_local pr;
+    };
+  match Promise.await ?timeout:(remaining cl.eng deadline) pr with
+  | Some r -> r
+  | None -> Error Error.Timeout
+
+let do_invoke cl ~from ?timeout cap ~op args =
+  let node = node_of cl from in
+  if not node.nd_up then Error Error.Node_down
+  else begin
+    let deadline = deadline_of ?timeout cl.eng in
+    let name = Capability.name cap in
+    consume node (costs node).Costs.invoke_request_cpu;
+    let rec attempt ~nack_budget =
+      consume node (costs node).Costs.locate_lookup_cpu;
+      (* Local fast paths: active object, replica, or authoritative
+         passive snapshot on this very node. *)
+      match Name.Table.find_opt node.nd_active name with
+      | Some obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+      | None -> (
+        match Name.Table.find_opt node.nd_replicas name with
+        | Some obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+        | None -> (
+          let local_passive =
+            match Name.Table.find_opt node.nd_store name with
+            | Some snap when snap.ss_passive -> true
+            | Some _ | None -> false
+          in
+          if local_passive then
+            match activate cl node name with
+            | Ok obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+            | Error e -> Error e
+          else begin
+            (* Remote: follow a hint if we have one, else locate. *)
+            let hinted =
+              if not cl.opts.use_hint_cache then None
+              else
+                match Name.Table.find_opt node.nd_hints name with
+                | Some h when h <> node.nd_id -> Some h
+                | Some _ | None -> (
+                  match Name.Table.find_opt node.nd_forward name with
+                  | Some h when h <> node.nd_id -> Some h
+                  | Some _ | None -> None)
+            in
+            let dst =
+              match hinted with
+              | Some h -> `Send (h, false)
+              | None -> (
+                match locate cl node name ~deadline with
+                | `Found (at_node, residence) when at_node <> node.nd_id ->
+                  if cl.opts.use_hint_cache then
+                    Name.Table.replace node.nd_hints name at_node;
+                  (* Choosing a passive site after a full quiet window
+                     authorises that site to reincarnate. *)
+                  `Send (at_node, residence = Message.Res_passive)
+                | `Found (_, _) ->
+                  (* We were told the object is on this very node: it
+                     must have just (re)activated here; retry the local
+                     fast paths. *)
+                  `Retry
+                | `Nowhere -> `Nowhere
+                | `Deadline -> `Deadline)
+            in
+            match dst with
+            | `Nowhere -> Error Error.No_such_object
+            | `Deadline -> Error Error.Timeout
+            | `Retry ->
+              if nack_budget <= 0 then Error Error.No_such_object
+              else attempt ~nack_budget:(nack_budget - 1)
+            | `Send (dst, may_activate) -> (
+              match
+                send_request_and_wait cl node ~dst ~deadline ~may_activate cap
+                  ~op args
+              with
+              | `Result r -> r
+              | `Nacked ->
+                Name.Table.remove node.nd_hints name;
+                Name.Table.remove node.nd_forward name;
+                if nack_budget <= 0 then Error Error.No_such_object
+                else attempt ~nack_budget:(nack_budget - 1))
+          end))
+    in
+    attempt ~nack_budget:2
+  end
+
+(* Create an object on a possibly-remote node. *)
+let do_create cl ~from ~node:target ~type_name init =
+  let origin = node_of cl from in
+  if not origin.nd_up then Error Error.Node_down
+  else if target = from then do_create_local cl origin type_name init
+  else begin
+    let tnode = node_of cl target in
+    ignore tnode;
+    let req_id = new_request_id origin in
+    let pr = Promise.create cl.eng in
+    add_pending origin req_id.Message.seq (P_create pr);
+    consume origin
+      (Costs.copy_cost (costs origin) ~bytes:(Value.size_bytes init));
+    send_msg cl origin ~dst:target
+      (Message.Create_request { req_id; type_name; init; reply_to = from });
+    let r = Promise.await ~timeout:ack_timeout pr in
+    Hashtbl.remove origin.nd_pending req_id.Message.seq;
+    match r with None -> Error Error.Node_down | Some result -> result
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Destruction: erase one node's knowledge of an object, killing any
+   local replica.  (The primary, if any, is dismantled by the
+   destroyer before the notices go out.) *)
+
+let forget_object cl node target =
+  (match Name.Table.find_opt node.nd_replicas target with
+  | Some replica ->
+    replica.ob_status <- Dead;
+    let works = outstanding_works replica in
+    List.iter (fun w -> fail_work cl replica w Error.No_such_object) works;
+    unregister cl replica;
+    kill_object_procs cl replica
+  | None -> ());
+  Name.Table.remove node.nd_store target;
+  Name.Table.remove node.nd_hints target;
+  Name.Table.remove node.nd_forward target
+
+(* -------------------------------------------------------------------- *)
+(* Message handling *)
+
+(* Deliver an error reply for a request handled at this node when no
+   object record exists to route through. *)
+let deliver_reply_at cl node route result =
+  match route with
+  | Reply_local pr -> ignore (Promise.fill pr result)
+  | Reply_remote { requester; inv_id } ->
+    if requester = node.nd_id then
+      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
+    else send_msg cl node ~dst:requester (Message.Inv_reply { inv_id; result })
+
+let handle_inv_request cl node ~src:_ r =
+  match r with
+  | Message.Inv_request
+      { inv_id; target; op; args; presented; reply_to; hops; may_activate }
+    -> (
+    let route = Reply_remote { requester = reply_to; inv_id } in
+    let w = { w_op = op; w_args = args; w_presented = presented; w_route = route } in
+    let nack () =
+      send_msg cl node ~dst:reply_to (Message.Inv_nack { inv_id; target })
+    in
+    consume node (costs node).Costs.locate_lookup_cpu;
+    match Name.Table.find_opt node.nd_active target with
+    | Some obj ->
+      consume node
+        (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+      enqueue_work cl obj w
+    | None -> (
+      match Name.Table.find_opt node.nd_replicas target with
+      | Some obj ->
+        consume node
+          (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+        enqueue_work cl obj w
+      | None -> (
+        let passive_here =
+          match Name.Table.find_opt node.nd_store target with
+          | Some snap -> snap.ss_passive || may_activate
+          | None -> false
+        in
+        if passive_here then
+          match activate cl node target with
+          | Ok obj -> enqueue_work cl obj w
+          | Error e -> deliver_reply_at cl node route (Error e)
+        else begin
+          let forward_to =
+            match Name.Table.find_opt node.nd_forward target with
+            | Some f -> Some f
+            | None -> Name.Table.find_opt node.nd_hints target
+          in
+          match forward_to with
+          | Some next when hops < max_hops && next <> node.nd_id ->
+            send_msg cl node ~dst:next
+              (Message.Inv_request
+                 {
+                   inv_id;
+                   target;
+                   op;
+                   args;
+                   presented;
+                   reply_to;
+                   hops = hops + 1;
+                   may_activate;
+                 });
+            (* Repair the requester's knowledge of the new location. *)
+            if reply_to <> node.nd_id then
+              send_msg cl node ~dst:reply_to
+                (Message.Hint_update { target; at_node = next })
+          | Some _ | None -> nack ()
+        end)))
+  | _ -> raise (Fatal "handle_inv_request: not an invocation request")
+
+let handle_locate_request cl node req =
+  match req with
+  | Message.Locate_request { req_id; target; reply_to } ->
+    let answer residence =
+      send_msg cl node ~dst:reply_to
+        (Message.Locate_reply
+           { req_id; target; at_node = node.nd_id; residence })
+    in
+    if Name.Table.mem node.nd_active target then answer Message.Res_active
+    else if Name.Table.mem node.nd_replicas target then
+      answer Message.Res_replica
+    else if Name.Table.mem node.nd_store target then answer Message.Res_passive
+  | _ -> raise (Fatal "handle_locate_request: wrong message")
+
+let on_message cl node ~src msg =
+  if node.nd_up then
+    match msg with
+    | Message.Inv_request _ ->
+      ignore
+        (spawn_kproc cl node ~name:"k:inv_req" (fun () ->
+             handle_inv_request cl node ~src msg))
+    | Message.Inv_reply { inv_id; result } ->
+      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
+    | Message.Inv_nack { inv_id; _ } ->
+      resolve_inv_pending node inv_id.Message.seq Inv_nacked
+    | Message.Hint_update { target; at_node } ->
+      Name.Table.replace node.nd_hints target at_node
+    | Message.Locate_request _ -> handle_locate_request cl node msg
+    | Message.Locate_reply { req_id; at_node; residence; _ } -> (
+      match Hashtbl.find_opt node.nd_pending req_id.Message.seq with
+      | Some (P_locate st) -> (
+        match residence with
+        | Message.Res_active ->
+          ignore (Promise.fill st.loc_active (at_node, residence))
+        | Message.Res_replica | Message.Res_passive ->
+          st.loc_candidates <- (at_node, residence) :: st.loc_candidates)
+      | Some _ | None -> ())
+    | Message.Create_request { req_id; type_name; init; reply_to } ->
+      ignore
+        (spawn_kproc cl node ~name:"k:create" (fun () ->
+             let result = do_create_local cl node type_name init in
+             send_msg cl node ~dst:reply_to
+               (Message.Create_reply { req_id; result })))
+    | Message.Create_reply { req_id; result } -> (
+      match take_pending node req_id.Message.seq with
+      | Some (P_create pr) -> ignore (Promise.fill pr result)
+      | Some _ -> raise (Fatal "pending kind mismatch for create reply")
+      | None -> ())
+    | Message.Move_transfer
+        { target; type_name; repr; frozen = _; reliability = _; from_node;
+          transfer_id } ->
+      ignore
+        (spawn_kproc cl node ~name:"k:move_in" (fun () ->
+             let accepted =
+               match Hashtbl.find_opt cl.types type_name with
+               | None -> false
+               | Some tm -> (
+                 match load_type_code cl node tm with
+                 | Error _ -> false
+                 | Ok () -> (
+                   let footprint = object_footprint tm repr in
+                   match Memory.reserve node.nd_mem footprint with
+                   | Error `Out_of_memory -> false
+                   | Ok () ->
+                     consume node (costs node).Costs.activation_fixed_cpu;
+                     true))
+             in
+             ignore target;
+             send_msg cl node ~dst:from_node
+               (Message.Move_ack { transfer_id; accepted })))
+    | Message.Move_ack { transfer_id; accepted } -> (
+      match take_pending node transfer_id.Message.seq with
+      | Some (P_ack pr) -> ignore (Promise.fill pr accepted)
+      | Some _ -> raise (Fatal "pending kind mismatch for move ack")
+      | None -> ())
+    | Message.Ckpt_write
+        { req_id; target; type_name; repr; reliability; frozen; reply_to } ->
+      ignore
+        (spawn_kproc cl node ~name:"k:ckpt" (fun () ->
+             write_snapshot cl node ~target ~type_name ~repr ~reliability
+               ~frozen ~passive:false;
+             send_msg cl node ~dst:reply_to
+               (Message.Ckpt_ack { req_id; ok = true })))
+    | Message.Ckpt_ack { req_id; ok } -> (
+      match take_pending node req_id.Message.seq with
+      | Some (P_ack pr) -> ignore (Promise.fill pr ok)
+      | Some _ -> raise (Fatal "pending kind mismatch for ckpt ack")
+      | None -> ())
+    | Message.Ckpt_delete { target } -> Name.Table.remove node.nd_store target
+    | Message.Ckpt_mark { target; passive } -> (
+      match Name.Table.find_opt node.nd_store target with
+      | Some snap -> snap.ss_passive <- passive
+      | None -> ())
+    | Message.Replica_install { target; type_name; repr; transfer_id; from_node }
+      ->
+      ignore
+        (spawn_kproc cl node ~name:"k:replica" (fun () ->
+             let accepted =
+               match Hashtbl.find_opt cl.types type_name with
+               | None -> false
+               | Some tm -> (
+                 match load_type_code cl node tm with
+                 | Error _ -> false
+                 | Ok () -> (
+                   let footprint = object_footprint tm repr in
+                   match Memory.reserve node.nd_mem footprint with
+                   | Error `Out_of_memory -> false
+                   | Ok () ->
+                     if Name.Table.mem node.nd_replicas target then begin
+                       (* Already replicated here; release the double
+                          reservation and accept idempotently. *)
+                       Memory.release node.nd_mem footprint;
+                       true
+                     end
+                     else begin
+                       let obj =
+                         build_obj cl ~name:target ~tm ~repr ~frozen:true
+                           ~reliability:Reliability.Local ~home:node.nd_id
+                           ~is_replica:true ~mem:footprint
+                       in
+                       spawn_coordinator cl obj;
+                       Name.Table.replace node.nd_replicas target obj;
+                       true
+                     end))
+             in
+             send_msg cl node ~dst:from_node
+               (Message.Replica_ack { transfer_id; accepted })))
+    | Message.Replica_ack { transfer_id; accepted } -> (
+      match take_pending node transfer_id.Message.seq with
+      | Some (P_ack pr) -> ignore (Promise.fill pr accepted)
+      | Some _ -> raise (Fatal "pending kind mismatch for replica ack")
+      | None -> ())
+    | Message.Destroy_notice { target } -> forget_object cl node target
+
+(* -------------------------------------------------------------------- *)
+(* Tying the recursive knot *)
+
+let () = ref_do_invoke := do_invoke
+let () = ref_do_crash := do_crash
+let () = ref_do_checkpoint := do_checkpoint
+let () = ref_do_move := do_move
+let () = ref_do_replicate := do_replicate
+let () = ref_do_create := do_create
+
+(* -------------------------------------------------------------------- *)
+(* Cluster construction and public operations *)
+
+(* The paper's node abstraction (sec. 4.3): each node machine is itself
+   reachable as an Eden object supplying resource information.  Node
+   objects are kernel-resident: their code and structures live outside
+   the object memory budget, and they are recreated under the same name
+   when a machine restarts. *)
+let node_type_for cl =
+  let open Api in
+  let ( let* ) = Result.bind in
+  Typemgr.make_exn ~name:"eden_node" ~code_bytes:0 ~short_term_bytes:0
+    [
+      Typemgr.operation "info" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let node = cl.nodes.(ctx.node_id ()) in
+          reply
+            [
+              Value.Int (Machine.config node.nd_machine).Machine.gdps;
+              Value.Int (Memory.capacity node.nd_mem);
+              Value.Int (Memory.available node.nd_mem);
+              Value.Int (Name.Table.length node.nd_active);
+            ]);
+      Typemgr.operation "ping" ~mutates:false (fun _ args ->
+          let* () = no_args args in
+          reply []);
+    ]
+
+let install_node_object cl node name =
+  match Hashtbl.find_opt cl.types "eden_node" with
+  | None -> raise (Fatal "node type not registered")
+  | Some tm ->
+    Hashtbl.replace node.nd_types_loaded "eden_node" ();
+    let obj =
+      build_obj cl ~name ~tm ~repr:Value.Unit ~frozen:false
+        ~reliability:Reliability.Local ~home:node.nd_id ~is_replica:false
+        ~mem:0
+    in
+    spawn_coordinator cl obj;
+    Name.Table.replace node.nd_active name obj
+
+let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
+    () =
+  if configs = [] then invalid_arg "Cluster.create: no machine configs";
+  let n_nodes = List.length configs in
+  let segment_sizes =
+    match segments with
+    | None -> [ n_nodes ]
+    | Some sizes ->
+      if List.exists (fun s -> s <= 0) sizes then
+        invalid_arg "Cluster.create: segment sizes must be positive";
+      if List.fold_left ( + ) 0 sizes <> n_nodes then
+        invalid_arg "Cluster.create: segment sizes must sum to node count";
+      sizes
+  in
+  (* Node id -> segment, in id order. *)
+  let segment_of_index =
+    let table = Array.make n_nodes 0 in
+    let idx = ref 0 in
+    List.iteri
+      (fun seg size ->
+        for _ = 1 to size do
+          table.(!idx) <- seg;
+          incr idx
+        done)
+      segment_sizes;
+    table
+  in
+  let eng = Engine.create ~seed ()
+  and tr = Trace.create () in
+  let lan =
+    Transport.create_net ?params:net eng
+      ~segments:(List.length segment_sizes)
+  in
+  let next_index = ref (-1) in
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun cfg ->
+           incr next_index;
+           let machine = Machine.create eng cfg in
+           let tp =
+             Transport.attach lan
+               ~segment:segment_of_index.(!next_index)
+               ~name:cfg.Machine.name
+           in
+           {
+             nd_id = Transport.address tp;
+             nd_machine = machine;
+             nd_tp = tp;
+             nd_up = true;
+             nd_mem = Memory.create ~bytes:cfg.Machine.memory_bytes;
+             nd_active = Name.Table.create 64;
+             nd_replicas = Name.Table.create 16;
+             nd_store = Name.Table.create 64;
+             nd_hints = Name.Table.create 64;
+             nd_forward = Name.Table.create 16;
+             nd_activating = Name.Table.create 8;
+             nd_locating = Name.Table.create 8;
+             nd_pending = Hashtbl.create 64;
+             nd_seq = Idgen.create ();
+             nd_types_loaded = Hashtbl.create 16;
+             nd_kprocs = [];
+           })
+         configs)
+  in
+  let cl =
+    {
+      eng;
+      tr;
+      c_lan = lan;
+      nodes;
+      types = Hashtbl.create 16;
+      c_rng = Splitmix.create (Int64.add seed 0x51EDEAL);
+      opts = options;
+      c_node_objects = [||];
+      n_inv = 0;
+      n_remote = 0;
+    }
+  in
+  Array.iter
+    (fun node ->
+      Transport.on_message node.nd_tp (fun ~src msg ->
+          on_message cl node ~src msg))
+    nodes;
+  Hashtbl.replace cl.types "eden_node" (node_type_for cl);
+  cl.c_node_objects <-
+    Array.map
+      (fun node ->
+        let name =
+          Name.make ~birth_node:node.nd_id ~serial:(next_seq node)
+        in
+        install_node_object cl node name;
+        Capability.make name Rights.invoke_only)
+      nodes;
+  cl
+
+let default ?seed ~n_nodes () =
+  if n_nodes < 1 then invalid_arg "Cluster.default: need at least one node";
+  let configs =
+    List.init n_nodes (fun i ->
+        Machine.default_config ~name:(Printf.sprintf "node%d" i))
+  in
+  create ?seed ~configs ()
+
+let engine cl = cl.eng
+let trace cl = cl.tr
+let network cl = cl.c_lan
+let node_segment cl i = Transport.segment (node_of cl i).nd_tp
+let node_count cl = Array.length cl.nodes
+let machine cl i = (node_of cl i).nd_machine
+let node_up cl i = (node_of cl i).nd_up
+
+let node_object cl i =
+  ignore (node_of cl i);
+  cl.c_node_objects.(i)
+
+let register_type cl tm =
+  let tname = Typemgr.name tm in
+  match Hashtbl.find_opt cl.types tname with
+  | Some existing when existing == tm -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Cluster.register_type: %S already registered" tname)
+  | None -> Hashtbl.replace cl.types tname tm
+
+let find_type cl tname = Hashtbl.find_opt cl.types tname
+
+let create_object cl ~node ~type_name init =
+  do_create_local cl (node_of cl node) type_name init
+
+let invoke cl ~from ?timeout cap ~op args =
+  do_invoke cl ~from ?timeout cap ~op args
+
+let invoke_async cl ~from ?timeout cap ~op args =
+  let pr = Promise.create cl.eng in
+  let pid =
+    Engine.spawn cl.eng ~name:"invoke_async" (fun () ->
+        let r = do_invoke cl ~from ?timeout cap ~op args in
+        ignore (Promise.fill pr r))
+  in
+  Engine.set_daemon cl.eng pid;
+  pr
+
+(* Find the live primary of an object, scanning all nodes (an
+   omniscient control-plane shortcut used by the external management
+   operations and tests). *)
+let find_primary cl name =
+  let found = ref None in
+  Array.iter
+    (fun node ->
+      if !found = None && node.nd_up then
+        match Name.Table.find_opt node.nd_active name with
+        | Some obj when obj.ob_status <> Dead -> found := Some obj
+        | Some _ | None -> ())
+    cl.nodes;
+  !found
+
+let require_right cap right opname =
+  if Rights.mem right (Capability.rights cap) then Ok ()
+  else Error (Error.Rights_violation opname)
+
+let move cl cap ~to_node =
+  match require_right cap Rights.Kernel_move "move" with
+  | Error e -> Error e
+  | Ok () -> (
+    if to_node < 0 || to_node >= Array.length cl.nodes then
+      Error (Error.Move_refused "no such node")
+    else
+      match find_primary cl (Capability.name cap) with
+      | None -> Error Error.No_such_object
+      | Some obj -> do_move cl obj ~to_node ~self_inflight:false)
+
+let freeze cl cap =
+  match require_right cap Rights.Kernel_checkpoint "freeze" with
+  | Error e -> Error e
+  | Ok () -> (
+    match find_primary cl (Capability.name cap) with
+    | None -> Error Error.No_such_object
+    | Some obj ->
+      obj.ob_frozen <- true;
+      Ok ())
+
+let replicate cl cap ~to_node =
+  match require_right cap Rights.Kernel_checkpoint "replicate" with
+  | Error e -> Error e
+  | Ok () -> (
+    if to_node < 0 || to_node >= Array.length cl.nodes then
+      Error (Error.Move_refused "no such node")
+    else
+      match find_primary cl (Capability.name cap) with
+      | None -> Error Error.No_such_object
+      | Some obj -> do_replicate cl obj ~to_node)
+
+let checkpoint_of cl cap =
+  match require_right cap Rights.Kernel_checkpoint "checkpoint" with
+  | Error e -> Error e
+  | Ok () -> (
+    match find_primary cl (Capability.name cap) with
+    | None -> Error Error.No_such_object
+    | Some obj -> do_checkpoint cl obj)
+
+let destroy cl cap =
+  match require_right cap Rights.Kernel_destroy "destroy" with
+  | Error e -> Error e
+  | Ok () ->
+    let name = Capability.name cap in
+    let existed = ref false in
+    (* Dismantle the primary without marking anything passive: there
+       will be nothing to reincarnate from. *)
+    (match find_primary cl name with
+    | Some obj ->
+      existed := true;
+      obj.ob_status <- Dead;
+      let works = outstanding_works obj in
+      List.iter (fun w -> fail_work cl obj w Error.No_such_object) works;
+      unregister cl obj;
+      tracef cl Trace.Kern "%s destroyed on node %d" (Name.to_string name)
+        obj.ob_home;
+      kill_object_procs cl obj
+    | None -> ());
+    (* Existence check is omniscient (control plane); the purge itself
+       travels as a broadcast notice, so a powered-off node keeps its
+       snapshot — a real 1981 limitation, noted in DESIGN.md. *)
+    Array.iter
+      (fun node ->
+        if
+          node.nd_up
+          && (Name.Table.mem node.nd_store name
+             || Name.Table.mem node.nd_replicas name)
+        then existed := true)
+      cl.nodes;
+    (match
+       Array.find_opt (fun node -> node.nd_up) cl.nodes
+     with
+    | None -> ()
+    | Some origin ->
+      forget_object cl origin name;
+      Transport.broadcast origin.nd_tp
+        (Message.Destroy_notice { target = name }));
+    if !existed then Ok () else Error Error.No_such_object
+
+(* -------------------------------------------------------------------- *)
+(* Failure injection *)
+
+let crash_node cl i =
+  let node = node_of cl i in
+  if node.nd_up then begin
+    node.nd_up <- false;
+    Transport.set_up node.nd_tp false;
+    tracef cl Trace.Kern "node %d: power off" i;
+    let objs =
+      Name.Table.fold (fun _ o acc -> o :: acc) node.nd_active []
+      @ Name.Table.fold (fun _ o acc -> o :: acc) node.nd_replicas []
+    in
+    List.iter
+      (fun obj ->
+        obj.ob_status <- Dead;
+        (* Volatile state evaporates: no replies, no notifications. *)
+        kill_object_procs cl obj)
+      objs;
+    Name.Table.reset node.nd_active;
+    Name.Table.reset node.nd_replicas;
+    Name.Table.reset node.nd_hints;
+    Name.Table.reset node.nd_forward;
+    Name.Table.reset node.nd_activating;
+    Name.Table.iter (fun _ pr -> ignore (Promise.fill pr None)) node.nd_locating;
+    Name.Table.reset node.nd_locating;
+    Hashtbl.reset node.nd_pending;
+    Hashtbl.reset node.nd_types_loaded;
+    node.nd_mem <-
+      Memory.create
+        ~bytes:(Machine.config node.nd_machine).Machine.memory_bytes;
+    let kprocs = node.nd_kprocs in
+    node.nd_kprocs <- [];
+    List.iter (fun p -> Engine.kill cl.eng p) kprocs
+  end
+
+let restart_node cl i =
+  let node = node_of cl i in
+  if not node.nd_up then begin
+    node.nd_up <- true;
+    Transport.set_up node.nd_tp true;
+    tracef cl Trace.Kern "node %d: power on" i;
+    (* Everything checkpointed to this node's disk is authoritatively
+       passive if it was active here at the crash: conservatively mark
+       all local snapshots passive unless some other node currently
+       runs the object (it will answer locates first anyway). *)
+    Name.Table.iter (fun _ snap -> snap.ss_passive <- true) node.nd_store;
+    (* The kernel reboots its node object under its boot-time name. *)
+    if Array.length cl.c_node_objects > i then
+      install_node_object cl node
+        (Capability.name cl.c_node_objects.(i))
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Introspection *)
+
+let where_is cl cap =
+  match find_primary cl (Capability.name cap) with
+  | Some obj -> Some obj.ob_home
+  | None -> None
+
+let is_active cl cap = where_is cl cap <> None
+
+let replica_sites cl cap =
+  let name = Capability.name cap in
+  Array.to_list cl.nodes
+  |> List.filter_map (fun node ->
+         if node.nd_up && Name.Table.mem node.nd_replicas name then
+           Some node.nd_id
+         else None)
+
+let checkpoint_sites cl cap =
+  let name = Capability.name cap in
+  Array.to_list cl.nodes
+  |> List.filter_map (fun node ->
+         if Name.Table.mem node.nd_store name then Some node.nd_id else None)
+
+let active_objects cl i = Name.Table.length (node_of cl i).nd_active
+let stats_invocations cl = cl.n_inv
+let stats_remote_invocations cl = cl.n_remote
+
+(* -------------------------------------------------------------------- *)
+(* Running *)
+
+let in_process cl ?(name = "driver") f = Engine.spawn cl.eng ~name f
+let run ?until cl = Engine.run ?until cl.eng

@@ -1,0 +1,174 @@
+(** A running Eden system: node machines on a LAN, one kernel each.
+
+    This module is the user-facing surface of the reproduction.  It
+    implements the paper's kernel primitives — object and type
+    creation, location-independent invocation, checkpoint/checksite/
+    crash and reincarnation, move, freeze and replication — across a
+    simulated cluster.
+
+    Operations documented as {e blocking} must be called from a
+    simulation process (use {!in_process} or {!Eden_sim.Engine.spawn});
+    they advance virtual time. *)
+
+type t
+type node_id = int
+
+type options = {
+  use_hint_cache : bool;
+      (** remember where remote objects were last seen (default true) *)
+  use_forwarding : bool;
+      (** moved objects leave forwarding pointers at their old host
+          (default true); without them stale requests are nacked and
+          the requester re-locates *)
+  coalesce_locates : bool;
+      (** concurrent locates of one name share a broadcast
+          (default true) *)
+}
+
+val default_options : options
+
+(** {1 Construction} *)
+
+val create :
+  ?seed:int64 ->
+  ?net:Eden_net.Params.t ->
+  ?options:options ->
+  ?segments:int list ->
+  configs:Eden_hw.Machine.config list ->
+  unit ->
+  t
+(** Build a cluster with one node per machine config (node ids follow
+    list order).  Raises [Invalid_argument] on an empty list.
+    [options] disable individual location mechanisms for ablation
+    studies (experiment E13).  [segments] partitions the nodes over
+    bridged Ethernet segments in id order (e.g. [[3; 2]] puts nodes
+    0-2 on one segment and 3-4 on another, joined by a store-and-
+    forward bridge); the sizes must sum to the node count.  Default:
+    one segment. *)
+
+val default : ?seed:int64 -> n_nodes:int -> unit -> t
+(** [n_nodes] default-configured nodes named "node0".."nodeN-1".
+    Requires [n_nodes >= 1]. *)
+
+val engine : t -> Eden_sim.Engine.t
+val trace : t -> Eden_sim.Trace.t
+
+val network : t -> Transport.net
+(** The cluster's internetwork, for frame counters and topology
+    introspection. *)
+
+val node_segment : t -> node_id -> int
+val node_count : t -> int
+val machine : t -> node_id -> Eden_hw.Machine.t
+val node_up : t -> node_id -> bool
+
+(** {1 Types} *)
+
+val node_object : t -> node_id -> Capability.t
+(** The paper's node abstraction: "a node is an object that supplies
+    virtual memory … and virtual processors".  Each kernel creates one
+    [eden_node] object at boot (and again on restart, under the same
+    name).  Operations: ["info"] [] -> [Int gdps; Int mem_capacity;
+    Int mem_available; Int active_objects]; ["ping"] [] -> [].
+    Invoking a downed node's object times out — a heartbeat. *)
+
+val register_type : t -> Typemgr.t -> unit
+(** Make a type available on every node.  Raises [Invalid_argument] if
+    a different type of the same name is already registered
+    (re-registering the identical manager is a no-op). *)
+
+val find_type : t -> string -> Typemgr.t option
+
+(** {1 Kernel primitives} *)
+
+val create_object :
+  t ->
+  node:node_id ->
+  type_name:string ->
+  Value.t ->
+  (Capability.t, Error.t) result
+(** Blocking.  Create a fresh object on [node] with the given initial
+    representation; returns a full-rights capability.  The new object
+    exists only in the node's volatile memory until it checkpoints. *)
+
+val invoke :
+  t ->
+  from:node_id ->
+  ?timeout:Eden_util.Time.t ->
+  Capability.t ->
+  op:string ->
+  Value.t list ->
+  Api.invoke_result
+(** Blocking.  The paper's synchronous invocation: locate the target
+    wherever it lives, deliver the request, await the reply. *)
+
+val invoke_async :
+  t ->
+  from:node_id ->
+  ?timeout:Eden_util.Time.t ->
+  Capability.t ->
+  op:string ->
+  Value.t list ->
+  Api.invoke_result Eden_sim.Promise.t
+(** Start an invocation without blocking; await the promise later. *)
+
+val move : t -> Capability.t -> to_node:node_id -> (unit, Error.t) result
+(** Blocking.  Transfer the object to another node (requires
+    [Kernel_move]).  New invocations queue during the transfer and are
+    forwarded afterwards; the old host keeps a forwarding pointer. *)
+
+val freeze : t -> Capability.t -> (unit, Error.t) result
+(** Blocking.  Make the representation immutable (requires
+    [Kernel_checkpoint]); mutating operations subsequently fail with
+    [Frozen_immutable], and the object becomes replicable. *)
+
+val replicate : t -> Capability.t -> to_node:node_id -> (unit, Error.t) result
+(** Blocking.  Install a read-only replica of a frozen object on
+    [to_node]; local invocations there are then served without network
+    traffic. *)
+
+val checkpoint_of : t -> Capability.t -> (unit, Error.t) result
+(** Blocking.  Externally request a checkpoint (requires
+    [Kernel_checkpoint]); equivalent to the object calling
+    [ctx.checkpoint] at its next quiescent point. *)
+
+val destroy : t -> Capability.t -> (unit, Error.t) result
+(** Destroy the object for good (requires [Kernel_destroy]): active
+    state is dismantled without passivation, and a broadcast notice
+    purges snapshots, replicas and location knowledge from every
+    reachable node.  Outstanding requests fail with [No_such_object];
+    a snapshot on a powered-off node survives the purge. *)
+
+(** {1 Failure injection} *)
+
+val crash_node : t -> node_id -> unit
+(** Power off a machine: every active object and kernel process on it
+    dies, volatile memory is lost.  Long-term store survives. *)
+
+val restart_node : t -> node_id -> unit
+(** Power the machine back on with empty volatile state.  Passive
+    objects checkpointed to its disk become reachable again. *)
+
+(** {1 Introspection} *)
+
+val where_is : t -> Capability.t -> node_id option
+(** The node currently running the object actively (replicas and
+    passive copies excluded).  Non-blocking, omniscient (for tests). *)
+
+val is_active : t -> Capability.t -> bool
+val replica_sites : t -> Capability.t -> node_id list
+val checkpoint_sites : t -> Capability.t -> node_id list
+val active_objects : t -> node_id -> int
+val stats_invocations : t -> int
+(** Total invocations dispatched (local + remote) since creation. *)
+
+val stats_remote_invocations : t -> int
+
+(** {1 Running} *)
+
+val in_process :
+  t -> ?name:string -> (unit -> unit) -> Eden_sim.Engine.Pid.t
+(** Spawn a driver process (for tests and examples). *)
+
+val run : ?until:Eden_util.Time.t -> t -> unit
+(** Run the simulation (see {!Eden_sim.Engine.run}). *)

@@ -1,0 +1,124 @@
+type request_id = { origin : int; seq : int }
+
+type residence = Res_active | Res_passive | Res_replica
+
+type t =
+  | Inv_request of {
+      inv_id : request_id;
+      target : Name.t;
+      op : string;
+      args : Value.t list;
+      presented : Rights.t;
+      reply_to : int;
+      hops : int;
+      may_activate : bool;
+    }
+  | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
+  | Inv_nack of { inv_id : request_id; target : Name.t }
+  | Hint_update of { target : Name.t; at_node : int }
+  | Locate_request of { req_id : request_id; target : Name.t; reply_to : int }
+  | Locate_reply of {
+      req_id : request_id;
+      target : Name.t;
+      at_node : int;
+      residence : residence;
+    }
+  | Create_request of {
+      req_id : request_id;
+      type_name : string;
+      init : Value.t;
+      reply_to : int;
+    }
+  | Create_reply of {
+      req_id : request_id;
+      result : (Capability.t, Error.t) result;
+    }
+  | Move_transfer of {
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      frozen : bool;
+      reliability : Reliability.t;
+      from_node : int;
+      transfer_id : request_id;
+    }
+  | Move_ack of { transfer_id : request_id; accepted : bool }
+  | Ckpt_write of {
+      req_id : request_id;
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      reliability : Reliability.t;
+      frozen : bool;
+      reply_to : int;
+    }
+  | Ckpt_ack of { req_id : request_id; ok : bool }
+  | Ckpt_delete of { target : Name.t }
+  | Ckpt_mark of { target : Name.t; passive : bool }
+  | Replica_install of {
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      transfer_id : request_id;
+      from_node : int;
+    }
+  | Replica_ack of { transfer_id : request_id; accepted : bool }
+  | Destroy_notice of { target : Name.t }
+
+let header_bytes = 32
+let name_bytes = 12
+
+let result_bytes = function
+  | Ok vs -> Value.list_size_bytes vs
+  | Error _ -> 8
+
+let size_bytes m =
+  header_bytes
+  +
+  match m with
+  | Inv_request { op; args; _ } ->
+    name_bytes + String.length op + Value.list_size_bytes args + 8
+  | Inv_reply { result; _ } -> result_bytes result
+  | Inv_nack _ -> name_bytes
+  | Hint_update _ -> name_bytes + 4
+  | Locate_request _ -> name_bytes + 4
+  | Locate_reply _ -> name_bytes + 8
+  | Create_request { type_name; init; _ } ->
+    String.length type_name + Value.size_bytes init + 4
+  | Create_reply _ -> 24
+  | Move_transfer { type_name; repr; _ } ->
+    name_bytes + String.length type_name + Value.size_bytes repr + 16
+  | Move_ack _ -> 8
+  | Ckpt_write { type_name; repr; _ } ->
+    name_bytes + String.length type_name + Value.size_bytes repr + 16
+  | Ckpt_ack _ -> 8
+  | Ckpt_delete _ -> name_bytes
+  | Ckpt_mark _ -> name_bytes + 1
+  | Replica_install { type_name; repr; _ } ->
+    name_bytes + String.length type_name + Value.size_bytes repr + 8
+  | Replica_ack _ -> 8
+  | Destroy_notice _ -> name_bytes
+
+let describe = function
+  | Inv_request { target; op; _ } ->
+    Printf.sprintf "inv_request %s.%s" (Name.to_string target) op
+  | Inv_reply { inv_id; _ } ->
+    Printf.sprintf "inv_reply %d.%d" inv_id.origin inv_id.seq
+  | Inv_nack { target; _ } -> "inv_nack " ^ Name.to_string target
+  | Hint_update { target; at_node } ->
+    Printf.sprintf "hint %s@%d" (Name.to_string target) at_node
+  | Locate_request { target; _ } -> "locate? " ^ Name.to_string target
+  | Locate_reply { target; at_node; _ } ->
+    Printf.sprintf "locate! %s@%d" (Name.to_string target) at_node
+  | Create_request { type_name; _ } -> "create " ^ type_name
+  | Create_reply _ -> "create_reply"
+  | Move_transfer { target; _ } -> "move " ^ Name.to_string target
+  | Move_ack _ -> "move_ack"
+  | Ckpt_write { target; _ } -> "ckpt_write " ^ Name.to_string target
+  | Ckpt_ack _ -> "ckpt_ack"
+  | Ckpt_delete { target } -> "ckpt_delete " ^ Name.to_string target
+  | Ckpt_mark { target; passive } ->
+    Printf.sprintf "ckpt_mark %s passive=%b" (Name.to_string target) passive
+  | Replica_install { target; _ } -> "replica " ^ Name.to_string target
+  | Replica_ack _ -> "replica_ack"
+  | Destroy_notice { target } -> "destroy " ^ Name.to_string target

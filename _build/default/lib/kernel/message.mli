@@ -1,0 +1,91 @@
+(** Kernel-to-kernel wire messages.
+
+    Everything that crosses the Ethernet between Eden kernels is one of
+    these.  {!size_bytes} feeds the transport's fragmentation and the
+    LAN timing model. *)
+
+type request_id = { origin : int; seq : int }
+(** Unique per outstanding request: issuing node plus a node-local
+    sequence number. *)
+
+type residence = Res_active | Res_passive | Res_replica
+
+type t =
+  | Inv_request of {
+      inv_id : request_id;
+      target : Name.t;
+      op : string;
+      args : Value.t list;
+      presented : Rights.t;  (** rights of the capability used *)
+      reply_to : int;
+      hops : int;  (** forwarding count; capped to break loops *)
+      may_activate : bool;
+          (** the requester located no active instance during a full
+              broadcast window, so the receiving checksite may
+              reincarnate from its snapshot even if it never saw a
+              passivation notice (e.g. after a node power-off) *)
+    }
+  | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
+  | Inv_nack of { inv_id : request_id; target : Name.t }
+      (** "this node cannot serve or forward the request" *)
+  | Hint_update of { target : Name.t; at_node : int }
+      (** sent to a requester whose request was forwarded *)
+  | Locate_request of { req_id : request_id; target : Name.t; reply_to : int }
+  | Locate_reply of {
+      req_id : request_id;
+      target : Name.t;
+      at_node : int;
+      residence : residence;
+    }
+  | Create_request of {
+      req_id : request_id;
+      type_name : string;
+      init : Value.t;
+      reply_to : int;
+    }
+  | Create_reply of {
+      req_id : request_id;
+      result : (Capability.t, Error.t) result;
+    }
+  | Move_transfer of {
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      frozen : bool;
+      reliability : Reliability.t;
+      from_node : int;
+      transfer_id : request_id;
+    }
+  | Move_ack of { transfer_id : request_id; accepted : bool }
+  | Ckpt_write of {
+      req_id : request_id;
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      reliability : Reliability.t;
+      frozen : bool;
+      reply_to : int;
+    }
+  | Ckpt_ack of { req_id : request_id; ok : bool }
+  | Ckpt_delete of { target : Name.t }
+  | Ckpt_mark of { target : Name.t; passive : bool }
+      (** best-effort notice to checksites that the object passivated
+          (crash) or re-activated (reincarnation elsewhere) *)
+  | Replica_install of {
+      target : Name.t;
+      type_name : string;
+      repr : Value.t;
+      transfer_id : request_id;
+      from_node : int;
+    }
+  | Replica_ack of { transfer_id : request_id; accepted : bool }
+  | Destroy_notice of { target : Name.t }
+      (** the object is gone for good: drop snapshots, replicas and
+          location knowledge *)
+
+val size_bytes : t -> int
+(** Approximate marshalled size, including a fixed per-message
+    header. *)
+
+val describe : t -> string
+(** Short human-readable tag for tracing. *)

@@ -1,0 +1,29 @@
+(** Invocation classes.
+
+    "In creating a new type, the programmer divides the invocations
+    into an exhaustive and mutually exclusive set of invocation
+    classes, and specifies the number of concurrent processes that are
+    allowed to be servicing each class."  A class with limit 1 gives
+    mutual exclusion among its operations. *)
+
+type spec = {
+  class_name : string;
+  operations : string list;  (** operation names in this class *)
+  limit : int;  (** max concurrent invocation processes; >= 1 *)
+}
+
+val validate :
+  spec list -> operations:string list -> (unit, string) result
+(** Checks the partition: every operation of the type appears in
+    exactly one class, no class is empty or names an unknown operation,
+    limits are positive, and class names are distinct. *)
+
+val class_of : spec list -> op:string -> spec
+(** The class containing [op].  Raises [Invalid_argument] if absent
+    (callers validate first). *)
+
+val singleton_classes : operations:string list -> limit:int -> spec list
+(** Convenience: one class per operation, all with the same limit. *)
+
+val one_class : name:string -> operations:string list -> limit:int -> spec list
+(** Convenience: a single class covering every operation. *)

@@ -1,0 +1,60 @@
+open Eden_sim
+
+let managed_load cl ~managed =
+  let n = Cluster.node_count cl in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun cap ->
+      match Cluster.where_is cl cap with
+      | Some node -> counts.(node) <- counts.(node) + 1
+      | None -> ())
+    managed;
+  List.filter_map
+    (fun i -> if Cluster.node_up cl i then Some (i, counts.(i)) else None)
+    (List.init n Fun.id)
+
+let extremes loads =
+  match loads with
+  | [] -> None
+  | (n0, c0) :: rest ->
+    let mx, mn =
+      List.fold_left
+        (fun ((mxn, mxc), (mnn, mnc)) (n, c) ->
+          ( (if c > mxc then (n, c) else (mxn, mxc)),
+            if c < mnc then (n, c) else (mnn, mnc) ))
+        ((n0, c0), (n0, c0))
+        rest
+    in
+    Some (mx, mn)
+
+let balance_once cl ~managed =
+  let rec step moved =
+    match extremes (managed_load cl ~managed) with
+    | None -> moved
+    | Some ((hot, hot_count), (cold, cold_count)) ->
+      if hot_count - cold_count <= 1 then moved
+      else begin
+        let candidate =
+          List.find_opt
+            (fun cap -> Cluster.where_is cl cap = Some hot)
+            managed
+        in
+        match candidate with
+        | None -> moved
+        | Some cap -> (
+          match Cluster.move cl cap ~to_node:cold with
+          | Ok () -> step (moved + 1)
+          | Error _ ->
+            (* This object will not move (busy or under-privileged);
+               stop rather than loop on it. *)
+            moved)
+      end
+  in
+  step 0
+
+let spawn_balancer cl ~period ~rounds ~managed =
+  Engine.spawn (Cluster.engine cl) ~name:"policy:balancer" (fun () ->
+      for _ = 1 to rounds do
+        Engine.delay period;
+        ignore (balance_once cl ~managed)
+      done)

@@ -1,0 +1,27 @@
+(** Location policy: load balancing over a managed set of objects.
+
+    The paper allows "a policy object responsible for the location of
+    objects in a particular subsystem".  This module is that policy
+    logic: it watches where a managed set of objects live and migrates
+    them from crowded nodes to idle ones using the kernel's [move]
+    primitive.  The capabilities handed to the policy must carry
+    [Kernel_move]. *)
+
+val managed_load : Cluster.t -> managed:Capability.t list -> (int * int) list
+(** Per-node counts of managed, currently-active objects, for every
+    node that is up: [(node_id, count)] sorted by node id. *)
+
+val balance_once : Cluster.t -> managed:Capability.t list -> int
+(** Blocking.  Migrate objects one at a time from the most- to the
+    least-loaded node until the spread is at most one.  Returns the
+    number of objects moved.  Objects that refuse to move (busy,
+    missing rights) are skipped. *)
+
+val spawn_balancer :
+  Cluster.t ->
+  period:Eden_util.Time.t ->
+  rounds:int ->
+  managed:Capability.t list ->
+  Eden_sim.Engine.Pid.t
+(** A policy process that runs {!balance_once} every [period], [rounds]
+    times, then exits. *)

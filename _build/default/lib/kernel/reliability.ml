@@ -1,0 +1,37 @@
+type t = Local | Remote of int | Mirrored of int list
+
+let validate r ~node_count =
+  let check_node n =
+    if n < 0 || n >= node_count then
+      Error (Printf.sprintf "no such node %d" n)
+    else Ok ()
+  in
+  match r with
+  | Local -> Ok ()
+  | Remote n -> check_node n
+  | Mirrored [] -> Error "mirrored checksite list is empty"
+  | Mirrored ns ->
+    let sorted = List.sort_uniq Int.compare ns in
+    if List.length sorted <> List.length ns then
+      Error "duplicate nodes in mirrored checksite list"
+    else
+      List.fold_left
+        (fun acc n -> match acc with Error _ -> acc | Ok () -> check_node n)
+        (Ok ()) ns
+
+let checksites r ~home =
+  match r with Local -> [ home ] | Remote n -> [ n ] | Mirrored ns -> ns
+
+let equal a b =
+  match (a, b) with
+  | Local, Local -> true
+  | Remote x, Remote y -> Int.equal x y
+  | Mirrored x, Mirrored y -> List.equal Int.equal x y
+  | (Local | Remote _ | Mirrored _), _ -> false
+
+let pp ppf = function
+  | Local -> Format.pp_print_string ppf "local"
+  | Remote n -> Format.fprintf ppf "remote(%d)" n
+  | Mirrored ns ->
+    Format.fprintf ppf "mirrored(%s)"
+      (String.concat "," (List.map string_of_int ns))

@@ -1,0 +1,20 @@
+open Eden_net
+
+type net = Message.t Internet.t
+type t = Message.t Internet.endpoint
+
+let create_net ?params ?bridge_latency eng ~segments =
+  Internet.create ?params ?bridge_latency eng ~segments
+    ~size:Message.size_bytes
+
+let segment_count = Internet.segment_count
+let frames_delivered = Internet.frames_delivered
+let bridge_forwards = Internet.bridge_forwards
+let attach net ~segment ~name = Internet.attach net ~segment ~name
+let address = Internet.address
+let segment = Internet.segment_of_endpoint
+let on_message = Internet.on_message
+let send = Internet.send
+let broadcast = Internet.broadcast
+let set_up = Internet.set_up
+let is_up = Internet.is_up

@@ -1,0 +1,45 @@
+(** Kernel message transport: {!Eden_net.Internet} specialised to
+    {!Message.t}.
+
+    A cluster's nodes live on one or more bridged Ethernet segments
+    (paper Figure 1 reaches "other networks" through a gateway).
+    Transport is best-effort: if the MAC layer drops any fragment of a
+    message (collision exhaustion), the whole message is silently lost
+    and recovery is the requester's timeout, exactly as in the paper's
+    invocation model. *)
+
+type net
+
+val create_net :
+  ?params:Eden_net.Params.t ->
+  ?bridge_latency:Eden_util.Time.t ->
+  Eden_sim.Engine.t ->
+  segments:int ->
+  net
+(** [segments = 1] (the usual case) builds a single Ethernet with no
+    bridge. *)
+
+val segment_count : net -> int
+val frames_delivered : net -> int
+val bridge_forwards : net -> int
+
+type t
+(** A node's transport endpoint. *)
+
+val attach : net -> segment:int -> name:string -> t
+val address : t -> int
+val segment : t -> int
+
+val on_message : t -> (src:int -> Message.t -> unit) -> unit
+(** The callback must not block. *)
+
+val send : t -> dst:int -> Message.t -> unit
+(** Raises [Invalid_argument] when sending to self. *)
+
+val broadcast : t -> Message.t -> unit
+(** Reaches every node on every segment. *)
+
+val set_up : t -> bool -> unit
+(** A downed endpoint neither sends nor delivers. *)
+
+val is_up : t -> bool

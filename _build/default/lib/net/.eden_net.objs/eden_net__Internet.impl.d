@@ -1,0 +1,1 @@
+lib/net/internet.ml: Array Eden_sim Eden_util Engine Lan Msglink Printf Time

@@ -1,0 +1,1 @@
+lib/net/internet.mli: Eden_sim Eden_util Params

@@ -1,0 +1,1 @@
+lib/net/lan.ml: Array Condition Eden_sim Eden_util Engine Format List Mailbox Params Printf Splitmix Stats Stdlib Time Trace

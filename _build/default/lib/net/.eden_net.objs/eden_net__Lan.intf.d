@@ -1,0 +1,1 @@
+lib/net/lan.mli: Eden_sim Eden_util Params

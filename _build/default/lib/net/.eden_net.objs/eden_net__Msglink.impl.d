@@ -1,0 +1,1 @@
+lib/net/msglink.ml: Eden_util Hashtbl Lan Option Params Stdlib

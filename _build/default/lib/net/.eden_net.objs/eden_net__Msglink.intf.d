@@ -1,0 +1,1 @@
+lib/net/msglink.mli: Eden_sim Lan Params

@@ -1,0 +1,1 @@
+lib/net/params.ml: Eden_util Stdlib Time

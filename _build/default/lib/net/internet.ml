@@ -1,0 +1,161 @@
+open Eden_util
+open Eden_sim
+
+(* Every message travels inside an envelope carrying global addressing;
+   [env_bridged] stops the bridge from re-forwarding a broadcast it has
+   already carried. *)
+type 'a envelope = {
+  env_src : int;
+  env_dst : int option;  (* None = broadcast *)
+  env_bridged : bool;
+  env_payload : 'a;
+}
+
+type 'a t = {
+  eng : Engine.t;
+  lans : 'a envelope Msglink.lan array;
+  wrapped_size : 'a envelope -> int;
+  bridge_latency : Time.t;
+  (* global address -> (segment, local msglink address) *)
+  mutable directory : (int * int) array;
+  (* the bridge's own foot on each segment; [||] when segments = 1 *)
+  mutable bridge_feet : 'a envelope Msglink.t array;
+  mutable n_bridge_forwards : int;
+}
+
+type 'a endpoint = {
+  ep_global : int;
+  ep_segment : int;
+  ep_link : 'a envelope Msglink.t;
+  ep_net : 'a t;
+  mutable ep_handler : (src:int -> 'a -> unit) option;
+}
+
+let envelope_overhead = 12
+
+(* The bridge received an envelope on [arrived_on]; carry it to where
+   it belongs after the store-and-forward delay. *)
+let bridge_carry net ~arrived_on env =
+  match env.env_dst with
+  | Some g ->
+    let seg, local = net.directory.(g) in
+    if seg <> arrived_on then begin
+      net.n_bridge_forwards <- net.n_bridge_forwards + 1;
+      Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
+          Msglink.send net.bridge_feet.(seg) ~dst:local
+            { env with env_bridged = true })
+    end
+  | None ->
+    if not env.env_bridged then begin
+      net.n_bridge_forwards <- net.n_bridge_forwards + 1;
+      Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
+          Array.iteri
+            (fun seg foot ->
+              if seg <> arrived_on then
+                Msglink.broadcast foot { env with env_bridged = true })
+            net.bridge_feet)
+    end
+
+let create ?params ?(bridge_latency = Time.us 500) eng ~segments ~size =
+  if segments < 1 then invalid_arg "Internet.create: need a segment";
+  let wrapped_size env = envelope_overhead + size env.env_payload in
+  let lans = Array.init segments (fun _ -> Msglink.create_lan ?params eng) in
+  let net =
+    {
+      eng;
+      lans;
+      wrapped_size;
+      bridge_latency;
+      directory = [||];
+      bridge_feet = [||];
+      n_bridge_forwards = 0;
+    }
+  in
+  if segments > 1 then begin
+    net.bridge_feet <-
+      Array.mapi
+        (fun i lan ->
+          Msglink.attach lan ~name:(Printf.sprintf "bridge.%d" i)
+            ~size:wrapped_size)
+        lans;
+    Array.iteri
+      (fun seg foot ->
+        Msglink.on_message foot (fun ~src:_ env ->
+            bridge_carry net ~arrived_on:seg env))
+      net.bridge_feet
+  end;
+  net
+
+let segment_count net = Array.length net.lans
+
+let attach net ~segment ~name =
+  if segment < 0 || segment >= Array.length net.lans then
+    invalid_arg "Internet.attach: no such segment";
+  let link =
+    Msglink.attach net.lans.(segment) ~name ~size:net.wrapped_size
+  in
+  let ep =
+    {
+      ep_global = Array.length net.directory;
+      ep_segment = segment;
+      ep_link = link;
+      ep_net = net;
+      ep_handler = None;
+    }
+  in
+  net.directory <-
+    Array.append net.directory [| (segment, Msglink.address link) |];
+  (* Filter at the link: segment broadcasts reach every station, and
+     bridged unicasts are addressed precisely; drop anything that is
+     not for us or that we sent ourselves. *)
+  Msglink.on_message link (fun ~src:_ env ->
+      match env.env_dst with
+      | Some g when g <> ep.ep_global -> ()
+      | Some _ | None ->
+        if env.env_src <> ep.ep_global then begin
+          match ep.ep_handler with
+          | Some f -> f ~src:env.env_src env.env_payload
+          | None -> ()
+        end);
+  ep
+
+let address ep = ep.ep_global
+let segment_of_endpoint ep = ep.ep_segment
+
+let segment_of_address net g =
+  if g < 0 || g >= Array.length net.directory then
+    invalid_arg "Internet.segment_of_address: unknown address"
+  else fst net.directory.(g)
+
+let on_message ep f = ep.ep_handler <- Some f
+
+let send ep ~dst payload =
+  let net = ep.ep_net in
+  if dst = ep.ep_global then invalid_arg "Internet.send: destination is self";
+  if dst < 0 || dst >= Array.length net.directory then
+    invalid_arg "Internet.send: unknown destination";
+  let seg, local = net.directory.(dst) in
+  let env =
+    { env_src = ep.ep_global; env_dst = Some dst; env_bridged = false;
+      env_payload = payload }
+  in
+  if seg = ep.ep_segment then Msglink.send ep.ep_link ~dst:local env
+  else
+    Msglink.send ep.ep_link
+      ~dst:(Msglink.address net.bridge_feet.(ep.ep_segment))
+      env
+
+let broadcast ep payload =
+  Msglink.broadcast ep.ep_link
+    { env_src = ep.ep_global; env_dst = None; env_bridged = false;
+      env_payload = payload }
+
+let set_up ep up = Msglink.set_up ep.ep_link up
+let is_up ep = Msglink.is_up ep.ep_link
+
+let frames_delivered net =
+  Array.fold_left
+    (fun acc lan -> acc + (Lan.counters lan).Lan.frames_delivered)
+    0 net.lans
+
+let bridge_forwards net = net.n_bridge_forwards

@@ -1,0 +1,56 @@
+(** An internetwork of bridged Ethernet segments.
+
+    Figure 1 of the paper shows the Eden Ethernet reaching "other
+    networks" through a gateway.  This module generalises {!Msglink} to
+    several CSMA/CD segments joined by a store-and-forward bridge:
+    endpoints get {e global} addresses, same-segment traffic behaves
+    exactly as on a single {!Lan}, and cross-segment messages traverse
+    the bridge, paying both segments' MAC contention plus the bridge's
+    forwarding latency.
+
+    With [segments = 1] this is equivalent to a single {!Msglink} LAN
+    (no bridge is created), so it is safe to use as the only transport
+    substrate. *)
+
+type 'a t
+type 'a endpoint
+
+val create :
+  ?params:Params.t ->
+  ?bridge_latency:Eden_util.Time.t ->
+  Eden_sim.Engine.t ->
+  segments:int ->
+  size:('a -> int) ->
+  'a t
+(** [segments] must be >= 1.  [bridge_latency] (default 500us) is the
+    store-and-forward delay per bridged hop. *)
+
+val segment_count : 'a t -> int
+
+val attach : 'a t -> segment:int -> name:string -> 'a endpoint
+(** Global addresses are assigned densely in attachment order across
+    all segments. *)
+
+val address : 'a endpoint -> int
+val segment_of_endpoint : 'a endpoint -> int
+
+val segment_of_address : 'a t -> int -> int
+(** Raises [Invalid_argument] for unknown addresses. *)
+
+val on_message : 'a endpoint -> (src:int -> 'a -> unit) -> unit
+val send : 'a endpoint -> dst:int -> 'a -> unit
+(** Raises [Invalid_argument] on self-send or unknown destination. *)
+
+val broadcast : 'a endpoint -> 'a -> unit
+(** Delivered to every endpoint on every segment (except the sender);
+    the bridge re-emits on remote segments. *)
+
+val set_up : 'a endpoint -> bool -> unit
+val is_up : 'a endpoint -> bool
+
+val frames_delivered : 'a t -> int
+(** LAN frames delivered, summed over all segments (bridged traffic
+    counts on each segment it crosses). *)
+
+val bridge_forwards : 'a t -> int
+(** Messages the bridge carried between segments. *)

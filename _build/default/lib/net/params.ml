@@ -1,0 +1,56 @@
+open Eden_util
+
+type t = {
+  bandwidth_bps : int;
+  slot : Time.t;
+  prop_delay : Time.t;
+  jam : Time.t;
+  max_attempts : int;
+  backoff_limit : int;
+  min_frame_bytes : int;
+  max_frame_bytes : int;
+  overhead_bytes : int;
+}
+
+let default =
+  {
+    bandwidth_bps = 10_000_000;
+    slot = Time.ns 51_200;
+    prop_delay = Time.us 5;
+    jam = Time.ns 4_800;
+    max_attempts = 16;
+    backoff_limit = 10;
+    min_frame_bytes = 64;
+    max_frame_bytes = 1_518;
+    overhead_bytes = 26;
+  }
+
+let experimental =
+  {
+    bandwidth_bps = 2_940_000;
+    slot = Time.us 16;
+    prop_delay = Time.us 2;
+    jam = Time.us 2;
+    max_attempts = 16;
+    backoff_limit = 8;
+    min_frame_bytes = 32;
+    max_frame_bytes = 554;
+    overhead_bytes = 9;
+  }
+
+let validate p =
+  if p.bandwidth_bps <= 0 then invalid_arg "Params: bandwidth must be positive";
+  if p.max_attempts <= 0 then invalid_arg "Params: max_attempts must be positive";
+  if p.backoff_limit <= 0 then invalid_arg "Params: backoff_limit must be positive";
+  if p.min_frame_bytes <= 0 then invalid_arg "Params: min_frame_bytes must be positive";
+  if p.max_frame_bytes < p.min_frame_bytes then
+    invalid_arg "Params: max_frame_bytes < min_frame_bytes"
+
+let frame_time p ~payload_bytes =
+  if payload_bytes < 0 then invalid_arg "Params.frame_time: negative payload";
+  if payload_bytes > p.max_frame_bytes then
+    invalid_arg "Params.frame_time: payload exceeds max_frame_bytes";
+  let on_wire = Stdlib.max payload_bytes p.min_frame_bytes + p.overhead_bytes in
+  let bits = on_wire * 8 in
+  (* bits / bandwidth seconds, computed in nanoseconds without overflow *)
+  Time.ns (bits * 1_000_000_000 / p.bandwidth_bps)

@@ -1,0 +1,32 @@
+(** Physical and MAC-layer parameters of the Ethernet model.
+
+    Defaults follow the 1980 DIX specification the Eden paper cites:
+    10 Mb/s, 51.2 us slot time, 64-byte minimum and 1518-byte maximum
+    frames, truncated binary exponential backoff with 16 attempts. *)
+
+type t = {
+  bandwidth_bps : int;  (** raw signalling rate in bits per second *)
+  slot : Eden_util.Time.t;  (** contention slot (2x worst-case propagation) *)
+  prop_delay : Eden_util.Time.t;  (** one-way propagation to a receiver *)
+  jam : Eden_util.Time.t;  (** medium occupancy after a collision *)
+  max_attempts : int;  (** transmission attempts before dropping *)
+  backoff_limit : int;  (** exponent ceiling of the backoff window *)
+  min_frame_bytes : int;  (** short frames are padded to this *)
+  max_frame_bytes : int;  (** larger payloads must be fragmented above *)
+  overhead_bytes : int;  (** preamble + header + CRC per frame *)
+}
+
+val default : t
+(** The standard 10 Mb/s Ethernet. *)
+
+val experimental : t
+(** The 2.94 Mb/s Experimental Ethernet of Metcalfe & Boggs, which the
+    Eden group measured in [Almes & Lazowska 1979]. *)
+
+val frame_time : t -> payload_bytes:int -> Eden_util.Time.t
+(** Time the medium is occupied by one frame carrying [payload_bytes]
+    (padding and overhead included).  Raises [Invalid_argument] if
+    [payload_bytes] is negative or exceeds [max_frame_bytes]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if any field is out of range. *)

@@ -1,0 +1,1 @@
+lib/sim/condition.ml: Eden_util Engine Fifo

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Eden_util Effect Format Hashtbl Idgen Int List Pqueue Printf Splitmix Time

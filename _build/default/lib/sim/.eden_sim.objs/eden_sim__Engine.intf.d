@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Eden_util Format

@@ -1,0 +1,1 @@
+lib/sim/mailbox.ml: Eden_util Engine Fifo

@@ -1,0 +1,1 @@
+lib/sim/promise.mli: Eden_util Engine

@@ -1,0 +1,1 @@
+lib/sim/resource.ml: Eden_util Engine Float Fun Semaphore Stats Time

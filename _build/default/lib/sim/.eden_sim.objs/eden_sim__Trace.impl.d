@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Eden_util Fifo Format List Time

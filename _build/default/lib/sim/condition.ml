@@ -1,0 +1,29 @@
+open Eden_util
+
+type t = { eng : Engine.t; queue : Engine.handle Fifo.t }
+
+let create eng = { eng; queue = Fifo.create () }
+
+let await ?timeout c =
+  Engine.suspend ?timeout (fun h -> Fifo.push_exn c.queue h)
+
+let rec signal c =
+  match Fifo.pop c.queue with
+  | None -> ()
+  | Some h ->
+    if Engine.handle_pending h then Engine.wake c.eng h else signal c
+
+let broadcast c =
+  let rec drain () =
+    match Fifo.pop c.queue with
+    | None -> ()
+    | Some h ->
+      if Engine.handle_pending h then Engine.wake c.eng h;
+      drain ()
+  in
+  drain ()
+
+let waiters c =
+  let n = ref 0 in
+  Fifo.iter (fun h -> if Engine.handle_pending h then incr n) c.queue;
+  !n

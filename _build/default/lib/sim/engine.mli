@@ -1,0 +1,119 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event heap.  Work is
+    expressed as {e processes}: ordinary OCaml functions that may call
+    the blocking operations {!delay}, {!suspend} and {!yield}, which are
+    implemented with effect handlers so that a process is suspended and
+    resumed without threads.  Events scheduled for the same instant run
+    in schedule order, so a run is a pure function of the seed and the
+    program.
+
+    Blocking synchronisation primitives (conditions, semaphores,
+    mailboxes, resources) are built outside this module from {!suspend}
+    / {!wake}. *)
+
+module Pid : sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val to_int : t -> int
+  val name : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+exception Killed
+(** Raised inside a process that is being killed, at its current
+    blocking point, so that [Fun.protect] finalisers run. *)
+
+exception Stalled_waiting
+(** Raised inside a process whose suspension can never be woken because
+    the simulation ran out of events while it was blocked (detected at
+    end of run; see {!run}). *)
+
+type wake =
+  | Woken  (** {!wake} was called on the suspension. *)
+  | Timed_out  (** The [timeout] given to {!suspend} elapsed first. *)
+
+type handle
+(** A suspended process, as stored by blocking primitives. *)
+
+val create : ?seed:int64 -> unit -> t
+(** A fresh engine with clock at {!Eden_util.Time.zero}.  [seed]
+    (default 1) drives {!fork_rng}. *)
+
+val now : t -> Eden_util.Time.t
+val fork_rng : t -> Eden_util.Splitmix.t
+(** An independent PRNG stream for one stochastic component. *)
+
+val spawn :
+  t -> ?name:string -> ?at:Eden_util.Time.t -> (unit -> unit) -> Pid.t
+(** [spawn t f] registers a process whose body [f] starts at time [at]
+    (default: now).  May be called from inside or outside processes.
+    An exception escaping [f] (other than {!Killed}) aborts the run. *)
+
+val kill : t -> Pid.t -> unit
+(** Terminate a process.  A blocked or scheduled process receives
+    {!Killed} at its suspension point; killing a finished or unknown
+    process is a no-op.  A process may kill itself, in which case
+    {!Killed} is raised immediately. *)
+
+val alive : t -> Pid.t -> bool
+
+val schedule : t -> ?after:Eden_util.Time.t -> (unit -> unit) -> unit
+(** [schedule t f] runs the plain (non-blocking) callback [f] at
+    [now + after] (default: now).  [f] must not perform blocking
+    operations. *)
+
+(** {2 Operations callable only inside a process} *)
+
+val self : unit -> Pid.t
+val delay : Eden_util.Time.t -> unit
+(** Advance virtual time for this process. *)
+
+val yield : unit -> unit
+(** Reschedule behind other work at the current instant. *)
+
+val suspend : ?timeout:Eden_util.Time.t -> (handle -> unit) -> wake
+(** [suspend register] blocks the calling process.  [register] is called
+    with the suspension handle before control returns to the engine;
+    the primitive stores it and later calls {!wake}.  If [timeout] is
+    given and elapses first, the process resumes with {!Timed_out}. *)
+
+(** {2 Waking} *)
+
+val wake : t -> handle -> unit
+(** Schedule the suspended process to resume (with {!Woken}) at the
+    current instant.  Waking a handle that has already been woken,
+    timed out, or whose process was killed is a no-op. *)
+
+val handle_pending : handle -> bool
+(** Whether {!wake} on this handle would still resume a process; lets
+    primitives skip stale queue entries. *)
+
+val handle_pid : handle -> Pid.t
+
+(** {2 Running} *)
+
+val run : ?until:Eden_util.Time.t -> t -> unit
+(** Process events in time order until the heap is empty or the clock
+    would pass [until].  When the heap empties while non-daemon
+    processes are still suspended with no timeout, those processes are
+    resumed with {!Stalled_waiting} (a deadlock diagnostic).  Raises
+    [Invalid_argument] if called from inside a process. *)
+
+val set_daemon : t -> Pid.t -> unit
+(** Mark a process as expected to be blocked at end of run (server
+    loops, coordinators).  Daemons are exempt from stall detection and
+    stay suspended across successive {!run} calls, resuming when later
+    work wakes them. *)
+
+val events_processed : t -> int
+val processes_spawned : t -> int
+val live_processes : t -> int
+
+val blocked_processes : t -> Pid.t list
+(** Processes currently suspended on {!suspend} (diagnostics for
+    deadlock reports), ordered by pid. *)

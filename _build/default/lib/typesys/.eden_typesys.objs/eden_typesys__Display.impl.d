@@ -1,0 +1,1 @@
+lib/typesys/display.ml: Eden_kernel Format Hierarchy List Printf Stdlib String Value

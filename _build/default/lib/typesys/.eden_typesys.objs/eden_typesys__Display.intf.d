@@ -1,0 +1,1 @@
+lib/typesys/display.mli: Eden_kernel Hierarchy

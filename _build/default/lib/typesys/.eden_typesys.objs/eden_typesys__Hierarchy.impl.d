@@ -1,0 +1,1 @@
+lib/typesys/hierarchy.ml: Api Cluster Eden_kernel Hashtbl List Opclass Option Printf String Typemgr Value

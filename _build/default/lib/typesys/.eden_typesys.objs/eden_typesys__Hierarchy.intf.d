@@ -1,0 +1,1 @@
+lib/typesys/hierarchy.mli: Eden_kernel

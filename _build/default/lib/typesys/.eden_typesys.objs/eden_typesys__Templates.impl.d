@@ -1,0 +1,1 @@
+lib/typesys/templates.ml: Api Eden_kernel Eden_sim Error List Opclass Printf Result Rights Typemgr Value

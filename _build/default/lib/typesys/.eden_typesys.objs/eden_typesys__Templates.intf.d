@@ -1,0 +1,1 @@
+lib/typesys/templates.mli: Eden_kernel Typemgr

@@ -1,0 +1,39 @@
+open Eden_kernel
+
+let style h ~type_name =
+  if not (Hierarchy.mem h type_name) then "plain"
+  else
+    match Hierarchy.attribute h ~type_name "display" with
+    | Some (Value.Str s) -> s
+    | Some _ | None -> "plain"
+
+let value_line v = Format.asprintf "%a" Value.pp v
+
+let body_lines style repr =
+  match (style, repr) with
+  | "counter", Value.Int n -> [ Printf.sprintf "count: %d" n ]
+  | "text", Value.Str s -> String.split_on_char '\n' s
+  | "list", Value.List items -> List.map value_line items
+  | "record", Value.List fields ->
+    List.map
+      (fun field ->
+        match field with
+        | Value.Pair (Value.Str k, v) -> Printf.sprintf "%s = %s" k (value_line v)
+        | other -> value_line other)
+      fields
+  | ("plain" | "counter" | "text" | "list" | "record"), v -> [ value_line v ]
+  | _, v -> [ value_line v ]
+
+let render h ~type_name ~title repr =
+  let sty = style h ~type_name in
+  let header = Printf.sprintf "%s : %s [%s]" title type_name sty in
+  let lines = body_lines sty repr in
+  let width =
+    List.fold_left
+      (fun w line -> Stdlib.max w (String.length line))
+      (String.length header) lines
+  in
+  let border = "+" ^ String.make (width + 2) '-' ^ "+" in
+  let pad line = Printf.sprintf "| %s%s |" line (String.make (width - String.length line) ' ') in
+  String.concat "\n"
+    ((border :: pad header :: border :: List.map pad lines) @ [ border ])

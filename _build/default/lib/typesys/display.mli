@@ -1,0 +1,16 @@
+(** Structured visual representations for the object editor.
+
+    The paper's "editing paradigm" gives every object a syntactically
+    structured visual representation.  The hierarchy's inheritable
+    ["display"] attribute selects a rendering style; subtypes inherit
+    their supertype's style unless they override it. *)
+
+val style : Hierarchy.t -> type_name:string -> string
+(** The effective display style: the inherited ["display"] attribute,
+    or ["plain"] if none is declared.  Styles understood by {!render}:
+    ["plain"], ["record"], ["list"], ["text"], ["counter"]. *)
+
+val render :
+  Hierarchy.t -> type_name:string -> title:string -> Eden_kernel.Value.t ->
+  string
+(** Render an object's representation as a bordered text box. *)

@@ -1,0 +1,185 @@
+open Eden_kernel
+open Api
+
+(* ------------------------------------------------------------------ *)
+(* Ready-made types *)
+
+let register_type ~name =
+  Typemgr.make_exn ~name
+    [
+      Typemgr.operation "read" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+      Typemgr.operation "write" ~required:[ Rights.Aux 0 ] (fun ctx args ->
+          let* v = arg1 args in
+          let* () = ctx.set_repr v in
+          reply_unit);
+    ]
+
+let queue_repr ctx =
+  Value.to_list (ctx.get_repr ())
+  |> Result.map_error (fun m -> Error.Bad_arguments m)
+
+let queue_type ~name =
+  Typemgr.make_exn ~name
+    ~classes:
+      (Opclass.one_class ~name:"serial"
+         ~operations:[ "enqueue"; "dequeue"; "peek"; "length" ]
+         ~limit:1)
+    [
+      Typemgr.operation "enqueue" (fun ctx args ->
+          let* v = arg1 args in
+          let* items = queue_repr ctx in
+          let* () = ctx.set_repr (Value.List (items @ [ v ])) in
+          reply_unit);
+      Typemgr.operation "dequeue" (fun ctx args ->
+          let* () = no_args args in
+          let* items = queue_repr ctx in
+          match items with
+          | [] -> user_error "queue is empty"
+          | x :: rest ->
+            let* () = ctx.set_repr (Value.List rest) in
+            reply [ x ]);
+      Typemgr.operation "peek" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* items = queue_repr ctx in
+          match items with
+          | [] -> user_error "queue is empty"
+          | x :: _ -> reply [ x ]);
+      Typemgr.operation "length" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* items = queue_repr ctx in
+          reply [ Value.Int (List.length items) ]);
+    ]
+
+let kv_entries ctx =
+  Value.to_list (ctx.get_repr ())
+  |> Result.map_error (fun m -> Error.Bad_arguments m)
+
+let kv_type ~name =
+  Typemgr.make_exn ~name
+    ~classes:
+      (Opclass.one_class ~name:"serial"
+         ~operations:[ "put"; "get"; "delete"; "keys"; "size" ]
+         ~limit:1)
+    [
+      Typemgr.operation "put" (fun ctx args ->
+          let* a, b = arg2 args in
+          let* k = str_arg a in
+          let* entries = kv_entries ctx in
+          let others =
+            List.filter
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str k', _) -> k' <> k
+                | _ -> true)
+              entries
+          in
+          let* () =
+            ctx.set_repr (Value.List (Value.Pair (Value.Str k, b) :: others))
+          in
+          reply_unit);
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* a = arg1 args in
+          let* k = str_arg a in
+          let* entries = kv_entries ctx in
+          let found =
+            List.find_map
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str k', v) when k' = k -> Some v
+                | _ -> None)
+              entries
+          in
+          (match found with
+          | Some v -> reply [ v ]
+          | None -> user_error (Printf.sprintf "no key %S" k)));
+      Typemgr.operation "delete" (fun ctx args ->
+          let* a = arg1 args in
+          let* k = str_arg a in
+          let* entries = kv_entries ctx in
+          let others =
+            List.filter
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str k', _) -> k' <> k
+                | _ -> true)
+              entries
+          in
+          let* () = ctx.set_repr (Value.List others) in
+          reply_unit);
+      Typemgr.operation "keys" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* entries = kv_entries ctx in
+          let ks =
+            List.filter_map
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str k, _) -> Some (Value.Str k)
+                | _ -> None)
+              entries
+          in
+          reply [ Value.List ks ]);
+      Typemgr.operation "size" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* entries = kv_entries ctx in
+          reply [ Value.Int (List.length entries) ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Policy wrappers *)
+
+(* Rebuild a type manager with every operation's handler transformed. *)
+let map_handlers f tm =
+  let ops =
+    List.map
+      (fun (op : Typemgr.operation) ->
+        { op with Typemgr.op_handler = f op op.Typemgr.op_handler })
+      (Typemgr.operations tm)
+  in
+  Typemgr.make_exn ~name:(Typemgr.name tm) ~classes:(Typemgr.classes tm)
+    ~code_bytes:(Typemgr.code_bytes tm)
+    ~short_term_bytes:(Typemgr.short_term_bytes tm)
+    ?reincarnate:(Typemgr.reincarnate tm)
+    ~behaviours:(Typemgr.behaviours tm) ops
+
+let with_auto_checkpoint ~every tm =
+  if every < 1 then invalid_arg "Templates.with_auto_checkpoint: every < 1";
+  map_handlers
+    (fun op handler ->
+      if not op.Typemgr.mutates then handler
+      else fun ctx args ->
+        let result = handler ctx args in
+        (match result with
+        | Ok _ ->
+          (* The mutation counter lives in a kernel port: short-term
+             state, gone after a crash like all bookkeeping. *)
+          let cell = ctx.port "template.ckpt_count" in
+          let count =
+            match Eden_sim.Mailbox.try_recv cell with
+            | Some (Value.Int n) -> n + 1
+            | Some _ | None -> 1
+          in
+          if count >= every then begin
+            ignore (Eden_sim.Mailbox.try_send cell (Value.Int 0));
+            match ctx.checkpoint () with
+            | Ok () -> ctx.log "auto-checkpoint"
+            | Error e ->
+              ctx.log ("auto-checkpoint failed: " ^ Error.to_string e)
+          end
+          else ignore (Eden_sim.Mailbox.try_send cell (Value.Int count))
+        | Error _ -> ());
+        result)
+    tm
+
+let with_operation_log tm =
+  map_handlers
+    (fun op handler ->
+      fun ctx args ->
+       let result = handler ctx args in
+       (match result with
+       | Ok _ -> ctx.log (op.Typemgr.op_name ^ ": ok")
+       | Error e ->
+         ctx.log (op.Typemgr.op_name ^ ": " ^ Error.to_string e));
+       result)
+    tm

@@ -1,0 +1,55 @@
+(** Sample statistics for experiment measurements.
+
+    {!t} accumulates full samples (measurement counts here are small
+    enough that retaining them is cheap) and reports mean, standard
+    deviation and exact percentiles.  {!Histogram} buckets values for
+    distribution-shaped output. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_time : t -> Time.t -> unit
+(** Record a duration, in seconds. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 on an empty sample. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 on samples of size < 2. *)
+
+val min_value : t -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
+val max_value : t -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
+val percentile : t -> float -> float
+(** [percentile s p] with [p] in [\[0,100\]], nearest-rank on the sorted
+    sample.  Raises [Invalid_argument] on an empty sample or [p] out of
+    range. *)
+
+val median : t -> float
+val merge : t -> t -> t
+(** A fresh statistic over the union of both samples. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** ["n=.. mean=.. p50=.. p99=.. max=.."] *)
+
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  (** Linear buckets spanning [\[lo, hi)]; out-of-range values land in
+      underflow/overflow counters.  Requires [lo < hi] and
+      [buckets > 0]. *)
+
+  val add : h -> float -> unit
+  val bucket_counts : h -> int array
+  val underflow : h -> int
+  val overflow : h -> int
+  val total : h -> int
+  val pp : Format.formatter -> h -> unit
+end

@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  (* A trailing separator would double the closing rule. *)
+  let rows =
+    match t.rows with Separator :: rest -> List.rev rest | _ -> List.rev t.rows
+  in
+  let headers = List.map fst t.columns in
+  let widths =
+    let base = List.map String.length headers in
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Separator -> ws
+        | Cells cells ->
+          List.map2 (fun w c -> Stdlib.max w (String.length c)) ws cells)
+      base rows
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 256 in
+  let aligns = List.map snd t.columns in
+  let render_cells cells =
+    let parts =
+      List.map2
+        (fun (c, a) w -> pad a w c)
+        (List.combine cells aligns)
+        widths
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " parts ^ " |\n")
+  in
+  let rule () =
+    let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+    Buffer.add_string buf ("+" ^ String.concat "+" parts ^ "+\n")
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  render_cells headers;
+  rule ();
+  List.iter
+    (fun row ->
+      match row with Separator -> rule () | Cells cells -> render_cells cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_time tm = Time.to_string tm
+
+let cell_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int n = string_of_int n
+
+let cell_pct r = Printf.sprintf "%.1f%%" (r *. 100.0)

@@ -1,0 +1,29 @@
+(** Aligned ASCII tables for experiment output.
+
+    Every benchmark prints its results through this module so that
+    [bench/main.exe] output has one consistent, diffable format. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts a table.  [columns] must be
+    non-empty. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row length does not match the
+    column count. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** Render to stdout, followed by a blank line. *)
+
+val cell_time : Time.t -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_int : int -> string
+val cell_pct : float -> string
+(** Format a ratio in [\[0,1\]] as a percentage. *)

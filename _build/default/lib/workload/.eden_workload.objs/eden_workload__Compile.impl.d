@@ -1,0 +1,1 @@
+lib/workload/compile.ml: Api Cluster Eden_efs Eden_kernel Eden_sim Eden_util Engine Error List Opclass Printf Result Stats Stdlib Time Typemgr Value

@@ -1,0 +1,1 @@
+lib/workload/compile.mli: Capability Cluster Eden_kernel Eden_util Error Stats Typemgr

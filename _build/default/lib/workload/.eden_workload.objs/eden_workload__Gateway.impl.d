@@ -1,0 +1,1 @@
+lib/workload/gateway.ml: Cluster Eden_kernel Eden_sim Engine Opclass Result Typemgr Value

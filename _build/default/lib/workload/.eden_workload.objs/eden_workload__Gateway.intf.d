@@ -1,0 +1,1 @@
+lib/workload/gateway.mli: Capability Cluster Eden_kernel Eden_util Error Time Typemgr Value

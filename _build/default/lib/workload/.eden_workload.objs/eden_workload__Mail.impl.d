@@ -1,0 +1,1 @@
+lib/workload/mail.ml: Api Array Capability Cluster Eden_kernel Eden_sim Eden_util Engine Error List Printf Result Splitmix Stats Time Typemgr Value

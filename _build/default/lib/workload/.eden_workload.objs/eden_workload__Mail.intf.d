@@ -1,0 +1,1 @@
+lib/workload/mail.mli: Capability Cluster Eden_kernel Eden_util Error Stats Typemgr

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Api Array Cluster Eden_baseline Eden_kernel Eden_sim Eden_util Engine Error Float Format Fun List Opclass Option Printf Splitmix Stats Time Typemgr Value

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Cluster Eden_baseline Eden_kernel Eden_util Format Stats Time Typemgr

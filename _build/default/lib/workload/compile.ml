@@ -1,0 +1,122 @@
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Api
+
+let front_end_time = Time.ms 10
+let per_byte_time = Time.ns 1_500
+
+let compiler_type =
+  Typemgr.make_exn ~name:"compiler" ~code_bytes:65_536
+    ~classes:(Opclass.one_class ~name:"all" ~operations:[ "compile" ] ~limit:4)
+    [
+      Typemgr.operation "compile" ~mutates:false (fun ctx args ->
+          let* v = arg1 args in
+          let* file = cap_arg v in
+          let* r = ctx.invoke file ~op:"current" [] in
+          let* vcap =
+            match r with
+            | [ Value.Int _; Value.Cap c ] -> Ok c
+            | _ -> Error (Error.User_error "unexpected current reply")
+          in
+          let* r = ctx.invoke vcap ~op:"read" [] in
+          let* source =
+            match r with
+            | [ content ] -> Ok content
+            | _ -> Error (Error.User_error "unexpected read reply")
+          in
+          let bytes = Value.size_bytes source in
+          ctx.compute
+            (Time.add front_end_time (Time.scale per_byte_time bytes));
+          (* Object code: roughly a third of the source, floor 64B. *)
+          reply [ Value.Int (Stdlib.max 64 (bytes / 3)) ]);
+    ]
+
+let ( let* ) = Result.bind
+
+let install cl ~node ?(replicate_to = []) () =
+  Cluster.register_type cl compiler_type;
+  let* cap =
+    Cluster.create_object cl ~node ~type_name:"compiler" Value.Unit
+  in
+  let* () = Cluster.freeze cl cap in
+  let* () =
+    List.fold_left
+      (fun acc site ->
+        let* () = acc in
+        Cluster.replicate cl cap ~to_node:site)
+      (Ok ()) replicate_to
+  in
+  Ok cap
+
+type results = {
+  edits : int;
+  compiles : int;
+  failures : int;
+  edit_latency : Stats.t;
+  compile_latency : Stats.t;
+}
+
+let run cl ~compiler ~programmers ~cycles ~source_bytes =
+  let eng = Cluster.engine cl in
+  let edits = ref 0 and compiles = ref 0 and failures = ref 0 in
+  let edit_latency = Stats.create () in
+  let compile_latency = Stats.create () in
+  List.iter
+    (fun home ->
+      ignore
+        (Cluster.in_process cl ~name:(Printf.sprintf "dev%d" home) (fun () ->
+             (* A private workspace on the programmer's own node. *)
+             match Eden_efs.Client.make_root cl ~node:home with
+             | Error _ -> incr failures
+             | Ok dir -> (
+               match
+                 Eden_efs.Client.create_file cl ~from:home ~dir
+                   ~name:"main.src" ~node:home
+                   ~content:(Value.Blob source_bytes) ()
+               with
+               | Error _ -> incr failures
+               | Ok file ->
+                 for _ = 1 to cycles do
+                   (* Edit: replace the source under a transaction. *)
+                   let t0 = Engine.now eng in
+                   let t =
+                     Eden_efs.Txn.begin_txn cl ~from:home
+                       ~mode:Eden_efs.Txn.Locking
+                   in
+                   (match
+                      Eden_efs.Txn.write t file (Value.Blob source_bytes)
+                    with
+                   | Error _ ->
+                     Eden_efs.Txn.abort t;
+                     incr failures
+                   | Ok () -> (
+                     match Eden_efs.Txn.commit t with
+                     | Eden_efs.Txn.Committed ->
+                       incr edits;
+                       Stats.add_time edit_latency
+                         (Time.diff (Engine.now eng) t0)
+                     | Eden_efs.Txn.Conflict | Eden_efs.Txn.Failed _ ->
+                       incr failures));
+                   (* Compile the current version. *)
+                   let t0 = Engine.now eng in
+                   match
+                     Cluster.invoke cl ~from:home compiler ~op:"compile"
+                       [ Value.Cap file ]
+                   with
+                   | Ok [ Value.Int _ ] ->
+                     incr compiles;
+                     Stats.add_time compile_latency
+                       (Time.diff (Engine.now eng) t0)
+                   | Ok _ | Error _ -> incr failures
+                 done)))
+        )
+    programmers;
+  Cluster.run cl;
+  {
+    edits = !edits;
+    compiles = !compiles;
+    failures = !failures;
+    edit_latency;
+    compile_latency;
+  }

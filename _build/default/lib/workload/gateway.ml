@@ -1,0 +1,24 @@
+open Eden_sim
+open Eden_kernel
+
+let gateway_type ~name ~service ~round_trip ?(lines = 1) () =
+  if lines < 1 then invalid_arg "Gateway: lines must be positive";
+  Typemgr.make_exn ~name
+    ~classes:
+      (Opclass.one_class ~name:"line" ~operations:[ "request" ] ~limit:lines)
+    [
+      Typemgr.operation "request" ~mutates:false (fun ctx args ->
+          (* The foreign machine's time is not our CPU: the invocation
+             process just waits on the line. *)
+          ignore ctx;
+          Engine.delay round_trip;
+          service args);
+    ]
+
+let ( let* ) = Result.bind
+
+let install cl ~node ~name ~service ~round_trip ?lines () =
+  let tm = gateway_type ~name ~service ~round_trip ?lines () in
+  Cluster.register_type cl tm;
+  let* cap = Cluster.create_object cl ~node ~type_name:name Value.Unit in
+  Ok cap

@@ -1,0 +1,42 @@
+(** Foreign machines behind an object-like interface.
+
+    The paper's §2: "'foreign' machines will be interfaced to the
+    system through such nodes.  Eden users can invoke services on
+    foreign machines through an 'object-like' interface, but the
+    relationship will not be symmetric."
+
+    A gateway is an ordinary Eden object hosted on the node that owns
+    the physical connection.  Its single operation relays a request
+    over the (slow, serial) line to the foreign machine — modelled as a
+    round-trip delay plus a pure service function — and returns the
+    answer.  The line's capacity is the operation's invocation-class
+    limit: a 1-line gateway serialises all traffic to the foreign
+    machine, exactly like a 9600-baud connection to the department
+    time-sharing system. *)
+
+open Eden_util
+open Eden_kernel
+
+val gateway_type :
+  name:string ->
+  service:(Value.t list -> (Value.t list, Error.t) result) ->
+  round_trip:Time.t ->
+  ?lines:int ->
+  unit ->
+  Typemgr.t
+(** A type manager whose ["request"] operation relays to [service]
+    after [round_trip] of line delay.  [lines] (default 1) bounds
+    concurrent outstanding requests.  Raises [Invalid_argument] if
+    [lines < 1]. *)
+
+val install :
+  Cluster.t ->
+  node:int ->
+  name:string ->
+  service:(Value.t list -> (Value.t list, Error.t) result) ->
+  round_trip:Time.t ->
+  ?lines:int ->
+  unit ->
+  (Capability.t, Error.t) result
+(** Blocking.  Register the gateway type and create the gateway object
+    on the interfacing node. *)

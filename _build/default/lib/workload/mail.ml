@@ -1,0 +1,173 @@
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Api
+
+let mailbox_type =
+  Typemgr.make_exn ~name:"mailbox"
+    [
+      Typemgr.operation "deposit" (fun ctx args ->
+          let* a, b = arg2 args in
+          let* _from = str_arg a in
+          let* _body = str_arg b in
+          let* entries =
+            Value.to_list (ctx.get_repr ())
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let* () = ctx.set_repr (Value.List (Value.Pair (a, b) :: entries)) in
+          reply_unit);
+      Typemgr.operation "fetch_all" (fun ctx args ->
+          let* () = no_args args in
+          let contents = ctx.get_repr () in
+          let* () = ctx.set_repr (Value.List []) in
+          reply [ contents ]);
+      Typemgr.operation "count" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* entries =
+            Value.to_list (ctx.get_repr ())
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          reply [ Value.Int (List.length entries) ]);
+    ]
+
+let registry_type =
+  Typemgr.make_exn ~name:"mail_registry"
+    [
+      Typemgr.operation "register" (fun ctx args ->
+          let* a, b = arg2 args in
+          let* _user = str_arg a in
+          let* _box = cap_arg b in
+          let* entries =
+            Value.to_list (ctx.get_repr ())
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let* () = ctx.set_repr (Value.List (Value.Pair (a, b) :: entries)) in
+          reply_unit);
+      Typemgr.operation "lookup" ~mutates:false (fun ctx args ->
+          let* v = arg1 args in
+          let* user = str_arg v in
+          let* entries =
+            Value.to_list (ctx.get_repr ())
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let found =
+            List.find_map
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str u, Value.Cap c) when u = user -> Some c
+                | _ -> None)
+              entries
+          in
+          (match found with
+          | Some c -> reply [ Value.Cap c ]
+          | None -> user_error (Printf.sprintf "unknown user %S" user)));
+      Typemgr.operation "users" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          let* entries =
+            Value.to_list (ctx.get_repr ())
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let names =
+            List.filter_map
+              (fun e ->
+                match e with
+                | Value.Pair (Value.Str u, _) -> Some (Value.Str u)
+                | _ -> None)
+              entries
+          in
+          reply [ Value.List names ]);
+    ]
+
+let register_types cl =
+  Cluster.register_type cl mailbox_type;
+  Cluster.register_type cl registry_type
+
+type setup = {
+  registry : Capability.t;
+  mailboxes : (string * int * Capability.t) list;
+}
+
+let ( let* ) = Result.bind
+
+let build cl ~registry_node ~users_per_node =
+  let n = Cluster.node_count cl in
+  let* registry =
+    Cluster.create_object cl ~node:registry_node ~type_name:"mail_registry"
+      (Value.List [])
+  in
+  let rec make_users node k acc =
+    if node >= n then Ok (List.rev acc)
+    else if k >= users_per_node then make_users (node + 1) 0 acc
+    else begin
+      let user = Printf.sprintf "u%d.%d" node k in
+      let* box =
+        Cluster.create_object cl ~node ~type_name:"mailbox" (Value.List [])
+      in
+      let* _ =
+        Cluster.invoke cl ~from:node registry ~op:"register"
+          [ Value.Str user; Value.Cap box ]
+      in
+      make_users node (k + 1) ((user, node, box) :: acc)
+    end
+  in
+  let* mailboxes = make_users 0 0 [] in
+  Ok { registry; mailboxes }
+
+type results = {
+  sent : int;
+  send_failures : int;
+  fetched : int;
+  send_latency : Stats.t;
+}
+
+let run cl setup ~messages_per_user ~think_mean_s =
+  let eng = Cluster.engine cl in
+  let users = Array.of_list setup.mailboxes in
+  let sent = ref 0 and send_failures = ref 0 and fetched = ref 0 in
+  let send_latency = Stats.create () in
+  Array.iter
+    (fun (user, home, _box) ->
+      let rng = Engine.fork_rng eng in
+      ignore
+        (Cluster.in_process cl ~name:("mail:" ^ user) (fun () ->
+             for m = 1 to messages_per_user do
+               Engine.delay (Time.of_sec (Splitmix.exponential rng think_mean_s));
+               let recipient, _, _ =
+                 users.(Splitmix.int rng (Array.length users))
+               in
+               let t0 = Engine.now eng in
+               let outcome =
+                 match
+                   Cluster.invoke cl ~from:home setup.registry ~op:"lookup"
+                     [ Value.Str recipient ]
+                 with
+                 | Ok [ Value.Cap box ] ->
+                   Cluster.invoke cl ~from:home box ~op:"deposit"
+                     [
+                       Value.Str user;
+                       Value.Str (Printf.sprintf "message %d from %s" m user);
+                     ]
+                 | Ok _ -> Error (Error.User_error "bad lookup reply")
+                 | Error e -> Error e
+               in
+               match outcome with
+               | Ok _ ->
+                 incr sent;
+                 Stats.add_time send_latency (Time.diff (Engine.now eng) t0)
+               | Error _ -> incr send_failures
+             done))
+        )
+    users;
+  Cluster.run cl;
+  (* Recipients drain their boxes. *)
+  Array.iter
+    (fun (_user, home, box) ->
+      ignore
+        (Cluster.in_process cl (fun () ->
+             match Cluster.invoke cl ~from:home box ~op:"fetch_all" [] with
+             | Ok [ Value.List msgs ] -> fetched := !fetched + List.length msgs
+             | Ok _ | Error _ -> ())))
+    users;
+  Cluster.run cl;
+  { sent = !sent; send_failures = !send_failures; fetched = !fetched;
+    send_latency }

@@ -1,0 +1,198 @@
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Api
+
+type spec = {
+  objects_per_node : int;
+  users_per_node : int;
+  requests_per_user : int;
+  locality : float;
+  payload_bytes : int;
+  compute_per_request : Time.t;
+  think_mean_s : float;
+}
+
+let default_spec =
+  {
+    objects_per_node = 4;
+    users_per_node = 2;
+    requests_per_user = 25;
+    locality = 0.8;
+    payload_bytes = 256;
+    compute_per_request = Time.ms 5;
+    think_mean_s = 0.05;
+  }
+
+type results = {
+  completed : int;
+  failed : int;
+  latency : Stats.t;
+  elapsed : Time.t;
+  throughput : float;
+}
+
+let pp_results ppf r =
+  Format.fprintf ppf
+    "completed=%d failed=%d elapsed=%a throughput=%.1f/s latency{%a}"
+    r.completed r.failed Time.pp r.elapsed r.throughput Stats.pp_summary
+    r.latency
+
+let worker_type =
+  Typemgr.make_exn ~name:"synthetic_worker"
+    ~classes:(Opclass.one_class ~name:"all" ~operations:[ "work" ] ~limit:8)
+    [
+      Typemgr.operation "work" ~mutates:false (fun ctx args ->
+          let* a, b = arg2 args in
+          let* us = int_arg b in
+          ctx.compute (Time.us us);
+          reply [ a ]);
+    ]
+
+type placement = Distributed | Central_on of int
+
+let validate spec =
+  if spec.objects_per_node <= 0 then invalid_arg "Synthetic: no objects";
+  if spec.users_per_node <= 0 then invalid_arg "Synthetic: no users";
+  if spec.requests_per_user < 0 then invalid_arg "Synthetic: negative requests";
+  if spec.locality < 0.0 || spec.locality > 1.0 then
+    invalid_arg "Synthetic: locality out of range"
+
+(* Choose the target's "owner" node: the user's own node with
+   probability [locality], any other node uniformly otherwise. *)
+let pick_owner rng spec ~mine ~node_count =
+  if node_count = 1 || Splitmix.coin rng spec.locality then mine
+  else begin
+    let other = Splitmix.int rng (node_count - 1) in
+    if other >= mine then other + 1 else other
+  end
+
+let summarise ~eng ~started ~completed ~failed ~latency =
+  let elapsed =
+    let now = Engine.now eng in
+    if Time.(now > started) then Time.diff now started else Time.zero
+  in
+  {
+    completed;
+    failed;
+    latency;
+    elapsed;
+    throughput =
+      (if Time.is_zero elapsed then 0.0
+       else Float.of_int completed /. Time.to_sec elapsed);
+  }
+
+let run_eden ?(placement = Distributed) ?users_on cl spec =
+  validate spec;
+  let eng = Cluster.engine cl in
+  let n = Cluster.node_count cl in
+  let users_on = Option.value ~default:(List.init n Fun.id) users_on in
+  Cluster.register_type cl worker_type;
+  let latency = Stats.create () in
+  let completed = ref 0 and failed = ref 0 in
+  let started = ref Time.zero in
+  let objects = Array.make_matrix n spec.objects_per_node None in
+  let _ =
+    Cluster.in_process cl ~name:"setup" (fun () ->
+        for owner = 0 to n - 1 do
+          for k = 0 to spec.objects_per_node - 1 do
+            let node =
+              match placement with
+              | Distributed -> owner
+              | Central_on s -> s
+            in
+            match
+              Cluster.create_object cl ~node ~type_name:"synthetic_worker"
+                Value.Unit
+            with
+            | Ok cap -> objects.(owner).(k) <- Some cap
+            | Error e ->
+              invalid_arg
+                (Printf.sprintf "Synthetic.run_eden: create failed: %s"
+                   (Error.to_string e))
+          done
+        done;
+        (* Users start once the population exists; measure from here. *)
+        started := Engine.now eng;
+        List.iter
+          (fun mine ->
+            for u = 0 to spec.users_per_node - 1 do
+              let rng = Engine.fork_rng eng in
+              ignore
+                (Cluster.in_process cl
+                   ~name:(Printf.sprintf "user%d.%d" mine u)
+                   (fun () ->
+                     for _ = 1 to spec.requests_per_user do
+                       Engine.delay
+                         (Time.of_sec
+                            (Splitmix.exponential rng spec.think_mean_s));
+                       let owner = pick_owner rng spec ~mine ~node_count:n in
+                       let k = Splitmix.int rng spec.objects_per_node in
+                       match objects.(owner).(k) with
+                       | None -> incr failed
+                       | Some cap -> (
+                         let t0 = Engine.now eng in
+                         match
+                           Cluster.invoke cl ~from:mine cap ~op:"work"
+                             [
+                               Value.Blob spec.payload_bytes;
+                               Value.Int
+                                 (Time.to_ns spec.compute_per_request / 1_000);
+                             ]
+                         with
+                         | Ok _ ->
+                           incr completed;
+                           Stats.add_time latency
+                             (Time.diff (Engine.now eng) t0)
+                         | Error _ -> incr failed)
+                     done))
+            done)
+          users_on)
+  in
+  Cluster.run cl;
+  summarise ~eng ~started:!started ~completed:!completed ~failed:!failed
+    ~latency
+
+let run_rpc fabric spec =
+  validate spec;
+  let module Rpc = Eden_baseline.Rpc in
+  let eng = Rpc.engine fabric in
+  let n = Rpc.node_count fabric in
+  for node = 0 to n - 1 do
+    Rpc.register fabric ~node ~proc:"work" (fun ctx args ->
+        match args with
+        | [ payload; Value.Int us ] ->
+          ctx.Rpc.rpc_compute (Time.us us);
+          Ok [ payload ]
+        | _ -> Error (Error.Bad_arguments "work expects [payload; us]"))
+  done;
+  let latency = Stats.create () in
+  let completed = ref 0 and failed = ref 0 in
+  for mine = 0 to n - 1 do
+    for u = 0 to spec.users_per_node - 1 do
+      let rng = Engine.fork_rng eng in
+      ignore
+        (Rpc.in_process fabric ~name:(Printf.sprintf "user%d.%d" mine u)
+           (fun () ->
+             for _ = 1 to spec.requests_per_user do
+               Engine.delay
+                 (Time.of_sec (Splitmix.exponential rng spec.think_mean_s));
+               let owner = pick_owner rng spec ~mine ~node_count:n in
+               let t0 = Engine.now eng in
+               match
+                 Rpc.call fabric ~from:mine ~node:owner ~proc:"work"
+                   [
+                     Value.Blob spec.payload_bytes;
+                     Value.Int (Time.to_ns spec.compute_per_request / 1_000);
+                   ]
+               with
+               | Ok _ ->
+                 incr completed;
+                 Stats.add_time latency (Time.diff (Engine.now eng) t0)
+               | Error _ -> incr failed
+             done))
+    done
+  done;
+  Rpc.run fabric;
+  summarise ~eng ~started:Time.zero ~completed:!completed ~failed:!failed
+    ~latency

@@ -1,0 +1,56 @@
+(** Parameterised invocation workloads.
+
+    The same user population can be run against an Eden cluster with
+    distributed placement, an Eden cluster with centralized placement,
+    or the location-dependent RPC baseline — which is what experiment
+    E9 needs to compare the three points of the paper's
+    integration/distribution spectrum. *)
+
+open Eden_util
+open Eden_kernel
+
+type spec = {
+  objects_per_node : int;  (** served objects "belonging" to each node *)
+  users_per_node : int;
+  requests_per_user : int;
+  locality : float;
+      (** probability a request targets one of the user's own node's
+          objects (0 = always remote sharing, 1 = purely personal) *)
+  payload_bytes : int;  (** request and reply payload *)
+  compute_per_request : Time.t;  (** CPU demand at the target *)
+  think_mean_s : float;  (** mean exponential think time, seconds *)
+}
+
+val default_spec : spec
+
+type results = {
+  completed : int;
+  failed : int;
+  latency : Stats.t;  (** per-request completion times, seconds *)
+  elapsed : Time.t;  (** simulated time to drain the workload *)
+  throughput : float;  (** completed requests per simulated second *)
+}
+
+val pp_results : Format.formatter -> results -> unit
+
+val worker_type : Typemgr.t
+(** The served type: operation ["work"] [Blob n] -> [Blob n] burning
+    [compute] CPU (encoded in the blob size by {!run_eden}). *)
+
+type placement = Distributed | Central_on of int
+
+val run_eden :
+  ?placement:placement ->
+  ?users_on:int list ->
+  Cluster.t ->
+  spec ->
+  results
+(** Blocking-free: builds the population, runs the cluster to
+    completion, returns measurements.  [placement] defaults to
+    [Distributed] (each node's objects live on it); [Central_on s]
+    puts every object on node [s].  [users_on] defaults to all
+    nodes.  The cluster must not have been run yet. *)
+
+val run_rpc : Eden_baseline.Rpc.t -> spec -> results
+(** The same population over the RPC baseline: a "work" procedure is
+    registered on every node; locality picks the caller's own node. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Api Central Cluster Eden_baseline Eden_kernel Eden_sim Eden_util Engine Error Rpc Time Typemgr Value

@@ -1,0 +1,1 @@
+test/test_efs.ml: Alcotest Client Cluster Eden_efs Eden_kernel Eden_sim Eden_util Engine Error Int Int64 List Option Printf QCheck QCheck_alcotest Result Schema Splitmix String Time Txn Value

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Costs Cpu Disk Eden_hw Eden_sim Eden_util Engine List Machine Memory QCheck QCheck_alcotest Time

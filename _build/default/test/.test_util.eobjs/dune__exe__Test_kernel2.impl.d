@@ -1,0 +1,1 @@
+test/test_kernel2.ml: Alcotest Api Array Capability Cluster Eden_kernel Eden_sim Eden_util Engine Error Fun Int64 List Name Printf Promise QCheck QCheck_alcotest Rights Splitmix Time Typemgr Value

@@ -1,0 +1,1 @@
+test/test_kernel_units.ml: Alcotest Api Capability Eden_kernel Error Format List Message Name Opclass Reliability Result Rights String Typemgr Value

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Cluster Eden_efs Eden_kernel Eden_typesys Error Hashtbl Int64 List Map QCheck QCheck_alcotest Queue Result String Templates Value

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Eden_net Eden_sim Eden_util Engine Int64 Internet Lan List Msglink Params Printf QCheck QCheck_alcotest Splitmix Stats String Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Condition Eden_sim Eden_util Engine Fun Gen Int64 List Mailbox Promise QCheck QCheck_alcotest Resource Semaphore Splitmix Stats Stdlib Time Trace

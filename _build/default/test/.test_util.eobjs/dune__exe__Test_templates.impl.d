@@ -1,0 +1,1 @@
+test/test_templates.ml: Alcotest Capability Cluster Eden_kernel Eden_sim Eden_typesys Error List Option Rights String Templates Trace Value

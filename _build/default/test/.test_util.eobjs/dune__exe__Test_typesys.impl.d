@@ -1,0 +1,1 @@
+test/test_typesys.ml: Alcotest Api Cluster Display Eden_kernel Eden_typesys Error Hierarchy List String Typemgr Value

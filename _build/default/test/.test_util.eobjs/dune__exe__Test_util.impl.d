@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Eden_util Fifo Float Fun Gen Idgen Int List Pqueue QCheck QCheck_alcotest Splitmix Stats String Table Time

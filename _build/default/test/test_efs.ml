@@ -1,0 +1,943 @@
+(* Tests for the Eden File System: naming, immutable versions,
+   transactions under both concurrency-control modes, replication and
+   durability. *)
+
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Eden_efs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Error.to_string e)
+
+(* Run [body] in a driver process on a fresh EFS-enabled cluster. *)
+let with_efs ?seed ?(n = 3) body =
+  let cl = Cluster.default ?seed ~n_nodes:n () in
+  Schema.register cl;
+  let result = ref None in
+  let _ = Cluster.in_process cl (fun () -> result := Some (body cl)) in
+  Cluster.run cl;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "driver process did not complete"
+
+let str s = Value.Str s
+
+(* ------------------------------------------------------------------ *)
+(* Naming and files *)
+
+let test_mkdir_and_resolve () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let sub =
+        ok_or_fail "mkdir" (Client.mkdir cl ~from:0 ~dir:root ~name:"home" ())
+      in
+      let _ =
+        ok_or_fail "mkdir2"
+          (Client.mkdir cl ~from:0 ~dir:sub ~name:"alice" ())
+      in
+      let resolved =
+        ok_or_fail "resolve" (Client.resolve cl ~from:0 ~root "home/alice")
+      in
+      check_bool "resolves to a directory" true
+        (Cluster.is_active cl resolved);
+      let names = ok_or_fail "list" (Client.list_dir cl ~from:0 root) in
+      Alcotest.(check (list string)) "root listing" [ "home" ] names;
+      match Client.resolve cl ~from:0 ~root "home/bob" with
+      | Error (Error.User_error _) -> ()
+      | Ok _ -> Alcotest.fail "resolved a missing path"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+let test_create_and_read_file () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let file =
+        ok_or_fail "create"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"notes"
+             ~content:(str "hello eden") ())
+      in
+      check_bool "read back" true
+        (Client.read_file cl ~from:0 file = Ok (str "hello eden"));
+      check_int "one version" 1
+        (ok_or_fail "count" (Client.version_count cl ~from:0 file));
+      (* Readable from any node: location independence. *)
+      check_bool "remote read" true
+        (Client.read_file cl ~from:2 file = Ok (str "hello eden")))
+
+let test_empty_file_has_no_current () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let file =
+        ok_or_fail "create"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"empty" ())
+      in
+      match Client.read_file cl ~from:0 file with
+      | Error (Error.User_error _) -> ()
+      | Ok _ -> Alcotest.fail "read an empty file"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+let test_duplicate_bind_rejected () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let _ =
+        ok_or_fail "first"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"x" ())
+      in
+      match Client.create_file cl ~from:0 ~dir:root ~name:"x" () with
+      | Error (Error.User_error _) -> ()
+      | Ok _ -> Alcotest.fail "duplicate bind accepted"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Versions *)
+
+let write_once cl ~from ~mode file content =
+  let t = Txn.begin_txn cl ~from ~mode in
+  (match Txn.write t file content with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %s" (Error.to_string e));
+  match Txn.commit t with
+  | Txn.Committed -> ()
+  | Txn.Conflict -> Alcotest.fail "unexpected conflict"
+  | Txn.Failed e -> Alcotest.failf "commit: %s" (Error.to_string e)
+
+let test_versions_accumulate () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let file =
+        ok_or_fail "create"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+             ~content:(str "v0") ())
+      in
+      write_once cl ~from:0 ~mode:Txn.Locking file (str "v1");
+      write_once cl ~from:0 ~mode:Txn.Optimistic file (str "v2");
+      check_int "three versions" 3
+        (ok_or_fail "count" (Client.version_count cl ~from:0 file));
+      check_bool "current is v2" true
+        (Client.read_file cl ~from:0 file = Ok (str "v2"));
+      (* Old versions remain readable: immutability. *)
+      check_bool "v0 intact" true
+        (Client.read_version_at cl ~from:0 file 0 = Ok (str "v0"));
+      check_bool "v1 intact" true
+        (Client.read_version_at cl ~from:0 file 1 = Ok (str "v1")))
+
+(* ------------------------------------------------------------------ *)
+(* Transactions: locking mode *)
+
+let test_locking_serialises_increments () =
+  (* N concurrent read-modify-write transactions must not lose any
+     update when using two-phase locking. *)
+  let n_txns = 6 in
+  let cl = Cluster.default ~n_nodes:3 () in
+  Schema.register cl;
+  let file_cap = ref None in
+  let done_count = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let f =
+          ok_or_fail "create"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"ctr"
+               ~content:(Value.Int 0) ())
+        in
+        file_cap := Some f;
+        for i = 0 to n_txns - 1 do
+          let from = i mod 3 in
+          ignore
+            (Cluster.in_process cl ~name:(Printf.sprintf "txn%d" i)
+               (fun () ->
+                 let t = Txn.begin_txn cl ~from ~mode:Txn.Locking in
+                 (match Txn.read_for_update t f with
+                 | Ok (Value.Int v) -> (
+                   ignore (Txn.write t f (Value.Int (v + 1)));
+                   match Txn.commit t with
+                   | Txn.Committed -> incr done_count
+                   | Txn.Conflict | Txn.Failed _ -> Txn.abort t)
+                 | Ok _ | Error _ -> Txn.abort t)))
+        done)
+  in
+  (try Cluster.run cl
+   with Engine.Stalled_waiting ->
+     let names =
+       List.map Engine.Pid.name
+         (Engine.blocked_processes (Cluster.engine cl))
+     in
+     Alcotest.failf "deadlock; blocked: %s" (String.concat ", " names));
+  let f = Option.get !file_cap in
+  let final = ref None in
+  let _ =
+    Cluster.in_process cl (fun () -> final := Some (Client.read_file cl ~from:0 f))
+  in
+  Cluster.run cl;
+  check_int "all committed" n_txns !done_count;
+  check_bool "no lost updates" true (!final = Some (Ok (Value.Int n_txns)))
+
+let test_lock_timeout_breaks_deadlock () =
+  (* Transaction A locks f1 then f2; B locks f2 then f1.  One of them
+     must time out and abort, the other commits. *)
+  let cl = Cluster.default ~n_nodes:2 () in
+  Schema.register cl;
+  Txn.lock_timeout_ms := 200;
+  let outcomes = ref [] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let f1 =
+          ok_or_fail "f1"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"f1"
+               ~content:(Value.Int 0) ())
+        in
+        let f2 =
+          ok_or_fail "f2"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"f2"
+               ~content:(Value.Int 0) ())
+        in
+        let run_txn first second tag think =
+          let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Locking in
+          match Txn.write t first (Value.Int 1) with
+          | Error _ ->
+            Txn.abort t;
+            outcomes := (tag, "first-lock-failed") :: !outcomes
+          | Ok () -> (
+            (* Give the other transaction time to take its first lock;
+               asymmetric think times keep the two lock timeouts from
+               expiring at the same instant (both would abort). *)
+            Engine.delay think;
+            match Txn.write t second (Value.Int 2) with
+            | Error _ ->
+              Txn.abort t;
+              outcomes := (tag, "aborted") :: !outcomes
+            | Ok () -> (
+              match Txn.commit t with
+              | Txn.Committed -> outcomes := (tag, "committed") :: !outcomes
+              | Txn.Conflict -> outcomes := (tag, "conflict") :: !outcomes
+              | Txn.Failed _ -> outcomes := (tag, "failed") :: !outcomes))
+        in
+        ignore
+          (Cluster.in_process cl (fun () -> run_txn f1 f2 "a" (Time.ms 10)));
+        ignore
+          (Cluster.in_process cl (fun () -> run_txn f2 f1 "b" (Time.ms 40))))
+  in
+  Cluster.run cl;
+  Txn.lock_timeout_ms := 2_000;
+  let tally what = List.length (List.filter (fun (_, o) -> o = what) !outcomes) in
+  check_int "two outcomes" 2 (List.length !outcomes);
+  check_int "exactly one aborted" 1 (tally "aborted");
+  check_int "exactly one committed" 1 (tally "committed")
+
+(* ------------------------------------------------------------------ *)
+(* Transactions: optimistic mode *)
+
+let test_optimistic_conflict_detected () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "create"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+             ~content:(Value.Int 10) ())
+      in
+      let t1 = Txn.begin_txn cl ~from:0 ~mode:Txn.Optimistic in
+      let t2 = Txn.begin_txn cl ~from:1 ~mode:Txn.Optimistic in
+      (match (Txn.read t1 f, Txn.read t2 f) with
+      | Ok (Value.Int 10), Ok (Value.Int 10) -> ()
+      | _ -> Alcotest.fail "reads failed");
+      ignore (Txn.write t1 f (Value.Int 11));
+      ignore (Txn.write t2 f (Value.Int 12));
+      (* First committer wins. *)
+      (match Txn.commit t1 with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "t1 should commit");
+      (match Txn.commit t2 with
+      | Txn.Conflict -> ()
+      | Txn.Committed -> Alcotest.fail "t2 must conflict"
+      | Txn.Failed e -> Alcotest.failf "t2 failed oddly: %s" (Error.to_string e));
+      check_bool "t1's write visible" true
+        (Client.read_file cl ~from:0 f = Ok (Value.Int 11)))
+
+let test_optimistic_read_validation () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let a =
+        ok_or_fail "a"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"a"
+             ~content:(Value.Int 1) ())
+      in
+      let b =
+        ok_or_fail "b"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"b"
+             ~content:(Value.Int 2) ())
+      in
+      (* T reads a, writes b; meanwhile a changes: T must conflict. *)
+      let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Optimistic in
+      (match Txn.read t a with
+      | Ok (Value.Int 1) -> ()
+      | _ -> Alcotest.fail "read failed");
+      write_once cl ~from:1 ~mode:Txn.Locking a (Value.Int 99);
+      ignore (Txn.write t b (Value.Int 3));
+      match Txn.commit t with
+      | Txn.Conflict -> ()
+      | Txn.Committed -> Alcotest.fail "stale read committed"
+      | Txn.Failed e -> Alcotest.failf "failed oddly: %s" (Error.to_string e))
+
+let test_optimistic_retry_converges () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Schema.register cl;
+  let n_txns = 5 in
+  let committed = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let f =
+          ok_or_fail "create"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"ctr"
+               ~content:(Value.Int 0) ())
+        in
+        for i = 0 to n_txns - 1 do
+          ignore
+            (Cluster.in_process cl (fun () ->
+                 let rec attempt tries =
+                   if tries > 20 then ()
+                   else begin
+                     let t =
+                       Txn.begin_txn cl ~from:(i mod 3) ~mode:Txn.Optimistic
+                     in
+                     match Txn.read t f with
+                     | Ok (Value.Int v) -> (
+                       ignore (Txn.write t f (Value.Int (v + 1)));
+                       match Txn.commit t with
+                       | Txn.Committed -> incr committed
+                       | Txn.Conflict -> attempt (tries + 1)
+                       | Txn.Failed _ -> attempt (tries + 1))
+                     | Ok _ | Error _ -> attempt (tries + 1)
+                   end
+                 in
+                 attempt 0))
+        done)
+  in
+  Cluster.run cl;
+  check_int "all eventually committed" n_txns !committed
+
+(* ------------------------------------------------------------------ *)
+(* Transactions: snapshot mode *)
+
+let test_snapshot_reads_never_abort () =
+  (* A transaction that read a file which subsequently changed still
+     commits its (disjoint) write under Snapshot; Optimistic aborts the
+     same history. *)
+  let run mode =
+    with_efs (fun cl ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let a =
+          ok_or_fail "a"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"a"
+               ~content:(Value.Int 1) ())
+        in
+        let b =
+          ok_or_fail "b"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"b"
+               ~content:(Value.Int 2) ())
+        in
+        let t = Txn.begin_txn cl ~from:0 ~mode in
+        (match Txn.read t a with
+        | Ok (Value.Int 1) -> ()
+        | _ -> Alcotest.fail "read failed");
+        (* Someone else updates [a] before we commit. *)
+        write_once cl ~from:1 ~mode:Txn.Locking a (Value.Int 99);
+        ignore (Txn.write t b (Value.Int 3));
+        Txn.commit t)
+  in
+  (match run Txn.Snapshot with
+  | Txn.Committed -> ()
+  | _ -> Alcotest.fail "snapshot should commit despite the stale read");
+  match run Txn.Optimistic with
+  | Txn.Conflict -> ()
+  | _ -> Alcotest.fail "optimistic must abort on the stale read"
+
+let test_snapshot_repeatable_reads () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "f"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+             ~content:(str "original") ())
+      in
+      let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Snapshot in
+      check_bool "first read" true (Txn.read t f = Ok (str "original"));
+      write_once cl ~from:1 ~mode:Txn.Locking f (str "changed");
+      (* The transaction keeps seeing its pinned version. *)
+      check_bool "repeatable" true (Txn.read t f = Ok (str "original"));
+      Txn.abort t;
+      (* Outside the transaction the new version is visible. *)
+      check_bool "new version outside" true
+        (Client.read_file cl ~from:0 f = Ok (str "changed")))
+
+let test_snapshot_first_committer_wins () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "f"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+             ~content:(Value.Int 0) ())
+      in
+      let t1 = Txn.begin_txn cl ~from:0 ~mode:Txn.Snapshot in
+      let t2 = Txn.begin_txn cl ~from:1 ~mode:Txn.Snapshot in
+      ignore (Txn.read t1 f);
+      ignore (Txn.read t2 f);
+      ignore (Txn.write t1 f (Value.Int 10));
+      ignore (Txn.write t2 f (Value.Int 20));
+      (match Txn.commit t1 with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "t1 commits");
+      match Txn.commit t2 with
+      | Txn.Conflict -> ()
+      | _ -> Alcotest.fail "t2 must lose the write-write race")
+
+let test_snapshot_admits_write_skew () =
+  (* The textbook anomaly: both transactions read {a,b}, each writes
+     the other file; snapshot isolation commits both. *)
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let a =
+        ok_or_fail "a"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"a"
+             ~content:(Value.Int 1) ())
+      in
+      let b =
+        ok_or_fail "b"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"b"
+             ~content:(Value.Int 1) ())
+      in
+      let t1 = Txn.begin_txn cl ~from:0 ~mode:Txn.Snapshot in
+      let t2 = Txn.begin_txn cl ~from:1 ~mode:Txn.Snapshot in
+      ignore (Txn.read t1 a);
+      ignore (Txn.read t1 b);
+      ignore (Txn.read t2 a);
+      ignore (Txn.read t2 b);
+      ignore (Txn.write t1 a (Value.Int 0));
+      ignore (Txn.write t2 b (Value.Int 0));
+      let r1 = Txn.commit t1 in
+      let r2 = Txn.commit t2 in
+      check_bool "both commit (write skew)" true
+        (r1 = Txn.Committed && r2 = Txn.Committed);
+      (* The same history under Optimistic: the second commit aborts
+         because its read of the other file went stale. *)
+      let t3 = Txn.begin_txn cl ~from:0 ~mode:Txn.Optimistic in
+      let t4 = Txn.begin_txn cl ~from:1 ~mode:Txn.Optimistic in
+      ignore (Txn.read t3 a);
+      ignore (Txn.read t3 b);
+      ignore (Txn.read t4 a);
+      ignore (Txn.read t4 b);
+      ignore (Txn.write t3 a (Value.Int 1));
+      ignore (Txn.write t4 b (Value.Int 1));
+      let r3 = Txn.commit t3 in
+      let r4 = Txn.commit t4 in
+      check_bool "optimistic forbids the skew" true
+        (r3 = Txn.Committed && r4 = Txn.Conflict))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-file atomicity *)
+
+let test_two_file_commit_atomic () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let a =
+        ok_or_fail "a"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"a"
+             ~content:(str "a0") ())
+      in
+      let b =
+        ok_or_fail "b"
+          (Client.create_file cl ~from:1 ~dir:root ~name:"b" ~node:1
+             ~content:(str "b0") ())
+      in
+      let t = Txn.begin_txn cl ~from:2 ~mode:Txn.Locking in
+      ignore (Txn.write t a (str "a1"));
+      ignore (Txn.write t b (str "b1"));
+      (match Txn.commit t with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "commit failed");
+      check_bool "a updated" true (Client.read_file cl ~from:2 a = Ok (str "a1"));
+      check_bool "b updated" true (Client.read_file cl ~from:2 b = Ok (str "b1")))
+
+let test_abort_discards () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "f"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+             ~content:(str "keep") ())
+      in
+      let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Locking in
+      ignore (Txn.write t f (str "discard"));
+      check_bool "txn sees its own write" true
+        (Txn.read t f = Ok (str "discard"));
+      Txn.abort t;
+      check_bool "abort discards" true
+        (Client.read_file cl ~from:0 f = Ok (str "keep"));
+      (* Locks released: another locking transaction proceeds. *)
+      write_once cl ~from:1 ~mode:Txn.Locking f (str "after");
+      check_bool "lock released" true
+        (Client.read_file cl ~from:0 f = Ok (str "after")))
+
+(* ------------------------------------------------------------------ *)
+(* Replication and durability *)
+
+let test_commit_with_replicas () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "f"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"shared"
+             ~content:(str "v0") ())
+      in
+      let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Locking in
+      ignore (Txn.write t f (str "v1"));
+      (match Txn.commit ~replicate_to:[ 1; 2 ] t with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "commit failed");
+      (* The new version object is replicated at nodes 1 and 2. *)
+      let vno_vcap =
+        match Cluster.invoke cl ~from:0 f ~op:"current" [] with
+        | Ok [ Value.Int _; Value.Cap vcap ] -> vcap
+        | _ -> Alcotest.fail "no current version"
+      in
+      Alcotest.(check (list int))
+        "replica sites" [ 1; 2 ]
+        (List.sort Int.compare (Cluster.replica_sites cl vno_vcap));
+      (* Reading the version body from node 2 uses the local replica. *)
+      let before = Cluster.stats_remote_invocations cl in
+      (match Cluster.invoke cl ~from:2 vno_vcap ~op:"read" [] with
+      | Ok [ Value.Str "v1" ] -> ()
+      | _ -> Alcotest.fail "replica read failed");
+      check_int "served locally" before (Cluster.stats_remote_invocations cl))
+
+let test_durable_commit_survives_crash () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Schema.register cl;
+  let caps = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let f =
+          ok_or_fail "f"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"f"
+               ~content:(str "v0") ())
+        in
+        let t = Txn.begin_txn cl ~from:0 ~mode:Txn.Locking in
+        ignore (Txn.write t f (str "precious"));
+        (match Txn.commit ~durable:true t with
+        | Txn.Committed -> ()
+        | _ -> Alcotest.fail "commit failed");
+        (* Version objects must be durable too for recovery to return
+           contents; checkpoint the current version object. *)
+        (match Cluster.invoke cl ~from:0 f ~op:"current" [] with
+        | Ok [ Value.Int _; Value.Cap vcap ] ->
+          ignore (ok_or_fail "ckpt version" (Cluster.checkpoint_of cl vcap))
+        | _ -> Alcotest.fail "no current");
+        caps := Some f)
+  in
+  Cluster.run cl;
+  let f = Option.get !caps in
+  Cluster.crash_node cl 0;
+  Cluster.restart_node cl 0;
+  let readback = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        readback := Some (Client.read_file cl ~from:1 f))
+  in
+  Cluster.run cl;
+  check_bool "file recovered from disk" true
+    (!readback = Some (Ok (str "precious")))
+
+(* ------------------------------------------------------------------ *)
+(* The file type's readers/writer lock, exercised directly through its
+   operations. *)
+
+let lock_file cl =
+  let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+  ok_or_fail "create"
+    (Client.create_file cl ~from:0 ~dir:root ~name:"locked"
+       ~content:(Value.Int 0) ())
+
+let lock_op cl ~from file op ms =
+  match Cluster.invoke cl ~from file ~op [ Value.Int ms ] with
+  | Ok [ Value.Bool b ] -> b
+  | Ok _ | Error _ -> Alcotest.failf "%s failed" op
+
+let unlock_op cl ~from file op =
+  ignore (ok_or_fail op (Cluster.invoke cl ~from file ~op []))
+
+let test_rwlock_readers_coexist () =
+  with_efs (fun cl ->
+      let f = lock_file cl in
+      check_bool "r1" true (lock_op cl ~from:0 f "lock_shared" 100);
+      check_bool "r2" true (lock_op cl ~from:1 f "lock_shared" 100);
+      check_bool "r3" true (lock_op cl ~from:2 f "lock_shared" 100);
+      (* A writer cannot enter while readers hold the lock. *)
+      check_bool "writer excluded" false
+        (lock_op cl ~from:0 f "lock_exclusive" 50);
+      unlock_op cl ~from:0 f "unlock_shared";
+      unlock_op cl ~from:1 f "unlock_shared";
+      check_bool "writer still excluded" false
+        (lock_op cl ~from:0 f "lock_exclusive" 50);
+      unlock_op cl ~from:2 f "unlock_shared";
+      (* Last reader gone: the writer gets in. *)
+      check_bool "writer enters" true
+        (lock_op cl ~from:0 f "lock_exclusive" 50);
+      unlock_op cl ~from:0 f "unlock_exclusive")
+
+let test_rwlock_writer_excludes_readers () =
+  with_efs (fun cl ->
+      let f = lock_file cl in
+      check_bool "writer" true (lock_op cl ~from:0 f "lock_exclusive" 100);
+      check_bool "reader excluded" false (lock_op cl ~from:1 f "lock_shared" 50);
+      unlock_op cl ~from:0 f "unlock_exclusive";
+      check_bool "reader enters after release" true
+        (lock_op cl ~from:1 f "lock_shared" 50);
+      unlock_op cl ~from:1 f "unlock_shared")
+
+let test_rwlock_blocked_writer_wakes () =
+  (* A writer waiting within its budget is granted the lock the moment
+     the last reader leaves, not at timeout. *)
+  with_efs (fun cl ->
+      let f = lock_file cl in
+      check_bool "reader in" true (lock_op cl ~from:0 f "lock_shared" 100);
+      let eng = Cluster.engine cl in
+      let writer_done = ref None in
+      ignore
+        (Cluster.in_process cl (fun () ->
+             let granted = lock_op cl ~from:1 f "lock_exclusive" 500 in
+             writer_done := Some (granted, Engine.now eng)));
+      Engine.delay (Time.ms 50);
+      let released_at = Engine.now eng in
+      unlock_op cl ~from:0 f "unlock_shared";
+      Engine.delay (Time.ms 100);
+      (match !writer_done with
+      | Some (true, at) ->
+        (* Granted promptly after the release, far before the 500ms
+           budget would expire. *)
+        check_bool "woken promptly" true
+          (Time.to_ns at - Time.to_ns released_at < 20_000_000)
+      | Some (false, _) -> Alcotest.fail "writer timed out despite release"
+      | None -> Alcotest.fail "writer still blocked");
+      unlock_op cl ~from:1 f "unlock_exclusive")
+
+let test_rwlock_crash_clears_locks () =
+  (* Locks are short-term state: after the object crashes and
+     reincarnates, old locks are gone (and so is the lock holder's
+     claim). *)
+  let cl = Cluster.default ~n_nodes:2 () in
+  Schema.register cl;
+  let f_ref = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let f = lock_file cl in
+        f_ref := Some f;
+        ignore (ok_or_fail "ckpt" (Cluster.checkpoint_of cl f));
+        check_bool "locked" true (lock_op cl ~from:1 f "lock_exclusive" 100))
+  in
+  Cluster.run cl;
+  let f = Option.get !f_ref in
+  Cluster.crash_node cl 0;
+  Cluster.restart_node cl 0;
+  let _ =
+    Cluster.in_process cl (fun () ->
+        (* The reincarnated object accepts a fresh exclusive lock
+           immediately: the crash wiped the old one. *)
+        check_bool "fresh lock granted" true
+          (lock_op cl ~from:1 f "lock_exclusive" 100))
+  in
+  Cluster.run cl
+
+let test_make_durable_survives_permanent_loss () =
+  (* Mirrored checksites: the file's home node is destroyed and never
+     comes back, yet the file and its history survive at a mirror. *)
+  let cl = Cluster.default ~n_nodes:4 () in
+  Schema.register cl;
+  let f_ref = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:1) in
+        let f =
+          ok_or_fail "create"
+            (Client.create_file cl ~from:0 ~dir:root ~name:"vital" ~node:0
+               ~content:(str "v0") ())
+        in
+        write_once cl ~from:0 ~mode:Txn.Locking f (str "v1");
+        ignore
+          (ok_or_fail "durable"
+             (Client.make_durable cl ~from:0 f ~mirrors:[ 2; 3 ]));
+        f_ref := Some f)
+  in
+  Cluster.run cl;
+  let f = Option.get !f_ref in
+  Alcotest.(check (list int)) "file mirrored" [ 2; 3 ]
+    (List.sort Int.compare (Cluster.checkpoint_sites cl f));
+  (* Node 0 dies for good. *)
+  Cluster.crash_node cl 0;
+  let outcome = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        outcome :=
+          Some
+            ( Client.read_file cl ~from:1 f,
+              Client.read_version_at cl ~from:1 f 0 ))
+  in
+  Cluster.run cl;
+  (match !outcome with
+  | Some (Ok (Value.Str "v1"), Ok (Value.Str "v0")) -> ()
+  | Some (a, b) ->
+    Alcotest.failf "lost data: current=%s v0=%s"
+      (match a with Ok _ -> "ok?" | Error e -> Error.to_string e)
+      (match b with Ok _ -> "ok?" | Error e -> Error.to_string e)
+  | None -> Alcotest.fail "driver did not run");
+  (* And it survives the loss of one MIRROR too.  Node 1 cached the
+     object's reincarnation site (node 2), so the first attempt times
+     out against the dead node — which clears the stale hint — and a
+     retry re-locates at the surviving mirror. *)
+  Cluster.crash_node cl 2;
+  let again = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        (match
+           Cluster.invoke cl ~from:1 ~timeout:(Time.ms 100) f ~op:"current" []
+         with
+        | Error Error.Timeout | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "unexpected first-attempt error: %s"
+            (Error.to_string e));
+        again := Some (Client.read_file cl ~from:1 f))
+  in
+  Cluster.run cl;
+  check_bool "still alive after losing a mirror" true
+    (!again = Some (Ok (str "v1")))
+
+let test_checkpoint_tree_full_recovery () =
+  (* Build a two-level tree, make it durable in one call, power-cycle
+     the whole cluster, and read everything back from disk. *)
+  let cl = Cluster.default ~n_nodes:3 () in
+  Schema.register cl;
+  let saved_root = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+        let sub =
+          ok_or_fail "mkdir"
+            (Client.mkdir cl ~from:0 ~dir:root ~name:"docs" ~node:1 ())
+        in
+        ignore
+          (ok_or_fail "f1"
+             (Client.create_file cl ~from:0 ~dir:root ~name:"top"
+                ~content:(str "top-contents") ()));
+        ignore
+          (ok_or_fail "f2"
+             (Client.create_file cl ~from:1 ~dir:sub ~name:"deep" ~node:2
+                ~content:(str "deep-contents") ()));
+        let n =
+          ok_or_fail "checkpoint tree"
+            (Client.checkpoint_tree cl ~from:0 ~root)
+        in
+        (* root + docs + 2 files + 2 versions *)
+        check_int "objects checkpointed" 6 n;
+        saved_root := Some root)
+  in
+  Cluster.run cl;
+  (* Power-cycle every node: all volatile state is gone. *)
+  for i = 0 to 2 do
+    Cluster.crash_node cl i
+  done;
+  for i = 0 to 2 do
+    Cluster.restart_node cl i
+  done;
+  let readback = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let root = Option.get !saved_root in
+        let top = Client.resolve cl ~from:2 ~root "top" in
+        let deep = Client.resolve cl ~from:2 ~root "docs/deep" in
+        match (top, deep) with
+        | Ok t, Ok d ->
+          readback :=
+            Some (Client.read_file cl ~from:2 t, Client.read_file cl ~from:2 d)
+        | _ -> ())
+  in
+  Cluster.run cl;
+  match !readback with
+  | Some (Ok (Value.Str "top-contents"), Ok (Value.Str "deep-contents")) -> ()
+  | Some (a, b) ->
+    Alcotest.failf "wrong recovery: %s / %s"
+      (match a with Ok _ -> "ok?" | Error e -> Error.to_string e)
+      (match b with Ok _ -> "ok?" | Error e -> Error.to_string e)
+  | None -> Alcotest.fail "resolution failed after recovery"
+
+(* ------------------------------------------------------------------ *)
+(* Deletion *)
+
+let test_delete_file () =
+  with_efs (fun cl ->
+      let root = ok_or_fail "root" (Client.make_root cl ~node:0) in
+      let f =
+        ok_or_fail "create"
+          (Client.create_file cl ~from:0 ~dir:root ~name:"doomed"
+             ~content:(str "v0") ())
+      in
+      write_once cl ~from:1 ~mode:Txn.Locking f (str "v1");
+      ignore
+        (ok_or_fail "delete"
+           (Client.delete_file cl ~from:0 ~dir:root ~name:"doomed"));
+      (* Unbound, and the object itself is gone. *)
+      (match Client.resolve cl ~from:0 ~root "doomed" with
+      | Error (Error.User_error _) -> ()
+      | Ok _ -> Alcotest.fail "still resolvable"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e));
+      Engine.delay (Time.ms 5);
+      (match Cluster.invoke cl ~from:1 f ~op:"current" [] with
+      | Error Error.No_such_object -> ()
+      | Ok _ -> Alcotest.fail "file object survived deletion"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e));
+      Alcotest.(check (list string)) "directory empty" []
+        (ok_or_fail "list" (Client.list_dir cl ~from:0 root)))
+
+(* A property crossing both CC modes: concurrent increment transactions
+   with retries never lose an update, whatever the mix of 2PL and
+   optimistic participants. *)
+let prop_txn_no_lost_updates =
+  QCheck.Test.make ~name:"mixed-mode increments never lose updates" ~count:10
+    QCheck.(pair (int_range 2 8) (int_range 0 1000))
+    (fun (n_txns, seed) ->
+      let cl = Cluster.default ~seed:(Int64.of_int (seed + 7)) ~n_nodes:3 () in
+      Schema.register cl;
+      let rng = Splitmix.create (Int64.of_int seed) in
+      let committed = ref 0 in
+      let file = ref None in
+      let _ =
+        Cluster.in_process cl (fun () ->
+            let root = Result.get_ok (Client.make_root cl ~node:0) in
+            let f =
+              Result.get_ok
+                (Client.create_file cl ~from:0 ~dir:root ~name:"ctr"
+                   ~content:(Value.Int 0) ())
+            in
+            file := Some f;
+            for i = 0 to n_txns - 1 do
+              let mode =
+                if Splitmix.bool rng then Txn.Locking else Txn.Optimistic
+              in
+              ignore
+                (Cluster.in_process cl (fun () ->
+                     let rec attempt k =
+                       if k > 25 then ()
+                       else begin
+                         let t = Txn.begin_txn cl ~from:(i mod 3) ~mode in
+                         let read =
+                           match mode with
+                           | Txn.Locking -> Txn.read_for_update t f
+                           | Txn.Optimistic | Txn.Snapshot -> Txn.read t f
+                         in
+                         match read with
+                         | Ok (Value.Int v) -> (
+                           ignore (Txn.write t f (Value.Int (v + 1)));
+                           match Txn.commit t with
+                           | Txn.Committed -> incr committed
+                           | Txn.Conflict | Txn.Failed _ ->
+                             Txn.abort t;
+                             attempt (k + 1))
+                         | Ok _ | Error _ ->
+                           Txn.abort t;
+                           attempt (k + 1)
+                       end
+                     in
+                     attempt 0))
+            done)
+      in
+      Cluster.run cl;
+      let final = ref None in
+      let _ =
+        Cluster.in_process cl (fun () ->
+            match !file with
+            | Some f -> final := Some (Client.read_file cl ~from:0 f)
+            | None -> ())
+      in
+      Cluster.run cl;
+      (* Every transaction eventually committed, and the file reflects
+         exactly the committed count: no update was lost. *)
+      !committed = n_txns
+      && !final = Some (Ok (Value.Int !committed)))
+
+let () =
+  Alcotest.run "eden_efs"
+    [
+      ( "naming",
+        [
+          Alcotest.test_case "mkdir + resolve" `Quick test_mkdir_and_resolve;
+          Alcotest.test_case "create + read" `Quick test_create_and_read_file;
+          Alcotest.test_case "empty file" `Quick test_empty_file_has_no_current;
+          Alcotest.test_case "duplicate bind" `Quick
+            test_duplicate_bind_rejected;
+        ] );
+      ( "versions",
+        [ Alcotest.test_case "accumulate" `Quick test_versions_accumulate ] );
+      ( "locking",
+        [
+          Alcotest.test_case "serialised increments" `Quick
+            test_locking_serialises_increments;
+          Alcotest.test_case "deadlock via timeout" `Quick
+            test_lock_timeout_breaks_deadlock;
+        ] );
+      ( "optimistic",
+        [
+          Alcotest.test_case "write conflict" `Quick
+            test_optimistic_conflict_detected;
+          Alcotest.test_case "read validation" `Quick
+            test_optimistic_read_validation;
+          Alcotest.test_case "retry converges" `Quick
+            test_optimistic_retry_converges;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "stale reads commit" `Quick
+            test_snapshot_reads_never_abort;
+          Alcotest.test_case "repeatable reads" `Quick
+            test_snapshot_repeatable_reads;
+          Alcotest.test_case "first committer wins" `Quick
+            test_snapshot_first_committer_wins;
+          Alcotest.test_case "admits write skew" `Quick
+            test_snapshot_admits_write_skew;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "two files" `Quick test_two_file_commit_atomic;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "replicated versions" `Quick
+            test_commit_with_replicas;
+          Alcotest.test_case "durable commit" `Quick
+            test_durable_commit_survives_crash;
+          Alcotest.test_case "checkpoint tree + full recovery" `Quick
+            test_checkpoint_tree_full_recovery;
+          Alcotest.test_case "make_durable survives permanent loss" `Quick
+            test_make_durable_survives_permanent_loss;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "readers coexist" `Quick
+            test_rwlock_readers_coexist;
+          Alcotest.test_case "writer excludes readers" `Quick
+            test_rwlock_writer_excludes_readers;
+          Alcotest.test_case "blocked writer wakes" `Quick
+            test_rwlock_blocked_writer_wakes;
+          Alcotest.test_case "crash clears locks" `Quick
+            test_rwlock_crash_clears_locks;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "delete file" `Quick test_delete_file;
+          QCheck_alcotest.to_alcotest prop_txn_no_lost_updates;
+        ] );
+    ]

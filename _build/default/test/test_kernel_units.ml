@@ -1,0 +1,347 @@
+(* Unit tests for the kernel's pure data modules: names, rights,
+   capabilities, values, errors, reliability levels, invocation-class
+   validation, type-manager construction, message sizing and the
+   handler-side Api helpers. *)
+
+open Eden_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Name *)
+
+let test_name_basics () =
+  let n = Name.make ~birth_node:3 ~serial:17 in
+  check_int "birth node" 3 (Name.birth_node n);
+  check_int "serial" 17 (Name.serial n);
+  check_string "printed" "obj<3.17>" (Name.to_string n);
+  check_bool "equal self" true (Name.equal n n);
+  check_bool "differs by serial" false
+    (Name.equal n (Name.make ~birth_node:3 ~serial:18));
+  check_bool "differs by node" false
+    (Name.equal n (Name.make ~birth_node:4 ~serial:17));
+  Alcotest.check_raises "negative" (Invalid_argument "Name.make: negative field")
+    (fun () -> ignore (Name.make ~birth_node:(-1) ~serial:0))
+
+let test_name_ordering_and_table () =
+  let a = Name.make ~birth_node:0 ~serial:5 in
+  let b = Name.make ~birth_node:1 ~serial:0 in
+  check_bool "node dominates" true (Name.compare a b < 0);
+  let tbl = Name.Table.create 4 in
+  Name.Table.replace tbl a "a";
+  Name.Table.replace tbl b "b";
+  Alcotest.(check (option string)) "lookup" (Some "a") (Name.Table.find_opt tbl a);
+  Name.Table.remove tbl a;
+  Alcotest.(check (option string)) "removed" None (Name.Table.find_opt tbl a)
+
+(* ------------------------------------------------------------------ *)
+(* Rights *)
+
+let test_rights_sets () =
+  let r = Rights.of_list [ Rights.Invoke; Rights.Aux 3; Rights.Kernel_move ] in
+  check_bool "has invoke" true (Rights.mem Rights.Invoke r);
+  check_bool "has aux3" true (Rights.mem (Rights.Aux 3) r);
+  check_bool "lacks aux4" false (Rights.mem (Rights.Aux 4) r);
+  check_bool "subset of all" true (Rights.subset r Rights.all);
+  check_bool "all not subset" false (Rights.subset Rights.all r);
+  check_bool "none subset of anything" true (Rights.subset Rights.none r);
+  let without = Rights.remove (Rights.Aux 3) r in
+  check_bool "removed" false (Rights.mem (Rights.Aux 3) without);
+  check_bool "others kept" true (Rights.mem Rights.Invoke without)
+
+let test_rights_algebra () =
+  let a = Rights.of_list [ Rights.Invoke; Rights.Aux 0 ] in
+  let b = Rights.of_list [ Rights.Aux 0; Rights.Kernel_grant ] in
+  let u = Rights.union a b and i = Rights.inter a b in
+  check_bool "union holds all three" true
+    (Rights.mem Rights.Invoke u
+    && Rights.mem (Rights.Aux 0) u
+    && Rights.mem Rights.Kernel_grant u);
+  check_bool "intersection is aux0 only" true
+    (Rights.equal i (Rights.of_list [ Rights.Aux 0 ]));
+  check_int "roundtrip via to_list" 3 (List.length (Rights.to_list u));
+  Alcotest.check_raises "aux out of range"
+    (Invalid_argument "Rights: Aux index out of range") (fun () ->
+      ignore (Rights.of_list [ Rights.Aux 12 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Capability *)
+
+let test_capability_restrict () =
+  let name = Name.make ~birth_node:0 ~serial:1 in
+  let full = Capability.make name Rights.all in
+  let weak = Capability.restrict full Rights.invoke_only in
+  check_bool "same object" true (Capability.same_object full weak);
+  check_bool "not equal" false (Capability.equal full weak);
+  check_bool "weak permits invoke" true
+    (Capability.permits weak Rights.invoke_only);
+  check_bool "weak lacks move" false
+    (Capability.permits weak (Rights.of_list [ Rights.Kernel_move ]));
+  (* Restriction can only shrink: restricting the weak cap by ALL
+     rights yields the weak cap again. *)
+  check_bool "cannot amplify" true
+    (Capability.equal weak (Capability.restrict weak Rights.all))
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_sizes () =
+  check_int "unit" 1 (Value.size_bytes Value.Unit);
+  check_int "int" 8 (Value.size_bytes (Value.Int 5));
+  check_int "str" (4 + 5) (Value.size_bytes (Value.Str "hello"));
+  check_int "cap" 16
+    (Value.size_bytes
+       (Value.Cap (Capability.make (Name.make ~birth_node:0 ~serial:0) Rights.none)));
+  check_int "blob" 1024 (Value.size_bytes (Value.Blob 1024));
+  check_int "pair" (2 + 8 + 1)
+    (Value.size_bytes (Value.Pair (Value.Int 0, Value.Unit)));
+  check_int "list framing" (4 + 8 + 8)
+    (Value.size_bytes (Value.List [ Value.Int 1; Value.Int 2 ]));
+  check_int "list_size_bytes" 16
+    (Value.list_size_bytes [ Value.Int 1; Value.Int 2 ])
+
+let test_value_accessors () =
+  check_bool "to_int ok" true (Value.to_int (Value.Int 3) = Ok 3);
+  check_bool "to_int err" true (Result.is_error (Value.to_int Value.Unit));
+  check_bool "to_str ok" true (Value.to_str (Value.Str "x") = Ok "x");
+  check_bool "to_bool ok" true (Value.to_bool (Value.Bool true) = Ok true);
+  check_bool "to_pair ok" true
+    (Value.to_pair (Value.Pair (Value.Int 1, Value.Int 2))
+    = Ok (Value.Int 1, Value.Int 2));
+  check_bool "to_list ok" true (Value.to_list (Value.List []) = Ok [])
+
+let test_value_caps_extraction () =
+  let cap i =
+    Capability.make (Name.make ~birth_node:0 ~serial:i) Rights.all
+  in
+  let v =
+    Value.List
+      [
+        Value.Cap (cap 1);
+        Value.Pair (Value.Str "x", Value.Cap (cap 2));
+        Value.Int 9;
+        Value.List [ Value.Cap (cap 3) ];
+      ]
+  in
+  check_int "three caps found" 3 (List.length (Value.caps v));
+  check_int "none in plain data" 0 (List.length (Value.caps (Value.Str "s")))
+
+let test_value_equal_and_pp () =
+  let v = Value.Pair (Value.Str "k", Value.List [ Value.Int 1; Value.Bool false ]) in
+  check_bool "structural equal" true (Value.equal v v);
+  check_bool "unequal" false (Value.equal v Value.Unit);
+  check_string "printed" "(\"k\", [1; false])"
+    (Format.asprintf "%a" Value.pp v)
+
+(* ------------------------------------------------------------------ *)
+(* Error *)
+
+let test_error_equal_and_strings () =
+  check_bool "same" true (Error.equal Error.Timeout Error.Timeout);
+  check_bool "payload matters" false
+    (Error.equal (Error.User_error "a") (Error.User_error "b"));
+  check_bool "different constructors" false
+    (Error.equal Error.Timeout Error.No_such_object);
+  check_string "timeout" "timeout" (Error.to_string Error.Timeout);
+  check_string "rights" "insufficient rights for \"put\""
+    (Error.to_string (Error.Rights_violation "put"))
+
+(* ------------------------------------------------------------------ *)
+(* Reliability *)
+
+let test_reliability_validate () =
+  let ok r = Reliability.validate r ~node_count:4 = Ok () in
+  check_bool "local" true (ok Reliability.Local);
+  check_bool "remote in range" true (ok (Reliability.Remote 3));
+  check_bool "remote out of range" false (ok (Reliability.Remote 4));
+  check_bool "mirrored" true (ok (Reliability.Mirrored [ 0; 2 ]));
+  check_bool "mirrored empty" false (ok (Reliability.Mirrored []));
+  check_bool "mirrored dup" false (ok (Reliability.Mirrored [ 1; 1 ]))
+
+let test_reliability_checksites () =
+  Alcotest.(check (list int)) "local is home" [ 2 ]
+    (Reliability.checksites Reliability.Local ~home:2);
+  Alcotest.(check (list int)) "remote" [ 0 ]
+    (Reliability.checksites (Reliability.Remote 0) ~home:2);
+  Alcotest.(check (list int)) "mirrored verbatim" [ 1; 3 ]
+    (Reliability.checksites (Reliability.Mirrored [ 1; 3 ]) ~home:2)
+
+(* ------------------------------------------------------------------ *)
+(* Opclass *)
+
+let test_opclass_validate () =
+  let ops = [ "a"; "b"; "c" ] in
+  let ok specs = Opclass.validate specs ~operations:ops = Ok () in
+  check_bool "singletons valid" true
+    (ok (Opclass.singleton_classes ~operations:ops ~limit:1));
+  check_bool "one class valid" true
+    (ok (Opclass.one_class ~name:"all" ~operations:ops ~limit:4));
+  check_bool "missing op" false
+    (ok [ { Opclass.class_name = "x"; operations = [ "a"; "b" ]; limit = 1 } ]);
+  check_bool "unknown op" false
+    (ok [ { Opclass.class_name = "x"; operations = [ "a"; "b"; "c"; "d" ]; limit = 1 } ]);
+  check_bool "duplicate across classes" false
+    (ok
+       [
+         { Opclass.class_name = "x"; operations = [ "a"; "b" ]; limit = 1 };
+         { Opclass.class_name = "y"; operations = [ "b"; "c" ]; limit = 1 };
+       ]);
+  check_bool "zero limit" false
+    (ok [ { Opclass.class_name = "x"; operations = ops; limit = 0 } ]);
+  check_bool "duplicate class names" false
+    (ok
+       [
+         { Opclass.class_name = "x"; operations = [ "a" ]; limit = 1 };
+         { Opclass.class_name = "x"; operations = [ "b"; "c" ]; limit = 1 };
+       ])
+
+let test_opclass_class_of () =
+  let specs =
+    [
+      { Opclass.class_name = "rw"; operations = [ "get"; "put" ]; limit = 2 };
+      { Opclass.class_name = "admin"; operations = [ "reset" ]; limit = 1 };
+    ]
+  in
+  check_string "found" "rw" (Opclass.class_of specs ~op:"put").Opclass.class_name;
+  Alcotest.check_raises "unclassified"
+    (Invalid_argument "Opclass.class_of: \"gone\" unclassified") (fun () ->
+      ignore (Opclass.class_of specs ~op:"gone"))
+
+(* ------------------------------------------------------------------ *)
+(* Typemgr *)
+
+let noop_handler _ctx _args = Api.reply_unit
+
+let test_typemgr_validation () =
+  let op name = Typemgr.operation name noop_handler in
+  (match Typemgr.make ~name:"" [ op "x" ] with
+  | Error "type name is empty" -> ()
+  | _ -> Alcotest.fail "empty name accepted");
+  (match Typemgr.make ~name:"t" [] with
+  | Error "type has no operations" -> ()
+  | _ -> Alcotest.fail "empty ops accepted");
+  (match Typemgr.make ~name:"t" [ op "x"; op "x" ] with
+  | Error "duplicate operation names" -> ()
+  | _ -> Alcotest.fail "duplicates accepted");
+  match Typemgr.make ~name:"t" [ op "x" ] with
+  | Ok tm ->
+    check_string "name" "t" (Typemgr.name tm);
+    check_bool "find" true (Typemgr.find_operation tm "x" <> None);
+    check_bool "missing" true (Typemgr.find_operation tm "y" = None);
+    (* Default classes: one singleton per op with limit 1. *)
+    check_int "default classes" 1 (List.length (Typemgr.classes tm))
+  | Error e -> Alcotest.failf "valid type refused: %s" e
+
+let test_typemgr_operation_defaults () =
+  let op = Typemgr.operation "op" noop_handler in
+  check_bool "invoke required by default" true
+    (Rights.mem Rights.Invoke op.Typemgr.required_rights);
+  check_bool "mutates by default" true op.Typemgr.mutates;
+  let ro = Typemgr.operation ~mutates:false ~required:[ Rights.Aux 1 ] "r" noop_handler in
+  check_bool "aux added" true (Rights.mem (Rights.Aux 1) ro.Typemgr.required_rights);
+  check_bool "invoke still required" true
+    (Rights.mem Rights.Invoke ro.Typemgr.required_rights);
+  check_bool "read only" false ro.Typemgr.mutates
+
+(* ------------------------------------------------------------------ *)
+(* Message *)
+
+let test_message_sizes_scale () =
+  let name = Name.make ~birth_node:0 ~serial:0 in
+  let req args =
+    Message.Inv_request
+      {
+        inv_id = { Message.origin = 0; seq = 1 };
+        target = name;
+        op = "put";
+        args;
+        presented = Rights.all;
+        reply_to = 0;
+        hops = 0;
+        may_activate = false;
+      }
+  in
+  let small = Message.size_bytes (req []) in
+  let big = Message.size_bytes (req [ Value.Blob 10_000 ]) in
+  check_bool "payload dominates" true (big >= small + 10_000);
+  let reply =
+    Message.Inv_reply
+      { inv_id = { Message.origin = 0; seq = 1 }; result = Ok [ Value.Blob 500 ] }
+  in
+  check_bool "reply carries payload" true (Message.size_bytes reply >= 500);
+  check_bool "describe mentions op" true
+    (let d = Message.describe (req []) in
+     String.length d > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Api helpers *)
+
+let test_api_arg_helpers () =
+  check_bool "arg1 ok" true (Api.arg1 [ Value.Int 1 ] = Ok (Value.Int 1));
+  check_bool "arg1 arity" true (Result.is_error (Api.arg1 []));
+  check_bool "arg2 ok" true
+    (Api.arg2 [ Value.Int 1; Value.Int 2 ] = Ok (Value.Int 1, Value.Int 2));
+  check_bool "arg3 ok" true
+    (Api.arg3 [ Value.Int 1; Value.Int 2; Value.Int 3 ]
+    = Ok (Value.Int 1, Value.Int 2, Value.Int 3));
+  check_bool "no_args ok" true (Api.no_args [] = Ok ());
+  check_bool "no_args arity" true (Result.is_error (Api.no_args [ Value.Unit ]));
+  (match Api.int_arg (Value.Str "x") with
+  | Error (Error.Bad_arguments _) -> ()
+  | _ -> Alcotest.fail "int_arg should lift conversion errors");
+  check_bool "reply" true (Api.reply [ Value.Int 1 ] = Ok [ Value.Int 1 ]);
+  check_bool "reply_unit" true (Api.reply_unit = Ok []);
+  (match Api.user_error "boom" with
+  | Error (Error.User_error "boom") -> ()
+  | _ -> Alcotest.fail "user_error shape")
+
+let () =
+  Alcotest.run "eden_kernel_units"
+    [
+      ( "name",
+        [
+          Alcotest.test_case "basics" `Quick test_name_basics;
+          Alcotest.test_case "ordering + table" `Quick
+            test_name_ordering_and_table;
+        ] );
+      ( "rights",
+        [
+          Alcotest.test_case "sets" `Quick test_rights_sets;
+          Alcotest.test_case "algebra" `Quick test_rights_algebra;
+        ] );
+      ( "capability",
+        [ Alcotest.test_case "restrict" `Quick test_capability_restrict ] );
+      ( "value",
+        [
+          Alcotest.test_case "sizes" `Quick test_value_sizes;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "caps extraction" `Quick
+            test_value_caps_extraction;
+          Alcotest.test_case "equal + pp" `Quick test_value_equal_and_pp;
+        ] );
+      ( "error",
+        [ Alcotest.test_case "equality + strings" `Quick test_error_equal_and_strings ]
+      );
+      ( "reliability",
+        [
+          Alcotest.test_case "validate" `Quick test_reliability_validate;
+          Alcotest.test_case "checksites" `Quick test_reliability_checksites;
+        ] );
+      ( "opclass",
+        [
+          Alcotest.test_case "validate" `Quick test_opclass_validate;
+          Alcotest.test_case "class_of" `Quick test_opclass_class_of;
+        ] );
+      ( "typemgr",
+        [
+          Alcotest.test_case "validation" `Quick test_typemgr_validation;
+          Alcotest.test_case "operation defaults" `Quick
+            test_typemgr_operation_defaults;
+        ] );
+      ( "message",
+        [ Alcotest.test_case "sizes" `Quick test_message_sizes_scale ] );
+      ( "api",
+        [ Alcotest.test_case "helpers" `Quick test_api_arg_helpers ] );
+    ]

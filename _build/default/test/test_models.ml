@@ -1,0 +1,245 @@
+(* Model-based property tests: Eden objects compared step-by-step
+   against reference implementations from the standard library.  A
+   divergence at any step fails the property, so these catch subtle
+   ordering or aliasing bugs in the type implementations that
+   example-based tests miss. *)
+
+open Eden_kernel
+open Eden_typesys
+
+let drive cl body =
+  let out = ref None in
+  let _ = Cluster.in_process cl (fun () -> out := Some (body ())) in
+  Cluster.run cl;
+  match !out with
+  | Some r -> r
+  | None -> QCheck.Test.fail_report "driver did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* EFS directories vs Map *)
+
+module SM = Map.Make (String)
+
+let prop_directory_matches_map =
+  QCheck.Test.make ~name:"efs directory behaves like a string map" ~count:25
+    QCheck.(pair (int_range 0 1000) (list (pair (int_range 0 5) (int_range 0 7))))
+    (fun (seed, script) ->
+      let cl = Cluster.default ~seed:(Int64.of_int (seed + 3)) ~n_nodes:2 () in
+      Eden_efs.Schema.register cl;
+      drive cl (fun () ->
+          let dir =
+            Result.get_ok (Eden_efs.Client.make_root cl ~node:0)
+          in
+          (* A pool of capabilities to bind (plain files). *)
+          let payload =
+            Result.get_ok
+              (Cluster.create_object cl ~node:0 ~type_name:"efs_file"
+                 Eden_efs.Schema.empty_file_repr)
+          in
+          let model = ref SM.empty in
+          let names = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+          let ok = ref true in
+          let step (op, name_idx) =
+            let name = names.(name_idx mod Array.length names) in
+            match op mod 4 with
+            | 0 -> (
+              (* bind: must succeed iff absent in the model *)
+              let expected = not (SM.mem name !model) in
+              match
+                Cluster.invoke cl ~from:0 dir ~op:"bind"
+                  [ Value.Str name; Value.Cap payload ]
+              with
+              | Ok _ ->
+                if expected then model := SM.add name () !model
+                else ok := false
+              | Error (Error.User_error _) -> if expected then ok := false
+              | Error _ -> ok := false)
+            | 1 -> (
+              (* unbind: succeeds iff present *)
+              let expected = SM.mem name !model in
+              match
+                Cluster.invoke cl ~from:0 dir ~op:"unbind" [ Value.Str name ]
+              with
+              | Ok _ ->
+                if expected then model := SM.remove name !model
+                else ok := false
+              | Error (Error.User_error _) -> if expected then ok := false
+              | Error _ -> ok := false)
+            | 2 -> (
+              (* lookup mirrors membership *)
+              match
+                Cluster.invoke cl ~from:0 dir ~op:"lookup" [ Value.Str name ]
+              with
+              | Ok [ Value.Cap _ ] -> if not (SM.mem name !model) then ok := false
+              | Error (Error.User_error _) ->
+                if SM.mem name !model then ok := false
+              | Ok _ | Error _ -> ok := false)
+            | _ -> (
+              (* listing equals the model's domain *)
+              match Cluster.invoke cl ~from:0 dir ~op:"list" [] with
+              | Ok [ Value.List vs ] ->
+                let listed =
+                  List.filter_map
+                    (fun v -> match v with Value.Str s -> Some s | _ -> None)
+                    vs
+                  |> List.sort String.compare
+                in
+                let expected = SM.bindings !model |> List.map fst in
+                if listed <> expected then ok := false
+              | Ok _ | Error _ -> ok := false)
+          in
+          List.iter step script;
+          !ok))
+
+(* ------------------------------------------------------------------ *)
+(* KV template vs Hashtbl *)
+
+let prop_kv_matches_hashtbl =
+  QCheck.Test.make ~name:"kv template behaves like a hashtable" ~count:25
+    QCheck.(
+      pair (int_range 0 1000)
+        (list (triple (int_range 0 5) (int_range 0 4) small_int)))
+    (fun (seed, script) ->
+      let cl = Cluster.default ~seed:(Int64.of_int (seed + 5)) ~n_nodes:2 () in
+      Cluster.register_type cl (Templates.kv_type ~name:"mkv");
+      drive cl (fun () ->
+          let kv =
+            Result.get_ok
+              (Cluster.create_object cl ~node:0 ~type_name:"mkv"
+                 (Value.List []))
+          in
+          let model : (string, int) Hashtbl.t = Hashtbl.create 8 in
+          let keys = [| "k0"; "k1"; "k2"; "k3"; "k4" |] in
+          let ok = ref true in
+          let step (op, key_idx, v) =
+            let k = keys.(key_idx mod Array.length keys) in
+            match op mod 4 with
+            | 0 ->
+              (match
+                 Cluster.invoke cl ~from:0 kv ~op:"put"
+                   [ Value.Str k; Value.Int v ]
+               with
+              | Ok _ -> Hashtbl.replace model k v
+              | Error _ -> ok := false)
+            | 1 -> (
+              match Cluster.invoke cl ~from:0 kv ~op:"get" [ Value.Str k ] with
+              | Ok [ Value.Int got ] -> (
+                match Hashtbl.find_opt model k with
+                | Some expected -> if got <> expected then ok := false
+                | None -> ok := false)
+              | Error (Error.User_error _) ->
+                if Hashtbl.mem model k then ok := false
+              | Ok _ | Error _ -> ok := false)
+            | 2 ->
+              (match
+                 Cluster.invoke cl ~from:0 kv ~op:"delete" [ Value.Str k ]
+               with
+              | Ok _ -> Hashtbl.remove model k
+              | Error _ -> ok := false)
+            | _ -> (
+              match Cluster.invoke cl ~from:0 kv ~op:"size" [] with
+              | Ok [ Value.Int n ] ->
+                if n <> Hashtbl.length model then ok := false
+              | Ok _ | Error _ -> ok := false)
+          in
+          List.iter step script;
+          !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Queue template vs Stdlib.Queue *)
+
+let prop_queue_matches_queue =
+  QCheck.Test.make ~name:"queue template behaves like Queue" ~count:25
+    QCheck.(pair (int_range 0 1000) (list (pair bool small_int)))
+    (fun (seed, script) ->
+      let cl = Cluster.default ~seed:(Int64.of_int (seed + 9)) ~n_nodes:2 () in
+      Cluster.register_type cl (Templates.queue_type ~name:"mq");
+      drive cl (fun () ->
+          let q =
+            Result.get_ok
+              (Cluster.create_object cl ~node:0 ~type_name:"mq"
+                 (Value.List []))
+          in
+          let model : int Queue.t = Queue.create () in
+          let ok = ref true in
+          let step (is_push, v) =
+            if is_push then (
+              match
+                Cluster.invoke cl ~from:0 q ~op:"enqueue" [ Value.Int v ]
+              with
+              | Ok _ -> Queue.push v model
+              | Error _ -> ok := false)
+            else
+              match Cluster.invoke cl ~from:0 q ~op:"dequeue" [] with
+              | Ok [ Value.Int got ] -> (
+                match Queue.take_opt model with
+                | Some expected -> if got <> expected then ok := false
+                | None -> ok := false)
+              | Error (Error.User_error _) ->
+                if not (Queue.is_empty model) then ok := false
+              | Ok _ | Error _ -> ok := false
+          in
+          List.iter step script;
+          (* Final length agrees too. *)
+          (match Cluster.invoke cl ~from:0 q ~op:"length" [] with
+          | Ok [ Value.Int n ] -> if n <> Queue.length model then ok := false
+          | Ok _ | Error _ -> ok := false);
+          !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Value sizes are consistent and positive *)
+
+let rec value_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        return Value.Unit;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_int;
+        map (fun s -> Value.Str s) (string_size (int_range 0 20));
+        map (fun n -> Value.Blob n) (int_range 0 1000);
+      ]
+  else
+    frequency
+      [
+        (2, value_gen 0);
+        ( 1,
+          map
+            (fun vs -> Value.List vs)
+            (list_size (int_range 0 4) (value_gen (depth - 1))) );
+        ( 1,
+          map2
+            (fun a b -> Value.Pair (a, b))
+            (value_gen (depth - 1))
+            (value_gen (depth - 1)) );
+      ]
+
+let prop_value_size_superadditive =
+  QCheck.Test.make ~name:"container size covers parts" ~count:200
+    (QCheck.make (value_gen 3))
+    (fun v ->
+      let s = Value.size_bytes v in
+      s >= 0
+      &&
+      match v with
+      | Value.List vs ->
+        s >= List.fold_left (fun a x -> a + Value.size_bytes x) 0 vs
+      | Value.Pair (a, b) -> s >= Value.size_bytes a + Value.size_bytes b
+      | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Cap _
+      | Value.Blob _ ->
+        true)
+
+let () =
+
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "eden_models"
+    [
+      ( "model-based",
+        [
+          qt prop_directory_matches_map;
+          qt prop_kv_matches_hashtbl;
+          qt prop_queue_matches_queue;
+          qt prop_value_size_superadditive;
+        ] );
+    ]

@@ -1,0 +1,480 @@
+(* Tests for the CSMA/CD LAN model. *)
+
+open Eden_util
+open Eden_sim
+open Eden_net
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let quiet_params = Params.default
+
+(* A LAN with [n] stations; returns the lan and the stations. *)
+let make_lan ?(params = quiet_params) ?(n = 2) eng =
+  let lan = Lan.create ~params eng in
+  let sts =
+    Array.init n (fun i -> Lan.attach lan ~name:(Printf.sprintf "s%d" i))
+  in
+  (lan, sts)
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_frame_time () =
+  (* 100-byte payload -> 126 bytes on the wire -> 100.8 us at 10 Mb/s. *)
+  check_int "100B payload" 100_800
+    (Time.to_ns (Params.frame_time Params.default ~payload_bytes:100));
+  (* Sub-minimum payloads are padded to 64 bytes -> 90 bytes on wire. *)
+  check_int "padding" 72_000
+    (Time.to_ns (Params.frame_time Params.default ~payload_bytes:1));
+  check_int "zero padded too" 72_000
+    (Time.to_ns (Params.frame_time Params.default ~payload_bytes:0))
+
+let test_frame_time_invalid () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Params.frame_time: negative payload") (fun () ->
+      ignore (Params.frame_time Params.default ~payload_bytes:(-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Params.frame_time: payload exceeds max_frame_bytes")
+    (fun () -> ignore (Params.frame_time Params.default ~payload_bytes:9_999))
+
+let test_params_validate () =
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Params: bandwidth must be positive") (fun () ->
+      Params.validate { Params.default with Params.bandwidth_bps = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Point-to-point delivery *)
+
+let test_unloaded_latency () =
+  let eng = Engine.create () in
+  let lan, sts = make_lan eng in
+  let arrived = ref Time.zero in
+  Lan.on_receive sts.(1) (fun _ -> arrived := Engine.now eng);
+  Lan.send sts.(0) ~dest:(Lan.Unicast 1) ~bytes:100 "hello";
+  Engine.run eng;
+  (* frame_time (100.8us) + propagation (5us) *)
+  check_int "delivery time" 105_800 (Time.to_ns !arrived);
+  let c = Lan.counters lan in
+  check_int "sent" 1 c.Lan.frames_sent;
+  check_int "delivered" 1 c.Lan.frames_delivered;
+  check_int "no collisions" 0 c.Lan.collision_events;
+  check_int "payload bytes" 100 c.Lan.payload_bytes_delivered
+
+let test_payload_carried () =
+  let eng = Engine.create () in
+  let _, sts = make_lan eng in
+  let got = ref None in
+  Lan.on_receive sts.(1) (fun f -> got := Some f.Lan.payload);
+  Lan.send sts.(0) ~dest:(Lan.Unicast 1) ~bytes:64 "payload-42";
+  Engine.run eng;
+  Alcotest.(check (option string)) "payload" (Some "payload-42") !got
+
+let test_queued_frames_in_order () =
+  let eng = Engine.create () in
+  let _, sts = make_lan eng in
+  let got = ref [] in
+  Lan.on_receive sts.(1) (fun f -> got := f.Lan.payload :: !got);
+  for i = 1 to 5 do
+    Lan.send sts.(0) ~dest:(Lan.Unicast 1) ~bytes:64 i
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_broadcast () =
+  let eng = Engine.create () in
+  let _, sts = make_lan ~n:4 eng in
+  let seen = Array.make 4 0 in
+  Array.iter
+    (fun st ->
+      Lan.on_receive st (fun _ ->
+          seen.(Lan.address st) <- seen.(Lan.address st) + 1))
+    sts;
+  Lan.send sts.(0) ~dest:Lan.Broadcast ~bytes:64 ();
+  Engine.run eng;
+  Alcotest.(check (array int)) "all but sender" [| 0; 1; 1; 1 |] seen
+
+let test_send_validation () =
+  let eng = Engine.create () in
+  let _, sts = make_lan eng in
+  Alcotest.check_raises "self" (Invalid_argument "Lan.send: destination is self")
+    (fun () -> Lan.send sts.(0) ~dest:(Lan.Unicast 0) ~bytes:10 ());
+  Alcotest.check_raises "no such" (Invalid_argument "Lan.send: no such station")
+    (fun () -> Lan.send sts.(0) ~dest:(Lan.Unicast 9) ~bytes:10 ());
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Lan.send: payload size out of range") (fun () ->
+      Lan.send sts.(0) ~dest:(Lan.Unicast 1) ~bytes:100_000 ())
+
+(* ------------------------------------------------------------------ *)
+(* Contention *)
+
+let test_collision_then_recovery () =
+  let eng = Engine.create ~seed:7L () in
+  let lan, sts = make_lan ~n:3 eng in
+  let delivered = ref 0 in
+  Lan.on_receive sts.(2) (fun _ -> incr delivered);
+  (* Two stations transmit at the same instant: they must collide, back
+     off, and both frames must still arrive. *)
+  Lan.send sts.(0) ~dest:(Lan.Unicast 2) ~bytes:200 "a";
+  Lan.send sts.(1) ~dest:(Lan.Unicast 2) ~bytes:200 "b";
+  Engine.run eng;
+  let c = Lan.counters lan in
+  check_bool "collision happened" true (c.Lan.collision_events >= 1);
+  check_int "both delivered" 2 !delivered;
+  check_int "none dropped" 0 c.Lan.frames_dropped
+
+let test_drop_after_max_attempts () =
+  (* With max_attempts = 1, the first collision is fatal for both. *)
+  let params = { Params.default with Params.max_attempts = 1 } in
+  let eng = Engine.create () in
+  let lan, sts = make_lan ~params ~n:3 eng in
+  let delivered = ref 0 in
+  Lan.on_receive sts.(2) (fun _ -> incr delivered);
+  Lan.send sts.(0) ~dest:(Lan.Unicast 2) ~bytes:64 ();
+  Lan.send sts.(1) ~dest:(Lan.Unicast 2) ~bytes:64 ();
+  Engine.run eng;
+  let c = Lan.counters lan in
+  check_int "both dropped" 2 c.Lan.frames_dropped;
+  check_int "none delivered" 0 !delivered
+
+let test_carrier_sense_defers () =
+  (* A station that starts while the medium is busy waits; no collision
+     occurs and both frames arrive back to back. *)
+  let eng = Engine.create () in
+  let lan, sts = make_lan ~n:3 eng in
+  let arrivals = ref [] in
+  Lan.on_receive sts.(2) (fun f ->
+      arrivals := (f.Lan.payload, Engine.now eng) :: !arrivals);
+  Lan.send sts.(0) ~dest:(Lan.Unicast 2) ~bytes:1_000 "long";
+  (* 1000B -> 1026B on wire -> 820.8us. Start the second frame mid-way. *)
+  Engine.schedule eng ~after:(Time.us 400) (fun () ->
+      Lan.send sts.(1) ~dest:(Lan.Unicast 2) ~bytes:64 "short");
+  Engine.run eng;
+  let c = Lan.counters lan in
+  check_int "no collisions" 0 c.Lan.collision_events;
+  match List.rev !arrivals with
+  | [ ("long", t1); ("short", t2) ] ->
+    check_int "long first" 825_800 (Time.to_ns t1);
+    (* short starts when the medium goes idle at 820.8us, takes 72us. *)
+    check_int "short after" (820_800 + 72_000 + 5_000) (Time.to_ns t2)
+  | other ->
+    Alcotest.failf "unexpected arrivals: %d" (List.length other)
+
+let test_determinism () =
+  let run_once () =
+    let eng = Engine.create ~seed:99L () in
+    let lan, sts = make_lan ~n:5 eng in
+    let rng = Splitmix.create 5L in
+    Array.iter (fun st -> Lan.on_receive st (fun _ -> ())) sts;
+    for i = 0 to 199 do
+      let src = i mod 5 in
+      let dst = (src + 1 + Splitmix.int rng 4) mod 5 in
+      Engine.schedule eng ~after:(Time.us (Splitmix.int rng 20_000)) (fun () ->
+          Lan.send sts.(src) ~dest:(Lan.Unicast dst) ~bytes:200 ())
+    done;
+    Engine.run eng;
+    let c = Lan.counters lan in
+    (c.Lan.frames_delivered, c.Lan.collision_events, c.Lan.backoffs,
+     Time.to_ns (Engine.now eng))
+  in
+  let a = run_once () and b = run_once () in
+  check_bool "identical runs" true (a = b)
+
+let test_saturation_throughput () =
+  (* Offered load far above capacity: utilisation must stay below 1.0
+     but above 0.5, and collisions must occur. *)
+  let eng = Engine.create ~seed:3L () in
+  let lan, sts = make_lan ~n:8 eng in
+  Array.iter (fun st -> Lan.on_receive st (fun _ -> ())) sts;
+  let horizon = Time.ms 200 in
+  (* Each station queues frames continuously. *)
+  Array.iteri
+    (fun i st ->
+      if i < 8 then
+        for _ = 1 to 300 do
+          Lan.send st ~dest:(Lan.Unicast ((i + 1) mod 8)) ~bytes:500 ()
+        done)
+    sts;
+  Engine.run ~until:horizon eng;
+  let u = Lan.utilisation lan ~over:horizon in
+  check_bool "below capacity" true (u <= 1.0);
+  check_bool "meaningful throughput" true (u > 0.5);
+  let c = Lan.counters lan in
+  check_bool "collisions under load" true (c.Lan.collision_events > 0)
+
+let test_latency_stats_populated () =
+  let eng = Engine.create () in
+  let lan, sts = make_lan eng in
+  Lan.on_receive sts.(1) (fun _ -> ());
+  for _ = 1 to 10 do
+    Lan.send sts.(0) ~dest:(Lan.Unicast 1) ~bytes:64 ()
+  done;
+  Engine.run eng;
+  let s = Lan.latency_stats lan in
+  check_int "ten samples" 10 (Stats.count s);
+  (* The first frame sees no queueing: 72us + 5us. *)
+  Alcotest.(check (float 1e-9)) "min latency" 77e-6 (Stats.min_value s)
+
+let prop_all_frames_accounted =
+  QCheck.Test.make ~name:"sent = delivered + dropped (unicast)" ~count:25
+    QCheck.(pair (int_range 2 6) (int_range 1 60))
+    (fun (n, frames) ->
+      let eng = Engine.create ~seed:11L () in
+      let lan, sts = make_lan ~n eng in
+      Array.iter (fun st -> Lan.on_receive st (fun _ -> ())) sts;
+      let rng = Splitmix.create (Int64.of_int frames) in
+      for _ = 1 to frames do
+        let src = Splitmix.int rng n in
+        let dst = (src + 1 + Splitmix.int rng (n - 1)) mod n in
+        Engine.schedule eng ~after:(Time.us (Splitmix.int rng 50_000))
+          (fun () -> Lan.send sts.(src) ~dest:(Lan.Unicast dst) ~bytes:128 ())
+      done;
+      Engine.run eng;
+      let c = Lan.counters lan in
+      c.Lan.frames_sent = frames
+      && c.Lan.frames_delivered + c.Lan.frames_dropped = frames)
+
+(* ------------------------------------------------------------------ *)
+(* Msglink: fragmenting message transport *)
+
+let msg_size (s : string) = String.length s
+
+let make_link ?(n = 2) eng =
+  let lan = Msglink.create_lan eng in
+  let links =
+    Array.init n (fun i ->
+        Msglink.attach lan ~name:(Printf.sprintf "m%d" i) ~size:msg_size)
+  in
+  (lan, links)
+
+let test_msglink_small_message () =
+  let eng = Engine.create () in
+  let _, links = make_link eng in
+  let got = ref None in
+  Msglink.on_message links.(1) (fun ~src msg -> got := Some (src, msg));
+  Msglink.send links.(0) ~dst:1 "hello";
+  Engine.run eng;
+  Alcotest.(check (option (pair int string)))
+    "delivered" (Some (0, "hello")) !got;
+  check_int "one sent" 1 (Msglink.messages_sent links.(0));
+  check_int "one received" 1 (Msglink.messages_received links.(1))
+
+let test_msglink_fragmentation () =
+  (* A message over the max frame size crosses as several frames and is
+     reassembled into a single delivery. *)
+  let eng = Engine.create () in
+  let lan, links = make_link eng in
+  let big = String.make 5_000 'x' in
+  let got = ref 0 in
+  Msglink.on_message links.(1) (fun ~src:_ msg ->
+      if msg = big then incr got);
+  Msglink.send links.(0) ~dst:1 big;
+  Engine.run eng;
+  check_int "delivered once" 1 !got;
+  let frames = (Lan.counters lan).Lan.frames_delivered in
+  (* ceil(5000 / 1518) = 4 fragments *)
+  check_int "four fragments" 4 frames
+
+let test_msglink_down_endpoint_drops () =
+  let eng = Engine.create () in
+  let _, links = make_link eng in
+  let got = ref 0 in
+  Msglink.on_message links.(1) (fun ~src:_ _ -> incr got);
+  Msglink.set_up links.(1) false;
+  Msglink.send links.(0) ~dst:1 "lost";
+  Engine.run eng;
+  check_int "nothing delivered" 0 !got;
+  check_bool "fragment discarded" true
+    (Msglink.fragments_discarded links.(1) >= 1);
+  (* Back up: new messages flow again; the lost one stays lost. *)
+  Msglink.set_up links.(1) true;
+  Msglink.send links.(0) ~dst:1 "after";
+  Engine.run eng;
+  check_int "recovered" 1 !got
+
+let test_msglink_down_sender_sends_nothing () =
+  let eng = Engine.create () in
+  let lan, links = make_link eng in
+  Msglink.set_up links.(0) false;
+  Msglink.send links.(0) ~dst:1 "never";
+  Engine.run eng;
+  check_int "no frames on the wire" 0 (Lan.counters lan).Lan.frames_sent
+
+let test_msglink_broadcast () =
+  let eng = Engine.create () in
+  let _, links = make_link ~n:4 eng in
+  let seen = Array.make 4 0 in
+  Array.iteri
+    (fun i link -> Msglink.on_message link (fun ~src:_ _ -> seen.(i) <- seen.(i) + 1))
+    links;
+  Msglink.broadcast links.(2) "to all";
+  Engine.run eng;
+  Alcotest.(check (array int)) "all but sender" [| 1; 1; 0; 1 |] seen
+
+let test_msglink_self_send_rejected () =
+  let eng = Engine.create () in
+  let _, links = make_link eng in
+  Alcotest.check_raises "self" (Invalid_argument "Msglink.send: destination is self")
+    (fun () -> Msglink.send links.(0) ~dst:0 "loop")
+
+let prop_msglink_all_sizes_roundtrip =
+  QCheck.Test.make ~name:"messages of any size roundtrip" ~count:50
+    QCheck.(int_range 1 20_000)
+    (fun size ->
+      let eng = Engine.create () in
+      let _, links = make_link eng in
+      let payload = String.make size 'y' in
+      let ok = ref false in
+      Msglink.on_message links.(1) (fun ~src:_ msg -> ok := msg = payload);
+      Msglink.send links.(0) ~dst:1 payload;
+      Engine.run eng;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Internet: bridged segments *)
+
+let make_inet ?(segments = 2) ?(per_segment = 2) eng =
+  let inet =
+    Internet.create eng ~segments ~size:String.length
+  in
+  let eps =
+    Array.init (segments * per_segment) (fun i ->
+        Internet.attach inet ~segment:(i / per_segment)
+          ~name:(Printf.sprintf "h%d" i))
+  in
+  (inet, eps)
+
+let test_inet_same_segment () =
+  let eng = Engine.create () in
+  let _, eps = make_inet eng in
+  let got = ref None in
+  Internet.on_message eps.(1) (fun ~src msg -> got := Some (src, msg));
+  Internet.send eps.(0) ~dst:1 "local";
+  Engine.run eng;
+  Alcotest.(check (option (pair int string)))
+    "delivered" (Some (0, "local")) !got
+
+let test_inet_cross_segment () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  let got = ref None and at = ref Time.zero in
+  Internet.on_message eps.(2) (fun ~src msg ->
+      got := Some (src, msg);
+      at := Engine.now eng);
+  Internet.send eps.(0) ~dst:2 "far away";
+  Engine.run eng;
+  Alcotest.(check (option (pair int string)))
+    "delivered across the bridge" (Some (0, "far away")) !got;
+  check_int "one bridge hop" 1 (Internet.bridge_forwards inet);
+  (* Two MAC transmissions plus 500us store-and-forward: well over a
+     single-segment delivery (~80us). *)
+  check_bool "bridge latency paid" true (Time.to_ns !at > 600_000)
+
+let test_inet_broadcast_spans_segments () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:3 ~per_segment:2 eng in
+  let seen = Array.make 6 0 in
+  Array.iteri
+    (fun i ep -> Internet.on_message ep (fun ~src:_ _ -> seen.(i) <- seen.(i) + 1))
+    eps;
+  Internet.broadcast eps.(0) "hear ye";
+  Engine.run eng;
+  Alcotest.(check (array int))
+    "everyone but the sender, exactly once" [| 0; 1; 1; 1; 1; 1 |] seen;
+  (* One broadcast forward fans out to the other two segments. *)
+  check_int "bridge re-emission" 1 (Internet.bridge_forwards inet)
+
+let test_inet_addressing () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  check_int "global addresses dense" 3 (Internet.address eps.(3));
+  check_int "segment of address" 1 (Internet.segment_of_address inet 2);
+  check_int "segment of endpoint" 0 (Internet.segment_of_endpoint eps.(1));
+  Alcotest.check_raises "self send"
+    (Invalid_argument "Internet.send: destination is self") (fun () ->
+      Internet.send eps.(0) ~dst:0 "loop");
+  Alcotest.check_raises "unknown dst"
+    (Invalid_argument "Internet.send: unknown destination") (fun () ->
+      Internet.send eps.(0) ~dst:99 "ghost")
+
+let test_inet_single_segment_no_bridge () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:1 ~per_segment:3 eng in
+  let got = ref 0 in
+  Internet.on_message eps.(2) (fun ~src:_ _ -> incr got);
+  Internet.send eps.(0) ~dst:2 "plain";
+  Internet.broadcast eps.(1) "all";
+  Engine.run eng;
+  check_int "deliveries" 2 !got;
+  check_int "no bridge traffic" 0 (Internet.bridge_forwards inet)
+
+let test_inet_down_endpoint () =
+  let eng = Engine.create () in
+  let _, eps = make_inet eng in
+  let got = ref 0 in
+  Internet.on_message eps.(2) (fun ~src:_ _ -> incr got);
+  Internet.set_up eps.(2) false;
+  Internet.send eps.(0) ~dst:2 "lost";
+  Engine.run eng;
+  check_int "nothing delivered" 0 !got;
+  Internet.set_up eps.(2) true;
+  Internet.send eps.(0) ~dst:2 "found";
+  Engine.run eng;
+  check_int "recovered" 1 !got
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "eden_net"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "frame time" `Quick test_frame_time;
+          Alcotest.test_case "frame time invalid" `Quick
+            test_frame_time_invalid;
+          Alcotest.test_case "validate" `Quick test_params_validate;
+        ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "unloaded latency" `Quick test_unloaded_latency;
+          Alcotest.test_case "payload carried" `Quick test_payload_carried;
+          Alcotest.test_case "queue order" `Quick test_queued_frames_in_order;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "validation" `Quick test_send_validation;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "collision recovery" `Quick
+            test_collision_then_recovery;
+          Alcotest.test_case "drop after max attempts" `Quick
+            test_drop_after_max_attempts;
+          Alcotest.test_case "carrier sense" `Quick test_carrier_sense_defers;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "saturation" `Quick test_saturation_throughput;
+          Alcotest.test_case "latency stats" `Quick
+            test_latency_stats_populated;
+          qt prop_all_frames_accounted;
+        ] );
+      ( "msglink",
+        [
+          Alcotest.test_case "small message" `Quick test_msglink_small_message;
+          Alcotest.test_case "fragmentation" `Quick test_msglink_fragmentation;
+          Alcotest.test_case "down endpoint" `Quick
+            test_msglink_down_endpoint_drops;
+          Alcotest.test_case "down sender" `Quick
+            test_msglink_down_sender_sends_nothing;
+          Alcotest.test_case "broadcast" `Quick test_msglink_broadcast;
+          Alcotest.test_case "self send" `Quick test_msglink_self_send_rejected;
+          qt prop_msglink_all_sizes_roundtrip;
+        ] );
+      ( "internet",
+        [
+          Alcotest.test_case "same segment" `Quick test_inet_same_segment;
+          Alcotest.test_case "cross segment" `Quick test_inet_cross_segment;
+          Alcotest.test_case "broadcast spans segments" `Quick
+            test_inet_broadcast_spans_segments;
+          Alcotest.test_case "addressing" `Quick test_inet_addressing;
+          Alcotest.test_case "single segment" `Quick
+            test_inet_single_segment_no_bridge;
+          Alcotest.test_case "down endpoint" `Quick test_inet_down_endpoint;
+        ] );
+    ]

@@ -1,0 +1,342 @@
+(* Tests for the workload generators and the location policy. *)
+
+open Eden_util
+open Eden_kernel
+open Eden_sim
+open Eden_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_spec =
+  {
+    Synthetic.objects_per_node = 2;
+    users_per_node = 2;
+    requests_per_user = 10;
+    locality = 0.5;
+    payload_bytes = 128;
+    compute_per_request = Time.ms 2;
+    think_mean_s = 0.01;
+  }
+
+let test_synthetic_eden_completes () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  let r = Synthetic.run_eden cl small_spec in
+  let expect = 3 * 2 * 10 in
+  check_int "all requests" expect r.Synthetic.completed;
+  check_int "no failures" 0 r.Synthetic.failed;
+  check_int "latency samples" expect (Stats.count r.Synthetic.latency);
+  check_bool "throughput positive" true (r.Synthetic.throughput > 0.0)
+
+let test_synthetic_locality_helps () =
+  let run locality =
+    let cl = Cluster.default ~seed:7L ~n_nodes:4 () in
+    let r = Synthetic.run_eden cl { small_spec with Synthetic.locality } in
+    Stats.mean r.Synthetic.latency
+  in
+  let all_local = run 1.0 in
+  let all_remote = run 0.0 in
+  check_bool "local requests faster on average" true (all_local < all_remote)
+
+let test_synthetic_central_placement () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  let r =
+    Synthetic.run_eden ~placement:(Synthetic.Central_on 0) cl small_spec
+  in
+  check_int "all requests" (3 * 2 * 10) r.Synthetic.completed;
+  (* Users on nodes 1 and 2 always cross the network. *)
+  check_bool "plenty of remote traffic" true
+    (Cluster.stats_remote_invocations cl >= 2 * 2 * 10)
+
+let test_synthetic_rpc_completes () =
+  let fabric = Eden_baseline.Rpc.default ~n_nodes:3 () in
+  let r = Synthetic.run_rpc fabric small_spec in
+  check_int "all requests" (3 * 2 * 10) r.Synthetic.completed;
+  check_int "no failures" 0 r.Synthetic.failed
+
+let test_synthetic_validation () =
+  let cl = Cluster.default ~n_nodes:2 () in
+  Alcotest.check_raises "bad locality"
+    (Invalid_argument "Synthetic: locality out of range") (fun () ->
+      ignore
+        (Synthetic.run_eden cl { small_spec with Synthetic.locality = 1.5 }))
+
+(* ------------------------------------------------------------------ *)
+(* Mail *)
+
+let test_mail_roundtrip () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Mail.register_types cl;
+  let setup = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        match Mail.build cl ~registry_node:0 ~users_per_node:2 with
+        | Ok s -> setup := Some s
+        | Error e -> Alcotest.failf "build: %s" (Error.to_string e))
+  in
+  Cluster.run cl;
+  let setup = Option.get !setup in
+  check_int "six users" 6 (List.length setup.Mail.mailboxes);
+  let r = Mail.run cl setup ~messages_per_user:5 ~think_mean_s:0.01 in
+  check_int "all sent" 30 r.Mail.sent;
+  check_int "no failures" 0 r.Mail.send_failures;
+  check_int "all delivered" 30 r.Mail.fetched;
+  check_bool "latency recorded" true (Stats.count r.Mail.send_latency = 30)
+
+(* ------------------------------------------------------------------ *)
+(* Compile (edit/compile development workload) *)
+
+let test_compile_roundtrip () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Eden_efs.Schema.register cl;
+  let compiler = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        match Compile.install cl ~node:0 ~replicate_to:[ 1; 2 ] () with
+        | Ok c -> compiler := Some c
+        | Error e -> Alcotest.failf "install: %s" (Error.to_string e))
+  in
+  Cluster.run cl;
+  let compiler = Option.get !compiler in
+  Alcotest.(check (list int)) "replicas installed" [ 1; 2 ]
+    (List.sort Int.compare (Cluster.replica_sites cl compiler));
+  let r =
+    Compile.run cl ~compiler ~programmers:[ 1; 2 ] ~cycles:3
+      ~source_bytes:2_048
+  in
+  check_int "edits" 6 r.Compile.edits;
+  check_int "compiles" 6 r.Compile.compiles;
+  check_int "no failures" 0 r.Compile.failures;
+  check_bool "compile latency measured" true
+    (Stats.count r.Compile.compile_latency = 6)
+
+let test_compile_reads_latest_source () =
+  (* The compiler compiles the CURRENT version: object-code size must
+     track the source the last edit installed. *)
+  let cl = Cluster.default ~n_nodes:2 () in
+  Eden_efs.Schema.register cl;
+  let outcome = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let compiler =
+          match Compile.install cl ~node:0 () with
+          | Ok c -> c
+          | Error e -> Alcotest.failf "install: %s" (Error.to_string e)
+        in
+        let root = Result.get_ok (Eden_efs.Client.make_root cl ~node:1) in
+        let file =
+          Result.get_ok
+            (Eden_efs.Client.create_file cl ~from:1 ~dir:root ~name:"s"
+               ~node:1 ~content:(Value.Blob 3_000) ())
+        in
+        let compile () =
+          match
+            Cluster.invoke cl ~from:1 compiler ~op:"compile"
+              [ Value.Cap file ]
+          with
+          | Ok [ Value.Int n ] -> n
+          | Ok _ | Error _ -> -1
+        in
+        let small = compile () in
+        let t = Eden_efs.Txn.begin_txn cl ~from:1 ~mode:Eden_efs.Txn.Locking in
+        ignore (Eden_efs.Txn.write t file (Value.Blob 30_000));
+        ignore (Eden_efs.Txn.commit t);
+        let large = compile () in
+        outcome := Some (small, large))
+  in
+  Cluster.run cl;
+  match !outcome with
+  | Some (small, large) ->
+    check_int "small source" 1_000 small;
+    check_int "large source" 10_000 large
+  | None -> Alcotest.fail "driver did not run"
+
+(* ------------------------------------------------------------------ *)
+(* Gateway (foreign machines, paper sec. 2) *)
+
+let upcase_service args =
+  match args with
+  | [ Value.Str s ] -> Ok [ Value.Str (String.uppercase_ascii s) ]
+  | _ -> Error (Error.Bad_arguments "expected one string")
+
+let test_gateway_roundtrip () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  let outcome = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let gw =
+          match
+            Gateway.install cl ~node:0 ~name:"mainframe"
+              ~service:upcase_service ~round_trip:(Time.ms 30) ()
+          with
+          | Ok c -> c
+          | Error e -> Alcotest.failf "install: %s" (Error.to_string e)
+        in
+        (* Invocable from any node: the object-like interface. *)
+        let eng = Cluster.engine cl in
+        let t0 = Engine.now eng in
+        let r = Cluster.invoke cl ~from:2 gw ~op:"request" [ Value.Str "job" ] in
+        outcome := Some (r, Time.to_ns (Time.diff (Engine.now eng) t0)))
+  in
+  Cluster.run cl;
+  match !outcome with
+  | Some (Ok [ Value.Str "JOB" ], elapsed) ->
+    check_bool "line delay included" true (elapsed >= 30_000_000)
+  | Some _ -> Alcotest.fail "wrong gateway reply"
+  | None -> Alcotest.fail "driver did not run"
+
+let test_gateway_serial_line () =
+  (* A single line serialises concurrent requests; two lines overlap
+     them. *)
+  let run lines =
+    let cl = Cluster.default ~n_nodes:2 () in
+    let elapsed = ref 0 in
+    let _ =
+      Cluster.in_process cl (fun () ->
+          let gw =
+            Result.get_ok
+              (Gateway.install cl ~node:0 ~name:"printer"
+                 ~service:(fun _ -> Ok [])
+                 ~round_trip:(Time.ms 50) ~lines ())
+          in
+          let eng = Cluster.engine cl in
+          let t0 = Engine.now eng in
+          let ps =
+            List.init 2 (fun _ ->
+                Cluster.invoke_async cl ~from:1 gw ~op:"request" [])
+          in
+          List.iter (fun p -> ignore (Eden_sim.Promise.await p)) ps;
+          elapsed := Time.to_ns (Time.diff (Engine.now eng) t0))
+    in
+    Cluster.run cl;
+    !elapsed
+  in
+  let serial = run 1 and parallel = run 2 in
+  check_bool "one line serialises (>=100ms)" true (serial >= 100_000_000);
+  check_bool "two lines overlap (<100ms)" true (parallel < 100_000_000)
+
+let test_gateway_validation () =
+  Alcotest.check_raises "zero lines"
+    (Invalid_argument "Gateway: lines must be positive") (fun () ->
+      ignore
+        (Gateway.gateway_type ~name:"x" ~service:(fun _ -> Ok [])
+           ~round_trip:Time.zero ~lines:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let counter_type =
+  let open Api in
+  Typemgr.make_exn ~name:"p_counter"
+    [
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+    ]
+
+let test_balance_once () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Cluster.register_type cl counter_type;
+  let caps = ref [] in
+  let moved = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for _ = 1 to 6 do
+          match
+            Cluster.create_object cl ~node:0 ~type_name:"p_counter"
+              (Value.Int 0)
+          with
+          | Ok c -> caps := c :: !caps
+          | Error e -> Alcotest.failf "create: %s" (Error.to_string e)
+        done;
+        moved := Policy.balance_once cl ~managed:!caps)
+  in
+  Cluster.run cl;
+  check_int "moved four objects" 4 !moved;
+  let loads = Policy.managed_load cl ~managed:!caps in
+  List.iter (fun (_, c) -> check_int "two each" 2 c) loads
+
+let test_balance_skips_downed_nodes () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Cluster.register_type cl counter_type;
+  let caps = ref [] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for _ = 1 to 4 do
+          match
+            Cluster.create_object cl ~node:0 ~type_name:"p_counter"
+              (Value.Int 0)
+          with
+          | Ok c -> caps := c :: !caps
+          | Error e -> Alcotest.failf "create: %s" (Error.to_string e)
+        done)
+  in
+  Cluster.run cl;
+  Cluster.crash_node cl 2;
+  let _ =
+    Cluster.in_process cl (fun () ->
+        ignore (Policy.balance_once cl ~managed:!caps))
+  in
+  Cluster.run cl;
+  let loads = Policy.managed_load cl ~managed:!caps in
+  check_int "only two nodes considered" 2 (List.length loads);
+  List.iter (fun (_, c) -> check_int "two each" 2 c) loads
+
+let test_balancer_process () =
+  let cl = Cluster.default ~n_nodes:2 () in
+  Cluster.register_type cl counter_type;
+  let caps = ref [] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for _ = 1 to 4 do
+          match
+            Cluster.create_object cl ~node:0 ~type_name:"p_counter"
+              (Value.Int 0)
+          with
+          | Ok c -> caps := c :: !caps
+          | Error e -> Alcotest.failf "create: %s" (Error.to_string e)
+        done;
+        ignore
+          (Policy.spawn_balancer cl ~period:(Time.ms 50) ~rounds:2
+             ~managed:!caps))
+  in
+  Cluster.run cl;
+  let loads = Policy.managed_load cl ~managed:!caps in
+  List.iter (fun (_, c) -> check_int "balanced" 2 c) loads
+
+let () =
+  Alcotest.run "eden_workload"
+    [
+      ( "synthetic",
+        [
+          Alcotest.test_case "eden completes" `Quick
+            test_synthetic_eden_completes;
+          Alcotest.test_case "locality helps" `Quick
+            test_synthetic_locality_helps;
+          Alcotest.test_case "central placement" `Quick
+            test_synthetic_central_placement;
+          Alcotest.test_case "rpc completes" `Quick
+            test_synthetic_rpc_completes;
+          Alcotest.test_case "validation" `Quick test_synthetic_validation;
+        ] );
+      ("mail", [ Alcotest.test_case "roundtrip" `Quick test_mail_roundtrip ]);
+      ( "compile",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_compile_roundtrip;
+          Alcotest.test_case "reads latest source" `Quick
+            test_compile_reads_latest_source;
+        ] );
+      ( "gateway",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_gateway_roundtrip;
+          Alcotest.test_case "serial line" `Quick test_gateway_serial_line;
+          Alcotest.test_case "validation" `Quick test_gateway_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "balance once" `Quick test_balance_once;
+          Alcotest.test_case "skips downed nodes" `Quick
+            test_balance_skips_downed_nodes;
+          Alcotest.test_case "balancer process" `Quick test_balancer_process;
+        ] );
+    ]
