@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples smoke determinism clean
+.PHONY: all build check test bench examples smoke determinism clean
 
 all: build
 
@@ -9,6 +9,17 @@ build:
 
 test:
 	dune runtest --force
+
+# Build, run the test suites, and smoke the metrics pipeline: a synth
+# run must export a snapshot that parses and carries the core
+# instruments (edenctl metrics-check exits non-zero otherwise).
+check:
+	dune build @all
+	dune runtest --force
+	dune exec bin/edenctl.exe -- synth --nodes 3 --requests 50 \
+	  --metrics-out /tmp/eden_metrics_smoke.json
+	dune exec bin/edenctl.exe -- metrics-check /tmp/eden_metrics_smoke.json
+	@echo "check: OK"
 
 bench:
 	dune exec bench/main.exe

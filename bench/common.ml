@@ -65,9 +65,27 @@ let bench_type =
           reply_unit);
     ]
 
+(* The harness attaches a metrics snapshot of each experiment's most
+   recently built cluster to its output (see main.ml), so every
+   experiment's numbers come with the kernel/network counters that
+   produced them. *)
+let current_cluster : Cluster.t option ref = ref None
+let reset_metrics () = current_cluster := None
+
+let attach_metrics ~id () =
+  match !current_cluster with
+  | None -> ()
+  | Some cl ->
+    let snap = Cluster.metrics_snapshot cl in
+    (* Spans omitted: experiment logs stay one greppable line each. *)
+    let snap = { snap with Eden_obs.Snapshot.spans = [] } in
+    Printf.printf "METRICS %s %s\n" id
+      (Eden_obs.Snapshot.to_string ~compact:true snap)
+
 let fresh_cluster ?(seed = 42L) ~n () =
   let cl = Cluster.default ~seed ~n_nodes:n () in
   Cluster.register_type cl bench_type;
+  current_cluster := Some cl;
   cl
 
 (* Nodes with enough memory to host megabyte representations (the
@@ -82,6 +100,7 @@ let big_cluster ?(seed = 42L) ~n () =
   in
   let cl = Cluster.create ~seed ~configs () in
   Cluster.register_type cl bench_type;
+  current_cluster := Some cl;
   cl
 
 (* Run [body] as a driver and return its value once the sim drains. *)

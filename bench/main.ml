@@ -30,6 +30,13 @@ let list_experiments () =
     (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
     experiments
 
+(* Each experiment's output ends with a METRICS line: the registry
+   snapshot of the last cluster it built. *)
+let run_one (id, _, run) =
+  Common.reset_metrics ();
+  run ();
+  Common.attach_metrics ~id ()
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -38,7 +45,7 @@ let () =
     Printf.printf
       "Eden reproduction experiment suite (all experiments; pass ids to \
        select, --list to enumerate)\n";
-    List.iter (fun (_, _, run) -> run ()) experiments
+    List.iter run_one experiments
   | ids ->
     List.iter
       (fun id ->
@@ -47,7 +54,7 @@ let () =
             (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id)
             experiments
         with
-        | Some (_, _, run) -> run ()
+        | Some exp -> run_one exp
         | None ->
           Printf.eprintf "unknown experiment %S; try --list\n" id;
           exit 1)

@@ -1,10 +1,12 @@
 (* edenctl — drive Eden scenarios from the command line.
 
-     edenctl demo      [--nodes N] [--seed S] [--trace]
-     edenctl mail      [--nodes N] [--users K] [--messages M] [--trace]
-     edenctl synth     [--nodes N] [--locality F] [--requests R] [--trace]
-     edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace]
-     edenctl heartbeat [--nodes N] [--kill I] [--trace]
+     edenctl demo      [--nodes N] [--seed S] [--trace] [--metrics-out FILE]
+     edenctl mail      [--nodes N] [--users K] [--messages M] [--trace] [--metrics-out FILE]
+     edenctl synth     [--nodes N] [--locality F] [--requests R] [--trace] [--metrics-out FILE]
+     edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace] [--metrics-out FILE]
+     edenctl heartbeat [--nodes N] [--kill I] [--trace] [--metrics-out FILE]
+     edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
+     edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
      edenctl info *)
 
@@ -26,6 +28,28 @@ let trace_t =
   Arg.(
     value & flag
     & info [ "trace" ] ~doc:"Dump the kernel trace tail after the run.")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics snapshot (counters, gauges, histograms \
+           and invocation spans) to $(docv) as JSON.")
+
+let write_metrics cl = function
+  | None -> ()
+  | Some file -> (
+    let snap = Cluster.metrics_snapshot cl in
+    try
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Eden_obs.Snapshot.to_string snap);
+          Out_channel.output_char oc '\n');
+      Printf.printf "metrics snapshot written to %s\n" file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write metrics snapshot: %s\n" msg;
+      exit 1)
 
 let setup_trace cl enabled =
   if enabled then Trace.enable (Cluster.trace cl)
@@ -63,7 +87,7 @@ let counter_type =
           reply [ ctx.get_repr () ]);
     ]
 
-let run_demo nodes seed trace =
+let run_demo nodes seed trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   Cluster.register_type cl counter_type;
   setup_trace cl trace;
@@ -85,17 +109,18 @@ let run_demo nodes seed trace =
   in
   Cluster.run cl;
   dump_trace cl trace;
+  write_metrics cl metrics_out;
   summary cl
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Shared counter incremented from every node.")
-    Term.(const run_demo $ nodes_t $ seed_t $ trace_t)
+    Term.(const run_demo $ nodes_t $ seed_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* mail *)
 
-let run_mail nodes seed users messages trace =
+let run_mail nodes seed users messages trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   Eden_workload.Mail.register_types cl;
   setup_trace cl trace;
@@ -121,6 +146,7 @@ let run_mail nodes seed users messages trace =
       r.Eden_workload.Mail.fetched
       (Format.asprintf "%a" Stats.pp_summary r.Eden_workload.Mail.send_latency));
   dump_trace cl trace;
+  write_metrics cl metrics_out;
   summary cl
 
 let mail_cmd =
@@ -134,12 +160,14 @@ let mail_cmd =
   in
   Cmd.v
     (Cmd.info "mail" ~doc:"Multi-user mail workload.")
-    Term.(const run_mail $ nodes_t $ seed_t $ users_t $ messages_t $ trace_t)
+    Term.(
+      const run_mail $ nodes_t $ seed_t $ users_t $ messages_t $ trace_t
+      $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let run_synth nodes seed locality requests trace =
+let run_synth nodes seed locality requests trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   setup_trace cl trace;
   let spec =
@@ -152,6 +180,7 @@ let run_synth nodes seed locality requests trace =
   let r = Eden_workload.Synthetic.run_eden cl spec in
   Format.printf "%a@." Eden_workload.Synthetic.pp_results r;
   dump_trace cl trace;
+  write_metrics cl metrics_out;
   summary cl
 
 let synth_cmd =
@@ -167,12 +196,14 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthetic invocation workload.")
-    Term.(const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t $ trace_t)
+    Term.(
+      const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t $ trace_t
+      $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* efs *)
 
-let run_efs nodes seed txns optimistic trace =
+let run_efs nodes seed txns optimistic trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   Eden_efs.Schema.register cl;
   setup_trace cl trace;
@@ -245,6 +276,7 @@ let run_efs nodes seed txns optimistic trace =
     | Some (Ok (Value.Int n)) -> string_of_int n
     | _ -> "?");
   dump_trace cl trace;
+  write_metrics cl metrics_out;
   summary cl
 
 let efs_cmd =
@@ -260,12 +292,14 @@ let efs_cmd =
   in
   Cmd.v
     (Cmd.info "efs" ~doc:"EFS transaction workload on one shared file.")
-    Term.(const run_efs $ nodes_t $ seed_t $ txns_t $ optimistic_t $ trace_t)
+    Term.(
+      const run_efs $ nodes_t $ seed_t $ txns_t $ optimistic_t $ trace_t
+      $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* heartbeat: poll the node objects *)
 
-let run_heartbeat nodes seed kill trace =
+let run_heartbeat nodes seed kill trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   setup_trace cl trace;
   (match kill with
@@ -297,6 +331,7 @@ let run_heartbeat nodes seed kill trace =
   in
   Cluster.run cl;
   dump_trace cl trace;
+  write_metrics cl metrics_out;
   summary cl
 
 let heartbeat_cmd =
@@ -308,7 +343,9 @@ let heartbeat_cmd =
   in
   Cmd.v
     (Cmd.info "heartbeat" ~doc:"Poll every node object; detect failures.")
-    Term.(const run_heartbeat $ nodes_t $ seed_t $ kill_t $ trace_t)
+    Term.(
+      const run_heartbeat $ nodes_t $ seed_t $ kill_t $ trace_t
+      $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:
@@ -536,6 +573,103 @@ let edit_cmd =
     Term.(const run_edit $ nodes_t $ seed_t)
 
 (* ------------------------------------------------------------------ *)
+(* stats *)
+
+let run_stats nodes seed locality requests =
+  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+  let spec =
+    {
+      Eden_workload.Synthetic.default_spec with
+      Eden_workload.Synthetic.locality;
+      requests_per_user = requests;
+    }
+  in
+  let r = Eden_workload.Synthetic.run_eden cl spec in
+  Format.printf "%a@.@." Eden_workload.Synthetic.pp_results r;
+  print_string (Eden_obs.Snapshot.pp_table (Cluster.metrics_snapshot cl))
+
+let stats_cmd =
+  let locality_t =
+    Arg.(
+      value & opt float 0.8
+      & info [ "locality" ] ~docv:"F" ~doc:"Fraction of local requests.")
+  in
+  let requests_t =
+    Arg.(
+      value & opt int 25
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per user.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a synthetic workload and print the metrics registry as \
+          per-node, per-segment and cluster-wide tables.")
+    Term.(const run_stats $ nodes_t $ seed_t $ locality_t $ requests_t)
+
+(* ------------------------------------------------------------------ *)
+(* metrics-check *)
+
+(* Core instruments every cluster run must export; [make check] uses
+   this to validate the smoke run's --metrics-out file. *)
+let required_metrics =
+  [
+    ("eden.invocations", Some [ ("node", "0") ]);
+    ("eden.hint_hits", Some [ ("node", "0") ]);
+    ("eden.hint_misses", Some [ ("node", "0") ]);
+    ("eden.invocation_latency_s", None);
+    ("net.frames_sent", Some [ ("segment", "0") ]);
+    ("net.collisions", Some [ ("segment", "0") ]);
+    ("sim.events", None);
+  ]
+
+let run_metrics_check file =
+  let contents = In_channel.with_open_text file In_channel.input_all in
+  match Eden_obs.Snapshot.of_string contents with
+  | Error e ->
+    Printf.eprintf "metrics-check: %s: parse error: %s\n" file e;
+    exit 1
+  | Ok snap ->
+    let missing =
+      List.filter
+        (fun (name, labels) ->
+          Eden_obs.Snapshot.find snap ?labels name = None)
+        required_metrics
+    in
+    (match missing with
+    | [] ->
+      Printf.printf "metrics-check: OK (%d samples, %d spans, t=%s)\n"
+        (List.length snap.Eden_obs.Snapshot.metrics)
+        (List.length snap.Eden_obs.Snapshot.spans)
+        (Time.to_string snap.Eden_obs.Snapshot.at)
+    | _ ->
+      List.iter
+        (fun (name, labels) ->
+          Printf.eprintf "metrics-check: missing %s%s\n" name
+            (match labels with
+            | None -> ""
+            | Some l ->
+              "{"
+              ^ String.concat ","
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+              ^ "}"))
+        missing;
+      exit 1)
+
+let metrics_check_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot JSON written by --metrics-out.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:
+         "Validate an exported metrics snapshot: parse the JSON and \
+          verify the core instruments are present.")
+    Term.(const run_metrics_check $ file_t)
+
+(* ------------------------------------------------------------------ *)
 (* info *)
 
 let run_info () =
@@ -566,4 +700,14 @@ let () =
        (Cmd.group ~default
           (Cmd.info "edenctl" ~version:"1.0"
              ~doc:"Drive scenarios on the Eden reproduction.")
-          [ demo_cmd; mail_cmd; synth_cmd; efs_cmd; heartbeat_cmd; edit_cmd; info_cmd ]))
+          [
+            demo_cmd;
+            mail_cmd;
+            synth_cmd;
+            efs_cmd;
+            heartbeat_cmd;
+            stats_cmd;
+            metrics_check_cmd;
+            edit_cmd;
+            info_cmd;
+          ]))

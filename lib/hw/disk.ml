@@ -74,4 +74,5 @@ let writes d = d.n_writes
 let bytes_read d = d.rbytes
 let bytes_written d = d.wbytes
 let busy_time d = Resource.busy_time d.arm
+let utilisation d ~over = Resource.utilisation d.arm ~over
 let queue_length d = Resource.queue_length d.arm

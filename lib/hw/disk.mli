@@ -39,4 +39,8 @@ val writes : t -> int
 val bytes_read : t -> int
 val bytes_written : t -> int
 val busy_time : t -> Eden_util.Time.t
+
+val utilisation : t -> over:Eden_util.Time.t -> float
+(** Fraction of [over] the arm spent servicing transfers. *)
+
 val queue_length : t -> int

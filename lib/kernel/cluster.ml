@@ -1,6 +1,8 @@
 open Eden_util
 open Eden_sim
 open Eden_hw
+module Metrics = Eden_obs.Metrics
+module Span = Eden_obs.Span
 
 type node_id = int
 
@@ -17,6 +19,7 @@ type work = {
   w_args : Value.t list;
   w_presented : Rights.t;
   w_route : reply_route;
+  w_span : Span.t option;
 }
 
 type obj_status = Running | Draining | Dead
@@ -101,6 +104,20 @@ type options = {
 let default_options =
   { use_hint_cache = true; use_forwarding = true; coalesce_locates = true }
 
+(* Owned per-node counters on the invocation hot path (the sampled
+   collectors for hardware and network live in [register_collectors]). *)
+type node_metrics = {
+  m_inv : Metrics.counter;  (* invocations issued from this node *)
+  m_remote : Metrics.counter;  (* requests that crossed the wire *)
+  m_dispatch : Metrics.counter;  (* works admitted by coordinators here *)
+  m_hint_hit : Metrics.counter;
+  m_hint_miss : Metrics.counter;
+  m_locates : Metrics.counter;  (* locate broadcasts issued *)
+  m_nacks : Metrics.counter;  (* nacked requests (stale location) *)
+  m_ckpts : Metrics.counter;  (* snapshots written on this node's disk *)
+  m_ckpt_bytes : Metrics.counter;
+}
+
 type t = {
   eng : Engine.t;
   tr : Trace.t;
@@ -113,6 +130,13 @@ type t = {
       (* one kernel-created node object per node, fixed names *)
   mutable n_inv : int;
   mutable n_remote : int;
+  c_metrics : Metrics.t;
+  c_spans : Span.collector;
+  c_lat : Metrics.histogram;  (* end-to-end invocation latency, seconds *)
+  c_nm : node_metrics array;
+  c_span_ctx : (int, Span.t) Hashtbl.t;
+      (* pid of a running invocation process -> the span it serves,
+         giving nested [ctx.invoke] calls their parent link *)
 }
 
 let locate_window = Time.ms 3
@@ -123,6 +147,11 @@ let locate_retries = 3
    (~1 MB/s at best), tight enough to detect a dead peer. *)
 let ack_timeout = Time.s 15
 let max_hops = 8
+
+(* Invocation latencies span 10us local fast paths to multi-second
+   locate-retry storms: log-spaced 1-3-10 bucket bounds, in seconds. *)
+let latency_buckets =
+  [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0 |]
 
 exception Fatal of string
 (* Internal invariant violations surface loudly instead of corrupting
@@ -142,6 +171,20 @@ let consume node t = Cpu.consume (cpu node) t
 let home cl obj = cl.nodes.(obj.ob_home)
 
 let tracef cl cat fmt = Trace.emitf cl.tr (Engine.now cl.eng) cat fmt
+
+let nm cl (node : node) = cl.c_nm.(node.nd_id)
+
+let span_enter cl w phase =
+  match w.w_span with
+  | None -> ()
+  | Some sp -> Span.enter sp phase ~at:(Engine.now cl.eng)
+
+(* The span served by the calling process, if it is an invocation
+   process (callable from anywhere; outside a process there is none). *)
+let current_span cl =
+  match Engine.self () with
+  | pid -> Hashtbl.find_opt cl.c_span_ctx (Engine.Pid.to_int pid)
+  | exception Invalid_argument _ -> None
 
 let next_seq node = Idgen.next node.nd_seq
 
@@ -189,12 +232,14 @@ let ref_do_invoke :
     (t ->
     from:node_id ->
     ?timeout:Time.t ->
+    ?parent:Span.t ->
     Capability.t ->
     op:string ->
     Value.t list ->
     Api.invoke_result)
     ref =
-  ref (fun _ ~from:_ ?timeout:_ _ ~op:_ _ -> raise (Fatal "not initialised"))
+  ref (fun _ ~from:_ ?timeout:_ ?parent:_ _ ~op:_ _ ->
+      raise (Fatal "not initialised"))
 
 let ref_do_crash : (t -> obj -> unit) ref =
   ref (fun _ _ -> raise (Fatal "not initialised"))
@@ -263,10 +308,16 @@ let make_ctx cl obj =
         !ref_do_invoke cl ~from:obj.ob_home ?timeout cap ~op args);
     invoke_async =
       (fun ?timeout cap ~op args ->
+        (* Capture the parent span here: the spawned process has its
+           own pid, so the per-pid lookup would miss it. *)
+        let parent = current_span cl in
         let pr = Promise.create cl.eng in
         let pid =
           Engine.spawn cl.eng ~name:"invoke_async" (fun () ->
-              let r = !ref_do_invoke cl ~from:obj.ob_home ?timeout cap ~op args in
+              let r =
+                !ref_do_invoke cl ~from:obj.ob_home ?timeout ?parent cap ~op
+                  args
+              in
               ignore (Promise.fill pr r))
         in
         Engine.set_daemon cl.eng pid;
@@ -331,7 +382,9 @@ let deliver_reply cl obj route result =
       send_msg cl node ~dst:requester
         (Message.Inv_reply { inv_id; result })
 
-let fail_work cl obj w error = deliver_reply cl obj w.w_route (Error error)
+let fail_work cl obj w error =
+  span_enter cl w Span.Reply;
+  deliver_reply cl obj w.w_route (Error error)
 
 (* -------------------------------------------------------------------- *)
 (* The coordinator: dispatching invocations inside an object *)
@@ -378,6 +431,11 @@ let rec start_invocation cl obj spec w =
             Hashtbl.replace obj.ob_inflight
               (Engine.Pid.to_int self)
               w;
+            (match w.w_span with
+            | Some sp ->
+              Span.enter sp Span.Execute ~at:(Engine.now cl.eng);
+              Hashtbl.replace cl.c_span_ctx (Engine.Pid.to_int self) sp
+            | None -> ());
             let ctx = make_ctx cl obj in
             let result =
               try op.Typemgr.op_handler ctx w.w_args with
@@ -386,12 +444,14 @@ let rec start_invocation cl obj spec w =
               | exn -> Error (Error.User_error (Printexc.to_string exn))
             in
             Hashtbl.remove obj.ob_inflight (Engine.Pid.to_int self);
+            span_enter cl w Span.Reply;
             deliver_reply cl obj w.w_route result))
   in
   obj.ob_proc_pids <- pid :: obj.ob_proc_pids
 
 and finish_invocation cl obj spec self =
   Hashtbl.remove obj.ob_inflight (Engine.Pid.to_int self);
+  Hashtbl.remove cl.c_span_ctx (Engine.Pid.to_int self);
   let running, queue = class_state obj spec.Opclass.class_name in
   decr running;
   obj.ob_running_total <- obj.ob_running_total - 1;
@@ -406,6 +466,8 @@ and finish_invocation cl obj spec self =
 (* Validation and class admission for one incoming work item. *)
 let coordinator_admit cl obj w =
   let node = home cl obj in
+  span_enter cl w Span.Dispatch;
+  Metrics.incr (nm cl node).m_dispatch;
   consume node (costs node).Costs.invoke_dispatch_cpu;
   match obj.ob_status with
   | Dead -> fail_work cl obj w Error.Object_crashed
@@ -616,6 +678,8 @@ let activate cl node name =
 
 let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
     ~passive =
+  Metrics.incr (nm cl node).m_ckpts;
+  Metrics.add (nm cl node).m_ckpt_bytes (Value.size_bytes repr);
   Disk.write (Machine.disk node.nd_machine) ~bytes:(Value.size_bytes repr);
   (match Name.Table.find_opt node.nd_store target with
   | Some snap ->
@@ -891,6 +955,7 @@ let enqueue_work cl obj w =
   if obj.ob_status = Dead then fail_work cl obj w Error.Object_crashed
   else begin
     cl.n_inv <- cl.n_inv + 1;
+    span_enter cl w Span.Queue;
     let ok = Mailbox.try_send obj.ob_queue w in
     assert ok
   end
@@ -903,6 +968,7 @@ let locate_once cl node name ~window =
     { loc_candidates = []; loc_active = Promise.create cl.eng }
   in
   add_pending node req_id.Message.seq (P_locate st);
+  Metrics.incr (nm cl node).m_locates;
   Transport.broadcast node.nd_tp
     (Message.Locate_request { req_id; target = name; reply_to = node.nd_id });
   let early = Promise.await ~timeout:window st.loc_active in
@@ -970,11 +1036,20 @@ let locate cl node name ~deadline =
         | (`Nowhere | `Deadline) as r -> r)
 
 (* Send the request to [dst] and wait for the outcome. *)
-let send_request_and_wait cl node ~dst ~deadline ~may_activate cap ~op args =
+let send_request_and_wait cl node ~dst ~deadline ~may_activate ~span cap ~op
+    args =
   let inv_id = new_request_id node in
   let pr = Promise.create cl.eng in
   add_pending node inv_id.Message.seq (P_invoke pr);
   cl.n_remote <- cl.n_remote + 1;
+  Metrics.incr (nm cl node).m_remote;
+  (match span with
+  | Some sp ->
+    Span.note_remote sp;
+    (* Transport covers marshalling on both ends, MAC contention and
+       forwarding hops; it ends when the target enqueues the work. *)
+    Span.enter sp Span.Transport ~at:(Engine.now cl.eng)
+  | None -> ());
   consume node
     (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
   send_msg cl node ~dst
@@ -988,6 +1063,7 @@ let send_request_and_wait cl node ~dst ~deadline ~may_activate cap ~op args =
          reply_to = node.nd_id;
          hops = 0;
          may_activate;
+         span;
        });
   let outcome = Promise.await ?timeout:(remaining cl.eng deadline) pr in
   Hashtbl.remove node.nd_pending inv_id.Message.seq;
@@ -1009,7 +1085,7 @@ let send_request_and_wait cl node ~dst ~deadline ~may_activate cap ~op args =
     `Result r
   | Some Inv_nacked -> `Nacked
 
-let dispatch_local_and_wait cl obj ~deadline cap ~op args =
+let dispatch_local_and_wait cl obj ~deadline ~span cap ~op args =
   let pr = Promise.create cl.eng in
   enqueue_work cl obj
     {
@@ -1017,27 +1093,40 @@ let dispatch_local_and_wait cl obj ~deadline cap ~op args =
       w_args = args;
       w_presented = Capability.rights cap;
       w_route = Reply_local pr;
+      w_span = span;
     };
   match Promise.await ?timeout:(remaining cl.eng deadline) pr with
   | Some r -> r
   | None -> Error Error.Timeout
 
-let do_invoke cl ~from ?timeout cap ~op args =
+let do_invoke cl ~from ?timeout ?parent cap ~op args =
   let node = node_of cl from in
   if not node.nd_up then Error Error.Node_down
   else begin
     let deadline = deadline_of ?timeout cl.eng in
     let name = Capability.name cap in
+    Metrics.incr (nm cl node).m_inv;
+    let parent =
+      match parent with Some _ as p -> p | None -> current_span cl
+    in
+    let sp =
+      Span.start cl.c_spans ?parent ~op ~target:(Name.to_string name)
+        ~origin:from ~at:(Engine.now cl.eng) ()
+    in
+    let span = Some sp in
     consume node (costs node).Costs.invoke_request_cpu;
     let rec attempt ~nack_budget =
+      (* A nack retry re-opens the Locate phase. *)
+      Span.enter sp Span.Locate ~at:(Engine.now cl.eng);
       consume node (costs node).Costs.locate_lookup_cpu;
       (* Local fast paths: active object, replica, or authoritative
          passive snapshot on this very node. *)
       match Name.Table.find_opt node.nd_active name with
-      | Some obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+      | Some obj -> dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
       | None -> (
         match Name.Table.find_opt node.nd_replicas name with
-        | Some obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+        | Some obj ->
+          dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
         | None -> (
           let local_passive =
             match Name.Table.find_opt node.nd_store name with
@@ -1046,7 +1135,8 @@ let do_invoke cl ~from ?timeout cap ~op args =
           in
           if local_passive then
             match activate cl node name with
-            | Ok obj -> dispatch_local_and_wait cl obj ~deadline cap ~op args
+            | Ok obj ->
+              dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
             | Error e -> Error e
           else begin
             (* Remote: follow a hint if we have one, else locate. *)
@@ -1060,6 +1150,9 @@ let do_invoke cl ~from ?timeout cap ~op args =
                   | Some h when h <> node.nd_id -> Some h
                   | Some _ | None -> None)
             in
+            (match hinted with
+            | Some _ -> Metrics.incr (nm cl node).m_hint_hit
+            | None -> Metrics.incr (nm cl node).m_hint_miss);
             let dst =
               match hinted with
               | Some h -> `Send (h, false)
@@ -1087,18 +1180,25 @@ let do_invoke cl ~from ?timeout cap ~op args =
               else attempt ~nack_budget:(nack_budget - 1)
             | `Send (dst, may_activate) -> (
               match
-                send_request_and_wait cl node ~dst ~deadline ~may_activate cap
-                  ~op args
+                send_request_and_wait cl node ~dst ~deadline ~may_activate
+                  ~span cap ~op args
               with
               | `Result r -> r
               | `Nacked ->
+                Metrics.incr (nm cl node).m_nacks;
                 Name.Table.remove node.nd_hints name;
                 Name.Table.remove node.nd_forward name;
                 if nack_budget <= 0 then Error Error.No_such_object
                 else attempt ~nack_budget:(nack_budget - 1))
           end))
     in
-    attempt ~nack_budget:2
+    let r = attempt ~nack_budget:2 in
+    let outcome =
+      match r with Ok _ -> "ok" | Error e -> Error.to_string e
+    in
+    Span.finish sp ~outcome ~at:(Engine.now cl.eng);
+    Metrics.observe_time cl.c_lat (Span.duration sp);
+    r
   end
 
 (* Create an object on a possibly-remote node. *)
@@ -1155,10 +1255,14 @@ let deliver_reply_at cl node route result =
 let handle_inv_request cl node ~src:_ r =
   match r with
   | Message.Inv_request
-      { inv_id; target; op; args; presented; reply_to; hops; may_activate }
+      { inv_id; target; op; args; presented; reply_to; hops; may_activate;
+        span }
     -> (
     let route = Reply_remote { requester = reply_to; inv_id } in
-    let w = { w_op = op; w_args = args; w_presented = presented; w_route = route } in
+    let w =
+      { w_op = op; w_args = args; w_presented = presented; w_route = route;
+        w_span = span }
+    in
     let nack () =
       send_msg cl node ~dst:reply_to (Message.Inv_nack { inv_id; target })
     in
@@ -1203,6 +1307,7 @@ let handle_inv_request cl node ~src:_ r =
                    reply_to;
                    hops = hops + 1;
                    may_activate;
+                   span;
                  });
             (* Repair the requester's knowledge of the new location. *)
             if reply_to <> node.nd_id then
@@ -1397,6 +1502,63 @@ let install_node_object cl node name =
     spawn_coordinator cl obj;
     Name.Table.replace node.nd_active name obj
 
+(* Sampled instruments: read pre-existing component counters (engine,
+   MAC layer, hardware) at snapshot time instead of threading the
+   registry through those layers. *)
+let register_collectors cl =
+  let reg = cl.c_metrics in
+  Metrics.register_counter_fn reg "sim.events" (fun () ->
+      Engine.events_processed cl.eng);
+  Metrics.register_counter_fn reg "sim.processes_spawned" (fun () ->
+      Engine.processes_spawned cl.eng);
+  Metrics.register_gauge_fn reg "sim.processes_live" (fun () ->
+      float_of_int (Engine.live_processes cl.eng));
+  Metrics.register_gauge_fn reg "sim.runnable" (fun () ->
+      float_of_int (Engine.runnable_processes cl.eng));
+  Metrics.register_counter_fn reg "net.bridge_forwards" (fun () ->
+      Transport.bridge_forwards cl.c_lan);
+  for seg = 0 to Transport.segment_count cl.c_lan - 1 do
+    let labels = [ ("segment", string_of_int seg) ] in
+    let c name field =
+      Metrics.register_counter_fn reg ~labels name (fun () ->
+          field (Transport.segment_counters cl.c_lan).(seg))
+    in
+    let open Eden_net in
+    c "net.frames_sent" (fun k -> k.Lan.frames_sent);
+    c "net.frames_broadcast" (fun k -> k.Lan.frames_broadcast);
+    c "net.frames_delivered" (fun k -> k.Lan.frames_delivered);
+    c "net.frames_dropped" (fun k -> k.Lan.frames_dropped);
+    c "net.bytes_delivered" (fun k -> k.Lan.payload_bytes_delivered);
+    c "net.collisions" (fun k -> k.Lan.collision_events);
+    c "net.backoffs" (fun k -> k.Lan.backoffs)
+  done;
+  Array.iter
+    (fun node ->
+      let labels = [ ("node", string_of_int node.nd_id) ] in
+      let g name f = Metrics.register_gauge_fn reg ~labels name f in
+      let c name f = Metrics.register_counter_fn reg ~labels name f in
+      let machine = node.nd_machine in
+      g "hw.cpu_utilisation" (fun () ->
+          let over = Engine.now cl.eng in
+          if Time.is_zero over then 0.0
+          else Cpu.utilisation (Machine.cpu machine) ~over);
+      c "hw.cpu_jobs" (fun () -> Cpu.jobs_completed (Machine.cpu machine));
+      g "hw.disk_utilisation" (fun () ->
+          let over = Engine.now cl.eng in
+          if Time.is_zero over then 0.0
+          else Disk.utilisation (Machine.disk machine) ~over);
+      c "hw.disk_reads" (fun () -> Disk.reads (Machine.disk machine));
+      c "hw.disk_writes" (fun () -> Disk.writes (Machine.disk machine));
+      c "hw.disk_bytes_read" (fun () ->
+          Disk.bytes_read (Machine.disk machine));
+      c "hw.disk_bytes_written" (fun () ->
+          Disk.bytes_written (Machine.disk machine));
+      g "eden.active_objects" (fun () ->
+          float_of_int (Name.Table.length node.nd_active));
+      g "eden.mem_available_bytes" (fun () ->
+          float_of_int (Memory.available node.nd_mem)))
+    cl.nodes
+
 let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
     () =
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
@@ -1462,6 +1624,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
            })
          configs)
   in
+  let reg = Metrics.create () in
   let cl =
     {
       eng;
@@ -1474,8 +1637,32 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
       c_node_objects = [||];
       n_inv = 0;
       n_remote = 0;
+      c_metrics = reg;
+      c_spans = Span.create ();
+      c_lat =
+        Metrics.histogram reg ~buckets:latency_buckets
+          "eden.invocation_latency_s";
+      c_nm =
+        Array.init n_nodes (fun i ->
+            let labels = [ ("node", string_of_int i) ] in
+            {
+              m_inv = Metrics.counter reg ~labels "eden.invocations";
+              m_remote =
+                Metrics.counter reg ~labels "eden.invocations_remote";
+              m_dispatch = Metrics.counter reg ~labels "eden.dispatches";
+              m_hint_hit = Metrics.counter reg ~labels "eden.hint_hits";
+              m_hint_miss = Metrics.counter reg ~labels "eden.hint_misses";
+              m_locates =
+                Metrics.counter reg ~labels "eden.locate_broadcasts";
+              m_nacks = Metrics.counter reg ~labels "eden.nacks";
+              m_ckpts = Metrics.counter reg ~labels "eden.checkpoints";
+              m_ckpt_bytes =
+                Metrics.counter reg ~labels "eden.checkpoint_bytes";
+            });
+      c_span_ctx = Hashtbl.create 64;
     }
   in
+  register_collectors cl;
   Array.iter
     (fun node ->
       Transport.on_message node.nd_tp (fun ~src msg ->
@@ -1718,6 +1905,11 @@ let checkpoint_sites cl cap =
 let active_objects cl i = Name.Table.length (node_of cl i).nd_active
 let stats_invocations cl = cl.n_inv
 let stats_remote_invocations cl = cl.n_remote
+let metrics cl = cl.c_metrics
+let spans cl = cl.c_spans
+
+let metrics_snapshot cl =
+  Eden_obs.Snapshot.take ~at:(Engine.now cl.eng) ~spans:cl.c_spans cl.c_metrics
 
 (* -------------------------------------------------------------------- *)
 (* Running *)

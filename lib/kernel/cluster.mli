@@ -164,6 +164,26 @@ val stats_invocations : t -> int
 
 val stats_remote_invocations : t -> int
 
+(** {1 Observability}
+
+    Every cluster owns a metrics registry and a span collector.  The
+    kernel instruments the invocation path (per-node counters for
+    invocations, hint-cache hits and misses, locate broadcasts, nacks
+    and checkpoints, plus an end-to-end latency histogram), and
+    registers sampled collectors over the network, engine and hardware
+    counters.  Each invocation records an {!Eden_obs.Span} with its
+    locate/transport/queue/dispatch/execute/reply phase breakdown;
+    nested [ctx.invoke] calls carry parent links. *)
+
+val metrics : t -> Eden_obs.Metrics.t
+(** The registry; callers may add their own instruments. *)
+
+val spans : t -> Eden_obs.Span.collector
+
+val metrics_snapshot : t -> Eden_obs.Snapshot.t
+(** Sample every instrument and the retained spans at the current
+    virtual time. *)
+
 (** {1 Running} *)
 
 val in_process :

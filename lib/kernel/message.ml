@@ -12,6 +12,7 @@ type t =
       reply_to : int;
       hops : int;
       may_activate : bool;
+      span : Eden_obs.Span.t option;
     }
   | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
   | Inv_nack of { inv_id : request_id; target : Name.t }

@@ -24,6 +24,10 @@ type t =
               broadcast window, so the receiving checksite may
               reincarnate from its snapshot even if it never saw a
               passivation notice (e.g. after a node power-off) *)
+      span : Eden_obs.Span.t option;
+          (** observability metadata riding along in the simulator's
+              shared address space; does not contribute to
+              {!size_bytes} *)
     }
   | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
   | Inv_nack of { inv_id : request_id; target : Name.t }

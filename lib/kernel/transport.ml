@@ -10,6 +10,7 @@ let create_net ?params ?bridge_latency eng ~segments =
 let segment_count = Internet.segment_count
 let frames_delivered = Internet.frames_delivered
 let bridge_forwards = Internet.bridge_forwards
+let segment_counters = Internet.segment_counters
 let attach net ~segment ~name = Internet.attach net ~segment ~name
 let address = Internet.address
 let segment = Internet.segment_of_endpoint

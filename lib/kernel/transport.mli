@@ -23,6 +23,9 @@ val segment_count : net -> int
 val frames_delivered : net -> int
 val bridge_forwards : net -> int
 
+val segment_counters : net -> Eden_net.Lan.counters array
+(** Per-segment MAC counters, indexed by segment. *)
+
 type t
 (** A node's transport endpoint. *)
 

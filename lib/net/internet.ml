@@ -159,3 +159,4 @@ let frames_delivered net =
     0 net.lans
 
 let bridge_forwards net = net.n_bridge_forwards
+let segment_counters net = Array.map Lan.counters net.lans

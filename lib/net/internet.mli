@@ -54,3 +54,6 @@ val frames_delivered : 'a t -> int
 
 val bridge_forwards : 'a t -> int
 (** Messages the bridge carried between segments. *)
+
+val segment_counters : 'a t -> Lan.counters array
+(** Per-segment MAC counters, indexed by segment. *)

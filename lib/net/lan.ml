@@ -15,6 +15,7 @@ type medium_state = Idle | Contending | Busy
 
 type counters = {
   frames_sent : int;
+  frames_broadcast : int;
   frames_delivered : int;
   frames_dropped : int;
   payload_bytes_delivered : int;
@@ -42,6 +43,7 @@ and 'a t = {
   mutable window : 'a contender list;  (** contenders in the open window *)
   mutable busy : Time.t;
   mutable c_sent : int;
+  mutable c_broadcast : int;
   mutable c_delivered : int;
   mutable c_dropped : int;
   mutable c_bytes : int;
@@ -63,6 +65,7 @@ let create ?(params = Params.default) eng =
     window = [];
     busy = Time.zero;
     c_sent = 0;
+    c_broadcast = 0;
     c_delivered = 0;
     c_dropped = 0;
     c_bytes = 0;
@@ -217,7 +220,7 @@ let send st ~dest ~bytes payload =
     if a = st.st_addr then invalid_arg "Lan.send: destination is self";
     if a < 0 || a >= Array.length lan.stations then
       invalid_arg "Lan.send: no such station"
-  | Broadcast -> ());
+  | Broadcast -> lan.c_broadcast <- lan.c_broadcast + 1);
   lan.c_sent <- lan.c_sent + 1;
   let frame =
     { src = st.st_addr; dest; bytes; payload; sent_at = Engine.now lan.eng }
@@ -229,6 +232,7 @@ let send st ~dest ~bytes payload =
 let counters lan =
   {
     frames_sent = lan.c_sent;
+    frames_broadcast = lan.c_broadcast;
     frames_delivered = lan.c_delivered;
     frames_dropped = lan.c_dropped;
     payload_bytes_delivered = lan.c_bytes;

@@ -58,6 +58,7 @@ val send : 'a station -> dest:dest -> bytes:int -> 'a -> unit
 
 type counters = {
   frames_sent : int;  (** accepted by {!send} *)
+  frames_broadcast : int;  (** subset of [frames_sent] with [dest = Broadcast] *)
   frames_delivered : int;
   frames_dropped : int;  (** exceeded [max_attempts] *)
   payload_bytes_delivered : int;

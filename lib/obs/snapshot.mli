@@ -1,0 +1,44 @@
+(** A point-in-time export of the whole observability state.
+
+    A snapshot pairs the registry's sampled metrics with the retained
+    invocation spans at a given virtual time.  It serialises to a
+    stable JSON schema ([eden-metrics/1]) and parses back, so external
+    tooling — and the repo's own tests — can verify every exported
+    number. *)
+
+type t = {
+  at : Eden_util.Time.t;  (** virtual time of the sample *)
+  metrics : Metrics.sample list;
+  spans : Span.info list;
+}
+
+val take : at:Eden_util.Time.t -> ?spans:Span.collector -> Metrics.t -> t
+(** Sample the registry (and, when given, drain-read the collector's
+    retained spans). *)
+
+val find : t -> ?labels:Metrics.labels -> string -> Metrics.value option
+
+val to_json : t -> Json.t
+(** Schema:
+    {v
+    { "schema":  "eden-metrics/1",
+      "at_ns":   <int>,
+      "metrics": [ { "name": ..., "labels": {...}, "kind": "counter",
+                     "value": <int> }
+                 | { ..., "kind": "gauge", "value": <float> }
+                 | { ..., "kind": "histogram", "bounds": [...],
+                     "counts": [...], "overflow": <int>,
+                     "count": <int>, "sum": <float> } ],
+      "spans":   [ <Span.info_to_json> ... ] }
+    v} *)
+
+val of_json : Json.t -> (t, string) result
+
+val to_string : ?compact:bool -> t -> string
+val of_string : string -> (t, string) result
+
+val pp_table : t -> string
+(** Render the metric samples as aligned ASCII tables: one table with
+    node-labelled metrics as rows and nodes as columns, one for
+    segment-labelled metrics, one for everything else (histograms show
+    count / mean). *)

@@ -278,3 +278,9 @@ let live_processes eng =
     (fun _ p acc ->
       match p.p_state with Done -> acc | Sched | Run | Blocked _ -> acc + 1)
     eng.procs 0
+
+let runnable_processes eng =
+  Hashtbl.fold
+    (fun _ p acc ->
+      match p.p_state with Sched | Run -> acc + 1 | Blocked _ | Done -> acc)
+    eng.procs 0

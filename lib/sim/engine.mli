@@ -114,6 +114,10 @@ val events_processed : t -> int
 val processes_spawned : t -> int
 val live_processes : t -> int
 
+val runnable_processes : t -> int
+(** Live processes that are scheduled or running (not suspended): the
+    instantaneous depth of the runnable queue. *)
+
 val blocked_processes : t -> Pid.t list
 (** Processes currently suspended on {!suspend} (diagnostics for
     deadlock reports), ordered by pid. *)

@@ -24,12 +24,15 @@ let category_name = function
   | Efs -> "efs"
   | App -> "app"
 
+type subscription = int
+
 type t = {
   ring : record Fifo.t;
   keep : int;
   counts : int array;
   mutable on : bool;
-  mutable subscribers : (record -> unit) list;
+  mutable next_sub : subscription;
+  mutable subscribers : (subscription * (record -> unit)) list;
 }
 
 let create ?(keep = 4096) () =
@@ -39,6 +42,7 @@ let create ?(keep = 4096) () =
     keep;
     counts = Array.make (Array.length categories) 0;
     on = false;
+    next_sub = 0;
     subscribers = [];
   }
 
@@ -53,7 +57,7 @@ let emit t time category message =
     t.counts.(i) <- t.counts.(i) + 1;
     if Fifo.length t.ring >= t.keep then ignore (Fifo.pop t.ring);
     Fifo.push_exn t.ring r;
-    List.iter (fun f -> f r) t.subscribers
+    List.iter (fun (_, f) -> f r) t.subscribers
   end
 
 let emitf t time category fmt =
@@ -61,7 +65,14 @@ let emitf t time category fmt =
     Format.kasprintf (fun message -> emit t time category message) fmt
   else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
 
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.subscribers <- t.subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe t id =
+  t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers
 let recent t = Fifo.to_list t.ring
 let count t category = t.counts.(category_index category)
 let total t = Array.fold_left ( + ) 0 t.counts

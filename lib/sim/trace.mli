@@ -41,8 +41,16 @@ val emitf :
 (** Formatted emission; the format arguments are not evaluated while
     tracing is disabled. *)
 
-val subscribe : t -> (record -> unit) -> unit
-(** Called synchronously for every record while enabled. *)
+type subscription
+(** Handle for removing a subscriber again. *)
+
+val subscribe : t -> (record -> unit) -> subscription
+(** Called synchronously for every record while enabled.  Keep the
+    returned handle and {!unsubscribe} when done — subscribers live as
+    long as the trace otherwise. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Idempotent. *)
 
 val recent : t -> record list
 (** Oldest first, up to [keep] records. *)

@@ -1,0 +1,388 @@
+(* Tests for the observability library: metrics registry, invocation
+   spans, JSON snapshots, and the kernel's instrumentation of the
+   invocation path. *)
+
+open Eden_util
+open Eden_sim
+open Eden_obs
+open Eden_kernel
+open Api
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_registry_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~labels:[ ("node", "0") ] "inv" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter value" 5 (Metrics.counter_value c);
+  (* Same (name, labels) returns the same instrument. *)
+  let c' = Metrics.counter reg ~labels:[ ("node", "0") ] "inv" in
+  Metrics.incr c';
+  check_int "shared by name" 6 (Metrics.counter_value c);
+  (* Labels are order-insensitive. *)
+  let g = Metrics.gauge reg ~labels:[ ("a", "1"); ("b", "2") ] "depth" in
+  Metrics.set g 3.5;
+  let g' = Metrics.gauge reg ~labels:[ ("b", "2"); ("a", "1") ] "depth" in
+  check_bool "label order irrelevant" true (Metrics.gauge_value g' = 3.5);
+  (* Kind mismatch on an existing name is rejected. *)
+  check_bool "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge reg ~labels:[ ("node", "0") ] "inv");
+       false
+     with Invalid_argument _ -> true);
+  (* Counters are monotonic. *)
+  check_bool "negative add raises" true
+    (try
+       Metrics.add c (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sample_determinism () =
+  let reg = Metrics.create () in
+  (* Register out of order; samples must come back sorted and stable. *)
+  Metrics.incr (Metrics.counter reg ~labels:[ ("node", "1") ] "inv");
+  Metrics.incr (Metrics.counter reg ~labels:[ ("node", "0") ] "inv");
+  Metrics.register_gauge_fn reg "live" (fun () -> 7.0);
+  let s1 = Metrics.sample reg in
+  let s2 = Metrics.sample reg in
+  check_bool "two samples identical" true (s1 = s2);
+  check_int "three samples" 3 (List.length s1);
+  (match List.map (fun s -> (s.Metrics.s_name, s.Metrics.s_labels)) s1 with
+  | [ ("inv", [ ("node", "0") ]); ("inv", [ ("node", "1") ]); ("live", []) ]
+    ->
+    ()
+  | other ->
+    Alcotest.failf "unexpected sample order: %s"
+      (String.concat "; " (List.map (fun (n, _) -> n) other)));
+  check_bool "sampled closure read" true
+    (Metrics.find s1 "live" = Some (Metrics.Gauge 7.0))
+
+let test_histogram_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 1.0; 2.0; 5.0 |] "lat" in
+  List.iter (Metrics.observe h) [ 1.0; 1.5; 2.0; 5.0; 7.0; 0.5 ];
+  match Metrics.find (Metrics.sample reg) "lat" with
+  | Some (Metrics.Histogram v) ->
+    (* v <= bound lands in the first such bucket; beyond the last bound
+       counts as overflow. *)
+    check_bool "bucket counts" true (v.Metrics.counts = [| 2; 2; 1 |]);
+    check_int "overflow" 1 v.Metrics.overflow;
+    check_int "total count" 6 v.Metrics.count;
+    check_bool "sum" true (abs_float (v.Metrics.sum -. 17.0) < 1e-9);
+    check_bool "non-increasing bounds rejected" true
+      (try
+         ignore (Metrics.histogram reg ~buckets:[| 2.0; 2.0 |] "bad");
+         false
+       with Invalid_argument _ -> true)
+  | _ -> Alcotest.fail "histogram sample missing"
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_phases_sum () =
+  let col = Span.create () in
+  let sp = Span.start col ~op:"read" ~target:"obj" ~origin:1 ~at:Time.zero () in
+  Span.enter sp Span.Transport ~at:(Time.us 10);
+  Span.note_remote sp;
+  Span.enter sp Span.Queue ~at:(Time.us 25);
+  Span.enter sp Span.Dispatch ~at:(Time.us 30);
+  Span.enter sp Span.Execute ~at:(Time.us 50);
+  (* A nack retry re-enters Locate; the sum property must survive. *)
+  Span.enter sp Span.Locate ~at:(Time.us 60);
+  Span.enter sp Span.Execute ~at:(Time.us 75);
+  Span.enter sp Span.Reply ~at:(Time.us 90);
+  Span.finish sp ~outcome:"ok" ~at:(Time.us 100);
+  check_int "duration" 100_000 (Time.to_ns (Span.duration sp));
+  let info =
+    match Span.last_finished col with
+    | Some i -> i
+    | None -> Alcotest.fail "no finished span"
+  in
+  let phase_sum =
+    List.fold_left
+      (fun acc (_, d) -> acc + Time.to_ns d)
+      0 info.Span.i_phases
+  in
+  check_int "phases partition the lifetime" 100_000 phase_sum;
+  check_int "locate re-entered" 25_000
+    (Time.to_ns (Span.info_phase info Span.Locate));
+  check_int "execute accumulated" 25_000
+    (Time.to_ns (Span.info_phase info Span.Execute));
+  check_bool "remote noted" true info.Span.i_remote;
+  check_string "outcome" "ok" info.Span.i_outcome;
+  (* finish is idempotent; enter on a finished span is a no-op. *)
+  Span.finish sp ~outcome:"late" ~at:(Time.ms 5);
+  Span.enter sp Span.Execute ~at:(Time.ms 5);
+  check_int "still one retained" 1 (Span.finished_count col);
+  check_string "first outcome wins" "ok"
+    (match Span.last_finished col with
+    | Some i -> i.Span.i_outcome
+    | None -> "?")
+
+let test_span_retention () =
+  let col = Span.create ~keep:2 () in
+  for i = 1 to 4 do
+    let sp =
+      Span.start col ~op:(string_of_int i) ~target:"t" ~origin:0
+        ~at:Time.zero ()
+    in
+    Span.finish sp ~outcome:"ok" ~at:(Time.us i)
+  done;
+  check_int "all counted" 4 (Span.finished_count col);
+  check_bool "only the last two retained" true
+    (List.map (fun i -> i.Span.i_op) (Span.finished col) = [ "3"; "4" ])
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot JSON *)
+
+let test_snapshot_roundtrip () =
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg ~labels:[ ("node", "0") ] "inv") 3;
+  Metrics.set (Metrics.gauge reg "util") 0.12345678901;
+  let h = Metrics.histogram reg ~buckets:[| 0.001; 0.01 |] "lat" in
+  Metrics.observe h 0.002;
+  Metrics.observe h 0.5;
+  let col = Span.create () in
+  let parent =
+    Span.start col ~op:"outer" ~target:"a" ~origin:0 ~at:Time.zero ()
+  in
+  let child =
+    Span.start col ~parent ~op:"inner" ~target:"b" ~origin:1
+      ~at:(Time.us 5) ()
+  in
+  Span.note_remote child;
+  Span.finish child ~outcome:"ok" ~at:(Time.us 9);
+  Span.finish parent ~outcome:"timeout" ~at:(Time.us 20);
+  let snap = Snapshot.take ~at:(Time.ms 3) ~spans:col reg in
+  (* Compact and indented renderings parse back to the same value. *)
+  List.iter
+    (fun compact ->
+      match Snapshot.of_string (Snapshot.to_string ~compact snap) with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok snap' ->
+        check_bool "roundtrip preserves everything" true (snap' = snap))
+    [ true; false ];
+  (* Parent links survive the trip. *)
+  match Snapshot.of_string (Snapshot.to_string snap) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok snap' ->
+    let inner =
+      match Span.children snap'.Snapshot.spans (Span.id parent) with
+      | [ i ] -> i
+      | l -> Alcotest.failf "expected one child, got %d" (List.length l)
+    in
+    check_string "child op" "inner" inner.Span.i_op;
+    check_bool "child remote" true inner.Span.i_remote
+
+let test_snapshot_rejects_garbage () =
+  check_bool "not json" true (Result.is_error (Snapshot.of_string "{"));
+  check_bool "wrong schema" true
+    (Result.is_error (Snapshot.of_string "{\"schema\":\"nope\"}"))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel instrumentation *)
+
+let relay_type =
+  Typemgr.make_exn ~name:"obs_relay"
+    [
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+      Typemgr.operation "spin" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          ctx.compute (Time.us 50);
+          reply []);
+      Typemgr.operation "relay_get" ~mutates:false (fun ctx args ->
+          let* v = arg1 args in
+          let* target = cap_arg v in
+          let* r = ctx.invoke target ~op:"get" [] in
+          reply r);
+    ]
+
+let with_cluster ?seed ?(n = 3) body =
+  let cl = Cluster.default ?seed ~n_nodes:n () in
+  Cluster.register_type cl relay_type;
+  let result = ref None in
+  let _ = Cluster.in_process cl (fun () -> result := Some (body cl)) in
+  Cluster.run cl;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "driver did not complete"
+
+let test_remote_span_matches_latency () =
+  with_cluster (fun cl ->
+      let cap =
+        ok_or_fail "create"
+          (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+             (Value.Int 7))
+      in
+      let eng = Cluster.engine cl in
+      let t0 = Engine.now eng in
+      ignore
+        (ok_or_fail "invoke" (Cluster.invoke cl ~from:0 cap ~op:"spin" []));
+      let latency = Time.diff (Engine.now eng) t0 in
+      let info =
+        match Span.last_finished (Cluster.spans cl) with
+        | Some i -> i
+        | None -> Alcotest.fail "no span recorded"
+      in
+      check_string "span op" "spin" info.Span.i_op;
+      check_int "origin node" 0 info.Span.i_origin;
+      check_bool "crossed the wire" true info.Span.i_remote;
+      check_string "outcome" "ok" info.Span.i_outcome;
+      (* The span's end-to-end duration is the observed virtual-time
+         latency, and the phase durations partition it exactly. *)
+      check_int "span duration = observed latency" (Time.to_ns latency)
+        (Time.to_ns (Span.info_duration info));
+      let phase_sum =
+        List.fold_left
+          (fun acc (_, d) -> acc + Time.to_ns d)
+          0 info.Span.i_phases
+      in
+      check_int "phase sum = latency" (Time.to_ns latency) phase_sum;
+      check_bool "transport charged" true
+        Time.(Span.info_phase info Span.Transport > zero);
+      check_bool "execute charged the handler's compute" true
+        Time.(Span.info_phase info Span.Execute >= us 50))
+
+let test_local_span_skips_transport () =
+  with_cluster (fun cl ->
+      let cap =
+        ok_or_fail "create"
+          (Cluster.create_object cl ~node:0 ~type_name:"obs_relay"
+             (Value.Int 1))
+      in
+      ignore (ok_or_fail "invoke" (Cluster.invoke cl ~from:0 cap ~op:"get" []));
+      let info =
+        match Span.last_finished (Cluster.spans cl) with
+        | Some i -> i
+        | None -> Alcotest.fail "no span recorded"
+      in
+      check_bool "local" false info.Span.i_remote;
+      check_int "no transport" 0
+        (Time.to_ns (Span.info_phase info Span.Transport)))
+
+let test_nested_invoke_parent_link () =
+  with_cluster (fun cl ->
+      let a =
+        ok_or_fail "create a"
+          (Cluster.create_object cl ~node:0 ~type_name:"obs_relay"
+             (Value.Int 0))
+      in
+      let b =
+        ok_or_fail "create b"
+          (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+             (Value.Int 42))
+      in
+      (match
+         Cluster.invoke cl ~from:2 a ~op:"relay_get" [ Value.Cap b ]
+       with
+      | Ok [ Value.Int 42 ] -> ()
+      | Ok _ -> Alcotest.fail "unexpected relay result"
+      | Error e -> Alcotest.failf "relay: %s" (Error.to_string e));
+      let infos = Span.finished (Cluster.spans cl) in
+      let outer =
+        match
+          List.find_opt (fun i -> i.Span.i_op = "relay_get") infos
+        with
+        | Some i -> i
+        | None -> Alcotest.fail "outer span missing"
+      in
+      match Span.children infos outer.Span.i_id with
+      | [ inner ] ->
+        check_string "nested op" "get" inner.Span.i_op;
+        (* ctx.invoke runs in A's handler on node 0. *)
+        check_int "nested origin is the handler's node" 0
+          inner.Span.i_origin;
+        check_bool "nested finished inside the outer span" true
+          Time.(inner.Span.i_finish <= outer.Span.i_finish)
+      | l -> Alcotest.failf "expected one child span, got %d" (List.length l))
+
+let test_cluster_snapshot_contents () =
+  with_cluster (fun cl ->
+      let cap =
+        ok_or_fail "create"
+          (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+             (Value.Int 0))
+      in
+      for _ = 1 to 5 do
+        ignore
+          (ok_or_fail "invoke" (Cluster.invoke cl ~from:0 cap ~op:"get" []))
+      done;
+      let snap = Cluster.metrics_snapshot cl in
+      let counter name labels =
+        match Snapshot.find snap ~labels name with
+        | Some (Metrics.Counter n) -> n
+        | _ -> Alcotest.failf "missing counter %s" name
+      in
+      check_int "invocations from node 0" 5
+        (counter "eden.invocations" [ ("node", "0") ]);
+      check_int "all remote" 5
+        (counter "eden.invocations_remote" [ ("node", "0") ]);
+      check_int "dispatches on node 1" 5
+        (counter "eden.dispatches" [ ("node", "1") ]);
+      check_bool "first call misses the hint cache" true
+        (counter "eden.hint_misses" [ ("node", "0") ] >= 1);
+      check_bool "later calls hit it" true
+        (counter "eden.hint_hits" [ ("node", "0") ] >= 4);
+      check_bool "frames crossed segment 0" true
+        (counter "net.frames_sent" [ ("segment", "0") ] > 0);
+      check_bool "engine events sampled" true
+        (match Snapshot.find snap "sim.events" with
+        | Some (Metrics.Counter n) -> n > 0
+        | _ -> false);
+      (match Snapshot.find snap "eden.invocation_latency_s" with
+      | Some (Metrics.Histogram v) ->
+        check_int "every invocation observed" 5 v.Metrics.count
+      | _ -> Alcotest.fail "latency histogram missing");
+      check_int "spans retained" 5 (List.length snap.Snapshot.spans);
+      (* The exported snapshot passes its own round trip. *)
+      check_bool "export parses" true
+        (Result.is_ok (Snapshot.of_string (Snapshot.to_string snap))))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "registry basics" `Quick test_registry_basics;
+          Alcotest.test_case "sample determinism" `Quick
+            test_sample_determinism;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_buckets;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "phases sum" `Quick test_span_phases_sum;
+          Alcotest.test_case "retention" `Quick test_span_retention;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_snapshot_rejects_garbage;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "remote span = latency" `Quick
+            test_remote_span_matches_latency;
+          Alcotest.test_case "local span" `Quick
+            test_local_span_skips_transport;
+          Alcotest.test_case "parent links" `Quick
+            test_nested_invoke_parent_link;
+          Alcotest.test_case "snapshot contents" `Quick
+            test_cluster_snapshot_contents;
+        ] );
+    ]

@@ -611,7 +611,7 @@ let test_trace_roundtrip () =
   let tr = Trace.create ~keep:2 () in
   Trace.enable tr;
   let seen = ref 0 in
-  Trace.subscribe tr (fun _ -> incr seen);
+  let sub = Trace.subscribe tr (fun _ -> incr seen) in
   Trace.emit tr (t_ms 1) Trace.Net "one";
   Trace.emit tr (t_ms 2) Trace.Net "two";
   Trace.emit tr (t_ms 3) Trace.Kern "three";
@@ -621,7 +621,13 @@ let test_trace_roundtrip () =
   let tail = Trace.recent tr in
   Alcotest.(check (list string))
     "ring keeps last 2" [ "two"; "three" ]
-    (List.map (fun r -> r.Trace.message) tail)
+    (List.map (fun r -> r.Trace.message) tail);
+  (* Unsubscribing stops delivery; a second unsubscribe is a no-op. *)
+  Trace.unsubscribe tr sub;
+  Trace.emit tr (t_ms 4) Trace.Net "four";
+  check_int "unsubscribed: no new deliveries" 3 !seen;
+  Trace.unsubscribe tr sub;
+  check_int "idempotent" 3 !seen
 
 let test_trace_emitf_lazy () =
   let tr = Trace.create () in
