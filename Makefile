@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench examples smoke determinism clean
+.PHONY: all build check test bench examples smoke chaos determinism clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune exec bin/edenctl.exe -- synth --nodes 3 --requests 50 \
 	  --metrics-out /tmp/eden_metrics_smoke.json
 	dune exec bin/edenctl.exe -- metrics-check /tmp/eden_metrics_smoke.json
+	$(MAKE) chaos
 	@echo "check: OK"
 
 bench:
@@ -40,6 +41,17 @@ smoke:
 	dune exec bin/edenctl.exe -- efs --txns 6 --optimistic
 	printf 'mk doc d\nappend d hello\nshow d\nquit\n' | \
 	  dune exec bin/edenctl.exe -- edit --nodes 2
+
+# Fault injection: the chaos suite, then a same-seed chaos run twice —
+# the exported metrics snapshots must be byte-identical.
+chaos:
+	dune exec test/test_fault.exe
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
+	  --metrics-out /tmp/eden_chaos_a.json
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
+	  --metrics-out /tmp/eden_chaos_b.json
+	cmp /tmp/eden_chaos_a.json /tmp/eden_chaos_b.json
+	@echo "chaos: OK (deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

@@ -70,6 +70,7 @@ let scaling_table () =
   in
   let spec =
     {
+      Synthetic.default_spec with
       Synthetic.objects_per_node = 2;
       users_per_node = 3;
       requests_per_user = 30;

@@ -14,6 +14,7 @@ let nodes = 6
 
 let spec locality =
   {
+    Synthetic.default_spec with
     Synthetic.objects_per_node = 3;
     users_per_node = 2;
     requests_per_user = 30;

@@ -22,6 +22,7 @@ let experiments =
     ("E14", "edit/compile development workload", Exp_devel.run);
     ("E15", "two-segment Eden: bridge cost", Exp_segments.run);
     ("E16", "availability under node churn", Exp_availability.run);
+    ("E17", "availability under fault injection (checksites)", Exp_faults.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 

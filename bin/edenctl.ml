@@ -2,9 +2,12 @@
 
      edenctl demo      [--nodes N] [--seed S] [--trace] [--metrics-out FILE]
      edenctl mail      [--nodes N] [--users K] [--messages M] [--trace] [--metrics-out FILE]
-     edenctl synth     [--nodes N] [--locality F] [--requests R] [--trace] [--metrics-out FILE]
+     edenctl synth     [--nodes N] [--locality F] [--requests R] [--fault-plan FILE]
+                       [--trace] [--metrics-out FILE]
      edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace] [--metrics-out FILE]
      edenctl heartbeat [--nodes N] [--kill I] [--trace] [--metrics-out FILE]
+     edenctl chaos     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
+                       [--trace] [--metrics-out FILE]
      edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
      edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
@@ -37,6 +40,40 @@ let metrics_out_t =
         ~doc:
           "Write the final metrics snapshot (counters, gauges, histograms \
            and invocation spans) to $(docv) as JSON.")
+
+let fault_plan_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:
+          "Arm the fault plan in $(docv) (one 'at TIME ACTION' per \
+           line; see lib/fault/plan.mli for the grammar).")
+
+(* Parse + validate a plan file, or derive a random plan from the seed
+   when none was given (chaos does the latter; synth runs fault-free
+   without --fault-plan). *)
+let load_plan ~file ~seed ~nodes ~segments ~horizon ~default_random =
+  let plan =
+    match file with
+    | Some f -> (
+      match Eden_fault.Plan.of_file f with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "fault plan %s: %s\n" f msg;
+        exit 1)
+    | None ->
+      if default_random then
+        Eden_fault.Plan.random ~seed:(Int64.of_int seed) ~nodes ~segments
+          ~horizon
+      else Eden_fault.Plan.empty
+  in
+  (match Eden_fault.Plan.validate plan ~nodes ~segments with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "fault plan: %s\n" msg;
+    exit 1);
+  plan
 
 let write_metrics cl = function
   | None -> ()
@@ -167,18 +204,47 @@ let mail_cmd =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let run_synth nodes seed locality requests trace metrics_out =
+let run_synth nodes seed locality requests fault_plan trace metrics_out =
   let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
   setup_trace cl trace;
+  let ctl =
+    match fault_plan with
+    | None -> None
+    | Some _ ->
+      let plan =
+        load_plan ~file:fault_plan ~seed ~nodes ~segments:1
+          ~horizon:(Time.s 2) ~default_random:false
+      in
+      Some (Eden_fault.Controller.arm cl plan)
+  in
   let spec =
     {
       Eden_workload.Synthetic.default_spec with
       Eden_workload.Synthetic.locality;
       requests_per_user = requests;
+      (* Under a fault plan the users need a recovery policy, or a
+         crashed target strands them waiting for a reply forever. *)
+      timeout = (if ctl = None then None else Some (Time.ms 300));
+      retry = (if ctl = None then Api.no_retry else Api.default_retry);
     }
   in
-  let r = Eden_workload.Synthetic.run_eden cl spec in
+  (* Synth arms the plan at t=0, so its setup phase runs under the
+     plan too; a schedule that kills a node while the population is
+     still being created aborts the workload. *)
+  let r =
+    try Eden_workload.Synthetic.run_eden cl spec
+    with Invalid_argument msg ->
+      Printf.eprintf
+        "synth failed under the fault plan (%s); delay the first fault \
+         past workload setup\n"
+        msg;
+      exit 1
+  in
   Format.printf "%a@." Eden_workload.Synthetic.pp_results r;
+  (match ctl with
+  | None -> ()
+  | Some ctl ->
+    Printf.printf "faults injected: %d\n" (Eden_fault.Controller.injected ctl));
   dump_trace cl trace;
   write_metrics cl metrics_out;
   summary cl
@@ -197,8 +263,8 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthetic invocation workload.")
     Term.(
-      const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t $ trace_t
-      $ metrics_out_t)
+      const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t
+      $ fault_plan_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* efs *)
@@ -346,6 +412,146 @@ let heartbeat_cmd =
     Term.(
       const run_heartbeat $ nodes_t $ seed_t $ kill_t $ trace_t
       $ metrics_out_t)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: a request stream against mirrored counters while a fault
+   plan crashes nodes, fails disks, partitions segments and degrades
+   links.  Everything is driven by the virtual clock and the seed, so
+   two identical invocations produce byte-identical --metrics-out
+   files. *)
+
+let chaos_type =
+  let open Api in
+  Typemgr.make_exn ~name:"chaos_counter"
+    [
+      Typemgr.operation "config" (fun ctx args ->
+          (* [List sites]: mirror the checkpoint over the given nodes
+             and take the first one. *)
+          let* v = arg1 args in
+          let* sites =
+            Value.to_list v
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let sites =
+            List.filter_map (fun s -> Result.to_option (Value.to_int s)) sites
+          in
+          let* () = ctx.set_reliability (Reliability.Mirrored sites) in
+          let* () = ctx.checkpoint () in
+          reply_unit);
+      Typemgr.operation "incr" (fun ctx args ->
+          let* () = no_args args in
+          let* n = int_arg (ctx.get_repr ()) in
+          let* () = ctx.set_repr (Value.Int (n + 1)) in
+          (* Persist every update.  A partial checkpoint (some mirror
+             site down or disk-failed) still stored the copies it
+             could; the update itself succeeded, so reply Ok. *)
+          (match ctx.checkpoint () with Ok () | Error _ -> ());
+          reply [ Value.Int (n + 1) ]);
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+    ]
+
+let chaos_horizon = Time.s 2
+
+let run_chaos nodes seed fault_plan requests trace metrics_out =
+  if nodes < 2 then begin
+    Printf.eprintf "chaos needs --nodes >= 2\n";
+    exit 1
+  end;
+  (* Two bridged segments once the cluster is big enough, so partition
+     events have something to cut. *)
+  let segments =
+    if nodes >= 4 then [ nodes - (nodes / 2); nodes / 2 ] else [ nodes ]
+  in
+  let configs =
+    List.init nodes (fun i ->
+        Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
+  in
+  let cl =
+    Cluster.create ~seed:(Int64.of_int seed) ~segments ~configs ()
+  in
+  Cluster.register_type cl chaos_type;
+  setup_trace cl trace;
+  let plan =
+    load_plan ~file:fault_plan ~seed ~nodes
+      ~segments:(List.length segments) ~horizon:chaos_horizon
+      ~default_random:true
+  in
+  print_string "--- fault plan ---\n";
+  print_string (Eden_fault.Plan.to_string plan);
+  (* Setup phase, fault-free: one counter per node, mirrored on its
+     home and successor.  The plan is armed only once the objects
+     exist (its times are relative to that instant). *)
+  let caps = ref [||] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        caps :=
+          Array.init nodes (fun i ->
+              let cap =
+                match
+                  Cluster.create_object cl ~node:i ~type_name:"chaos_counter"
+                    (Value.Int 0)
+                with
+                | Ok c -> c
+                | Error e -> failwith ("create: " ^ Error.to_string e)
+              in
+              let sites =
+                [ Value.Int i; Value.Int ((i + 1) mod nodes) ]
+              in
+              (match
+                 Cluster.invoke cl ~from:i cap ~op:"config"
+                   [ Value.List sites ]
+               with
+              | Ok _ -> ()
+              | Error e -> failwith ("config: " ^ Error.to_string e));
+              cap))
+  in
+  Cluster.run cl;
+  let ctl = Eden_fault.Controller.arm ~seed:(Int64.of_int seed) cl plan in
+  let ok = ref 0 and failed = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        (* The request stream outlives the plan horizon, so the tail
+           of the run shows post-heal recovery. *)
+        for r = 0 to requests - 1 do
+          Engine.delay (Time.ms 10);
+          let cap = (!caps).(r mod nodes) in
+          match
+            Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+              ~retry:Api.default_retry cap ~op:"incr" []
+          with
+          | Ok _ -> incr ok
+          | Error _ -> incr failed
+        done)
+  in
+  Cluster.run cl;
+  let attempts = !ok + !failed in
+  Printf.printf
+    "chaos: %d/%d invocations completed (%.1f%% available), %d faults \
+     injected\n"
+    !ok attempts
+    (100.0 *. Float.of_int !ok /. Float.of_int (max 1 attempts))
+    (Eden_fault.Controller.injected ctl);
+  dump_trace cl trace;
+  write_metrics cl metrics_out;
+  summary cl
+
+let chaos_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 220
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Mirrored counters under a deterministic fault plan (random \
+          from --seed unless --fault-plan is given).")
+    Term.(
+      const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
+      $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:
@@ -706,6 +912,7 @@ let () =
             synth_cmd;
             efs_cmd;
             heartbeat_cmd;
+            chaos_cmd;
             stats_cmd;
             metrics_check_cmd;
             edit_cmd;

@@ -1,0 +1,121 @@
+open Eden_util
+open Eden_sim
+open Eden_kernel
+module Metrics = Eden_obs.Metrics
+
+type t = {
+  cl : Cluster.t;
+  rng : Splitmix.t;
+  links : (int * int, Plan.link_kind * float) Hashtbl.t;
+  mutable armed : bool;
+  mutable n_injected : int;
+  c_injected : Metrics.counter;
+  c_crashes : Metrics.counter;
+  c_restarts : Metrics.counter;
+  c_disk : Metrics.counter;
+  c_partitions : Metrics.counter;
+  c_drops : Metrics.counter;
+  c_dups : Metrics.counter;
+  c_delays : Metrics.counter;
+}
+
+let count ctl c =
+  ctl.n_injected <- ctl.n_injected + 1;
+  Metrics.incr ctl.c_injected;
+  Metrics.incr c
+
+let apply ctl ev =
+  let cl = ctl.cl in
+  let net = Cluster.network cl in
+  match (ev : Plan.event).action with
+  | Plan.Crash_node n ->
+    Cluster.crash_node cl n;
+    count ctl ctl.c_crashes
+  | Plan.Restart_node { node; rebuild } ->
+    Cluster.restart_node ~rebuild cl node;
+    count ctl ctl.c_restarts
+  | Plan.Fail_disk n ->
+    Cluster.set_disk_failed cl n true;
+    count ctl ctl.c_disk
+  | Plan.Heal_disk n -> Cluster.set_disk_failed cl n false
+  | Plan.Partition_segment s ->
+    Transport.set_partitioned net s true;
+    count ctl ctl.c_partitions
+  | Plan.Heal_segment s -> Transport.set_partitioned net s false
+  | Plan.Break_link { src; dst; kind; p } ->
+    Hashtbl.replace ctl.links (src, dst) (kind, p)
+  | Plan.Heal_link { src; dst } -> Hashtbl.remove ctl.links (src, dst)
+
+(* The per-message decision consulted by the transport.  Unicast only:
+   locate broadcasts and destroy notices stay reliable. *)
+let decide ctl ~src ~dst =
+  if not ctl.armed then Transport.Pass
+  else
+    match dst with
+    | None -> Transport.Pass
+    | Some g -> (
+      match Hashtbl.find_opt ctl.links (src, g) with
+      | None -> Transport.Pass
+      | Some (kind, p) ->
+        if not (Splitmix.coin ctl.rng p) then Transport.Pass
+        else (
+          match kind with
+          | Plan.Drop ->
+            count ctl ctl.c_drops;
+            Transport.Drop
+          | Plan.Duplicate ->
+            count ctl ctl.c_dups;
+            Transport.Duplicate
+          | Plan.Delay d ->
+            count ctl ctl.c_delays;
+            Transport.Delay d))
+
+let arm ?(seed = 0xFA17L) cl plan =
+  let reg = Cluster.metrics cl in
+  (* Instruments are created up front, in a fixed order, so the
+     registry's sample set does not depend on which faults happen to
+     fire — identical seeds then yield identical snapshots. *)
+  let ctl =
+    {
+      cl;
+      rng = Splitmix.create seed;
+      links = Hashtbl.create 8;
+      armed = true;
+      n_injected = 0;
+      c_injected = Metrics.counter reg "fault.injected";
+      c_crashes = Metrics.counter reg "fault.node_crashes";
+      c_restarts = Metrics.counter reg "fault.node_restarts";
+      c_disk = Metrics.counter reg "fault.disk_failures";
+      c_partitions = Metrics.counter reg "fault.partitions";
+      c_drops = Metrics.counter reg "fault.link_drops";
+      c_dups = Metrics.counter reg "fault.link_dups";
+      c_delays = Metrics.counter reg "fault.link_delays";
+    }
+  in
+  Transport.set_fault_injector (Cluster.network cl)
+    (Some (fun ~src ~dst -> decide ctl ~src ~dst));
+  let eng = Cluster.engine cl in
+  (* Plan times are relative to the instant of arming, so a plan can be
+     armed after a setup phase has consumed virtual time and still mean
+     what it says. *)
+  let now = Engine.now eng in
+  List.iter
+    (fun (ev : Plan.event) ->
+      let pid =
+        Engine.spawn eng ~name:"fault" ~at:(Time.add now ev.at) (fun () ->
+            apply ctl ev)
+      in
+      Engine.set_daemon eng pid)
+    (Plan.events plan);
+  ctl
+
+let injected ctl = ctl.n_injected
+
+let broken_links ctl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) ctl.links []
+  |> List.sort compare
+
+let disarm ctl =
+  ctl.armed <- false;
+  Hashtbl.reset ctl.links;
+  Transport.set_fault_injector (Cluster.network ctl.cl) None

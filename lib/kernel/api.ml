@@ -1,5 +1,23 @@
 type invoke_result = (Value.t list, Error.t) result
 
+type retry = {
+  r_max : int;
+  r_base : Eden_util.Time.t;
+  r_cap : Eden_util.Time.t;
+}
+
+let no_retry = { r_max = 0; r_base = Eden_util.Time.zero; r_cap = Eden_util.Time.zero }
+
+let default_retry =
+  { r_max = 3; r_base = Eden_util.Time.ms 50; r_cap = Eden_util.Time.s 2 }
+
+(* Capped exponential backoff before attempt [i+1] (the first attempt
+   is number 0 and waits nothing). *)
+let backoff p i =
+  let open Eden_util in
+  if Time.is_zero p.r_base then Time.zero
+  else Time.min p.r_cap (Time.scale p.r_base (1 lsl min i 20))
+
 type ctx = {
   self : Capability.t;
   node_id : unit -> int;
@@ -11,12 +29,14 @@ type ctx = {
   set_repr : Value.t -> (unit, Error.t) result;
   invoke :
     ?timeout:Eden_util.Time.t ->
+    ?retry:retry ->
     Capability.t ->
     op:string ->
     Value.t list ->
     invoke_result;
   invoke_async :
     ?timeout:Eden_util.Time.t ->
+    ?retry:retry ->
     Capability.t ->
     op:string ->
     Value.t list ->

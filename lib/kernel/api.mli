@@ -9,6 +9,27 @@
 
 type invoke_result = (Value.t list, Error.t) result
 
+type retry = {
+  r_max : int;  (** additional attempts after the first (0 = try once) *)
+  r_base : Eden_util.Time.t;  (** backoff before the first retry *)
+  r_cap : Eden_util.Time.t;  (** ceiling on any single backoff *)
+}
+(** Invocation retry policy: recovery is the requester's timeout (paper
+    Section 3.2), so a timed-out attempt may be re-issued after a
+    capped exponential backoff ([r_base], [2*r_base], [4*r_base], ...
+    never exceeding [r_cap]).  Only [Error.Timeout] is retried — every
+    other failure is a definitive answer from the system. *)
+
+val no_retry : retry
+(** Try exactly once (the historical behaviour). *)
+
+val default_retry : retry
+(** 3 retries, 50ms base, 2s cap. *)
+
+val backoff : retry -> int -> Eden_util.Time.t
+(** [backoff p i] is the pause before re-issuing after failed attempt
+    [i] (0-based): [min r_cap (r_base * 2^i)]. *)
+
 type ctx = {
   self : Capability.t;  (** full-rights capability for this object *)
   node_id : unit -> int;  (** the node currently executing us *)
@@ -21,15 +42,19 @@ type ctx = {
   get_repr : unit -> Value.t;
   set_repr : Value.t -> (unit, Error.t) result;
       (** fails with [Frozen_immutable] on frozen objects *)
-  (* invocation of other objects *)
+  (* invocation of other objects; [?timeout] bounds each attempt and
+     [?retry] (default {!no_retry}) re-issues timed-out attempts with
+     capped exponential backoff *)
   invoke :
     ?timeout:Eden_util.Time.t ->
+    ?retry:retry ->
     Capability.t ->
     op:string ->
     Value.t list ->
     invoke_result;
   invoke_async :
     ?timeout:Eden_util.Time.t ->
+    ?retry:retry ->
     Capability.t ->
     op:string ->
     Value.t list ->

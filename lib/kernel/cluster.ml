@@ -80,6 +80,10 @@ type node = {
   nd_machine : Machine.t;
   nd_tp : Transport.t;
   mutable nd_up : bool;
+  mutable nd_disk_ok : bool;
+      (* false while the checkpoint store is failed: snapshots can
+         neither be written nor read, so this node refuses checkpoint
+         writes, reincarnations and passive locate answers *)
   mutable nd_mem : Memory.t;
   nd_active : obj Name.Table.t;
   nd_replicas : obj Name.Table.t;
@@ -116,6 +120,9 @@ type node_metrics = {
   m_nacks : Metrics.counter;  (* nacked requests (stale location) *)
   m_ckpts : Metrics.counter;  (* snapshots written on this node's disk *)
   m_ckpt_bytes : Metrics.counter;
+  m_retries : Metrics.counter;  (* timed-out attempts re-issued *)
+  m_recoveries : Metrics.counter;  (* successful reincarnations here *)
+  m_orphans : Metrics.counter;  (* replies that arrived after timeout *)
 }
 
 type t = {
@@ -232,13 +239,14 @@ let ref_do_invoke :
     (t ->
     from:node_id ->
     ?timeout:Time.t ->
+    ?retry:Api.retry ->
     ?parent:Span.t ->
     Capability.t ->
     op:string ->
     Value.t list ->
     Api.invoke_result)
     ref =
-  ref (fun _ ~from:_ ?timeout:_ ?parent:_ _ ~op:_ _ ->
+  ref (fun _ ~from:_ ?timeout:_ ?retry:_ ?parent:_ _ ~op:_ _ ->
       raise (Fatal "not initialised"))
 
 let ref_do_crash : (t -> obj -> unit) ref =
@@ -304,10 +312,10 @@ let make_ctx cl obj =
           end
         end);
     invoke =
-      (fun ?timeout cap ~op args ->
-        !ref_do_invoke cl ~from:obj.ob_home ?timeout cap ~op args);
+      (fun ?timeout ?retry cap ~op args ->
+        !ref_do_invoke cl ~from:obj.ob_home ?timeout ?retry cap ~op args);
     invoke_async =
-      (fun ?timeout cap ~op args ->
+      (fun ?timeout ?retry cap ~op args ->
         (* Capture the parent span here: the spawned process has its
            own pid, so the per-pid lookup would miss it. *)
         let parent = current_span cl in
@@ -315,8 +323,8 @@ let make_ctx cl obj =
         let pid =
           Engine.spawn cl.eng ~name:"invoke_async" (fun () ->
               let r =
-                !ref_do_invoke cl ~from:obj.ob_home ?timeout ?parent cap ~op
-                  args
+                !ref_do_invoke cl ~from:obj.ob_home ?timeout ?retry ?parent
+                  cap ~op args
               in
               ignore (Promise.fill pr r))
         in
@@ -363,12 +371,17 @@ let make_ctx cl obj =
 (* -------------------------------------------------------------------- *)
 (* Delivering replies *)
 
-let resolve_inv_pending node seq outcome =
+let resolve_inv_pending cl node seq outcome =
   match take_pending node seq with
   | Some (P_invoke pr) -> ignore (Promise.fill pr outcome)
   | Some (P_locate _ | P_create _ | P_ack _) ->
     raise (Fatal "pending kind mismatch for invocation reply")
-  | None -> () (* late reply after timeout: dropped *)
+  | None -> (
+    (* Late reply after the requester gave up: the operation may have
+       executed, but nobody is listening — the paper's orphan. *)
+    match outcome with
+    | Inv_result _ -> Metrics.incr (nm cl node).m_orphans
+    | Inv_nacked -> ())
 
 let deliver_reply cl obj route result =
   let node = home cl obj in
@@ -377,7 +390,7 @@ let deliver_reply cl obj route result =
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
       (* The object moved to the requester's node mid-request. *)
-      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
+      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
     else
       send_msg cl node ~dst:requester
         (Message.Inv_reply { inv_id; result })
@@ -619,6 +632,9 @@ let activate cl node name =
     | None -> (
       match Name.Table.find_opt node.nd_store name with
       | None -> Error Error.No_such_object
+      | Some _ when not node.nd_disk_ok ->
+        (* The snapshot exists but cannot be read back. *)
+        Error Error.Disk_failed
       | Some snap -> (
         let pr = Promise.create cl.eng in
         Name.Table.replace node.nd_activating name pr;
@@ -668,6 +684,7 @@ let activate cl node name =
                 spawn_coordinator cl obj;
                 spawn_behaviours cl obj;
                 Name.Table.replace node.nd_active name obj;
+                Metrics.incr (nm cl node).m_recoveries;
                 tracef cl Trace.Store "reincarnated %s on node %d"
                   (Name.to_string name) node.nd_id;
                 finish (Ok obj)
@@ -676,28 +693,38 @@ let activate cl node name =
 (* -------------------------------------------------------------------- *)
 (* Checkpointing, crash, reincarnation *)
 
+(* Returns whether the snapshot reached stable storage; a failed disk
+   accepts nothing (and writes no partial state). *)
 let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
     ~passive =
-  Metrics.incr (nm cl node).m_ckpts;
-  Metrics.add (nm cl node).m_ckpt_bytes (Value.size_bytes repr);
-  Disk.write (Machine.disk node.nd_machine) ~bytes:(Value.size_bytes repr);
-  (match Name.Table.find_opt node.nd_store target with
-  | Some snap ->
-    snap.ss_repr <- repr;
-    snap.ss_reliability <- reliability;
-    snap.ss_frozen <- frozen;
-    snap.ss_passive <- passive
-  | None ->
-    Name.Table.replace node.nd_store target
-      {
-        ss_type = type_name;
-        ss_repr = repr;
-        ss_reliability = reliability;
-        ss_frozen = frozen;
-        ss_passive = passive;
-      });
-  tracef cl Trace.Store "node %d stored snapshot of %s (%dB)" node.nd_id
-    (Name.to_string target) (Value.size_bytes repr)
+  if not node.nd_disk_ok then begin
+    tracef cl Trace.Store "node %d refused snapshot of %s: disk failed"
+      node.nd_id (Name.to_string target);
+    false
+  end
+  else begin
+    Metrics.incr (nm cl node).m_ckpts;
+    Metrics.add (nm cl node).m_ckpt_bytes (Value.size_bytes repr);
+    Disk.write (Machine.disk node.nd_machine) ~bytes:(Value.size_bytes repr);
+    (match Name.Table.find_opt node.nd_store target with
+    | Some snap ->
+      snap.ss_repr <- repr;
+      snap.ss_reliability <- reliability;
+      snap.ss_frozen <- frozen;
+      snap.ss_passive <- passive
+    | None ->
+      Name.Table.replace node.nd_store target
+        {
+          ss_type = type_name;
+          ss_repr = repr;
+          ss_reliability = reliability;
+          ss_frozen = frozen;
+          ss_passive = passive;
+        });
+    tracef cl Trace.Store "node %d stored snapshot of %s (%dB)" node.nd_id
+      (Name.to_string target) (Value.size_bytes repr);
+    true
+  end
 
 let do_checkpoint cl obj =
   if obj.ob_is_replica then
@@ -734,10 +761,14 @@ let do_checkpoint cl obj =
           end)
         sites
     in
-    if List.mem node.nd_id sites then
-      write_snapshot cl node ~target:obj.ob_name
-        ~type_name:(Typemgr.name obj.ob_type) ~repr
-        ~reliability:obj.ob_reliability ~frozen:obj.ob_frozen ~passive:false;
+    let local_ok =
+      List.mem node.nd_id sites
+      && write_snapshot cl node ~target:obj.ob_name
+           ~type_name:(Typemgr.name obj.ob_type) ~repr
+           ~reliability:obj.ob_reliability ~frozen:obj.ob_frozen
+           ~passive:false
+    in
+    let local_failed = List.mem node.nd_id sites && not local_ok in
     let ok_sites, failed =
       List.fold_left
         (fun (oks, failed) (site, req_id, pr) ->
@@ -746,7 +777,8 @@ let do_checkpoint cl obj =
           | Some false | None ->
             Hashtbl.remove node.nd_pending req_id.Message.seq;
             (oks, site :: failed))
-        ((if List.mem node.nd_id sites then [ node.nd_id ] else []), [])
+        ( (if local_ok then [ node.nd_id ] else []),
+          if local_failed then [ node.nd_id ] else [] )
         remote_acks
     in
     (* Remove snapshots at sites no longer in the checksite set. *)
@@ -762,7 +794,8 @@ let do_checkpoint cl obj =
     obj.ob_ckpt_sites <- List.rev ok_sites;
     match failed with
     | [] -> Ok ()
-    | _ :: _ -> Error Error.Node_down
+    | _ :: _ -> if local_failed then Error Error.Disk_failed
+      else Error Error.Node_down
   end
 
 (* Collect every request the object is holding, in admission order. *)
@@ -1099,11 +1132,10 @@ let dispatch_local_and_wait cl obj ~deadline ~span cap ~op args =
   | Some r -> r
   | None -> Error Error.Timeout
 
-let do_invoke cl ~from ?timeout ?parent cap ~op args =
+let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
   let node = node_of cl from in
   if not node.nd_up then Error Error.Node_down
   else begin
-    let deadline = deadline_of ?timeout cl.eng in
     let name = Capability.name cap in
     Metrics.incr (nm cl node).m_inv;
     let parent =
@@ -1115,7 +1147,7 @@ let do_invoke cl ~from ?timeout ?parent cap ~op args =
     in
     let span = Some sp in
     consume node (costs node).Costs.invoke_request_cpu;
-    let rec attempt ~nack_budget =
+    let rec attempt ~deadline ~nack_budget =
       (* A nack retry re-opens the Locate phase. *)
       Span.enter sp Span.Locate ~at:(Engine.now cl.eng);
       consume node (costs node).Costs.locate_lookup_cpu;
@@ -1177,7 +1209,7 @@ let do_invoke cl ~from ?timeout ?parent cap ~op args =
             | `Deadline -> Error Error.Timeout
             | `Retry ->
               if nack_budget <= 0 then Error Error.No_such_object
-              else attempt ~nack_budget:(nack_budget - 1)
+              else attempt ~deadline ~nack_budget:(nack_budget - 1)
             | `Send (dst, may_activate) -> (
               match
                 send_request_and_wait cl node ~dst ~deadline ~may_activate
@@ -1189,10 +1221,23 @@ let do_invoke cl ~from ?timeout ?parent cap ~op args =
                 Name.Table.remove node.nd_hints name;
                 Name.Table.remove node.nd_forward name;
                 if nack_budget <= 0 then Error Error.No_such_object
-                else attempt ~nack_budget:(nack_budget - 1))
+                else attempt ~deadline ~nack_budget:(nack_budget - 1))
           end))
     in
-    let r = attempt ~nack_budget:2 in
+    (* [?timeout] bounds each attempt; a timed-out attempt may be
+       re-issued under the caller's retry policy after a capped
+       exponential backoff.  Only Timeout retries — any other error is
+       a definitive answer. *)
+    let rec tries i =
+      let deadline = deadline_of ?timeout cl.eng in
+      match attempt ~deadline ~nack_budget:2 with
+      | Error Error.Timeout when i < retry.Api.r_max ->
+        Metrics.incr (nm cl node).m_retries;
+        Engine.delay (Api.backoff retry i);
+        tries (i + 1)
+      | r -> r
+    in
+    let r = tries 0 in
     let outcome =
       match r with Ok _ -> "ok" | Error e -> Error.to_string e
     in
@@ -1249,7 +1294,7 @@ let deliver_reply_at cl node route result =
   | Reply_local pr -> ignore (Promise.fill pr result)
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
-      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
+      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
     else send_msg cl node ~dst:requester (Message.Inv_reply { inv_id; result })
 
 let handle_inv_request cl node ~src:_ r =
@@ -1287,6 +1332,10 @@ let handle_inv_request cl node ~src:_ r =
         if passive_here then
           match activate cl node target with
           | Ok obj -> enqueue_work cl obj w
+          | Error Error.Disk_failed ->
+            (* We cannot serve from a failed store; nack so the
+               requester re-locates and finds a healthier checksite. *)
+            nack ()
           | Error e -> deliver_reply_at cl node route (Error e)
         else begin
           let forward_to =
@@ -1328,7 +1377,10 @@ let handle_locate_request cl node req =
     if Name.Table.mem node.nd_active target then answer Message.Res_active
     else if Name.Table.mem node.nd_replicas target then
       answer Message.Res_replica
-    else if Name.Table.mem node.nd_store target then answer Message.Res_passive
+    else if Name.Table.mem node.nd_store target && node.nd_disk_ok then
+      (* A failed disk cannot reincarnate: stay silent so the
+         requester picks a checksite that can. *)
+      answer Message.Res_passive
   | _ -> raise (Fatal "handle_locate_request: wrong message")
 
 let on_message cl node ~src msg =
@@ -1339,9 +1391,14 @@ let on_message cl node ~src msg =
         (spawn_kproc cl node ~name:"k:inv_req" (fun () ->
              handle_inv_request cl node ~src msg))
     | Message.Inv_reply { inv_id; result } ->
-      resolve_inv_pending node inv_id.Message.seq (Inv_result result)
-    | Message.Inv_nack { inv_id; _ } ->
-      resolve_inv_pending node inv_id.Message.seq Inv_nacked
+      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
+    | Message.Inv_nack { inv_id; target } ->
+      (* Nack-after-crash: whatever routed us there is stale.  Purge
+         the hint even when the pending entry already timed out, or a
+         crashed-and-forgotten location would be re-trusted forever. *)
+      Name.Table.remove node.nd_hints target;
+      Name.Table.remove node.nd_forward target;
+      resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
     | Message.Locate_request _ -> handle_locate_request cl node msg
@@ -1396,10 +1453,12 @@ let on_message cl node ~src msg =
         { req_id; target; type_name; repr; reliability; frozen; reply_to } ->
       ignore
         (spawn_kproc cl node ~name:"k:ckpt" (fun () ->
-             write_snapshot cl node ~target ~type_name ~repr ~reliability
-               ~frozen ~passive:false;
+             let ok =
+               write_snapshot cl node ~target ~type_name ~repr ~reliability
+                 ~frozen ~passive:false
+             in
              send_msg cl node ~dst:reply_to
-               (Message.Ckpt_ack { req_id; ok = true })))
+               (Message.Ckpt_ack { req_id; ok })))
     | Message.Ckpt_ack { req_id; ok } -> (
       match take_pending node req_id.Message.seq with
       | Some (P_ack pr) -> ignore (Promise.fill pr ok)
@@ -1609,6 +1668,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
              nd_machine = machine;
              nd_tp = tp;
              nd_up = true;
+             nd_disk_ok = true;
              nd_mem = Memory.create ~bytes:cfg.Machine.memory_bytes;
              nd_active = Name.Table.create 64;
              nd_replicas = Name.Table.create 16;
@@ -1658,6 +1718,10 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
               m_ckpts = Metrics.counter reg ~labels "eden.checkpoints";
               m_ckpt_bytes =
                 Metrics.counter reg ~labels "eden.checkpoint_bytes";
+              m_retries = Metrics.counter reg ~labels "eden.retries";
+              m_recoveries = Metrics.counter reg ~labels "eden.recoveries";
+              m_orphans =
+                Metrics.counter reg ~labels "eden.orphaned_invocations";
             });
       c_span_ctx = Hashtbl.create 64;
     }
@@ -1714,14 +1778,14 @@ let find_type cl tname = Hashtbl.find_opt cl.types tname
 let create_object cl ~node ~type_name init =
   do_create_local cl (node_of cl node) type_name init
 
-let invoke cl ~from ?timeout cap ~op args =
-  do_invoke cl ~from ?timeout cap ~op args
+let invoke cl ~from ?timeout ?retry cap ~op args =
+  do_invoke cl ~from ?timeout ?retry cap ~op args
 
-let invoke_async cl ~from ?timeout cap ~op args =
+let invoke_async cl ~from ?timeout ?retry cap ~op args =
   let pr = Promise.create cl.eng in
   let pid =
     Engine.spawn cl.eng ~name:"invoke_async" (fun () ->
-        let r = do_invoke cl ~from ?timeout cap ~op args in
+        let r = do_invoke cl ~from ?timeout ?retry cap ~op args in
         ignore (Promise.fill pr r))
   in
   Engine.set_daemon cl.eng pid;
@@ -1861,7 +1925,39 @@ let crash_node cl i =
     List.iter (fun p -> Engine.kill cl.eng p) kprocs
   end
 
-let restart_node cl i =
+(* Reincarnate every object whose durable checkpoint lives on this
+   freshly-restarted node and which is active nowhere.  The checksite
+   list is consulted in order and only the first up site with a working
+   disk rebuilds, so a Mirrored object restarting on several sites at
+   once reactivates exactly once. *)
+let rebuild_from_store cl node =
+  let candidates =
+    Name.Table.fold
+      (fun name snap acc -> if snap.ss_passive then (name, snap) :: acc else acc)
+      node.nd_store []
+    |> List.sort (fun (a, _) (b, _) -> Name.compare a b)
+  in
+  List.iter
+    (fun (name, snap) ->
+      let sites =
+        Reliability.checksites snap.ss_reliability ~home:node.nd_id
+      in
+      let first_able =
+        List.find_opt
+          (fun s ->
+            s >= 0
+            && s < Array.length cl.nodes
+            && cl.nodes.(s).nd_up
+            && cl.nodes.(s).nd_disk_ok)
+          sites
+      in
+      if first_able = Some node.nd_id && find_primary cl name = None then
+        match activate cl node name with
+        | Ok _ -> ()
+        | Error _ -> () (* object stays passive; invocation will retry *))
+    candidates
+
+let restart_node ?(rebuild = false) cl i =
   let node = node_of cl i in
   if not node.nd_up then begin
     node.nd_up <- true;
@@ -1875,8 +1971,22 @@ let restart_node cl i =
     (* The kernel reboots its node object under its boot-time name. *)
     if Array.length cl.c_node_objects > i then
       install_node_object cl node
-        (Capability.name cl.c_node_objects.(i))
+        (Capability.name cl.c_node_objects.(i));
+    if rebuild && node.nd_disk_ok then
+      ignore
+        (spawn_kproc cl node ~name:"k:rebuild" (fun () ->
+             rebuild_from_store cl node))
   end
+
+let set_disk_failed cl i failed =
+  let node = node_of cl i in
+  if node.nd_disk_ok = failed then begin
+    node.nd_disk_ok <- not failed;
+    tracef cl Trace.Store "node %d: checkpoint store %s" i
+      (if failed then "failed" else "restored")
+  end
+
+let disk_ok cl i = (node_of cl i).nd_disk_ok
 
 (* -------------------------------------------------------------------- *)
 (* Introspection *)

@@ -95,17 +95,22 @@ val invoke :
   t ->
   from:node_id ->
   ?timeout:Eden_util.Time.t ->
+  ?retry:Api.retry ->
   Capability.t ->
   op:string ->
   Value.t list ->
   Api.invoke_result
 (** Blocking.  The paper's synchronous invocation: locate the target
-    wherever it lives, deliver the request, await the reply. *)
+    wherever it lives, deliver the request, await the reply.
+    [?timeout] bounds each attempt; [?retry] (default {!Api.no_retry})
+    re-issues timed-out attempts with capped exponential backoff —
+    recovery is the requester's timeout. *)
 
 val invoke_async :
   t ->
   from:node_id ->
   ?timeout:Eden_util.Time.t ->
+  ?retry:Api.retry ->
   Capability.t ->
   op:string ->
   Value.t list ->
@@ -145,9 +150,23 @@ val crash_node : t -> node_id -> unit
 (** Power off a machine: every active object and kernel process on it
     dies, volatile memory is lost.  Long-term store survives. *)
 
-val restart_node : t -> node_id -> unit
+val restart_node : ?rebuild:bool -> t -> node_id -> unit
 (** Power the machine back on with empty volatile state.  Passive
-    objects checkpointed to its disk become reachable again. *)
+    objects checkpointed to its disk become reachable again.  With
+    [~rebuild:true] (default false) the kernel additionally scans its
+    store and proactively reincarnates every object that is active
+    nowhere and whose first able checksite (in {!Reliability.checksites}
+    order, skipping downed nodes and failed disks) is this node — so a
+    Mirrored object whose sites all restart reactivates exactly once. *)
+
+val set_disk_failed : t -> node_id -> bool -> unit
+(** Fail (or restore) a node's checkpoint store.  While failed the
+    node refuses [Ckpt_write]s, cannot reincarnate passive objects
+    (invocation requests routed to it are nacked so the requester
+    re-locates), and stays silent on passive locate answers.  Volatile
+    state — objects already active there — is unaffected. *)
+
+val disk_ok : t -> node_id -> bool
 
 (** {1 Introspection} *)
 

@@ -10,6 +10,7 @@ type t =
   | Bad_arguments of string
   | User_error of string
   | Move_refused of string
+  | Disk_failed
 
 let equal a b =
   match (a, b) with
@@ -18,7 +19,8 @@ let equal a b =
   | Object_crashed, Object_crashed
   | Node_down, Node_down
   | Out_of_memory, Out_of_memory
-  | Frozen_immutable, Frozen_immutable ->
+  | Frozen_immutable, Frozen_immutable
+  | Disk_failed, Disk_failed ->
     true
   | No_such_operation x, No_such_operation y
   | Rights_violation x, Rights_violation y
@@ -28,7 +30,7 @@ let equal a b =
     String.equal x y
   | ( ( No_such_object | No_such_operation _ | Rights_violation _ | Timeout
       | Object_crashed | Node_down | Out_of_memory | Frozen_immutable
-      | Bad_arguments _ | User_error _ | Move_refused _ ),
+      | Bad_arguments _ | User_error _ | Move_refused _ | Disk_failed ),
       _ ) ->
     false
 
@@ -44,5 +46,6 @@ let pp ppf = function
   | Bad_arguments msg -> Format.fprintf ppf "bad arguments: %s" msg
   | User_error msg -> Format.fprintf ppf "user error: %s" msg
   | Move_refused msg -> Format.fprintf ppf "move refused: %s" msg
+  | Disk_failed -> Format.pp_print_string ppf "checkpoint store failed"
 
 let to_string e = Format.asprintf "%a" pp e

@@ -15,6 +15,7 @@ type t =
   | Bad_arguments of string  (** type code rejected the parameter list *)
   | User_error of string  (** type code signalled an application error *)
   | Move_refused of string  (** mobility precondition failed *)
+  | Disk_failed  (** a checksite's checkpoint store is unavailable *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

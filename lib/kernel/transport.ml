@@ -3,6 +3,12 @@ open Eden_net
 type net = Message.t Internet.t
 type t = Message.t Internet.endpoint
 
+type fault = Internet.fault =
+  | Pass
+  | Drop
+  | Duplicate
+  | Delay of Eden_util.Time.t
+
 let create_net ?params ?bridge_latency eng ~segments =
   Internet.create ?params ?bridge_latency eng ~segments
     ~size:Message.size_bytes
@@ -10,7 +16,11 @@ let create_net ?params ?bridge_latency eng ~segments =
 let segment_count = Internet.segment_count
 let frames_delivered = Internet.frames_delivered
 let bridge_forwards = Internet.bridge_forwards
+let bridge_drops = Internet.bridge_drops
 let segment_counters = Internet.segment_counters
+let set_partitioned = Internet.set_partitioned
+let partitioned = Internet.partitioned
+let set_fault_injector = Internet.set_fault_injector
 let attach net ~segment ~name = Internet.attach net ~segment ~name
 let address = Internet.address
 let segment = Internet.segment_of_endpoint

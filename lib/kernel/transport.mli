@@ -26,6 +26,27 @@ val bridge_forwards : net -> int
 val segment_counters : net -> Eden_net.Lan.counters array
 (** Per-segment MAC counters, indexed by segment. *)
 
+val bridge_drops : net -> int
+(** Messages the bridge discarded because a partition cut the path. *)
+
+val set_partitioned : net -> int -> bool -> unit
+(** Cut a segment off from the bridge (or heal it).  See
+    {!Eden_net.Internet.set_partitioned}. *)
+
+val partitioned : net -> int -> bool
+
+type fault = Eden_net.Internet.fault =
+  | Pass
+  | Drop
+  | Duplicate
+  | Delay of Eden_util.Time.t
+
+val set_fault_injector :
+  net -> (src:int -> dst:int option -> fault) option -> unit
+(** Install (or clear) a per-message fault decision hook; consulted on
+    every unicast ([dst = Some addr]) and broadcast ([dst = None]).
+    Must be deterministic given the virtual clock. *)
+
 type t
 (** A node's transport endpoint. *)
 
@@ -37,7 +58,10 @@ val on_message : t -> (src:int -> Message.t -> unit) -> unit
 (** The callback must not block. *)
 
 val send : t -> dst:int -> Message.t -> unit
-(** Raises [Invalid_argument] when sending to self. *)
+(** Sending to oneself loopback-delivers asynchronously (never touches
+    the wire), so retry loops survive an object relocating onto its own
+    requester's node.  Raises [Invalid_argument] only for an unknown
+    destination. *)
 
 val broadcast : t -> Message.t -> unit
 (** Reaches every node on every segment. *)

@@ -11,6 +11,8 @@ type 'a envelope = {
   env_payload : 'a;
 }
 
+type fault = Pass | Drop | Duplicate | Delay of Time.t
+
 type 'a t = {
   eng : Engine.t;
   lans : 'a envelope Msglink.lan array;
@@ -21,6 +23,10 @@ type 'a t = {
   (* the bridge's own foot on each segment; [||] when segments = 1 *)
   mutable bridge_feet : 'a envelope Msglink.t array;
   mutable n_bridge_forwards : int;
+  mutable n_bridge_drops : int;
+  (* segments currently cut off from the bridge *)
+  partitioned : bool array;
+  mutable injector : (src:int -> dst:int option -> fault) option;
 }
 
 type 'a endpoint = {
@@ -34,26 +40,45 @@ type 'a endpoint = {
 let envelope_overhead = 12
 
 (* The bridge received an envelope on [arrived_on]; carry it to where
-   it belongs after the store-and-forward delay. *)
+   it belongs after the store-and-forward delay.  Partitioned segments
+   are checked both on arrival and again when the forward fires, so a
+   frame in flight across a partition is dropped, never delivered
+   late. *)
 let bridge_carry net ~arrived_on env =
   match env.env_dst with
   | Some g ->
     let seg, local = net.directory.(g) in
     if seg <> arrived_on then begin
-      net.n_bridge_forwards <- net.n_bridge_forwards + 1;
-      Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
-          Msglink.send net.bridge_feet.(seg) ~dst:local
-            { env with env_bridged = true })
+      if net.partitioned.(arrived_on) || net.partitioned.(seg) then
+        net.n_bridge_drops <- net.n_bridge_drops + 1
+      else begin
+        net.n_bridge_forwards <- net.n_bridge_forwards + 1;
+        Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
+            if net.partitioned.(arrived_on) || net.partitioned.(seg) then
+              net.n_bridge_drops <- net.n_bridge_drops + 1
+            else
+              Msglink.send net.bridge_feet.(seg) ~dst:local
+                { env with env_bridged = true })
+      end
     end
   | None ->
     if not env.env_bridged then begin
-      net.n_bridge_forwards <- net.n_bridge_forwards + 1;
-      Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
-          Array.iteri
-            (fun seg foot ->
-              if seg <> arrived_on then
-                Msglink.broadcast foot { env with env_bridged = true })
-            net.bridge_feet)
+      if net.partitioned.(arrived_on) then
+        net.n_bridge_drops <- net.n_bridge_drops + 1
+      else begin
+        net.n_bridge_forwards <- net.n_bridge_forwards + 1;
+        Engine.schedule net.eng ~after:net.bridge_latency (fun () ->
+            if net.partitioned.(arrived_on) then
+              net.n_bridge_drops <- net.n_bridge_drops + 1
+            else
+              Array.iteri
+                (fun seg foot ->
+                  if seg <> arrived_on then
+                    if net.partitioned.(seg) then
+                      net.n_bridge_drops <- net.n_bridge_drops + 1
+                    else Msglink.broadcast foot { env with env_bridged = true })
+                net.bridge_feet)
+      end
     end
 
 let create ?params ?(bridge_latency = Time.us 500) eng ~segments ~size =
@@ -69,6 +94,9 @@ let create ?params ?(bridge_latency = Time.us 500) eng ~segments ~size =
       directory = [||];
       bridge_feet = [||];
       n_bridge_forwards = 0;
+      n_bridge_drops = 0;
+      partitioned = Array.make segments false;
+      injector = None;
     }
   in
   if segments > 1 then begin
@@ -129,26 +157,55 @@ let segment_of_address net g =
 
 let on_message ep f = ep.ep_handler <- Some f
 
+(* Every transmission funnels through the (optional) fault injector, so
+   a schedule-driven chaos controller can drop, duplicate, or delay any
+   link without the sender noticing. *)
+let apply_fault net ~src ~dst transmit =
+  match net.injector with
+  | None -> transmit ()
+  | Some f -> (
+    match f ~src ~dst with
+    | Pass -> transmit ()
+    | Drop -> ()
+    | Duplicate ->
+      transmit ();
+      transmit ()
+    | Delay d -> Engine.schedule net.eng ~after:d transmit)
+
 let send ep ~dst payload =
   let net = ep.ep_net in
-  if dst = ep.ep_global then invalid_arg "Internet.send: destination is self";
   if dst < 0 || dst >= Array.length net.directory then
     invalid_arg "Internet.send: unknown destination";
-  let seg, local = net.directory.(dst) in
-  let env =
-    { env_src = ep.ep_global; env_dst = Some dst; env_bridged = false;
-      env_payload = payload }
+  let transmit () =
+    if dst = ep.ep_global then
+      (* Loopback: the wire never sees the message.  Delivery is still
+         asynchronous (next engine step) so callers observe the same
+         send-then-return discipline as for remote destinations. *)
+      Engine.schedule net.eng (fun () ->
+          if Msglink.is_up ep.ep_link then
+            match ep.ep_handler with
+            | Some f -> f ~src:ep.ep_global payload
+            | None -> ())
+    else begin
+      let seg, local = net.directory.(dst) in
+      let env =
+        { env_src = ep.ep_global; env_dst = Some dst; env_bridged = false;
+          env_payload = payload }
+      in
+      if seg = ep.ep_segment then Msglink.send ep.ep_link ~dst:local env
+      else
+        Msglink.send ep.ep_link
+          ~dst:(Msglink.address net.bridge_feet.(ep.ep_segment))
+          env
+    end
   in
-  if seg = ep.ep_segment then Msglink.send ep.ep_link ~dst:local env
-  else
-    Msglink.send ep.ep_link
-      ~dst:(Msglink.address net.bridge_feet.(ep.ep_segment))
-      env
+  apply_fault net ~src:ep.ep_global ~dst:(Some dst) transmit
 
 let broadcast ep payload =
-  Msglink.broadcast ep.ep_link
-    { env_src = ep.ep_global; env_dst = None; env_bridged = false;
-      env_payload = payload }
+  apply_fault ep.ep_net ~src:ep.ep_global ~dst:None (fun () ->
+      Msglink.broadcast ep.ep_link
+        { env_src = ep.ep_global; env_dst = None; env_bridged = false;
+          env_payload = payload })
 
 let set_up ep up = Msglink.set_up ep.ep_link up
 let is_up ep = Msglink.is_up ep.ep_link
@@ -159,4 +216,17 @@ let frames_delivered net =
     0 net.lans
 
 let bridge_forwards net = net.n_bridge_forwards
+let bridge_drops net = net.n_bridge_drops
 let segment_counters net = Array.map Lan.counters net.lans
+
+let set_partitioned net seg cut =
+  if seg < 0 || seg >= Array.length net.lans then
+    invalid_arg "Internet.set_partitioned: no such segment";
+  net.partitioned.(seg) <- cut
+
+let partitioned net seg =
+  if seg < 0 || seg >= Array.length net.lans then
+    invalid_arg "Internet.partitioned: no such segment";
+  net.partitioned.(seg)
+
+let set_fault_injector net f = net.injector <- f

@@ -38,8 +38,11 @@ val segment_of_address : 'a t -> int -> int
 (** Raises [Invalid_argument] for unknown addresses. *)
 
 val on_message : 'a endpoint -> (src:int -> 'a -> unit) -> unit
+
 val send : 'a endpoint -> dst:int -> 'a -> unit
-(** Raises [Invalid_argument] on self-send or unknown destination. *)
+(** Raises [Invalid_argument] on an unknown destination.  Sending to
+    oneself loopback-delivers on the next engine step without touching
+    the wire (no MAC contention, no frame counters). *)
 
 val broadcast : 'a endpoint -> 'a -> unit
 (** Delivered to every endpoint on every segment (except the sender);
@@ -55,5 +58,40 @@ val frames_delivered : 'a t -> int
 val bridge_forwards : 'a t -> int
 (** Messages the bridge carried between segments. *)
 
+val bridge_drops : 'a t -> int
+(** Envelopes the bridge discarded because a partition cut the path,
+    counted whether the partition was up when the frame arrived or
+    raised while it sat in the store-and-forward queue. *)
+
 val segment_counters : 'a t -> Lan.counters array
 (** Per-segment MAC counters, indexed by segment. *)
+
+(** {2 Fault injection}
+
+    Hooks for a deterministic chaos layer.  Both are pure simulation
+    state: they consume no wire bandwidth and perturb nothing unless
+    armed. *)
+
+val set_partitioned : 'a t -> int -> bool -> unit
+(** [set_partitioned net seg cut] detaches segment [seg] from the
+    bridge ([cut = true]) or heals it.  While cut, cross-segment
+    traffic from or to [seg] is dropped at the bridge — including
+    frames already queued for forwarding — and counted in
+    {!bridge_drops}.  Same-segment traffic is unaffected.  Raises
+    [Invalid_argument] for an unknown segment. *)
+
+val partitioned : 'a t -> int -> bool
+
+type fault =
+  | Pass  (** transmit normally *)
+  | Drop  (** silently discard *)
+  | Duplicate  (** transmit twice *)
+  | Delay of Eden_util.Time.t  (** hold back, then transmit *)
+
+val set_fault_injector :
+  'a t -> (src:int -> dst:int option -> fault) option -> unit
+(** [set_fault_injector net (Some f)] consults [f] on every {!send}
+    ([dst = Some g]) and {!broadcast} ([dst = None]) before the message
+    touches the wire.  [None] removes the hook.  The injector must be
+    deterministic given the virtual clock (seeded PRNG only) to keep
+    runs reproducible. *)

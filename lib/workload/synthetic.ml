@@ -11,6 +11,8 @@ type spec = {
   payload_bytes : int;
   compute_per_request : Time.t;
   think_mean_s : float;
+  timeout : Time.t option;
+  retry : Api.retry;
 }
 
 let default_spec =
@@ -22,6 +24,8 @@ let default_spec =
     payload_bytes = 256;
     compute_per_request = Time.ms 5;
     think_mean_s = 0.05;
+    timeout = None;
+    retry = Api.no_retry;
   }
 
 type results = {
@@ -133,7 +137,8 @@ let run_eden ?(placement = Distributed) ?users_on cl spec =
                        | Some cap -> (
                          let t0 = Engine.now eng in
                          match
-                           Cluster.invoke cl ~from:mine cap ~op:"work"
+                           Cluster.invoke cl ~from:mine ?timeout:spec.timeout
+                             ~retry:spec.retry cap ~op:"work"
                              [
                                Value.Blob spec.payload_bytes;
                                Value.Int

@@ -19,6 +19,11 @@ type spec = {
   payload_bytes : int;  (** request and reply payload *)
   compute_per_request : Time.t;  (** CPU demand at the target *)
   think_mean_s : float;  (** mean exponential think time, seconds *)
+  timeout : Time.t option;
+      (** per-attempt bound on each request (default none) — needed
+          when the cluster runs under a fault plan, or a crashed
+          target strands its requesters *)
+  retry : Api.retry;  (** re-issue policy for timed-out requests *)
 }
 
 val default_spec : spec

@@ -1,0 +1,333 @@
+(* Chaos and property tests for Eden_fault: plan round-trips, random
+   plan well-formedness, and whole-cluster runs under seeded fault
+   schedules with recovery and determinism invariants. *)
+
+open Eden_util
+open Eden_sim
+open Eden_kernel
+module Plan = Eden_fault.Plan
+module Controller = Eden_fault.Controller
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Plan: text format *)
+
+let sample_plan =
+  Plan.make
+    [
+      { Plan.at = Time.ms 100; action = Plan.Crash_node 1 };
+      { Plan.at = Time.ms 600;
+        action = Plan.Restart_node { node = 1; rebuild = true } };
+      { Plan.at = Time.ms 150; action = Plan.Fail_disk 2 };
+      { Plan.at = Time.ms 450; action = Plan.Heal_disk 2 };
+      { Plan.at = Time.ms 200; action = Plan.Partition_segment 1 };
+      { Plan.at = Time.ms 400; action = Plan.Heal_segment 1 };
+      { Plan.at = Time.ms 50;
+        action = Plan.Break_link { src = 0; dst = 2; kind = Plan.Drop; p = 0.5 } };
+      { Plan.at = Time.us 60;
+        action =
+          Plan.Break_link { src = 0; dst = 2; kind = Plan.Duplicate; p = 0.25 } };
+      { Plan.at = Time.ms 70;
+        action =
+          Plan.Break_link
+            { src = 0; dst = 2; kind = Plan.Delay (Time.ms 2); p = 1.0 } };
+      { Plan.at = Time.ms 300; action = Plan.Heal_link { src = 0; dst = 2 } };
+    ]
+
+let test_plan_roundtrip () =
+  (* The hand-built plan and ten random ones all survive print/parse. *)
+  let plans =
+    sample_plan
+    :: List.init 10 (fun i ->
+           Plan.random ~seed:(Int64.of_int i) ~nodes:4 ~segments:2
+             ~horizon:(Time.s 2))
+  in
+  List.iter
+    (fun p ->
+      match Plan.of_string (Plan.to_string p) with
+      | Ok q ->
+        check_bool "round-trip preserves events" true
+          (Plan.events p = Plan.events q)
+      | Error e -> Alcotest.failf "re-parse failed: %s\n%s" e (Plan.to_string p))
+    plans
+
+let test_plan_sorted () =
+  let evs = Plan.events sample_plan in
+  check_int "all events kept" 10 (List.length evs);
+  let rec mono = function
+    | a :: (b : Plan.event) :: rest ->
+      check_bool "sorted by time" true Time.(a.Plan.at <= b.at);
+      mono (b :: rest)
+    | _ -> ()
+  in
+  mono evs
+
+let test_plan_parse_errors () =
+  let bad s =
+    match Plan.of_string s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "parsed garbage %S" s
+  in
+  check_bool "names the line" true
+    (String.length (bad "at 1ms crash 0\nwibble") > 0
+    && String.sub (bad "at 1ms crash 0\nwibble") 0 7 = "line 2:");
+  ignore (bad "at 5parsecs crash 0");
+  ignore (bad "at 5ms crash zero");
+  ignore (bad "at 5ms drop 0->0x p=0.5");
+  ignore (bad "at 5ms delay 0->1 p=0.5");
+  (* Comments and blank lines are fine. *)
+  match Plan.of_string "# a comment\n\nat 1ms crash 0  # trailing\n" with
+  | Ok p -> check_int "one event" 1 (List.length (Plan.events p))
+  | Error e -> Alcotest.failf "comment handling: %s" e
+
+let test_plan_validate () =
+  let one at action = Plan.make [ { Plan.at; action } ] in
+  let ok p = Plan.validate p ~nodes:4 ~segments:2 = Ok () in
+  check_bool "in range" true (ok (one (Time.ms 1) (Plan.Crash_node 3)));
+  check_bool "node out of range" false (ok (one (Time.ms 1) (Plan.Crash_node 4)));
+  check_bool "segment out of range" false
+    (ok (one (Time.ms 1) (Plan.Partition_segment 2)));
+  check_bool "negative probability" false
+    (ok
+       (one (Time.ms 1)
+          (Plan.Break_link { src = 0; dst = 1; kind = Plan.Drop; p = -0.1 })));
+  check_bool "probability above one" false
+    (ok
+       (one (Time.ms 1)
+          (Plan.Break_link { src = 0; dst = 1; kind = Plan.Drop; p = 1.5 })));
+  check_bool "self-loop link" false
+    (ok
+       (one (Time.ms 1)
+          (Plan.Break_link { src = 2; dst = 2; kind = Plan.Drop; p = 0.5 })))
+
+let test_plan_random_wellformed () =
+  for seed = 0 to 9 do
+    let horizon = Time.s 2 in
+    let p =
+      Plan.random ~seed:(Int64.of_int seed) ~nodes:4 ~segments:2 ~horizon
+    in
+    (match Plan.validate p ~nodes:4 ~segments:2 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: invalid random plan: %s" seed e);
+    List.iter
+      (fun (ev : Plan.event) ->
+        check_bool "within horizon" true Time.(ev.at < horizon);
+        match ev.action with
+        | Plan.Crash_node n | Plan.Fail_disk n ->
+          check_bool "node 0 spared" true (n <> 0)
+        | _ -> ())
+      (Plan.events p);
+    (* Same seed, same plan. *)
+    let q =
+      Plan.random ~seed:(Int64.of_int seed) ~nodes:4 ~segments:2 ~horizon
+    in
+    check_bool "reproducible" true (Plan.events p = Plan.events q)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chaos runs *)
+
+let chaos_type =
+  let open Api in
+  Typemgr.make_exn ~name:"chaos_counter"
+    [
+      Typemgr.operation "config" (fun ctx args ->
+          let* v = arg1 args in
+          let* sites =
+            Value.to_list v
+            |> Result.map_error (fun m -> Error.Bad_arguments m)
+          in
+          let sites =
+            List.filter_map (fun s -> Result.to_option (Value.to_int s)) sites
+          in
+          let* () = ctx.set_reliability (Reliability.Mirrored sites) in
+          let* () = ctx.checkpoint () in
+          reply_unit);
+      Typemgr.operation "incr" (fun ctx args ->
+          let* () = no_args args in
+          let* n = int_arg (ctx.get_repr ()) in
+          let* () = ctx.set_repr (Value.Int (n + 1)) in
+          (match ctx.checkpoint () with Ok () | Error _ -> ());
+          reply [ Value.Int (n + 1) ]);
+      Typemgr.operation "get" ~mutates:false (fun ctx args ->
+          let* () = no_args args in
+          reply [ ctx.get_repr () ]);
+    ]
+
+let nodes = 4
+let requests = 220
+let horizon = Time.s 2
+
+type chaos_result = {
+  ok : int;
+  failed : int;
+  probes_ok : bool;  (* post-heal, every counter answered *)
+  injected : int;
+  snapshot : string;
+}
+
+(* A seeded chaos run: 4 nodes on 2 bridged segments, one Mirrored
+   counter per node, a paced request stream from node 0 under the
+   seed's random plan, then a post-heal probe of every counter. *)
+let run_chaos ?plan ~seed () =
+  let configs =
+    List.init nodes (fun i ->
+        Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
+  in
+  let cl =
+    Cluster.create ~seed:(Int64.of_int seed) ~segments:[ 2; 2 ] ~configs ()
+  in
+  Cluster.register_type cl chaos_type;
+  let eng = Cluster.engine cl in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+      Plan.random ~seed:(Int64.of_int seed) ~nodes ~segments:2 ~horizon
+  in
+  let caps = ref [||] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        caps :=
+          Array.init nodes (fun i ->
+              let cap =
+                match
+                  Cluster.create_object cl ~node:i ~type_name:"chaos_counter"
+                    (Value.Int 0)
+                with
+                | Ok c -> c
+                | Error e -> failwith ("create: " ^ Error.to_string e)
+              in
+              match
+                Cluster.invoke cl ~from:i cap ~op:"config"
+                  [
+                    Value.List
+                      [ Value.Int i; Value.Int ((i + 1) mod nodes) ];
+                  ]
+              with
+              | Ok _ -> cap
+              | Error e -> failwith ("config: " ^ Error.to_string e)))
+  in
+  Cluster.run cl;
+  let ctl = Controller.arm ~seed:(Int64.of_int seed) cl plan in
+  let ok = ref 0 and failed = ref 0 in
+  let probes_ok = ref true in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let last = ref (Engine.now eng) in
+        for r = 0 to requests - 1 do
+          Engine.delay (Time.ms 10);
+          (* The virtual clock never runs backwards, faults or not. *)
+          if Time.(Engine.now eng < !last) then
+            failwith "virtual clock went backwards";
+          last := Engine.now eng;
+          match
+            Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+              ~retry:Api.default_retry
+              (!caps).(r mod nodes)
+              ~op:"incr" []
+          with
+          | Ok _ -> incr ok
+          | Error _ -> incr failed
+        done;
+        (* Post-heal: every fault has healed (the stream outlives the
+           plan horizon), so every Mirrored counter must answer. *)
+        Array.iter
+          (fun cap ->
+            match
+              Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+                ~retry:Api.default_retry cap ~op:"get" []
+            with
+            | Ok [ Value.Int _ ] -> ()
+            | Ok _ | Error _ -> probes_ok := false)
+          !caps)
+  in
+  Cluster.run cl;
+  {
+    ok = !ok;
+    failed = !failed;
+    probes_ok = !probes_ok;
+    injected = Controller.injected ctl;
+    snapshot = Eden_obs.Snapshot.to_string (Cluster.metrics_snapshot cl);
+  }
+
+let test_chaos_no_faults_no_failures () =
+  let r = run_chaos ~plan:Plan.empty ~seed:3 () in
+  check_int "no faults injected" 0 r.injected;
+  check_int "no lost replies without faults" 0 r.failed;
+  check_int "all requests completed" requests r.ok;
+  check_bool "probes answer" true r.probes_ok
+
+let test_chaos_invariants () =
+  for seed = 0 to 9 do
+    let r = run_chaos ~seed () in
+    check_int
+      (Printf.sprintf "seed %d: every request accounted for" seed)
+      requests (r.ok + r.failed);
+    check_bool
+      (Printf.sprintf "seed %d: mirrored counters recover post-heal" seed)
+      true r.probes_ok;
+    (* The random plan always schedules at least a crash/restart pair. *)
+    check_bool (Printf.sprintf "seed %d: faults fired" seed) true
+      (r.injected >= 2)
+  done
+
+let test_chaos_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = run_chaos ~seed () and b = run_chaos ~seed () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical metrics snapshots" seed)
+        a.snapshot b.snapshot;
+      check_int "identical completions" a.ok b.ok;
+      check_int "identical fault counts" a.injected b.injected)
+    [ 0; 7 ]
+
+let test_controller_links_and_disarm () =
+  let cl = Cluster.default ~seed:1L ~n_nodes:2 () in
+  let plan =
+    Plan.make
+      [
+        { Plan.at = Time.ms 1;
+          action =
+            Plan.Break_link { src = 0; dst = 1; kind = Plan.Drop; p = 1.0 } };
+        { Plan.at = Time.ms 50; action = Plan.Heal_link { src = 0; dst = 1 } };
+      ]
+  in
+  let ctl = Controller.arm cl plan in
+  Cluster.run ~until:(Time.ms 10) cl;
+  Alcotest.(check (list (pair int int)))
+    "link recorded while broken" [ (0, 1) ] (Controller.broken_links ctl);
+  Cluster.run ~until:(Time.ms 100) cl;
+  Alcotest.(check (list (pair int int)))
+    "heal clears the link" [] (Controller.broken_links ctl);
+  Controller.disarm ctl;
+  Alcotest.(check (list (pair int int)))
+    "disarm leaves no links" [] (Controller.broken_links ctl)
+
+let () =
+  Alcotest.run "eden_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "sorted" `Quick test_plan_sorted;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+          Alcotest.test_case "random well-formed" `Quick
+            test_plan_random_wellformed;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "no faults, no failures" `Quick
+            test_chaos_no_faults_no_failures;
+          Alcotest.test_case "invariants over seeds 0-9" `Slow
+            test_chaos_invariants;
+          Alcotest.test_case "same seed, same snapshot" `Slow
+            test_chaos_deterministic;
+          Alcotest.test_case "controller links + disarm" `Quick
+            test_controller_links_and_disarm;
+        ] );
+    ]

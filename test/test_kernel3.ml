@@ -382,7 +382,8 @@ let legitimate = function
   | Error
       ( Error.No_such_object | Error.Timeout | Error.Object_crashed
       | Error.Node_down | Error.Out_of_memory | Error.Frozen_immutable
-      | Error.Rights_violation _ | Error.Move_refused _ ) ->
+      | Error.Rights_violation _ | Error.Move_refused _ | Error.Disk_failed )
+    ->
     true
   | Error (Error.No_such_operation _ | Error.Bad_arguments _ | Error.User_error _)
     ->

@@ -169,6 +169,110 @@ let test_reliability_checksites () =
     (Reliability.checksites (Reliability.Mirrored [ 1; 3 ]) ~home:2)
 
 (* ------------------------------------------------------------------ *)
+(* Property tests: hand-rolled generators over a fixed-seed Splitmix
+   stream, so failures replay exactly.  [iters] draws per property. *)
+
+module Splitmix = Eden_util.Splitmix
+
+let iters = 500
+
+let rand_right rng =
+  match Splitmix.int rng 17 with
+  | 0 -> Rights.Invoke
+  | n when n <= 12 -> Rights.Aux (n - 1)
+  | 13 -> Rights.Kernel_move
+  | 14 -> Rights.Kernel_checkpoint
+  | 15 -> Rights.Kernel_destroy
+  | _ -> Rights.Kernel_grant
+
+let rand_rights rng =
+  Rights.of_list (List.init (Splitmix.int rng 9) (fun _ -> rand_right rng))
+
+(* Mix valid and deliberately-broken levels: node indices drawn from
+   [-1 .. node_count], mirrored lists possibly empty or repeating. *)
+let rand_reliability rng ~node_count =
+  let rand_node () = Splitmix.int rng (node_count + 2) - 1 in
+  match Splitmix.int rng 3 with
+  | 0 -> Reliability.Local
+  | 1 -> Reliability.Remote (rand_node ())
+  | _ ->
+    Reliability.Mirrored
+      (List.init (Splitmix.int rng 4) (fun _ -> rand_node ()))
+
+let reliability_ok_ref r ~node_count =
+  let in_range n = n >= 0 && n < node_count in
+  match r with
+  | Reliability.Local -> true
+  | Reliability.Remote n -> in_range n
+  | Reliability.Mirrored sites ->
+    sites <> []
+    && List.for_all in_range sites
+    && List.length (List.sort_uniq compare sites) = List.length sites
+
+let test_prop_reliability_validate () =
+  let rng = Splitmix.create 0xBEEF01L in
+  for _ = 1 to iters do
+    let node_count = 1 + Splitmix.int rng 6 in
+    let r = rand_reliability rng ~node_count in
+    let expected = reliability_ok_ref r ~node_count in
+    let got = Reliability.validate r ~node_count = Ok () in
+    if got <> expected then
+      Alcotest.failf "validate %a (node_count=%d): got %b, want %b"
+        Reliability.pp r node_count got expected
+  done
+
+let test_prop_reliability_checksites () =
+  let rng = Splitmix.create 0xBEEF02L in
+  for _ = 1 to iters do
+    let node_count = 1 + Splitmix.int rng 6 in
+    let r = rand_reliability rng ~node_count in
+    if Reliability.validate r ~node_count = Ok () then begin
+      let home = Splitmix.int rng node_count in
+      let sites = Reliability.checksites r ~home in
+      (* Validated levels yield non-empty, in-range, duplicate-free
+         checksite lists; Local checkpoints exactly at home. *)
+      if sites = [] then Alcotest.fail "empty checksites";
+      if not (List.for_all (fun s -> s >= 0 && s < node_count) sites) then
+        Alcotest.failf "checksite out of range for %a" Reliability.pp r;
+      if List.length (List.sort_uniq compare sites) <> List.length sites
+      then Alcotest.failf "duplicate checksites for %a" Reliability.pp r;
+      if r = Reliability.Local && sites <> [ home ] then
+        Alcotest.fail "Local must checkpoint at home"
+    end
+  done
+
+let test_prop_capability_restrict () =
+  let rng = Splitmix.create 0xBEEF03L in
+  let name = Name.make ~birth_node:1 ~serial:9 in
+  for _ = 1 to iters do
+    let base = rand_rights rng and mask = rand_rights rng in
+    let cap = Capability.make name base in
+    let r = Capability.restrict cap mask in
+    (* Monotone: never more rights than either the original or the
+       mask — restriction is intersection, so also exactly that. *)
+    check_bool "subset of original" true
+      (Rights.subset (Capability.rights r) base);
+    check_bool "subset of mask" true
+      (Rights.subset (Capability.rights r) mask);
+    check_bool "is the intersection" true
+      (Rights.equal (Capability.rights r) (Rights.inter base mask));
+    check_bool "same object" true (Capability.same_object cap r);
+    (* Idempotent, and a full mask changes nothing. *)
+    check_bool "idempotent" true
+      (Capability.equal r (Capability.restrict r mask));
+    check_bool "full mask is identity" true
+      (Capability.equal cap (Capability.restrict cap Rights.all));
+    (* No sequence of restrictions can amplify. *)
+    let again = Capability.restrict r (rand_rights rng) in
+    check_bool "chain cannot amplify" true
+      (Rights.subset (Capability.rights again) base);
+    (* permits agrees with subset. *)
+    let need = rand_rights rng in
+    check_bool "permits = subset" true
+      (Capability.permits r need = Rights.subset need (Capability.rights r))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Opclass *)
 
 let test_opclass_validate () =
@@ -329,6 +433,15 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_reliability_validate;
           Alcotest.test_case "checksites" `Quick test_reliability_checksites;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "reliability validate" `Quick
+            test_prop_reliability_validate;
+          Alcotest.test_case "reliability checksites" `Quick
+            test_prop_reliability_checksites;
+          Alcotest.test_case "capability restrict monotone" `Quick
+            test_prop_capability_restrict;
         ] );
       ( "opclass",
         [

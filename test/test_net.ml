@@ -390,12 +390,23 @@ let test_inet_addressing () =
   check_int "global addresses dense" 3 (Internet.address eps.(3));
   check_int "segment of address" 1 (Internet.segment_of_address inet 2);
   check_int "segment of endpoint" 0 (Internet.segment_of_endpoint eps.(1));
-  Alcotest.check_raises "self send"
-    (Invalid_argument "Internet.send: destination is self") (fun () ->
-      Internet.send eps.(0) ~dst:0 "loop");
   Alcotest.check_raises "unknown dst"
     (Invalid_argument "Internet.send: unknown destination") (fun () ->
       Internet.send eps.(0) ~dst:99 "ghost")
+
+(* Regression: self-send used to raise Invalid_argument, which let a
+   retry loop crash a node whose target had relocated onto it.  It now
+   loopback-delivers without touching the wire. *)
+let test_inet_loopback_self_send () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  let got = ref None in
+  Internet.on_message eps.(0) (fun ~src msg -> got := Some (src, msg));
+  Internet.send eps.(0) ~dst:0 "loop";
+  Engine.run eng;
+  Alcotest.(check (option (pair int string)))
+    "delivered to self" (Some (0, "loop")) !got;
+  check_int "nothing on the wire" 0 (Internet.frames_delivered inet)
 
 let test_inet_single_segment_no_bridge () =
   let eng = Engine.create () in
@@ -421,6 +432,111 @@ let test_inet_down_endpoint () =
   Internet.send eps.(0) ~dst:2 "found";
   Engine.run eng;
   check_int "recovered" 1 !got
+
+(* ------------------------------------------------------------------ *)
+(* Partitions and fault injection *)
+
+let test_partition_drops_cross_segment () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  let got = ref 0 in
+  Internet.on_message eps.(2) (fun ~src:_ _ -> incr got);
+  Internet.set_partitioned inet 1 true;
+  check_bool "partitioned" true (Internet.partitioned inet 1);
+  Internet.send eps.(0) ~dst:2 "into the void";
+  Engine.run eng;
+  check_int "nothing crossed" 0 !got;
+  check_int "accounted as a bridge drop" 1 (Internet.bridge_drops inet);
+  (* Healing later must not resurrect the dropped frame. *)
+  Internet.set_partitioned inet 1 false;
+  Engine.run eng;
+  check_int "still nothing: dropped, not delayed" 0 !got;
+  Internet.send eps.(0) ~dst:2 "after heal";
+  Engine.run eng;
+  check_int "healed path delivers" 1 !got
+
+let test_partition_kills_frames_in_flight () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  let got = ref 0 in
+  Internet.on_message eps.(2) (fun ~src:_ _ -> incr got);
+  Internet.send eps.(0) ~dst:2 "in flight";
+  (* The frame reaches the bridge after ~80us of MAC time and sits in
+     the 500us store-and-forward queue; cutting the destination segment
+     at 300us must kill it there. *)
+  Engine.schedule eng ~after:(Time.us 300) (fun () ->
+      Internet.set_partitioned inet 1 true);
+  Engine.run eng;
+  check_int "queued frame dropped at the bridge" 0 !got;
+  check_int "drop counted" 1 (Internet.bridge_drops inet);
+  check_int "forward was claimed before the cut" 1
+    (Internet.bridge_forwards inet)
+
+let test_partition_leaves_local_traffic_alone () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet eng in
+  let got = ref 0 in
+  Internet.on_message eps.(3) (fun ~src:_ _ -> incr got);
+  Internet.set_partitioned inet 1 true;
+  Internet.send eps.(2) ~dst:3 "next door";
+  Engine.run eng;
+  check_int "same-segment delivery unaffected" 1 !got;
+  check_int "no bridge drops for local traffic" 0 (Internet.bridge_drops inet)
+
+let test_partition_blocks_broadcast () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:3 ~per_segment:2 eng in
+  let seen = Array.make 6 0 in
+  Array.iteri
+    (fun i ep -> Internet.on_message ep (fun ~src:_ _ -> seen.(i) <- seen.(i) + 1))
+    eps;
+  Internet.set_partitioned inet 2 true;
+  Internet.broadcast eps.(0) "partial reach";
+  Engine.run eng;
+  Alcotest.(check (array int))
+    "own segment and segment 1 only" [| 0; 1; 1; 1; 0; 0 |] seen;
+  check_int "cut segment counted" 1 (Internet.bridge_drops inet)
+
+let test_injector_drop () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:1 ~per_segment:3 eng in
+  let got = ref 0 in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> incr got);
+  Internet.set_fault_injector inet
+    (Some
+       (fun ~src ~dst ->
+         if src = 0 && dst = Some 1 then Internet.Drop else Internet.Pass));
+  Internet.send eps.(0) ~dst:1 "eaten";
+  Internet.send eps.(2) ~dst:1 "spared";
+  Engine.run eng;
+  check_int "only the unfaulted link delivered" 1 !got;
+  Internet.set_fault_injector inet None;
+  Internet.send eps.(0) ~dst:1 "healed";
+  Engine.run eng;
+  check_int "hook removed" 2 !got
+
+let test_injector_duplicate () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:1 ~per_segment:2 eng in
+  let got = ref 0 in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> incr got);
+  Internet.set_fault_injector inet
+    (Some (fun ~src:_ ~dst:_ -> Internet.Duplicate));
+  Internet.send eps.(0) ~dst:1 "twice";
+  Engine.run eng;
+  check_int "delivered twice" 2 !got
+
+let test_injector_delay () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet ~segments:1 ~per_segment:2 eng in
+  let at = ref Time.zero in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> at := Engine.now eng);
+  Internet.set_fault_injector inet
+    (Some (fun ~src:_ ~dst:_ -> Internet.Delay (Time.ms 5)));
+  Internet.send eps.(0) ~dst:1 "held back";
+  Engine.run eng;
+  check_bool "held for at least the injected delay" true
+    (Time.to_ns !at >= 5_000_000)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -473,8 +589,25 @@ let () =
           Alcotest.test_case "broadcast spans segments" `Quick
             test_inet_broadcast_spans_segments;
           Alcotest.test_case "addressing" `Quick test_inet_addressing;
+          Alcotest.test_case "loopback self send" `Quick
+            test_inet_loopback_self_send;
           Alcotest.test_case "single segment" `Quick
             test_inet_single_segment_no_bridge;
           Alcotest.test_case "down endpoint" `Quick test_inet_down_endpoint;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "partition drops cross-segment" `Quick
+            test_partition_drops_cross_segment;
+          Alcotest.test_case "partition kills frames in flight" `Quick
+            test_partition_kills_frames_in_flight;
+          Alcotest.test_case "partition spares local traffic" `Quick
+            test_partition_leaves_local_traffic_alone;
+          Alcotest.test_case "partition blocks broadcast" `Quick
+            test_partition_blocks_broadcast;
+          Alcotest.test_case "injector drop" `Quick test_injector_drop;
+          Alcotest.test_case "injector duplicate" `Quick
+            test_injector_duplicate;
+          Alcotest.test_case "injector delay" `Quick test_injector_delay;
         ] );
     ]

@@ -10,6 +10,7 @@ let check_bool = Alcotest.(check bool)
 
 let small_spec =
   {
+    Synthetic.default_spec with
     Synthetic.objects_per_node = 2;
     users_per_node = 2;
     requests_per_user = 10;
