@@ -1,8 +1,22 @@
 # Convenience targets; everything is plain dune underneath.
+# `make help` lists them.
 
-.PHONY: all build check test bench examples smoke chaos determinism clean
+.PHONY: all build check test test-props bench examples smoke chaos \
+  determinism clean help
 
 all: build
+
+help:
+	@echo "make build        - dune build @all"
+	@echo "make test         - run every alcotest suite"
+	@echo "make test-props   - seeded property tests only (codecs, plans, laws)"
+	@echo "make check        - build + tests + metrics smoke + chaos determinism"
+	@echo "make bench        - run the full experiment suite (E1..E18, M)"
+	@echo "make examples     - run the example programs"
+	@echo "make smoke        - exercise the edenctl CLI end to end"
+	@echo "make chaos        - fault-injection suite + same-seed snapshot cmp"
+	@echo "make determinism  - experiment output must be bit-reproducible"
+	@echo "make clean        - dune clean"
 
 build:
 	dune build @all
@@ -10,12 +24,19 @@ build:
 test:
 	dune runtest --force
 
+# Just the seeded property tests: round-trips for the Name / Capability /
+# Message codecs and the Fault.Plan text format, plus the reliability
+# and capability-restriction laws (100 seeds each, greedy shrinking).
+test-props:
+	dune exec test/test_props.exe
+
 # Build, run the test suites, and smoke the metrics pipeline: a synth
 # run must export a snapshot that parses and carries the core
 # instruments (edenctl metrics-check exits non-zero otherwise).
 check:
 	dune build @all
 	dune runtest --force
+	$(MAKE) test-props
 	dune exec bin/edenctl.exe -- synth --nodes 3 --requests 50 \
 	  --metrics-out /tmp/eden_metrics_smoke.json
 	dune exec bin/edenctl.exe -- metrics-check /tmp/eden_metrics_smoke.json
@@ -42,8 +63,9 @@ smoke:
 	printf 'mk doc d\nappend d hello\nshow d\nquit\n' | \
 	  dune exec bin/edenctl.exe -- edit --nodes 2
 
-# Fault injection: the chaos suite, then a same-seed chaos run twice —
-# the exported metrics snapshots must be byte-identical.
+# Fault injection: the chaos suite, then same-seed chaos runs twice —
+# the exported metrics snapshots must be byte-identical, both with the
+# hot-path features off and with the replica cache + coalescer on.
 chaos:
 	dune exec test/test_fault.exe
 	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
@@ -51,6 +73,11 @@ chaos:
 	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
 	  --metrics-out /tmp/eden_chaos_b.json
 	cmp /tmp/eden_chaos_a.json /tmp/eden_chaos_b.json
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
+	  --replica-cache --coalesce --metrics-out /tmp/eden_chaos_hot_a.json
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 \
+	  --replica-cache --coalesce --metrics-out /tmp/eden_chaos_hot_b.json
+	cmp /tmp/eden_chaos_hot_a.json /tmp/eden_chaos_hot_b.json
 	@echo "chaos: OK (deterministic)"
 
 # The whole experiment suite must be bit-reproducible.

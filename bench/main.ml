@@ -23,6 +23,7 @@ let experiments =
     ("E15", "two-segment Eden: bridge cost", Exp_segments.run);
     ("E16", "availability under node churn", Exp_availability.run);
     ("E17", "availability under fault injection (checksites)", Exp_faults.run);
+    ("E18", "replica cache + message coalescing (hot path)", Exp_cache.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 

@@ -3,11 +3,11 @@
      edenctl demo      [--nodes N] [--seed S] [--trace] [--metrics-out FILE]
      edenctl mail      [--nodes N] [--users K] [--messages M] [--trace] [--metrics-out FILE]
      edenctl synth     [--nodes N] [--locality F] [--requests R] [--fault-plan FILE]
-                       [--trace] [--metrics-out FILE]
+                       [--replica-cache] [--coalesce] [--trace] [--metrics-out FILE]
      edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace] [--metrics-out FILE]
      edenctl heartbeat [--nodes N] [--kill I] [--trace] [--metrics-out FILE]
      edenctl chaos     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
-                       [--trace] [--metrics-out FILE]
+                       [--replica-cache] [--coalesce] [--trace] [--metrics-out FILE]
      edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
      edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
@@ -50,6 +50,30 @@ let fault_plan_t =
           "Arm the fault plan in $(docv) (one 'at TIME ACTION' per \
            line; see lib/fault/plan.mli for the grammar).")
 
+let replica_cache_t =
+  Arg.(
+    value & flag
+    & info [ "replica-cache" ]
+        ~doc:
+          "Enable the frozen-replica cache: nodes cache the \
+           representation of remote frozen objects on first use and \
+           serve later invocations locally.")
+
+let coalesce_t =
+  Arg.(
+    value & flag
+    & info [ "coalesce" ]
+        ~doc:
+          "Enable unicast message coalescing on the kernel transport: \
+           small same-destination messages batch into one wire \
+           transfer under size/count/delay budgets.")
+
+let cluster_options ~replica_cache =
+  { Cluster.default_options with Cluster.use_replica_cache = replica_cache }
+
+let cluster_coalesce coalesce =
+  if coalesce then Some Transport.default_coalesce else None
+
 (* Parse + validate a plan file, or derive a random plan from the seed
    when none was given (chaos does the latter; synth runs fault-free
    without --fault-plan). *)
@@ -80,9 +104,9 @@ let write_metrics cl = function
   | Some file -> (
     let snap = Cluster.metrics_snapshot cl in
     try
-      Out_channel.with_open_text file (fun oc ->
-          Out_channel.output_string oc (Eden_obs.Snapshot.to_string snap);
-          Out_channel.output_char oc '\n');
+      (* Creates missing parent directories, so --metrics-out can point
+         into a results tree that does not exist yet. *)
+      Eden_obs.Snapshot.write_file snap ~path:file;
       Printf.printf "metrics snapshot written to %s\n" file
     with Sys_error msg ->
       Printf.eprintf "cannot write metrics snapshot: %s\n" msg;
@@ -204,8 +228,13 @@ let mail_cmd =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let run_synth nodes seed locality requests fault_plan trace metrics_out =
-  let cl = Cluster.default ~seed:(Int64.of_int seed) ~n_nodes:nodes () in
+let run_synth nodes seed locality requests fault_plan replica_cache coalesce
+    trace metrics_out =
+  let cl =
+    Cluster.default ~seed:(Int64.of_int seed)
+      ~options:(cluster_options ~replica_cache)
+      ?coalesce:(cluster_coalesce coalesce) ~n_nodes:nodes ()
+  in
   setup_trace cl trace;
   let ctl =
     match fault_plan with
@@ -264,7 +293,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthetic invocation workload.")
     Term.(
       const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t
-      $ fault_plan_t $ trace_t $ metrics_out_t)
+      $ fault_plan_t $ replica_cache_t $ coalesce_t $ trace_t
+      $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* efs *)
@@ -454,7 +484,8 @@ let chaos_type =
 
 let chaos_horizon = Time.s 2
 
-let run_chaos nodes seed fault_plan requests trace metrics_out =
+let run_chaos nodes seed fault_plan requests replica_cache coalesce trace
+    metrics_out =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -469,7 +500,9 @@ let run_chaos nodes seed fault_plan requests trace metrics_out =
         Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
   let cl =
-    Cluster.create ~seed:(Int64.of_int seed) ~segments ~configs ()
+    Cluster.create ~seed:(Int64.of_int seed) ~segments
+      ~options:(cluster_options ~replica_cache)
+      ?coalesce:(cluster_coalesce coalesce) ~configs ()
   in
   Cluster.register_type cl chaos_type;
   setup_trace cl trace;
@@ -551,7 +584,7 @@ let chaos_cmd =
           from --seed unless --fault-plan is given).")
     Term.(
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
-      $ trace_t $ metrics_out_t)
+      $ replica_cache_t $ coalesce_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:

@@ -60,8 +60,10 @@ type snapshot = {
          not to be active anywhere *)
 }
 
-(* What a requester is waiting for, keyed by sequence number. *)
-type inv_outcome = Inv_result of Api.invoke_result | Inv_nacked
+(* What a requester is waiting for, keyed by sequence number.  The
+   boolean on [Inv_result] is the reply's frozen hint: the serving node
+   saw the target immutable, so the requester may cache a replica. *)
+type inv_outcome = Inv_result of Api.invoke_result * bool | Inv_nacked
 
 type locate_state = {
   mutable loc_candidates : (node_id * Message.residence) list;
@@ -74,6 +76,8 @@ type pending =
   | P_locate of locate_state
   | P_create of (Capability.t, Error.t) result Promise.t
   | P_ack of bool Promise.t
+  | P_cache of (string * Value.t) option Promise.t
+      (* a frozen representation being fetched for the replica cache *)
 
 type node = {
   nd_id : node_id;
@@ -87,6 +91,12 @@ type node = {
   mutable nd_mem : Memory.t;
   nd_active : obj Name.Table.t;
   nd_replicas : obj Name.Table.t;
+  nd_cache : obj Name.Table.t;
+      (* node-local frozen-replica cache: representations fetched on a
+         frozen-hinted reply and served locally from then on.  Entries
+         are hints in Lampson's sense — capabilities still validate on
+         every use, and the nack path invalidates. *)
+  nd_fetching : unit Name.Table.t;  (* cache fetches in flight *)
   nd_store : snapshot Name.Table.t;  (* survives node crashes *)
   nd_hints : node_id Name.Table.t;
   nd_forward : node_id Name.Table.t;  (* objects that moved away *)
@@ -103,10 +113,16 @@ type options = {
   use_hint_cache : bool;
   use_forwarding : bool;
   coalesce_locates : bool;
+  use_replica_cache : bool;
 }
 
 let default_options =
-  { use_hint_cache = true; use_forwarding = true; coalesce_locates = true }
+  {
+    use_hint_cache = true;
+    use_forwarding = true;
+    coalesce_locates = true;
+    use_replica_cache = false;
+  }
 
 (* Owned per-node counters on the invocation hot path (the sampled
    collectors for hardware and network live in [register_collectors]). *)
@@ -123,6 +139,9 @@ type node_metrics = {
   m_retries : Metrics.counter;  (* timed-out attempts re-issued *)
   m_recoveries : Metrics.counter;  (* successful reincarnations here *)
   m_orphans : Metrics.counter;  (* replies that arrived after timeout *)
+  m_cache_hit : Metrics.counter;  (* invocations served by the replica cache *)
+  m_cache_miss : Metrics.counter;  (* frozen-hinted replies with no entry *)
+  m_cache_inval : Metrics.counter;  (* cached replicas dropped *)
 }
 
 type t = {
@@ -374,7 +393,7 @@ let make_ctx cl obj =
 let resolve_inv_pending cl node seq outcome =
   match take_pending node seq with
   | Some (P_invoke pr) -> ignore (Promise.fill pr outcome)
-  | Some (P_locate _ | P_create _ | P_ack _) ->
+  | Some (P_locate _ | P_create _ | P_ack _ | P_cache _) ->
     raise (Fatal "pending kind mismatch for invocation reply")
   | None -> (
     (* Late reply after the requester gave up: the operation may have
@@ -390,10 +409,11 @@ let deliver_reply cl obj route result =
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
       (* The object moved to the requester's node mid-request. *)
-      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
+      resolve_inv_pending cl node inv_id.Message.seq
+        (Inv_result (result, obj.ob_frozen))
     else
       send_msg cl node ~dst:requester
-        (Message.Inv_reply { inv_id; result })
+        (Message.Inv_reply { inv_id; result; frozen_hint = obj.ob_frozen })
 
 let fail_work cl obj w error =
   span_enter cl w Span.Reply;
@@ -982,6 +1002,93 @@ let do_replicate cl obj ~to_node =
   end
 
 (* -------------------------------------------------------------------- *)
+(* The frozen-replica cache.
+
+   A remote reply can carry a [frozen_hint]: the serving node saw the
+   target immutable.  The requester then fetches the representation
+   once, in the background, and installs it in [nd_cache]; every later
+   invocation from this node dispatches locally.  The entry is a hint
+   in Lampson's sense: rights still validate on every dispatch, and
+   staleness is handled by invalidation — [unfreeze] (the version
+   bump) broadcasts on the existing nack path, which drops cached
+   copies everywhere, and [Destroy_notice] / node crashes clear them
+   too.  The cache never answers locates or remote requests: it is
+   private to its node, so it can be discarded at any time. *)
+
+let drop_cached cl node target =
+  match Name.Table.find_opt node.nd_cache target with
+  | None -> ()
+  | Some obj ->
+    obj.ob_status <- Dead;
+    let works = outstanding_works obj in
+    List.iter (fun w -> fail_work cl obj w Error.No_such_object) works;
+    Name.Table.remove node.nd_cache target;
+    Memory.release node.nd_mem obj.ob_mem;
+    obj.ob_mem <- 0;
+    Metrics.incr (nm cl node).m_cache_inval;
+    tracef cl Trace.Kern "node %d dropped cached replica of %s" node.nd_id
+      (Name.to_string target);
+    kill_object_procs cl obj
+
+let install_cached cl node name ~type_name ~repr =
+  if
+    node.nd_up
+    && (not (Name.Table.mem node.nd_cache name))
+    && (not (Name.Table.mem node.nd_active name))
+    && not (Name.Table.mem node.nd_replicas name)
+  then
+    match Hashtbl.find_opt cl.types type_name with
+    | None -> ()
+    | Some tm -> (
+      match load_type_code cl node tm with
+      | Error _ -> ()
+      | Ok () -> (
+        let footprint = object_footprint tm repr in
+        match Memory.reserve node.nd_mem footprint with
+        | Error `Out_of_memory -> ()
+        | Ok () ->
+          let obj =
+            build_obj cl ~name ~tm ~repr ~frozen:true
+              ~reliability:Reliability.Local ~home:node.nd_id
+              ~is_replica:true ~mem:footprint
+          in
+          spawn_coordinator cl obj;
+          Name.Table.replace node.nd_cache name obj;
+          tracef cl Trace.Kern "node %d cached frozen replica of %s"
+            node.nd_id (Name.to_string name)))
+
+(* Fetch [name]'s representation from [from_node] in the background.
+   Failures are silent: the cache is an optimisation, and the next
+   frozen-hinted reply will try again. *)
+let cache_fetch cl node name ~from_node =
+  if
+    cl.opts.use_replica_cache && node.nd_up && from_node <> node.nd_id
+    && (not (Name.Table.mem node.nd_cache name))
+    && (not (Name.Table.mem node.nd_fetching name))
+    && (not (Name.Table.mem node.nd_active name))
+    && not (Name.Table.mem node.nd_replicas name)
+  then begin
+    Name.Table.replace node.nd_fetching name ();
+    ignore
+      (spawn_kproc cl node ~name:"k:cache_fetch" (fun () ->
+           Fun.protect
+             ~finally:(fun () -> Name.Table.remove node.nd_fetching name)
+             (fun () ->
+               let req_id = new_request_id node in
+               let pr = Promise.create cl.eng in
+               add_pending node req_id.Message.seq (P_cache pr);
+               send_msg cl node ~dst:from_node
+                 (Message.Cache_fetch
+                    { req_id; target = name; reply_to = node.nd_id });
+               let payload = Promise.await ~timeout:ack_timeout pr in
+               Hashtbl.remove node.nd_pending req_id.Message.seq;
+               match payload with
+               | Some (Some (type_name, repr)) ->
+                 install_cached cl node name ~type_name ~repr
+               | Some None | None -> ())))
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Location and the invocation path *)
 
 let enqueue_work cl obj w =
@@ -1108,13 +1215,22 @@ let send_request_and_wait cl node ~dst ~deadline ~may_activate ~span cap ~op
     Name.Table.remove node.nd_hints (Capability.name cap);
     Name.Table.remove node.nd_forward (Capability.name cap);
     `Result (Error Error.Timeout)
-  | Some (Inv_result r) ->
+  | Some (Inv_result (r, frozen_hint)) ->
     (match r with
     | Ok vs ->
       consume node (costs node).Costs.invoke_reply_cpu;
       consume node
         (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes vs))
     | Error _ -> ());
+    if
+      frozen_hint && cl.opts.use_replica_cache
+      && not (Name.Table.mem node.nd_cache (Capability.name cap))
+    then begin
+      (* The target is immutable and we paid the round trip anyway:
+         count the miss and fetch a local replica in the background. *)
+      Metrics.incr (nm cl node).m_cache_miss;
+      cache_fetch cl node (Capability.name cap) ~from_node:dst
+    end;
     `Result r
   | Some Inv_nacked -> `Nacked
 
@@ -1158,6 +1274,15 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
       | None -> (
         match Name.Table.find_opt node.nd_replicas name with
         | Some obj ->
+          dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+        | None -> (
+        match
+          if cl.opts.use_replica_cache then
+            Name.Table.find_opt node.nd_cache name
+          else None
+        with
+        | Some obj ->
+          Metrics.incr (nm cl node).m_cache_hit;
           dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
         | None -> (
           let local_passive =
@@ -1222,7 +1347,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
                 Name.Table.remove node.nd_forward name;
                 if nack_budget <= 0 then Error Error.No_such_object
                 else attempt ~deadline ~nack_budget:(nack_budget - 1))
-          end))
+          end)))
     in
     (* [?timeout] bounds each attempt; a timed-out attempt may be
        re-issued under the caller's retry policy after a capped
@@ -1280,6 +1405,7 @@ let forget_object cl node target =
     unregister cl replica;
     kill_object_procs cl replica
   | None -> ());
+  drop_cached cl node target;
   Name.Table.remove node.nd_store target;
   Name.Table.remove node.nd_hints target;
   Name.Table.remove node.nd_forward target
@@ -1294,8 +1420,11 @@ let deliver_reply_at cl node route result =
   | Reply_local pr -> ignore (Promise.fill pr result)
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
-      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
-    else send_msg cl node ~dst:requester (Message.Inv_reply { inv_id; result })
+      resolve_inv_pending cl node inv_id.Message.seq
+        (Inv_result (result, false))
+    else
+      send_msg cl node ~dst:requester
+        (Message.Inv_reply { inv_id; result; frozen_hint = false })
 
 let handle_inv_request cl node ~src:_ r =
   match r with
@@ -1390,14 +1519,18 @@ let on_message cl node ~src msg =
       ignore
         (spawn_kproc cl node ~name:"k:inv_req" (fun () ->
              handle_inv_request cl node ~src msg))
-    | Message.Inv_reply { inv_id; result } ->
-      resolve_inv_pending cl node inv_id.Message.seq (Inv_result result)
+    | Message.Inv_reply { inv_id; result; frozen_hint } ->
+      resolve_inv_pending cl node inv_id.Message.seq
+        (Inv_result (result, frozen_hint))
     | Message.Inv_nack { inv_id; target } ->
       (* Nack-after-crash: whatever routed us there is stale.  Purge
          the hint even when the pending entry already timed out, or a
-         crashed-and-forgotten location would be re-trusted forever. *)
+         crashed-and-forgotten location would be re-trusted forever.
+         The same path invalidates the frozen-replica cache — an
+         unfreeze broadcasts a nack as its version bump. *)
       Name.Table.remove node.nd_hints target;
       Name.Table.remove node.nd_forward target;
+      drop_cached cl node target;
       resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
@@ -1509,6 +1642,27 @@ let on_message cl node ~src msg =
       | Some _ -> raise (Fatal "pending kind mismatch for replica ack")
       | None -> ())
     | Message.Destroy_notice { target } -> forget_object cl node target
+    | Message.Cache_fetch { req_id; target; reply_to } ->
+      (* Serve the frozen representation if we still hold one; [None]
+         tells the requester its hint went stale and nothing is
+         cached. *)
+      let payload =
+        match Name.Table.find_opt node.nd_active target with
+        | Some obj when obj.ob_frozen && obj.ob_status = Running ->
+          Some (Typemgr.name obj.ob_type, obj.ob_repr)
+        | Some _ | None -> (
+          match Name.Table.find_opt node.nd_replicas target with
+          | Some obj when obj.ob_status = Running ->
+            Some (Typemgr.name obj.ob_type, obj.ob_repr)
+          | Some _ | None -> None)
+      in
+      send_msg cl node ~dst:reply_to
+        (Message.Cache_data { req_id; target; payload })
+    | Message.Cache_data { req_id; target = _; payload } -> (
+      match take_pending node req_id.Message.seq with
+      | Some (P_cache pr) -> ignore (Promise.fill pr payload)
+      | Some _ -> raise (Fatal "pending kind mismatch for cache data")
+      | None -> ())
 
 (* -------------------------------------------------------------------- *)
 (* Tying the recursive knot *)
@@ -1576,6 +1730,10 @@ let register_collectors cl =
       float_of_int (Engine.runnable_processes cl.eng));
   Metrics.register_counter_fn reg "net.bridge_forwards" (fun () ->
       Transport.bridge_forwards cl.c_lan);
+  Metrics.register_counter_fn reg "net.coalesced_batches" (fun () ->
+      Transport.coalesced_batches cl.c_lan);
+  Metrics.register_counter_fn reg "net.coalesced_messages" (fun () ->
+      Transport.coalesced_messages cl.c_lan);
   for seg = 0 to Transport.segment_count cl.c_lan - 1 do
     let labels = [ ("segment", string_of_int seg) ] in
     let c name field =
@@ -1618,8 +1776,8 @@ let register_collectors cl =
           float_of_int (Memory.available node.nd_mem)))
     cl.nodes
 
-let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
-    () =
+let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
+    ~configs () =
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
   let n_nodes = List.length configs in
   let segment_sizes =
@@ -1648,7 +1806,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
   let eng = Engine.create ~seed ()
   and tr = Trace.create () in
   let lan =
-    Transport.create_net ?params:net eng
+    Transport.create_net ?params:net ?coalesce eng
       ~segments:(List.length segment_sizes)
   in
   let next_index = ref (-1) in
@@ -1672,6 +1830,8 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
              nd_mem = Memory.create ~bytes:cfg.Machine.memory_bytes;
              nd_active = Name.Table.create 64;
              nd_replicas = Name.Table.create 16;
+             nd_cache = Name.Table.create 16;
+             nd_fetching = Name.Table.create 8;
              nd_store = Name.Table.create 64;
              nd_hints = Name.Table.create 64;
              nd_forward = Name.Table.create 16;
@@ -1722,6 +1882,12 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
               m_recoveries = Metrics.counter reg ~labels "eden.recoveries";
               m_orphans =
                 Metrics.counter reg ~labels "eden.orphaned_invocations";
+              m_cache_hit =
+                Metrics.counter reg ~labels "eden.replica_cache.hits";
+              m_cache_miss =
+                Metrics.counter reg ~labels "eden.replica_cache.misses";
+              m_cache_inval =
+                Metrics.counter reg ~labels "eden.replica_cache.invalidations";
             });
       c_span_ctx = Hashtbl.create 64;
     }
@@ -1744,13 +1910,13 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ~configs
       nodes;
   cl
 
-let default ?seed ~n_nodes () =
+let default ?seed ?options ?coalesce ~n_nodes () =
   if n_nodes < 1 then invalid_arg "Cluster.default: need at least one node";
   let configs =
     List.init n_nodes (fun i ->
         Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
-  create ?seed ~configs ()
+  create ?seed ?options ?coalesce ~configs ()
 
 let engine cl = cl.eng
 let trace cl = cl.tr
@@ -1830,6 +1996,35 @@ let freeze cl cap =
       obj.ob_frozen <- true;
       Ok ())
 
+let unfreeze cl cap =
+  match require_right cap Rights.Kernel_checkpoint "unfreeze" with
+  | Error e -> Error e
+  | Ok () -> (
+    let name = Capability.name cap in
+    match find_primary cl name with
+    | None -> Error Error.No_such_object
+    | Some obj ->
+      if not obj.ob_frozen then Ok ()
+      else if
+        Array.exists
+          (fun node -> node.nd_up && Name.Table.mem node.nd_replicas name)
+          cl.nodes
+      then Error (Error.Move_refused "object has pinned replicas")
+      else begin
+        obj.ob_frozen <- false;
+        let node = home cl obj in
+        (* The version bump: every cached copy of the pre-thaw
+           representation is now stale.  Invalidation rides the
+           existing nack path — the broadcast purges hints and cached
+           replicas cluster-wide (broadcasts bypass the unicast fault
+           injector, so it is reliable under chaos too). *)
+        Transport.broadcast node.nd_tp
+          (Message.Inv_nack { inv_id = new_request_id node; target = name });
+        tracef cl Trace.Kern "%s unfrozen on node %d" (Name.to_string name)
+          obj.ob_home;
+        Ok ()
+      end)
+
 let replicate cl cap ~to_node =
   match require_right cap Rights.Kernel_checkpoint "replicate" with
   | Error e -> Error e
@@ -1901,6 +2096,7 @@ let crash_node cl i =
     let objs =
       Name.Table.fold (fun _ o acc -> o :: acc) node.nd_active []
       @ Name.Table.fold (fun _ o acc -> o :: acc) node.nd_replicas []
+      @ Name.Table.fold (fun _ o acc -> o :: acc) node.nd_cache []
     in
     List.iter
       (fun obj ->
@@ -1910,6 +2106,8 @@ let crash_node cl i =
       objs;
     Name.Table.reset node.nd_active;
     Name.Table.reset node.nd_replicas;
+    Name.Table.reset node.nd_cache;
+    Name.Table.reset node.nd_fetching;
     Name.Table.reset node.nd_hints;
     Name.Table.reset node.nd_forward;
     Name.Table.reset node.nd_activating;

@@ -23,6 +23,12 @@ type options = {
   coalesce_locates : bool;
       (** concurrent locates of one name share a broadcast
           (default true) *)
+  use_replica_cache : bool;
+      (** cache the representation of remote frozen objects locally on
+          first use and serve later invocations without the round trip
+          (default false); entries are hints — rights validate on
+          every dispatch, and {!unfreeze} or {!destroy} invalidates
+          via the nack path *)
 }
 
 val default_options : options
@@ -34,6 +40,7 @@ val create :
   ?net:Eden_net.Params.t ->
   ?options:options ->
   ?segments:int list ->
+  ?coalesce:Transport.coalesce ->
   configs:Eden_hw.Machine.config list ->
   unit ->
   t
@@ -44,9 +51,18 @@ val create :
     bridged Ethernet segments in id order (e.g. [[3; 2]] puts nodes
     0-2 on one segment and 3-4 on another, joined by a store-and-
     forward bridge); the sizes must sum to the node count.  Default:
-    one segment. *)
+    one segment.  [coalesce] enables unicast message coalescing on
+    the kernel transport (default off): small messages to one
+    destination batch into a single wire transfer under the given
+    budgets (see {!Transport.coalesce}). *)
 
-val default : ?seed:int64 -> n_nodes:int -> unit -> t
+val default :
+  ?seed:int64 ->
+  ?options:options ->
+  ?coalesce:Transport.coalesce ->
+  n_nodes:int ->
+  unit ->
+  t
 (** [n_nodes] default-configured nodes named "node0".."nodeN-1".
     Requires [n_nodes >= 1]. *)
 
@@ -126,6 +142,15 @@ val freeze : t -> Capability.t -> (unit, Error.t) result
 (** Blocking.  Make the representation immutable (requires
     [Kernel_checkpoint]); mutating operations subsequently fail with
     [Frozen_immutable], and the object becomes replicable. *)
+
+val unfreeze : t -> Capability.t -> (unit, Error.t) result
+(** Thaw a frozen object (requires [Kernel_checkpoint]) so it can
+    mutate again.  Refused with [Move_refused] while explicit replicas
+    exist (unpin them with {!destroy} or keep the object frozen).
+    Unfreezing is the cache version bump: a broadcast on the nack path
+    drops every node's cached copy of the old representation, so a
+    freeze–mutate–refreeze cycle can never serve stale reads.  No-op
+    [Ok] if the object was not frozen. *)
 
 val replicate : t -> Capability.t -> to_node:node_id -> (unit, Error.t) result
 (** Blocking.  Install a read-only replica of a frozen object on

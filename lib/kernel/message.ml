@@ -14,7 +14,11 @@ type t =
       may_activate : bool;
       span : Eden_obs.Span.t option;
     }
-  | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
+  | Inv_reply of {
+      inv_id : request_id;
+      result : Api.invoke_result;
+      frozen_hint : bool;
+    }
   | Inv_nack of { inv_id : request_id; target : Name.t }
   | Hint_update of { target : Name.t; at_node : int }
   | Locate_request of { req_id : request_id; target : Name.t; reply_to : int }
@@ -65,6 +69,12 @@ type t =
     }
   | Replica_ack of { transfer_id : request_id; accepted : bool }
   | Destroy_notice of { target : Name.t }
+  | Cache_fetch of { req_id : request_id; target : Name.t; reply_to : int }
+  | Cache_data of {
+      req_id : request_id;
+      target : Name.t;
+      payload : (string * Value.t) option;
+    }
 
 let header_bytes = 32
 let name_bytes = 12
@@ -99,6 +109,13 @@ let size_bytes m =
     name_bytes + String.length type_name + Value.size_bytes repr + 8
   | Replica_ack _ -> 8
   | Destroy_notice _ -> name_bytes
+  | Cache_fetch _ -> name_bytes + 4
+  | Cache_data { payload; _ } -> (
+    name_bytes + 1
+    + match payload with
+      | None -> 0
+      | Some (type_name, repr) ->
+        String.length type_name + Value.size_bytes repr)
 
 let describe = function
   | Inv_request { target; op; _ } ->
@@ -123,3 +140,489 @@ let describe = function
   | Replica_install { target; _ } -> "replica " ^ Name.to_string target
   | Replica_ack _ -> "replica_ack"
   | Destroy_notice { target } -> "destroy " ^ Name.to_string target
+  | Cache_fetch { target; _ } -> "cache? " ^ Name.to_string target
+  | Cache_data { target; payload; _ } ->
+    Printf.sprintf "cache! %s %s" (Name.to_string target)
+      (if payload = None then "miss" else "hit")
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec.
+
+   A simple self-delimiting text format: integers are decimal followed
+   by ';', strings are length-prefixed, variants carry a small tag.
+   [span] is simulator-side metadata, not wire data, so [encode] omits
+   it and [decode] always yields [span = None]. *)
+
+exception Decode of string
+
+type reader = { buf : string; mutable pos : int }
+
+let r_fail r msg = raise (Decode (Printf.sprintf "%s at byte %d" msg r.pos))
+
+let w_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let r_int r =
+  let len = String.length r.buf in
+  let rec scan i =
+    if i >= len then r_fail r "unterminated integer"
+    else if r.buf.[i] = ';' then i
+    else scan (i + 1)
+  in
+  let stop = scan r.pos in
+  let s = String.sub r.buf r.pos (stop - r.pos) in
+  r.pos <- stop + 1;
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> r_fail r (Printf.sprintf "bad integer %S" s)
+
+let w_bool b v = w_int b (if v then 1 else 0)
+
+let r_bool r =
+  match r_int r with
+  | 0 -> false
+  | 1 -> true
+  | n -> r_fail r (Printf.sprintf "bad boolean %d" n)
+
+let w_str b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let r_str r =
+  let n = r_int r in
+  if n < 0 || r.pos + n > String.length r.buf then r_fail r "bad string length"
+  else begin
+    let s = String.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    s
+  end
+
+let w_name b n =
+  w_int b (Name.birth_node n);
+  w_int b (Name.serial n)
+
+let r_name r =
+  let birth_node = r_int r in
+  let serial = r_int r in
+  match Name.make ~birth_node ~serial with
+  | n -> n
+  | exception Invalid_argument _ -> r_fail r "bad name"
+
+let w_rights b s = w_int b (Rights.to_bits s)
+
+let r_rights r =
+  match Rights.of_bits (r_int r) with
+  | Some s -> s
+  | None -> r_fail r "bad rights bits"
+
+let w_req b { origin; seq } =
+  w_int b origin;
+  w_int b seq
+
+let r_req r =
+  let origin = r_int r in
+  let seq = r_int r in
+  { origin; seq }
+
+let rec w_value b = function
+  | Value.Unit -> Buffer.add_char b 'u'
+  | Value.Bool v ->
+    Buffer.add_char b 'b';
+    w_bool b v
+  | Value.Int i ->
+    Buffer.add_char b 'i';
+    w_int b i
+  | Value.Str s ->
+    Buffer.add_char b 's';
+    w_str b s
+  | Value.Cap c ->
+    Buffer.add_char b 'c';
+    w_name b (Capability.name c);
+    w_rights b (Capability.rights c)
+  | Value.List vs ->
+    Buffer.add_char b 'l';
+    w_int b (List.length vs);
+    List.iter (w_value b) vs
+  | Value.Pair (x, y) ->
+    Buffer.add_char b 'p';
+    w_value b x;
+    w_value b y
+  | Value.Blob n ->
+    Buffer.add_char b 'o';
+    w_int b n
+
+let r_char r =
+  if r.pos >= String.length r.buf then r_fail r "unexpected end of input"
+  else begin
+    let c = r.buf.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+let rec r_value r =
+  match r_char r with
+  | 'u' -> Value.Unit
+  | 'b' -> Value.Bool (r_bool r)
+  | 'i' -> Value.Int (r_int r)
+  | 's' -> Value.Str (r_str r)
+  | 'c' ->
+    let name = r_name r in
+    let rights = r_rights r in
+    Value.Cap (Capability.make name rights)
+  | 'l' ->
+    let n = r_int r in
+    if n < 0 then r_fail r "negative list length"
+    else Value.List (List.init n (fun _ -> r_value r))
+  | 'p' ->
+    let x = r_value r in
+    let y = r_value r in
+    Value.Pair (x, y)
+  | 'o' ->
+    let n = r_int r in
+    if n < 0 then r_fail r "negative blob size" else Value.Blob n
+  | c -> r_fail r (Printf.sprintf "bad value tag %C" c)
+
+let w_values b vs =
+  w_int b (List.length vs);
+  List.iter (w_value b) vs
+
+let r_values r =
+  let n = r_int r in
+  if n < 0 then r_fail r "negative value count"
+  else List.init n (fun _ -> r_value r)
+
+let w_error b = function
+  | Error.No_such_object -> w_int b 0
+  | Error.No_such_operation s ->
+    w_int b 1;
+    w_str b s
+  | Error.Rights_violation s ->
+    w_int b 2;
+    w_str b s
+  | Error.Timeout -> w_int b 3
+  | Error.Object_crashed -> w_int b 4
+  | Error.Node_down -> w_int b 5
+  | Error.Out_of_memory -> w_int b 6
+  | Error.Frozen_immutable -> w_int b 7
+  | Error.Bad_arguments s ->
+    w_int b 8;
+    w_str b s
+  | Error.User_error s ->
+    w_int b 9;
+    w_str b s
+  | Error.Move_refused s ->
+    w_int b 10;
+    w_str b s
+  | Error.Disk_failed -> w_int b 11
+
+let r_error r =
+  match r_int r with
+  | 0 -> Error.No_such_object
+  | 1 -> Error.No_such_operation (r_str r)
+  | 2 -> Error.Rights_violation (r_str r)
+  | 3 -> Error.Timeout
+  | 4 -> Error.Object_crashed
+  | 5 -> Error.Node_down
+  | 6 -> Error.Out_of_memory
+  | 7 -> Error.Frozen_immutable
+  | 8 -> Error.Bad_arguments (r_str r)
+  | 9 -> Error.User_error (r_str r)
+  | 10 -> Error.Move_refused (r_str r)
+  | 11 -> Error.Disk_failed
+  | n -> r_fail r (Printf.sprintf "bad error tag %d" n)
+
+let w_result b = function
+  | Ok vs ->
+    w_int b 0;
+    w_values b vs
+  | Error e ->
+    w_int b 1;
+    w_error b e
+
+let r_result r =
+  match r_int r with
+  | 0 -> Ok (r_values r)
+  | 1 -> Error (r_error r)
+  | n -> r_fail r (Printf.sprintf "bad result tag %d" n)
+
+let w_reliability b = function
+  | Reliability.Local -> w_int b 0
+  | Reliability.Remote n ->
+    w_int b 1;
+    w_int b n
+  | Reliability.Mirrored ns ->
+    w_int b 2;
+    w_int b (List.length ns);
+    List.iter (w_int b) ns
+
+let r_reliability r =
+  match r_int r with
+  | 0 -> Reliability.Local
+  | 1 -> Reliability.Remote (r_int r)
+  | 2 ->
+    let n = r_int r in
+    if n < 0 then r_fail r "negative mirror count"
+    else Reliability.Mirrored (List.init n (fun _ -> r_int r))
+  | n -> r_fail r (Printf.sprintf "bad reliability tag %d" n)
+
+let w_residence b = function
+  | Res_active -> w_int b 0
+  | Res_passive -> w_int b 1
+  | Res_replica -> w_int b 2
+
+let r_residence r =
+  match r_int r with
+  | 0 -> Res_active
+  | 1 -> Res_passive
+  | 2 -> Res_replica
+  | n -> r_fail r (Printf.sprintf "bad residence tag %d" n)
+
+let encode m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Inv_request
+      { inv_id; target; op; args; presented; reply_to; hops; may_activate;
+        span = _ } ->
+    w_int b 0;
+    w_req b inv_id;
+    w_name b target;
+    w_str b op;
+    w_values b args;
+    w_rights b presented;
+    w_int b reply_to;
+    w_int b hops;
+    w_bool b may_activate
+  | Inv_reply { inv_id; result; frozen_hint } ->
+    w_int b 1;
+    w_req b inv_id;
+    w_result b result;
+    w_bool b frozen_hint
+  | Inv_nack { inv_id; target } ->
+    w_int b 2;
+    w_req b inv_id;
+    w_name b target
+  | Hint_update { target; at_node } ->
+    w_int b 3;
+    w_name b target;
+    w_int b at_node
+  | Locate_request { req_id; target; reply_to } ->
+    w_int b 4;
+    w_req b req_id;
+    w_name b target;
+    w_int b reply_to
+  | Locate_reply { req_id; target; at_node; residence } ->
+    w_int b 5;
+    w_req b req_id;
+    w_name b target;
+    w_int b at_node;
+    w_residence b residence
+  | Create_request { req_id; type_name; init; reply_to } ->
+    w_int b 6;
+    w_req b req_id;
+    w_str b type_name;
+    w_value b init;
+    w_int b reply_to
+  | Create_reply { req_id; result } ->
+    w_int b 7;
+    w_req b req_id;
+    (match result with
+    | Ok cap ->
+      w_int b 0;
+      w_name b (Capability.name cap);
+      w_rights b (Capability.rights cap)
+    | Error e ->
+      w_int b 1;
+      w_error b e)
+  | Move_transfer
+      { target; type_name; repr; frozen; reliability; from_node; transfer_id }
+    ->
+    w_int b 8;
+    w_name b target;
+    w_str b type_name;
+    w_value b repr;
+    w_bool b frozen;
+    w_reliability b reliability;
+    w_int b from_node;
+    w_req b transfer_id
+  | Move_ack { transfer_id; accepted } ->
+    w_int b 9;
+    w_req b transfer_id;
+    w_bool b accepted
+  | Ckpt_write { req_id; target; type_name; repr; reliability; frozen; reply_to }
+    ->
+    w_int b 10;
+    w_req b req_id;
+    w_name b target;
+    w_str b type_name;
+    w_value b repr;
+    w_reliability b reliability;
+    w_bool b frozen;
+    w_int b reply_to
+  | Ckpt_ack { req_id; ok } ->
+    w_int b 11;
+    w_req b req_id;
+    w_bool b ok
+  | Ckpt_delete { target } ->
+    w_int b 12;
+    w_name b target
+  | Ckpt_mark { target; passive } ->
+    w_int b 13;
+    w_name b target;
+    w_bool b passive
+  | Replica_install { target; type_name; repr; transfer_id; from_node } ->
+    w_int b 14;
+    w_name b target;
+    w_str b type_name;
+    w_value b repr;
+    w_req b transfer_id;
+    w_int b from_node
+  | Replica_ack { transfer_id; accepted } ->
+    w_int b 15;
+    w_req b transfer_id;
+    w_bool b accepted
+  | Destroy_notice { target } ->
+    w_int b 16;
+    w_name b target
+  | Cache_fetch { req_id; target; reply_to } ->
+    w_int b 17;
+    w_req b req_id;
+    w_name b target;
+    w_int b reply_to
+  | Cache_data { req_id; target; payload } ->
+    w_int b 18;
+    w_req b req_id;
+    w_name b target;
+    (match payload with
+    | None -> w_int b 0
+    | Some (type_name, repr) ->
+      w_int b 1;
+      w_str b type_name;
+      w_value b repr));
+  Buffer.contents b
+
+let r_message r =
+  match r_int r with
+  | 0 ->
+    let inv_id = r_req r in
+    let target = r_name r in
+    let op = r_str r in
+    let args = r_values r in
+    let presented = r_rights r in
+    let reply_to = r_int r in
+    let hops = r_int r in
+    let may_activate = r_bool r in
+    Inv_request
+      { inv_id; target; op; args; presented; reply_to; hops; may_activate;
+        span = None }
+  | 1 ->
+    let inv_id = r_req r in
+    let result = r_result r in
+    let frozen_hint = r_bool r in
+    Inv_reply { inv_id; result; frozen_hint }
+  | 2 ->
+    let inv_id = r_req r in
+    let target = r_name r in
+    Inv_nack { inv_id; target }
+  | 3 ->
+    let target = r_name r in
+    let at_node = r_int r in
+    Hint_update { target; at_node }
+  | 4 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let reply_to = r_int r in
+    Locate_request { req_id; target; reply_to }
+  | 5 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let at_node = r_int r in
+    let residence = r_residence r in
+    Locate_reply { req_id; target; at_node; residence }
+  | 6 ->
+    let req_id = r_req r in
+    let type_name = r_str r in
+    let init = r_value r in
+    let reply_to = r_int r in
+    Create_request { req_id; type_name; init; reply_to }
+  | 7 ->
+    let req_id = r_req r in
+    let result =
+      match r_int r with
+      | 0 ->
+        let name = r_name r in
+        let rights = r_rights r in
+        Ok (Capability.make name rights)
+      | 1 -> Error (r_error r)
+      | n -> r_fail r (Printf.sprintf "bad create result tag %d" n)
+    in
+    Create_reply { req_id; result }
+  | 8 ->
+    let target = r_name r in
+    let type_name = r_str r in
+    let repr = r_value r in
+    let frozen = r_bool r in
+    let reliability = r_reliability r in
+    let from_node = r_int r in
+    let transfer_id = r_req r in
+    Move_transfer
+      { target; type_name; repr; frozen; reliability; from_node; transfer_id }
+  | 9 ->
+    let transfer_id = r_req r in
+    let accepted = r_bool r in
+    Move_ack { transfer_id; accepted }
+  | 10 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let type_name = r_str r in
+    let repr = r_value r in
+    let reliability = r_reliability r in
+    let frozen = r_bool r in
+    let reply_to = r_int r in
+    Ckpt_write { req_id; target; type_name; repr; reliability; frozen; reply_to }
+  | 11 ->
+    let req_id = r_req r in
+    let ok = r_bool r in
+    Ckpt_ack { req_id; ok }
+  | 12 -> Ckpt_delete { target = r_name r }
+  | 13 ->
+    let target = r_name r in
+    let passive = r_bool r in
+    Ckpt_mark { target; passive }
+  | 14 ->
+    let target = r_name r in
+    let type_name = r_str r in
+    let repr = r_value r in
+    let transfer_id = r_req r in
+    let from_node = r_int r in
+    Replica_install { target; type_name; repr; transfer_id; from_node }
+  | 15 ->
+    let transfer_id = r_req r in
+    let accepted = r_bool r in
+    Replica_ack { transfer_id; accepted }
+  | 16 -> Destroy_notice { target = r_name r }
+  | 17 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let reply_to = r_int r in
+    Cache_fetch { req_id; target; reply_to }
+  | 18 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let payload =
+      match r_int r with
+      | 0 -> None
+      | 1 ->
+        let type_name = r_str r in
+        let repr = r_value r in
+        Some (type_name, repr)
+      | n -> r_fail r (Printf.sprintf "bad payload tag %d" n)
+    in
+    Cache_data { req_id; target; payload }
+  | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
+
+let decode s =
+  let r = { buf = s; pos = 0 } in
+  match r_message r with
+  | m -> if r.pos <> String.length s then Error "trailing bytes" else Ok m
+  | exception Decode msg -> Error msg

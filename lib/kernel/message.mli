@@ -29,9 +29,17 @@ type t =
               shared address space; does not contribute to
               {!size_bytes} *)
     }
-  | Inv_reply of { inv_id : request_id; result : Api.invoke_result }
+  | Inv_reply of {
+      inv_id : request_id;
+      result : Api.invoke_result;
+      frozen_hint : bool;
+          (** the serving node saw the target frozen (immutable): the
+              requester may cache a local replica and serve further
+              invocations without the round trip *)
+    }
   | Inv_nack of { inv_id : request_id; target : Name.t }
-      (** "this node cannot serve or forward the request" *)
+      (** "this node cannot serve or forward the request"; also the
+          invalidation channel for cached frozen replicas *)
   | Hint_update of { target : Name.t; at_node : int }
       (** sent to a requester whose request was forwarded *)
   | Locate_request of { req_id : request_id; target : Name.t; reply_to : int }
@@ -86,6 +94,16 @@ type t =
   | Destroy_notice of { target : Name.t }
       (** the object is gone for good: drop snapshots, replicas and
           location knowledge *)
+  | Cache_fetch of { req_id : request_id; target : Name.t; reply_to : int }
+      (** "send me the frozen representation of [target] so I can
+          cache it locally" *)
+  | Cache_data of {
+      req_id : request_id;
+      target : Name.t;
+      payload : (string * Value.t) option;
+          (** [(type_name, repr)]; [None] when the serving node no
+              longer holds a frozen copy *)
+    }
 
 val size_bytes : t -> int
 (** Approximate marshalled size, including a fixed per-message
@@ -93,3 +111,12 @@ val size_bytes : t -> int
 
 val describe : t -> string
 (** Short human-readable tag for tracing. *)
+
+val encode : t -> string
+(** Marshal to a self-delimiting textual wire form.  The [span] field
+    of an [Inv_request] is simulator-side metadata and is omitted. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode} up to [span] (always [None] after decoding).
+    Rejects malformed input, unknown tags, invalid rights bits and
+    trailing bytes with a description of the first error. *)

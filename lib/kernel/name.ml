@@ -15,6 +15,11 @@ let hash n = (n.birth_node * 1_000_003) lxor n.serial
 let pp ppf n = Format.fprintf ppf "obj<%d.%d>" n.birth_node n.serial
 let to_string n = Format.asprintf "%a" pp n
 
+let of_string s =
+  match Scanf.sscanf s "obj<%u.%u>%!" (fun b srl -> (b, srl)) with
+  | b, srl -> Some { birth_node = b; serial = srl }
+  | exception _ -> None
+
 module Table = Hashtbl.Make (struct
   type nonrec t = t
 

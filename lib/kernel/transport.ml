@@ -9,13 +9,23 @@ type fault = Internet.fault =
   | Duplicate
   | Delay of Eden_util.Time.t
 
-let create_net ?params ?bridge_latency eng ~segments =
-  Internet.create ?params ?bridge_latency eng ~segments
+type coalesce = Internet.coalesce = {
+  co_max_bytes : int;
+  co_max_msgs : int;
+  co_max_delay : Eden_util.Time.t;
+}
+
+let default_coalesce = Internet.default_coalesce
+
+let create_net ?params ?bridge_latency ?coalesce eng ~segments =
+  Internet.create ?params ?bridge_latency ?coalesce eng ~segments
     ~size:Message.size_bytes
 
 let segment_count = Internet.segment_count
 let frames_delivered = Internet.frames_delivered
 let bridge_forwards = Internet.bridge_forwards
+let coalesced_batches = Internet.coalesced_batches
+let coalesced_messages = Internet.coalesced_messages
 let bridge_drops = Internet.bridge_drops
 let segment_counters = Internet.segment_counters
 let set_partitioned = Internet.set_partitioned
@@ -27,5 +37,6 @@ let segment = Internet.segment_of_endpoint
 let on_message = Internet.on_message
 let send = Internet.send
 let broadcast = Internet.broadcast
+let flush = Internet.flush
 let set_up = Internet.set_up
 let is_up = Internet.is_up

@@ -10,18 +10,35 @@
 
 type net
 
+type coalesce = Eden_net.Internet.coalesce = {
+  co_max_bytes : int;
+  co_max_msgs : int;
+  co_max_delay : Eden_util.Time.t;
+}
+(** Unicast coalescing budgets; see {!Eden_net.Internet.coalesce}. *)
+
+val default_coalesce : coalesce
+
 val create_net :
   ?params:Eden_net.Params.t ->
   ?bridge_latency:Eden_util.Time.t ->
+  ?coalesce:coalesce ->
   Eden_sim.Engine.t ->
   segments:int ->
   net
 (** [segments = 1] (the usual case) builds a single Ethernet with no
-    bridge. *)
+    bridge.  Omitting [coalesce] sends every unicast as its own wire
+    transfer. *)
 
 val segment_count : net -> int
 val frames_delivered : net -> int
 val bridge_forwards : net -> int
+
+val coalesced_batches : net -> int
+(** Wire transfers that carried two or more coalesced messages. *)
+
+val coalesced_messages : net -> int
+(** Messages that travelled inside those batched transfers. *)
 
 val segment_counters : net -> Eden_net.Lan.counters array
 (** Per-segment MAC counters, indexed by segment. *)
@@ -64,7 +81,12 @@ val send : t -> dst:int -> Message.t -> unit
     destination. *)
 
 val broadcast : t -> Message.t -> unit
-(** Reaches every node on every segment. *)
+(** Reaches every node on every segment.  Acts as a coalescing
+    barrier: queued unicasts are flushed first. *)
+
+val flush : t -> unit
+(** Flush this endpoint's coalescing queues immediately.  No-op when
+    coalescing is disabled. *)
 
 val set_up : t -> bool -> unit
 (** A downed endpoint neither sends nor delivers. *)

@@ -15,15 +15,33 @@
 type 'a t
 type 'a endpoint
 
+type coalesce = {
+  co_max_bytes : int;  (** flush when queued payload bytes reach this *)
+  co_max_msgs : int;  (** flush when this many messages are queued *)
+  co_max_delay : Eden_util.Time.t;
+      (** flush this long after the first message entered the queue *)
+}
+(** Budgets for unicast message coalescing.  Each endpoint keeps one
+    send queue per destination; small messages accumulate there and
+    leave as a single wire transfer when any budget is exhausted, when
+    a {!broadcast} acts as a barrier, or on an explicit {!flush}.
+    Messages of [co_max_bytes] or more bypass the queue (after
+    flushing it, so per-destination FIFO order is preserved). *)
+
+val default_coalesce : coalesce
+(** 1024 bytes / 8 messages / 300us. *)
+
 val create :
   ?params:Params.t ->
   ?bridge_latency:Eden_util.Time.t ->
+  ?coalesce:coalesce ->
   Eden_sim.Engine.t ->
   segments:int ->
   size:('a -> int) ->
   'a t
 (** [segments] must be >= 1.  [bridge_latency] (default 500us) is the
-    store-and-forward delay per bridged hop. *)
+    store-and-forward delay per bridged hop.  Omitting [coalesce]
+    (the default) sends every unicast as its own wire transfer. *)
 
 val segment_count : 'a t -> int
 
@@ -46,7 +64,14 @@ val send : 'a endpoint -> dst:int -> 'a -> unit
 
 val broadcast : 'a endpoint -> 'a -> unit
 (** Delivered to every endpoint on every segment (except the sender);
-    the bridge re-emits on remote segments. *)
+    the bridge re-emits on remote segments.  A broadcast is a
+    coalescing barrier: the sender's queues are flushed first so
+    queued unicasts cannot overtake it. *)
+
+val flush : 'a endpoint -> unit
+(** Flush every per-destination coalescing queue of this endpoint
+    immediately (in ascending destination order).  A no-op when
+    coalescing is disabled or nothing is queued. *)
 
 val set_up : 'a endpoint -> bool -> unit
 val is_up : 'a endpoint -> bool
@@ -62,6 +87,12 @@ val bridge_drops : 'a t -> int
 (** Envelopes the bridge discarded because a partition cut the path,
     counted whether the partition was up when the frame arrived or
     raised while it sat in the store-and-forward queue. *)
+
+val coalesced_batches : 'a t -> int
+(** Wire transfers that carried two or more coalesced messages. *)
+
+val coalesced_messages : 'a t -> int
+(** Messages that travelled inside those batched transfers. *)
 
 val segment_counters : 'a t -> Lan.counters array
 (** Per-segment MAC counters, indexed by segment. *)
@@ -90,8 +121,11 @@ type fault =
 
 val set_fault_injector :
   'a t -> (src:int -> dst:int option -> fault) option -> unit
-(** [set_fault_injector net (Some f)] consults [f] on every {!send}
-    ([dst = Some g]) and {!broadcast} ([dst = None]) before the message
-    touches the wire.  [None] removes the hook.  The injector must be
+(** [set_fault_injector net (Some f)] consults [f] on every unicast
+    wire transfer ([dst = Some g]) and {!broadcast} ([dst = None])
+    before the message touches the wire.  [None] removes the hook.
+    With coalescing enabled the injector is consulted {e once per
+    batch}: a [Drop] verdict loses every coalesced member, [Delay]
+    and [Duplicate] act on the whole transfer.  The injector must be
     deterministic given the virtual clock (seeded PRNG only) to keep
     runs reproducible. *)

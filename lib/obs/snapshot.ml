@@ -167,6 +167,20 @@ let of_string s =
   let* j = Json.of_string s in
   of_json j
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_file ?compact t ~path =
+  mkdir_p (Filename.dirname path);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?compact t);
+      Out_channel.output_char oc '\n')
+
 (* ---------------------------------------------------------------- *)
 (* Pretty table *)
 

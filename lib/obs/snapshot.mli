@@ -37,6 +37,11 @@ val of_json : Json.t -> (t, string) result
 val to_string : ?compact:bool -> t -> string
 val of_string : string -> (t, string) result
 
+val write_file : ?compact:bool -> t -> path:string -> unit
+(** Write the JSON export (plus a trailing newline) to [path],
+    creating missing parent directories first.  Raises [Sys_error] if
+    the path is unwritable. *)
+
 val pp_table : t -> string
 (** Render the metric samples as aligned ASCII tables: one table with
     node-labelled metrics as rows and nodes as columns, one for

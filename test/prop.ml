@@ -1,0 +1,84 @@
+(* Seeded property-test harness shared by the test suites.
+
+   Each property runs over [seeds] independent Splitmix streams derived
+   from a fixed base, so a failure report names the exact seed and the
+   run replays bit-for-bit.  On failure a greedy shrink pass walks the
+   candidate counterexamples from [shrink] (smallest first is the
+   caller's job) and keeps any that still fail, bounded by a small step
+   budget — enough to strip list elements or zero fields without a full
+   QuickCheck engine. *)
+
+module Splitmix = Eden_util.Splitmix
+
+type 'a gen = Splitmix.t -> 'a
+
+module Gen = struct
+  let return x : _ gen = fun _ -> x
+  let int lo hi : int gen = fun rng -> Splitmix.int_in rng lo hi
+  let bool : bool gen = Splitmix.bool
+
+  let oneof (gens : 'a gen list) : 'a gen =
+    let arr = Array.of_list gens in
+    fun rng -> (Splitmix.choose rng arr) rng
+
+  let choose (xs : 'a list) : 'a gen =
+    let arr = Array.of_list xs in
+    fun rng -> Splitmix.choose rng arr
+
+  (* Printable ASCII, so counterexamples read back cleanly. *)
+  let string ?(max_len = 12) : string gen =
+   fun rng ->
+    let n = Splitmix.int rng (max_len + 1) in
+    String.init n (fun _ -> Char.chr (Splitmix.int_in rng 0x20 0x7e))
+
+  let list ?(max_len = 8) (g : 'a gen) : 'a list gen =
+   fun rng ->
+    let n = Splitmix.int rng (max_len + 1) in
+    List.init n (fun _ -> g rng)
+
+  let pair (a : 'a gen) (b : 'b gen) : ('a * 'b) gen =
+   fun rng ->
+    let x = a rng in
+    let y = b rng in
+    (x, y)
+
+  let map f (g : 'a gen) : 'b gen = fun rng -> f (g rng)
+end
+
+(* Greedy descent: repeatedly replace the counterexample with the first
+   shrink candidate that still fails, up to [budget] candidate checks. *)
+let shrink_search ~shrink ~fails x0 =
+  let budget = ref 200 in
+  let rec go x =
+    if !budget <= 0 then x
+    else
+      let rec try_candidates = function
+        | [] -> x
+        | c :: rest ->
+          decr budget;
+          if !budget >= 0 && fails c then go c else try_candidates rest
+      in
+      try_candidates (shrink x)
+  in
+  go x0
+
+let run ?(seeds = 100) ?(base = 0x5EED_0001L) ~name ~(gen : 'a gen)
+    ?(shrink = fun _ -> []) ~show (prop : 'a -> (unit, string) result) =
+  for i = 0 to seeds - 1 do
+    let rng = Splitmix.create (Int64.add base (Int64.of_int i)) in
+    let x = gen rng in
+    match prop x with
+    | Ok () -> ()
+    | Error msg ->
+      let fails c = Result.is_error (prop c) in
+      let x' = shrink_search ~shrink ~fails x in
+      let msg' =
+        match prop x' with Error m -> m | Ok () -> msg
+      in
+      Alcotest.failf "%s: seed %d (base 0x%Lx): %s\n  counterexample: %s"
+        name i base msg' (show x')
+  done
+
+let case ?seeds ?base ~name ~gen ?shrink ~show prop =
+  Alcotest.test_case name `Quick (fun () ->
+      run ?seeds ?base ~name ~gen ?shrink ~show prop)

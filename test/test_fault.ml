@@ -171,13 +171,14 @@ type chaos_result = {
 (* A seeded chaos run: 4 nodes on 2 bridged segments, one Mirrored
    counter per node, a paced request stream from node 0 under the
    seed's random plan, then a post-heal probe of every counter. *)
-let run_chaos ?plan ~seed () =
+let run_chaos ?plan ?options ?coalesce ~seed () =
   let configs =
     List.init nodes (fun i ->
         Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
   let cl =
-    Cluster.create ~seed:(Int64.of_int seed) ~segments:[ 2; 2 ] ~configs ()
+    Cluster.create ~seed:(Int64.of_int seed) ~segments:[ 2; 2 ] ?options
+      ?coalesce ~configs ()
   in
   Cluster.register_type cl chaos_type;
   let eng = Cluster.engine cl in
@@ -285,6 +286,48 @@ let test_chaos_deterministic () =
       check_int "identical fault counts" a.injected b.injected)
     [ 0; 7 ]
 
+(* The invocation hot path options must not break chaos invariants:
+   with coalescing batching kernel messages (a dropped or delayed wire
+   transfer now loses or holds back every member) and the replica
+   cache armed, every request is still accounted for and the cluster
+   still recovers post-heal. *)
+let hot_path_options =
+  { Cluster.default_options with Cluster.use_replica_cache = true }
+
+let test_chaos_hot_path_invariants () =
+  for seed = 0 to 4 do
+    let r =
+      run_chaos ~options:hot_path_options
+        ~coalesce:Eden_kernel.Transport.default_coalesce ~seed ()
+    in
+    check_int
+      (Printf.sprintf "seed %d: every request accounted for" seed)
+      requests (r.ok + r.failed);
+    check_bool
+      (Printf.sprintf "seed %d: counters recover post-heal" seed)
+      true r.probes_ok;
+    check_bool (Printf.sprintf "seed %d: faults fired" seed) true
+      (r.injected >= 2)
+  done
+
+let test_chaos_hot_path_deterministic () =
+  (* The acceptance bar for the cache + coalescer: equal seeds give
+     byte-identical metrics snapshots with both features enabled. *)
+  List.iter
+    (fun seed ->
+      let once () =
+        run_chaos ~options:hot_path_options
+          ~coalesce:Eden_kernel.Transport.default_coalesce ~seed ()
+      in
+      let a = once () and b = once () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical snapshots with cache+coalescer"
+           seed)
+        a.snapshot b.snapshot;
+      check_int "identical completions" a.ok b.ok;
+      check_int "identical fault counts" a.injected b.injected)
+    [ 2; 11 ]
+
 let test_controller_links_and_disarm () =
   let cl = Cluster.default ~seed:1L ~n_nodes:2 () in
   let plan =
@@ -327,6 +370,10 @@ let () =
             test_chaos_invariants;
           Alcotest.test_case "same seed, same snapshot" `Slow
             test_chaos_deterministic;
+          Alcotest.test_case "hot-path options keep invariants" `Slow
+            test_chaos_hot_path_invariants;
+          Alcotest.test_case "hot-path options stay deterministic" `Slow
+            test_chaos_hot_path_deterministic;
           Alcotest.test_case "controller links + disarm" `Quick
             test_controller_links_and_disarm;
         ] );

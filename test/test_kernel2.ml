@@ -60,8 +60,8 @@ let counter_type =
           | None -> user_error "subprocess never signalled");
     ]
 
-let with_cluster ?seed ?(n = 3) body =
-  let cl = Cluster.default ?seed ~n_nodes:n () in
+let with_cluster ?seed ?options ?(n = 3) body =
+  let cl = Cluster.default ?seed ?options ~n_nodes:n () in
   Cluster.register_type cl counter_type;
   let result = ref None in
   let _ = Cluster.in_process cl (fun () -> result := Some (body cl)) in
@@ -431,6 +431,108 @@ let test_soak_with_failures () =
   Cluster.run cl;
   check_int "all objects reachable and sane" 12 !sane
 
+(* ------------------------------------------------------------------ *)
+(* Frozen-replica cache *)
+
+module Snapshot = Eden_obs.Snapshot
+module Metrics = Eden_obs.Metrics
+
+let cache_opts =
+  { Cluster.default_options with Cluster.use_replica_cache = true }
+
+let cache_counter cl name ~node =
+  let snap = Cluster.metrics_snapshot cl in
+  match Snapshot.find snap ~labels:[ ("node", string_of_int node) ] name with
+  | Some (Metrics.Counter n) -> n
+  | _ -> Alcotest.failf "missing counter %s" name
+
+let test_cache_miss_then_hit () =
+  with_cluster ~options:cache_opts (fun cl ->
+      let cap = new_counter cl ~node:0 7 in
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      check_bool "first read is remote" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 7 ]);
+      check_bool "miss recorded" true
+        (cache_counter cl "eden.replica_cache.misses" ~node:1 >= 1);
+      (* Let the background fetch install the local copy. *)
+      Engine.delay (Time.ms 200);
+      let remote_before = Cluster.stats_remote_invocations cl in
+      check_bool "second read still correct" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 7 ]);
+      check_int "served locally, no new remote invocation" remote_before
+        (Cluster.stats_remote_invocations cl);
+      check_int "hit recorded" 1
+        (cache_counter cl "eden.replica_cache.hits" ~node:1))
+
+let test_cache_off_by_default () =
+  with_cluster (fun cl ->
+      let cap = new_counter cl ~node:0 3 in
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      for _ = 1 to 3 do
+        check_bool "read" true
+          (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 3 ])
+      done;
+      Engine.delay (Time.ms 200);
+      check_int "no misses without the option" 0
+        (cache_counter cl "eden.replica_cache.misses" ~node:1);
+      check_int "no hits either" 0
+        (cache_counter cl "eden.replica_cache.hits" ~node:1))
+
+let test_cache_unfreeze_invalidates () =
+  with_cluster ~options:cache_opts (fun cl ->
+      let cap = new_counter cl ~node:0 1 in
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      check_bool "warm the cache" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 1 ]);
+      Engine.delay (Time.ms 200);
+      check_int "cache serving" 1
+        (Cluster.invoke cl ~from:1 cap ~op:"get" []
+         |> function Ok [ Value.Int n ] -> n | _ -> -1);
+      (* The version bump: unfreeze broadcasts on the nack path and
+         every cached copy of the old representation must go. *)
+      ignore (ok_or_fail "unfreeze" (Cluster.unfreeze cl cap));
+      Engine.delay (Time.ms 5);
+      check_bool "invalidation recorded" true
+        (cache_counter cl "eden.replica_cache.invalidations" ~node:1 >= 1);
+      check_bool "mutable again" true
+        (Cluster.invoke cl ~from:1 cap ~op:"incr" [] = Ok [ Value.Int 2 ]);
+      (* A freeze-mutate cycle must never serve the stale cached 1. *)
+      check_bool "fresh value read" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 2 ]))
+
+let test_unfreeze_refused_with_replicas () =
+  with_cluster (fun cl ->
+      let cap = new_counter cl ~node:0 4 in
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      ignore (ok_or_fail "replicate" (Cluster.replicate cl cap ~to_node:2));
+      (match Cluster.unfreeze cl cap with
+      | Error (Error.Move_refused _) -> ()
+      | Ok () -> Alcotest.fail "unfreeze succeeded with pinned replicas"
+      | Error e ->
+        Alcotest.failf "unexpected error: %s" (Error.to_string e));
+      expect_error "still frozen" Error.Frozen_immutable
+        (Cluster.invoke cl ~from:1 cap ~op:"incr" []);
+      let weak = Capability.restrict cap Rights.invoke_only in
+      expect_error "needs the checkpoint right"
+        (Error.Rights_violation "unfreeze")
+        (Cluster.unfreeze cl weak))
+
+let test_cache_cleared_on_crash () =
+  with_cluster ~options:cache_opts (fun cl ->
+      let cap = new_counter cl ~node:0 9 in
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      ignore (ok_or_fail "warm" (Cluster.invoke cl ~from:1 cap ~op:"get" []));
+      Engine.delay (Time.ms 200);
+      Cluster.crash_node cl 1;
+      Cluster.restart_node cl 1;
+      (* The restarted node lost its volatile cache: the next read is
+         remote again (a fresh miss), and still correct. *)
+      let misses = cache_counter cl "eden.replica_cache.misses" ~node:1 in
+      check_bool "read after restart" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 9 ]);
+      check_bool "fresh miss" true
+        (cache_counter cl "eden.replica_cache.misses" ~node:1 > misses))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "eden_kernel2"
@@ -473,6 +575,17 @@ let () =
           Alcotest.test_case "population" `Quick
             test_node_object_reflects_population;
           Alcotest.test_case "heartbeat" `Quick test_node_object_heartbeat;
+        ] );
+      ( "replica cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "off by default" `Quick test_cache_off_by_default;
+          Alcotest.test_case "unfreeze invalidates" `Quick
+            test_cache_unfreeze_invalidates;
+          Alcotest.test_case "unfreeze refused with replicas" `Quick
+            test_unfreeze_refused_with_replicas;
+          Alcotest.test_case "cleared on crash" `Quick
+            test_cache_cleared_on_crash;
         ] );
       ( "soak",
         [ Alcotest.test_case "failures + migration" `Quick test_soak_with_failures ]

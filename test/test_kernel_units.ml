@@ -169,8 +169,9 @@ let test_reliability_checksites () =
     (Reliability.checksites (Reliability.Mirrored [ 1; 3 ]) ~home:2)
 
 (* ------------------------------------------------------------------ *)
-(* Property tests: hand-rolled generators over a fixed-seed Splitmix
-   stream, so failures replay exactly.  [iters] draws per property. *)
+(* Property tests, on the shared {!Prop} harness: 500 seeds per
+   property (one structured draw each), fixed bases so failures replay
+   exactly, with shrinking for the mirrored-site lists. *)
 
 module Splitmix = Eden_util.Splitmix
 
@@ -209,68 +210,102 @@ let reliability_ok_ref r ~node_count =
     && List.for_all in_range sites
     && List.length (List.sort_uniq compare sites) = List.length sites
 
-let test_prop_reliability_validate () =
-  let rng = Splitmix.create 0xBEEF01L in
-  for _ = 1 to iters do
-    let node_count = 1 + Splitmix.int rng 6 in
-    let r = rand_reliability rng ~node_count in
-    let expected = reliability_ok_ref r ~node_count in
-    let got = Reliability.validate r ~node_count = Ok () in
-    if got <> expected then
-      Alcotest.failf "validate %a (node_count=%d): got %b, want %b"
-        Reliability.pp r node_count got expected
-  done
+(* Drop one mirrored site at a time; other levels have no smaller
+   form worth exploring. *)
+let shrink_reliability (node_count, r) =
+  match r with
+  | Reliability.Mirrored sites when sites <> [] ->
+    List.mapi
+      (fun i _ ->
+        ( node_count,
+          Reliability.Mirrored (List.filteri (fun j _ -> j <> i) sites) ))
+      sites
+  | _ -> []
 
-let test_prop_reliability_checksites () =
-  let rng = Splitmix.create 0xBEEF02L in
-  for _ = 1 to iters do
-    let node_count = 1 + Splitmix.int rng 6 in
-    let r = rand_reliability rng ~node_count in
-    if Reliability.validate r ~node_count = Ok () then begin
-      let home = Splitmix.int rng node_count in
-      let sites = Reliability.checksites r ~home in
-      (* Validated levels yield non-empty, in-range, duplicate-free
-         checksite lists; Local checkpoints exactly at home. *)
-      if sites = [] then Alcotest.fail "empty checksites";
-      if not (List.for_all (fun s -> s >= 0 && s < node_count) sites) then
-        Alcotest.failf "checksite out of range for %a" Reliability.pp r;
-      if List.length (List.sort_uniq compare sites) <> List.length sites
-      then Alcotest.failf "duplicate checksites for %a" Reliability.pp r;
-      if r = Reliability.Local && sites <> [ home ] then
-        Alcotest.fail "Local must checkpoint at home"
-    end
-  done
+let show_reliability (node_count, r) =
+  Format.asprintf "%a (node_count=%d)" Reliability.pp r node_count
 
-let test_prop_capability_restrict () =
-  let rng = Splitmix.create 0xBEEF03L in
+let gen_count_and_reliability rng =
+  let node_count = 1 + Splitmix.int rng 6 in
+  (node_count, rand_reliability rng ~node_count)
+
+let prop_reliability_validate =
+  Prop.case ~seeds:iters ~base:0xBEEF01L ~name:"reliability validate"
+    ~gen:gen_count_and_reliability ~shrink:shrink_reliability
+    ~show:show_reliability (fun (node_count, r) ->
+      let expected = reliability_ok_ref r ~node_count in
+      let got = Reliability.validate r ~node_count = Ok () in
+      if got = expected then Ok ()
+      else Error (Printf.sprintf "validate: got %b, want %b" got expected))
+
+let prop_reliability_checksites =
+  Prop.case ~seeds:iters ~base:0xBEEF02L ~name:"reliability checksites"
+    ~gen:(fun rng ->
+      let node_count, r = gen_count_and_reliability rng in
+      (node_count, r, Splitmix.int rng node_count))
+    ~shrink:(fun (node_count, r, home) ->
+      List.map
+        (fun (nc, r') -> (nc, r', home))
+        (shrink_reliability (node_count, r)))
+    ~show:(fun (node_count, r, home) ->
+      Format.asprintf "%a (node_count=%d, home=%d)" Reliability.pp r
+        node_count home)
+    (fun (node_count, r, home) ->
+      if Reliability.validate r ~node_count <> Ok () then Ok ()
+      else
+        let sites = Reliability.checksites r ~home in
+        (* Validated levels yield non-empty, in-range, duplicate-free
+           checksite lists; Local checkpoints exactly at home. *)
+        if sites = [] then Error "empty checksites"
+        else if not (List.for_all (fun s -> s >= 0 && s < node_count) sites)
+        then Error "checksite out of range"
+        else if
+          List.length (List.sort_uniq compare sites) <> List.length sites
+        then Error "duplicate checksites"
+        else if r = Reliability.Local && sites <> [ home ] then
+          Error "Local must checkpoint at home"
+        else Ok ())
+
+let prop_capability_restrict =
   let name = Name.make ~birth_node:1 ~serial:9 in
-  for _ = 1 to iters do
-    let base = rand_rights rng and mask = rand_rights rng in
-    let cap = Capability.make name base in
-    let r = Capability.restrict cap mask in
-    (* Monotone: never more rights than either the original or the
-       mask — restriction is intersection, so also exactly that. *)
-    check_bool "subset of original" true
-      (Rights.subset (Capability.rights r) base);
-    check_bool "subset of mask" true
-      (Rights.subset (Capability.rights r) mask);
-    check_bool "is the intersection" true
-      (Rights.equal (Capability.rights r) (Rights.inter base mask));
-    check_bool "same object" true (Capability.same_object cap r);
-    (* Idempotent, and a full mask changes nothing. *)
-    check_bool "idempotent" true
-      (Capability.equal r (Capability.restrict r mask));
-    check_bool "full mask is identity" true
-      (Capability.equal cap (Capability.restrict cap Rights.all));
-    (* No sequence of restrictions can amplify. *)
-    let again = Capability.restrict r (rand_rights rng) in
-    check_bool "chain cannot amplify" true
-      (Rights.subset (Capability.rights again) base);
-    (* permits agrees with subset. *)
-    let need = rand_rights rng in
-    check_bool "permits = subset" true
-      (Capability.permits r need = Rights.subset need (Capability.rights r))
-  done
+  Prop.case ~seeds:iters ~base:0xBEEF03L ~name:"capability restrict"
+    ~gen:(fun rng ->
+      let base = rand_rights rng in
+      let mask = rand_rights rng in
+      let chain = rand_rights rng in
+      let need = rand_rights rng in
+      (base, mask, chain, need))
+    ~show:(fun (base, mask, chain, need) ->
+      Format.asprintf "base=%a mask=%a chain=%a need=%a" Rights.pp base
+        Rights.pp mask Rights.pp chain Rights.pp need)
+    (fun (base, mask, chain, need) ->
+      let fail fmt = Printf.ksprintf Result.error fmt in
+      let cap = Capability.make name base in
+      let r = Capability.restrict cap mask in
+      (* Monotone: never more rights than either the original or the
+         mask — restriction is intersection, so also exactly that. *)
+      if not (Rights.subset (Capability.rights r) base) then
+        fail "not a subset of the original"
+      else if not (Rights.subset (Capability.rights r) mask) then
+        fail "not a subset of the mask"
+      else if not (Rights.equal (Capability.rights r) (Rights.inter base mask))
+      then fail "not the intersection"
+      else if not (Capability.same_object cap r) then fail "object changed"
+        (* Idempotent, and a full mask changes nothing. *)
+      else if not (Capability.equal r (Capability.restrict r mask)) then
+        fail "not idempotent"
+      else if not (Capability.equal cap (Capability.restrict cap Rights.all))
+      then fail "full mask not the identity"
+      else
+        (* No sequence of restrictions can amplify. *)
+        let again = Capability.restrict r chain in
+        if not (Rights.subset (Capability.rights again) base) then
+          fail "chain amplified rights"
+        else if
+          Capability.permits r need
+          <> Rights.subset need (Capability.rights r)
+        then fail "permits disagrees with subset"
+        else Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Opclass *)
@@ -373,7 +408,11 @@ let test_message_sizes_scale () =
   check_bool "payload dominates" true (big >= small + 10_000);
   let reply =
     Message.Inv_reply
-      { inv_id = { Message.origin = 0; seq = 1 }; result = Ok [ Value.Blob 500 ] }
+      {
+        inv_id = { Message.origin = 0; seq = 1 };
+        result = Ok [ Value.Blob 500 ];
+        frozen_hint = false;
+      }
   in
   check_bool "reply carries payload" true (Message.size_bytes reply >= 500);
   check_bool "describe mentions op" true
@@ -436,12 +475,9 @@ let () =
         ] );
       ( "properties",
         [
-          Alcotest.test_case "reliability validate" `Quick
-            test_prop_reliability_validate;
-          Alcotest.test_case "reliability checksites" `Quick
-            test_prop_reliability_checksites;
-          Alcotest.test_case "capability restrict monotone" `Quick
-            test_prop_capability_restrict;
+          prop_reliability_validate;
+          prop_reliability_checksites;
+          prop_capability_restrict;
         ] );
       ( "opclass",
         [

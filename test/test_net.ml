@@ -538,6 +538,161 @@ let test_injector_delay () =
   check_bool "held for at least the injected delay" true
     (Time.to_ns !at >= 5_000_000)
 
+(* ------------------------------------------------------------------ *)
+(* Unicast coalescing *)
+
+let make_inet_co ?(segments = 1) ?(per_segment = 3) ~coalesce eng =
+  let inet = Internet.create eng ~segments ~size:String.length ~coalesce in
+  let eps =
+    Array.init (segments * per_segment) (fun i ->
+        Internet.attach inet ~segment:(i / per_segment)
+          ~name:(Printf.sprintf "h%d" i))
+  in
+  (inet, eps)
+
+let co ?(bytes = 1024) ?(msgs = 8) ?(delay = Time.us 300) () =
+  { Internet.co_max_bytes = bytes; co_max_msgs = msgs; co_max_delay = delay }
+
+let test_co_flush_on_count () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ~msgs:3 ()) eng in
+  let got = ref [] in
+  Internet.on_message eps.(1) (fun ~src:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Internet.send eps.(0) ~dst:1 m) [ "a"; "b"; "c" ];
+  Engine.run eng;
+  Alcotest.(check (list string)) "members in order" [ "a"; "b"; "c" ]
+    (List.rev !got);
+  check_int "one batched transfer" 1 (Internet.coalesced_batches inet);
+  check_int "three members" 3 (Internet.coalesced_messages inet);
+  (* The whole batch crossed as a single (padded) LAN frame. *)
+  check_int "one frame on the wire" 1 (Internet.frames_delivered inet)
+
+let test_co_flush_on_timeout () =
+  (* A lone small message sits in the queue until the delay budget
+     expires, then travels as a plain transfer (no batch counted). *)
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ()) eng in
+  let at = ref Time.zero in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> at := Engine.now eng);
+  Internet.send eps.(0) ~dst:1 "lonely";
+  Engine.run eng;
+  (* 300us hold + 72us padded frame + 5us propagation. *)
+  check_int "held for the delay budget" 377_000 (Time.to_ns !at);
+  check_int "single message is not a batch" 0
+    (Internet.coalesced_batches inet)
+
+let test_co_budget_vs_timeout_ordering () =
+  (* A count-budget flush at t=0 and a later timer flush must preserve
+     per-destination FIFO order across both transfers. *)
+  let eng = Engine.create () in
+  let _, eps = make_inet_co ~coalesce:(co ~msgs:3 ()) eng in
+  let got = ref [] in
+  Internet.on_message eps.(1) (fun ~src:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Internet.send eps.(0) ~dst:1 m) [ "a"; "b"; "c" ];
+  Engine.schedule eng ~after:(Time.us 100) (fun () ->
+      Internet.send eps.(0) ~dst:1 "d";
+      Internet.send eps.(0) ~dst:1 "e");
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "budget flush first, timer flush after" [ "a"; "b"; "c"; "d"; "e" ]
+    (List.rev !got)
+
+let test_co_oversize_flushes_then_travels_alone () =
+  (* An oversize message acts as its own barrier: the queue flushes
+     first so FIFO order holds, then the big message goes unbatched. *)
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ~bytes:64 ~delay:(Time.ms 10) ()) eng in
+  let got = ref [] in
+  Internet.on_message eps.(1) (fun ~src:_ msg ->
+      got := String.length msg :: !got);
+  Internet.send eps.(0) ~dst:1 "aa";
+  Internet.send eps.(0) ~dst:1 "bb";
+  Internet.send eps.(0) ~dst:1 (String.make 70 'X');
+  Engine.run eng;
+  Alcotest.(check (list int)) "queue first, oversize after" [ 2; 2; 70 ]
+    (List.rev !got);
+  check_int "only the small pair batched" 1 (Internet.coalesced_batches inet);
+  check_int "two members" 2 (Internet.coalesced_messages inet)
+
+let test_co_broadcast_barrier () =
+  (* Queued unicasts cannot be overtaken by a later broadcast. *)
+  let eng = Engine.create () in
+  let _, eps = make_inet_co ~coalesce:(co ~delay:(Time.ms 10) ()) eng in
+  let got = ref [] in
+  Internet.on_message eps.(1) (fun ~src:_ msg -> got := msg :: !got);
+  Internet.send eps.(0) ~dst:1 "queued";
+  Internet.broadcast eps.(0) "all stations";
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "unicast flushed ahead of the broadcast" [ "queued"; "all stations" ]
+    (List.rev !got)
+
+let test_co_loopback_bypasses_queue () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ~delay:(Time.ms 10) ()) eng in
+  let got = ref 0 in
+  Internet.on_message eps.(0) (fun ~src:_ _ -> incr got);
+  Internet.send eps.(0) ~dst:0 "to self";
+  Engine.run eng;
+  check_int "delivered immediately" 1 !got;
+  check_int "nothing on the wire" 0 (Internet.frames_delivered inet);
+  check_int "not counted as coalesced" 0 (Internet.coalesced_messages inet)
+
+let test_co_partition_cuts_whole_batch () =
+  (* A batch crossing the bridge when a partition lands loses every
+     member, and the bridge counts one envelope, not one per member. *)
+  let eng = Engine.create () in
+  let inet, eps =
+    make_inet_co ~segments:2 ~per_segment:2 ~coalesce:(co ~msgs:2 ()) eng
+  in
+  let got = ref 0 in
+  Internet.on_message eps.(2) (fun ~src:_ _ -> incr got);
+  Internet.send eps.(0) ~dst:2 "one";
+  Internet.send eps.(0) ~dst:2 "two";
+  (* Budget flush at t=0; the envelope reaches the bridge after ~80us
+     of MAC time and sits in the 500us store-and-forward queue. *)
+  Engine.schedule eng ~after:(Time.us 300) (fun () ->
+      Internet.set_partitioned inet 1 true);
+  Engine.run eng;
+  check_int "no member survived" 0 !got;
+  check_int "one envelope dropped" 1 (Internet.bridge_drops inet);
+  check_int "batch was counted at flush" 1 (Internet.coalesced_batches inet)
+
+let test_co_injector_drops_whole_batch () =
+  (* The fault injector sees one decision per wire transfer; Drop on a
+     batch loses all of its members. *)
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ~msgs:3 ()) eng in
+  let got = ref 0 in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> incr got);
+  let decisions = ref 0 in
+  Internet.set_fault_injector inet
+    (Some
+       (fun ~src:_ ~dst:_ ->
+         incr decisions;
+         Internet.Drop));
+  List.iter (fun m -> Internet.send eps.(0) ~dst:1 m) [ "a"; "b"; "c" ];
+  Engine.run eng;
+  check_int "all members lost" 0 !got;
+  check_int "one verdict for the whole batch" 1 !decisions
+
+let test_co_down_sender_discards_queue () =
+  let eng = Engine.create () in
+  let inet, eps = make_inet_co ~coalesce:(co ~delay:(Time.ms 1) ()) eng in
+  let got = ref 0 in
+  Internet.on_message eps.(1) (fun ~src:_ _ -> incr got);
+  Internet.send eps.(0) ~dst:1 "doomed";
+  Internet.send eps.(0) ~dst:1 "also doomed";
+  Internet.set_up eps.(0) false;
+  Engine.run eng;
+  check_int "queued messages discarded" 0 !got;
+  check_int "nothing on the wire" 0 (Internet.frames_delivered inet);
+  (* Back up: later traffic flows; the discarded queue stays lost. *)
+  Internet.set_up eps.(0) true;
+  Internet.send eps.(0) ~dst:1 "fresh";
+  Engine.run eng;
+  check_int "recovered" 1 !got
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "eden_net"
@@ -609,5 +764,26 @@ let () =
           Alcotest.test_case "injector duplicate" `Quick
             test_injector_duplicate;
           Alcotest.test_case "injector delay" `Quick test_injector_delay;
+        ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "flush on count budget" `Quick
+            test_co_flush_on_count;
+          Alcotest.test_case "flush on timeout" `Quick
+            test_co_flush_on_timeout;
+          Alcotest.test_case "budget vs timeout ordering" `Quick
+            test_co_budget_vs_timeout_ordering;
+          Alcotest.test_case "oversize bypass" `Quick
+            test_co_oversize_flushes_then_travels_alone;
+          Alcotest.test_case "broadcast barrier" `Quick
+            test_co_broadcast_barrier;
+          Alcotest.test_case "loopback bypasses queue" `Quick
+            test_co_loopback_bypasses_queue;
+          Alcotest.test_case "partition cuts whole batch" `Quick
+            test_co_partition_cuts_whole_batch;
+          Alcotest.test_case "injector drops whole batch" `Quick
+            test_co_injector_drops_whole_batch;
+          Alcotest.test_case "down sender discards queue" `Quick
+            test_co_down_sender_discards_queue;
         ] );
     ]

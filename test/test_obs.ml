@@ -189,6 +189,32 @@ let test_snapshot_rejects_garbage () =
   check_bool "wrong schema" true
     (Result.is_error (Snapshot.of_string "{\"schema\":\"nope\"}"))
 
+(* Regression: [edenctl chaos --metrics-out results/run1/snap.json]
+   used to die with Sys_error when the directory tree did not exist.
+   write_file must create the missing parents. *)
+let test_snapshot_write_file_creates_parents () =
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "inv") 7;
+  let snap = Snapshot.take ~at:(Time.ms 1) reg in
+  let base = Filename.temp_file "eden_obs" "" in
+  Sys.remove base;
+  let path = Filename.concat (Filename.concat base "a/b") "snap.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path ];
+      List.iter
+        (fun d -> try Sys.rmdir d with Sys_error _ -> ())
+        [ Filename.dirname path; Filename.concat base "a"; base ])
+    (fun () ->
+      Snapshot.write_file snap ~path;
+      match Snapshot.of_string (In_channel.with_open_text path In_channel.input_all) with
+      | Ok snap' -> check_bool "file parses back" true (snap' = snap)
+      | Error e -> Alcotest.failf "written file unreadable: %s" e);
+  (* Writing to an existing directory still works (idempotent mkdir). *)
+  check_bool "cleaned up" true (not (Sys.file_exists path))
+
 (* ------------------------------------------------------------------ *)
 (* Kernel instrumentation *)
 
@@ -373,6 +399,8 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_snapshot_rejects_garbage;
+          Alcotest.test_case "write_file creates parents" `Quick
+            test_snapshot_write_file_creates_parents;
         ] );
       ( "cluster",
         [

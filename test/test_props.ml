@@ -1,0 +1,254 @@
+(* Round-trip property tests over the kernel wire codecs and the fault
+   plan text format, on the {!Prop} harness: 100 seeds per property,
+   each seed generating one structured value, encoding it and decoding
+   it back.  Everything here is pure — no engine, no cluster. *)
+
+open Eden_kernel
+module Splitmix = Eden_util.Splitmix
+module Time = Eden_util.Time
+module Plan = Eden_fault.Plan
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_name rng =
+  Name.make ~birth_node:(Splitmix.int rng 64) ~serial:(Splitmix.int rng 100_000)
+
+let gen_rights rng =
+  match Rights.of_bits (Splitmix.int rng (Rights.to_bits Rights.all + 1)) with
+  | Some r -> r
+  | None -> assert false (* every value below the mask is valid *)
+
+let gen_cap rng = Capability.make (gen_name rng) (gen_rights rng)
+let gen_string = Prop.Gen.string ~max_len:10
+
+let rec gen_value depth rng =
+  match Splitmix.int rng (if depth <= 0 then 6 else 8) with
+  | 0 -> Value.Unit
+  | 1 -> Value.Bool (Splitmix.bool rng)
+  | 2 -> Value.Int (Splitmix.int_in rng (-100_000) 100_000)
+  | 3 -> Value.Str (gen_string rng)
+  | 4 -> Value.Cap (gen_cap rng)
+  | 5 -> Value.Blob (Splitmix.int rng 65_536)
+  | 6 ->
+    Value.List
+      (List.init (Splitmix.int rng 4) (fun _ -> gen_value (depth - 1) rng))
+  | _ -> Value.Pair (gen_value (depth - 1) rng, gen_value (depth - 1) rng)
+
+let gen_error rng =
+  match Splitmix.int rng 12 with
+  | 0 -> Error.No_such_object
+  | 1 -> Error.No_such_operation (gen_string rng)
+  | 2 -> Error.Rights_violation (gen_string rng)
+  | 3 -> Error.Timeout
+  | 4 -> Error.Object_crashed
+  | 5 -> Error.Node_down
+  | 6 -> Error.Out_of_memory
+  | 7 -> Error.Frozen_immutable
+  | 8 -> Error.Bad_arguments (gen_string rng)
+  | 9 -> Error.User_error (gen_string rng)
+  | 10 -> Error.Move_refused (gen_string rng)
+  | _ -> Error.Disk_failed
+
+let gen_req rng =
+  { Message.origin = Splitmix.int rng 16; seq = Splitmix.int rng 10_000 }
+
+let gen_result rng : Api.invoke_result =
+  if Splitmix.bool rng then
+    Ok (List.init (Splitmix.int rng 3) (fun _ -> gen_value 2 rng))
+  else Error (gen_error rng)
+
+let gen_reliability rng =
+  match Splitmix.int rng 3 with
+  | 0 -> Reliability.Local
+  | 1 -> Reliability.Remote (Splitmix.int rng 8)
+  | _ ->
+    Reliability.Mirrored
+      (List.init (1 + Splitmix.int rng 3) (fun _ -> Splitmix.int rng 8))
+
+let gen_residence rng =
+  match Splitmix.int rng 3 with
+  | 0 -> Message.Res_active
+  | 1 -> Message.Res_passive
+  | _ -> Message.Res_replica
+
+let gen_node rng = Splitmix.int rng 16
+
+let gen_message rng : Message.t =
+  match Splitmix.int rng 19 with
+  | 0 ->
+    Message.Inv_request
+      {
+        inv_id = gen_req rng;
+        target = gen_name rng;
+        op = gen_string rng;
+        args = List.init (Splitmix.int rng 3) (fun _ -> gen_value 2 rng);
+        presented = gen_rights rng;
+        reply_to = gen_node rng;
+        hops = Splitmix.int rng 4;
+        may_activate = Splitmix.bool rng;
+        span = None;
+      }
+  | 1 ->
+    Message.Inv_reply
+      {
+        inv_id = gen_req rng;
+        result = gen_result rng;
+        frozen_hint = Splitmix.bool rng;
+      }
+  | 2 -> Message.Inv_nack { inv_id = gen_req rng; target = gen_name rng }
+  | 3 -> Message.Hint_update { target = gen_name rng; at_node = gen_node rng }
+  | 4 ->
+    Message.Locate_request
+      { req_id = gen_req rng; target = gen_name rng; reply_to = gen_node rng }
+  | 5 ->
+    Message.Locate_reply
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        at_node = gen_node rng;
+        residence = gen_residence rng;
+      }
+  | 6 ->
+    Message.Create_request
+      {
+        req_id = gen_req rng;
+        type_name = gen_string rng;
+        init = gen_value 2 rng;
+        reply_to = gen_node rng;
+      }
+  | 7 ->
+    Message.Create_reply
+      {
+        req_id = gen_req rng;
+        result =
+          (if Splitmix.bool rng then Ok (gen_cap rng)
+           else Error (gen_error rng));
+      }
+  | 8 ->
+    Message.Move_transfer
+      {
+        target = gen_name rng;
+        type_name = gen_string rng;
+        repr = gen_value 2 rng;
+        frozen = Splitmix.bool rng;
+        reliability = gen_reliability rng;
+        from_node = gen_node rng;
+        transfer_id = gen_req rng;
+      }
+  | 9 ->
+    Message.Move_ack
+      { transfer_id = gen_req rng; accepted = Splitmix.bool rng }
+  | 10 ->
+    Message.Ckpt_write
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        type_name = gen_string rng;
+        repr = gen_value 2 rng;
+        reliability = gen_reliability rng;
+        frozen = Splitmix.bool rng;
+        reply_to = gen_node rng;
+      }
+  | 11 -> Message.Ckpt_ack { req_id = gen_req rng; ok = Splitmix.bool rng }
+  | 12 -> Message.Ckpt_delete { target = gen_name rng }
+  | 13 ->
+    Message.Ckpt_mark { target = gen_name rng; passive = Splitmix.bool rng }
+  | 14 ->
+    Message.Replica_install
+      {
+        target = gen_name rng;
+        type_name = gen_string rng;
+        repr = gen_value 2 rng;
+        transfer_id = gen_req rng;
+        from_node = gen_node rng;
+      }
+  | 15 ->
+    Message.Replica_ack
+      { transfer_id = gen_req rng; accepted = Splitmix.bool rng }
+  | 16 -> Message.Destroy_notice { target = gen_name rng }
+  | 17 ->
+    Message.Cache_fetch
+      { req_id = gen_req rng; target = gen_name rng; reply_to = gen_node rng }
+  | _ ->
+    Message.Cache_data
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        payload =
+          (if Splitmix.bool rng then Some (gen_string rng, gen_value 2 rng)
+           else None);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let name_roundtrip =
+  Prop.case ~name:"Name.of_string (to_string n) = n" ~base:0xA110_0001L
+    ~gen:gen_name ~show:Name.to_string (fun n ->
+      match Name.of_string (Name.to_string n) with
+      | Some n' when Name.equal n n' -> Ok ()
+      | Some n' -> Error (Printf.sprintf "decoded to %s" (Name.to_string n'))
+      | None -> Error "failed to parse")
+
+let cap_roundtrip =
+  Prop.case ~name:"Capability.decode (encode c) = c" ~base:0xA110_0002L
+    ~gen:gen_cap ~show:Capability.encode (fun c ->
+      match Capability.decode (Capability.encode c) with
+      | Some c' when Capability.equal c c' -> Ok ()
+      | Some c' ->
+        Error (Printf.sprintf "decoded to %s" (Capability.encode c'))
+      | None -> Error "failed to parse")
+
+let message_roundtrip =
+  (* Generated messages carry [span = None], so structural equality is
+     exact — the codec drops spans by design. *)
+  Prop.case ~name:"Message.decode (encode m) = Ok m" ~base:0xA110_0003L
+    ~gen:gen_message ~show:Message.describe (fun m ->
+      match Message.decode (Message.encode m) with
+      | Ok m' when m' = m -> Ok ()
+      | Ok m' -> Error (Printf.sprintf "decoded to %s" (Message.describe m'))
+      | Error e -> Error e)
+
+let message_rejects_truncation =
+  (* Chopping the last byte off a non-empty encoding must never decode
+     successfully — the wire form is self-delimiting and checks for
+     trailing garbage, so a prefix is always malformed. *)
+  Prop.case ~name:"Message.decode rejects truncated input"
+    ~base:0xA110_0004L ~gen:gen_message ~show:Message.describe (fun m ->
+      let s = Message.encode m in
+      match Message.decode (String.sub s 0 (String.length s - 1)) with
+      | Error _ -> Ok ()
+      | Ok m' ->
+        Error
+          (Printf.sprintf "truncated input decoded as %s"
+             (Message.describe m')))
+
+let gen_plan_params rng =
+  let seed = Splitmix.next64 rng in
+  let nodes = Splitmix.int_in rng 2 8 in
+  let segments = Splitmix.int_in rng 1 3 in
+  (seed, nodes, segments)
+
+let plan_roundtrip =
+  Prop.case ~name:"Plan.of_string (to_string p) = p" ~base:0xA110_0005L
+    ~gen:gen_plan_params
+    ~show:(fun (seed, nodes, segments) ->
+      Printf.sprintf "seed=0x%Lx nodes=%d segments=%d" seed nodes segments)
+    (fun (seed, nodes, segments) ->
+      let p = Plan.random ~seed ~nodes ~segments ~horizon:(Time.s 30) in
+      let text = Plan.to_string p in
+      match Plan.of_string text with
+      | Error e -> Error (Printf.sprintf "parse failed: %s" e)
+      | Ok p' ->
+        if String.equal text (Plan.to_string p') then Ok ()
+        else Error "re-rendered text differs")
+
+let () =
+  Alcotest.run "eden_props"
+    [
+      ("name", [ name_roundtrip ]);
+      ("capability", [ cap_roundtrip ]);
+      ("message", [ message_roundtrip; message_rejects_truncation ]);
+      ("fault_plan", [ plan_roundtrip ]);
+    ]
