@@ -97,6 +97,13 @@ type node = {
          are hints in Lampson's sense — capabilities still validate on
          every use, and the nack path invalidates. *)
   nd_fetching : unit Name.Table.t;  (* cache fetches in flight *)
+  nd_cache_epoch : int Name.Table.t;
+      (* per-name invalidation generation: bumped whenever the name's
+         cached representation is invalidated (unfreeze, nack,
+         destroy).  A fetch snapshots the epoch before it asks and
+         discards its payload if the epoch moved while the reply was
+         in flight, so a delayed [Cache_data] can never install a
+         stale pre-invalidation replica. *)
   nd_store : snapshot Name.Table.t;  (* survives node crashes *)
   nd_hints : node_id Name.Table.t;
   nd_forward : node_id Name.Table.t;  (* objects that moved away *)
@@ -1030,6 +1037,19 @@ let drop_cached cl node target =
       (Name.to_string target);
     kill_object_procs cl obj
 
+let cache_epoch node name =
+  match Name.Table.find_opt node.nd_cache_epoch name with
+  | Some e -> e
+  | None -> 0
+
+(* Full invalidation: purge any installed copy and poison fetches in
+   flight (their payload predates the bump, see [cache_fetch]). *)
+let invalidate_cached cl node target =
+  if Name.Table.mem node.nd_cache target || Name.Table.mem node.nd_fetching target
+  then
+    Name.Table.replace node.nd_cache_epoch target (cache_epoch node target + 1);
+  drop_cached cl node target
+
 let install_cached cl node name ~type_name ~repr =
   if
     node.nd_up
@@ -1074,6 +1094,7 @@ let cache_fetch cl node name ~from_node =
            Fun.protect
              ~finally:(fun () -> Name.Table.remove node.nd_fetching name)
              (fun () ->
+               let epoch = cache_epoch node name in
                let req_id = new_request_id node in
                let pr = Promise.create cl.eng in
                add_pending node req_id.Message.seq (P_cache pr);
@@ -1084,7 +1105,12 @@ let cache_fetch cl node name ~from_node =
                Hashtbl.remove node.nd_pending req_id.Message.seq;
                match payload with
                | Some (Some (type_name, repr)) ->
-                 install_cached cl node name ~type_name ~repr
+                 (* A version bump that raced the reply (e.g. the
+                    unfreeze invalidation overtaking a delayed
+                    [Cache_data]) makes the payload pre-thaw garbage:
+                    discard it rather than install a stale replica. *)
+                 if cache_epoch node name = epoch then
+                   install_cached cl node name ~type_name ~repr
                | Some None | None -> ())))
   end
 
@@ -1405,7 +1431,7 @@ let forget_object cl node target =
     unregister cl replica;
     kill_object_procs cl replica
   | None -> ());
-  drop_cached cl node target;
+  invalidate_cached cl node target;
   Name.Table.remove node.nd_store target;
   Name.Table.remove node.nd_hints target;
   Name.Table.remove node.nd_forward target
@@ -1526,12 +1552,16 @@ let on_message cl node ~src msg =
       (* Nack-after-crash: whatever routed us there is stale.  Purge
          the hint even when the pending entry already timed out, or a
          crashed-and-forgotten location would be re-trusted forever.
-         The same path invalidates the frozen-replica cache — an
-         unfreeze broadcasts a nack as its version bump. *)
+         The same evidence invalidates any cached frozen replica.
+         Only a nack echoing one of OUR request ids may resolve
+         pending state: sequence numbers are node-local, so a foreign
+         origin's seq can collide with an unrelated in-flight request
+         on this node. *)
       Name.Table.remove node.nd_hints target;
       Name.Table.remove node.nd_forward target;
-      drop_cached cl node target;
-      resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
+      invalidate_cached cl node target;
+      if inv_id.Message.origin = node.nd_id then
+        resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
     | Message.Locate_request _ -> handle_locate_request cl node msg
@@ -1663,6 +1693,14 @@ let on_message cl node ~src msg =
       | Some (P_cache pr) -> ignore (Promise.fill pr payload)
       | Some _ -> raise (Fatal "pending kind mismatch for cache data")
       | None -> ())
+    | Message.Cache_invalidate { target } ->
+      (* The version bump from unfreeze.  Purge location knowledge and
+         the cached replica; carries no request id and never touches
+         [nd_pending], so it cannot collide with an in-flight
+         request. *)
+      Name.Table.remove node.nd_hints target;
+      Name.Table.remove node.nd_forward target;
+      invalidate_cached cl node target
 
 (* -------------------------------------------------------------------- *)
 (* Tying the recursive knot *)
@@ -1832,6 +1870,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_replicas = Name.Table.create 16;
              nd_cache = Name.Table.create 16;
              nd_fetching = Name.Table.create 8;
+             nd_cache_epoch = Name.Table.create 8;
              nd_store = Name.Table.create 64;
              nd_hints = Name.Table.create 64;
              nd_forward = Name.Table.create 16;
@@ -2014,12 +2053,17 @@ let unfreeze cl cap =
         obj.ob_frozen <- false;
         let node = home cl obj in
         (* The version bump: every cached copy of the pre-thaw
-           representation is now stale.  Invalidation rides the
-           existing nack path — the broadcast purges hints and cached
-           replicas cluster-wide (broadcasts bypass the unicast fault
-           injector, so it is reliable under chaos too). *)
+           representation is now stale.  [Cache_invalidate] purges
+           hints and cached replicas cluster-wide (broadcasts bypass
+           the unicast fault injector, so it is reliable under chaos
+           too); it carries no request id, so it can never be mistaken
+           for a reply to some unrelated request in flight on a
+           receiving node.  The broadcast skips the sender, so the
+           home node — which may itself hold a cached copy from before
+           the object migrated here — is invalidated directly. *)
+        invalidate_cached cl node name;
         Transport.broadcast node.nd_tp
-          (Message.Inv_nack { inv_id = new_request_id node; target = name });
+          (Message.Cache_invalidate { target = name });
         tracef cl Trace.Kern "%s unfrozen on node %d" (Name.to_string name)
           obj.ob_home;
         Ok ()
@@ -2108,6 +2152,7 @@ let crash_node cl i =
     Name.Table.reset node.nd_replicas;
     Name.Table.reset node.nd_cache;
     Name.Table.reset node.nd_fetching;
+    Name.Table.reset node.nd_cache_epoch;
     Name.Table.reset node.nd_hints;
     Name.Table.reset node.nd_forward;
     Name.Table.reset node.nd_activating;

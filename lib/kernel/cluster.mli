@@ -147,10 +147,11 @@ val unfreeze : t -> Capability.t -> (unit, Error.t) result
 (** Thaw a frozen object (requires [Kernel_checkpoint]) so it can
     mutate again.  Refused with [Move_refused] while explicit replicas
     exist (unpin them with {!destroy} or keep the object frozen).
-    Unfreezing is the cache version bump: a broadcast on the nack path
-    drops every node's cached copy of the old representation, so a
-    freeze–mutate–refreeze cycle can never serve stale reads.  No-op
-    [Ok] if the object was not frozen. *)
+    Unfreezing is the cache version bump: a [Cache_invalidate]
+    broadcast drops every node's cached copy of the old representation
+    (including a fetch still in flight, whose payload is discarded on
+    arrival), so a freeze–mutate–refreeze cycle can never serve stale
+    reads.  No-op [Ok] if the object was not frozen. *)
 
 val replicate : t -> Capability.t -> to_node:node_id -> (unit, Error.t) result
 (** Blocking.  Install a read-only replica of a frozen object on

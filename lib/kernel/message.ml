@@ -75,6 +75,7 @@ type t =
       target : Name.t;
       payload : (string * Value.t) option;
     }
+  | Cache_invalidate of { target : Name.t }
 
 let header_bytes = 32
 let name_bytes = 12
@@ -116,6 +117,7 @@ let size_bytes m =
       | None -> 0
       | Some (type_name, repr) ->
         String.length type_name + Value.size_bytes repr)
+  | Cache_invalidate _ -> name_bytes
 
 let describe = function
   | Inv_request { target; op; _ } ->
@@ -144,6 +146,7 @@ let describe = function
   | Cache_data { target; payload; _ } ->
     Printf.sprintf "cache! %s %s" (Name.to_string target)
       (if payload = None then "miss" else "hit")
+  | Cache_invalidate { target } -> "cache_inval " ^ Name.to_string target
 
 (* ------------------------------------------------------------------ *)
 (* Wire codec.
@@ -260,28 +263,38 @@ let r_char r =
     c
   end
 
-let rec r_value r =
-  match r_char r with
-  | 'u' -> Value.Unit
-  | 'b' -> Value.Bool (r_bool r)
-  | 'i' -> Value.Int (r_int r)
-  | 's' -> Value.Str (r_str r)
-  | 'c' ->
-    let name = r_name r in
-    let rights = r_rights r in
-    Value.Cap (Capability.make name rights)
-  | 'l' ->
-    let n = r_int r in
-    if n < 0 then r_fail r "negative list length"
-    else Value.List (List.init n (fun _ -> r_value r))
-  | 'p' ->
-    let x = r_value r in
-    let y = r_value r in
-    Value.Pair (x, y)
-  | 'o' ->
-    let n = r_int r in
-    if n < 0 then r_fail r "negative blob size" else Value.Blob n
-  | c -> r_fail r (Printf.sprintf "bad value tag %C" c)
+(* Recursion in the reader is bounded so that a hostile or corrupt
+   input cannot blow the stack: past [max_value_depth] the decoder
+   fails with [Decode] like any other malformed input, keeping
+   {!decode} a total function. *)
+let max_value_depth = 256
+
+let rec r_value_at depth r =
+  if depth > max_value_depth then r_fail r "value nesting too deep"
+  else
+    match r_char r with
+    | 'u' -> Value.Unit
+    | 'b' -> Value.Bool (r_bool r)
+    | 'i' -> Value.Int (r_int r)
+    | 's' -> Value.Str (r_str r)
+    | 'c' ->
+      let name = r_name r in
+      let rights = r_rights r in
+      Value.Cap (Capability.make name rights)
+    | 'l' ->
+      let n = r_int r in
+      if n < 0 then r_fail r "negative list length"
+      else Value.List (List.init n (fun _ -> r_value_at (depth + 1) r))
+    | 'p' ->
+      let x = r_value_at (depth + 1) r in
+      let y = r_value_at (depth + 1) r in
+      Value.Pair (x, y)
+    | 'o' ->
+      let n = r_int r in
+      if n < 0 then r_fail r "negative blob size" else Value.Blob n
+    | c -> r_fail r (Printf.sprintf "bad value tag %C" c)
+
+let r_value r = r_value_at 0 r
 
 let w_values b vs =
   w_int b (List.length vs);
@@ -498,7 +511,10 @@ let encode m =
     | Some (type_name, repr) ->
       w_int b 1;
       w_str b type_name;
-      w_value b repr));
+      w_value b repr)
+  | Cache_invalidate { target } ->
+    w_int b 19;
+    w_name b target);
   Buffer.contents b
 
 let r_message r =
@@ -619,6 +635,7 @@ let r_message r =
       | n -> r_fail r (Printf.sprintf "bad payload tag %d" n)
     in
     Cache_data { req_id; target; payload }
+  | 19 -> Cache_invalidate { target = r_name r }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
 let decode s =

@@ -38,8 +38,12 @@ type t =
               invocations without the round trip *)
     }
   | Inv_nack of { inv_id : request_id; target : Name.t }
-      (** "this node cannot serve or forward the request"; also the
-          invalidation channel for cached frozen replicas *)
+      (** "this node cannot serve or forward the request".  Always a
+          unicast reply echoing the requester's own [inv_id]; the
+          receiver also treats it as evidence its location knowledge
+          (and any cached frozen replica) is stale.  Cache-only
+          invalidation that is not a reply to anything travels as
+          {!constructor:Cache_invalidate} instead. *)
   | Hint_update of { target : Name.t; at_node : int }
       (** sent to a requester whose request was forwarded *)
   | Locate_request of { req_id : request_id; target : Name.t; reply_to : int }
@@ -104,6 +108,12 @@ type t =
           (** [(type_name, repr)]; [None] when the serving node no
               longer holds a frozen copy *)
     }
+  | Cache_invalidate of { target : Name.t }
+      (** the version bump: [target]'s frozen representation changed
+          (unfreeze), so drop location hints and any cached replica.
+          Deliberately carries no [request_id] — it is broadcast, not a
+          reply, and must never be confused with a pending request on
+          the receiving node. *)
 
 val size_bytes : t -> int
 (** Approximate marshalled size, including a fixed per-message
@@ -119,4 +129,7 @@ val encode : t -> string
 val decode : string -> (t, string) result
 (** Inverse of {!encode} up to [span] (always [None] after decoding).
     Rejects malformed input, unknown tags, invalid rights bits and
-    trailing bytes with a description of the first error. *)
+    trailing bytes with a description of the first error.  Total even
+    on hostile input: values nested deeper than 256 levels are
+    rejected as malformed rather than overflowing the stack (no
+    message the kernel builds comes near that bound). *)

@@ -517,6 +517,101 @@ let test_unfreeze_refused_with_replicas () =
         (Error.Rights_violation "unfreeze")
         (Cluster.unfreeze cl weak))
 
+let test_stale_fetch_discarded () =
+  (* A [Cache_data] delayed past the unfreeze version bump carries the
+     pre-thaw representation and must be discarded on arrival, not
+     installed: the invalidation broadcast bypasses the unicast fault
+     injector and overtakes the delayed reply. *)
+  with_cluster ~options:cache_opts (fun cl ->
+      let cap = new_counter cl ~node:0 1 in
+      (* A plain read before freezing plants a location hint on node 1
+         so the later reads need no locate round (locate replies would
+         be delayed too). *)
+      check_bool "plant the hint" true
+        (Cluster.invoke cl ~from:1 cap ~op:"get" [] = Ok [ Value.Int 1 ]);
+      ignore (ok_or_fail "freeze" (Cluster.freeze cl cap));
+      let plan =
+        Eden_fault.Plan.make
+          [
+            {
+              Eden_fault.Plan.at = Time.ms 0;
+              action =
+                Eden_fault.Plan.Break_link
+                  {
+                    src = 0;
+                    dst = 1;
+                    kind = Eden_fault.Plan.Delay (Time.ms 60);
+                    p = 1.0;
+                  };
+            };
+          ]
+      in
+      let ctl = Eden_fault.Controller.arm cl plan in
+      (* The frozen-hinted reply starts a background fetch whose
+         Cache_data will now trail ~60ms behind. *)
+      check_bool "read the frozen value" true
+        (Cluster.invoke cl ~from:1 ~timeout:(Time.s 2) cap ~op:"get" []
+        = Ok [ Value.Int 1 ]);
+      (* Give the Cache_fetch time to reach node 0 and be answered
+         while the object is still frozen (the 60ms delay applies only
+         to the 0->1 direction), then bump and mutate while the
+         Cache_data reply is still in flight. *)
+      Engine.delay (Time.ms 20);
+      ignore (ok_or_fail "unfreeze" (Cluster.unfreeze cl cap));
+      check_bool "mutate at home" true
+        (Cluster.invoke cl ~from:0 cap ~op:"incr" [] = Ok [ Value.Int 2 ]);
+      (* Let the stale payload arrive, then heal the link. *)
+      Engine.delay (Time.ms 200);
+      Eden_fault.Controller.disarm ctl;
+      (* Were the stale replica installed, this read would be served
+         locally from the pre-thaw representation (1). *)
+      check_bool "no stale read after the bump" true
+        (Cluster.invoke cl ~from:1 ~timeout:(Time.s 2) cap ~op:"get" []
+        = Ok [ Value.Int 2 ]))
+
+let test_unfreeze_spares_unrelated_inflight () =
+  (* The version bump used to ride the nack path with a fresh request
+     id from the home node's counter; sequence numbers are node-local,
+     so on a receiving node it could collide with an unrelated pending
+     request — spuriously nacking a live invocation or dying on a
+     pending-kind mismatch.  It now travels as [Cache_invalidate] with
+     no request id, so freeze/unfreeze cycles while another node holds
+     pending request state must leave that state untouched. *)
+  let cl = Cluster.default ~options:cache_opts ~n_nodes:3 () in
+  Cluster.register_type cl counter_type;
+  let inflight = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let frozen = new_counter cl ~node:0 7 in
+        ignore (ok_or_fail "freeze" (Cluster.freeze cl frozen));
+        let busy = new_counter cl ~node:2 5 in
+        let _ =
+          Cluster.in_process cl ~name:"slow-reader" (fun () ->
+              inflight :=
+                Some
+                  (Cluster.invoke cl ~from:1 ~timeout:(Time.s 2) busy
+                     ~op:"slow_get" []))
+        in
+        (* Let the reader finish its locate and park in the 20ms
+           slow_get, then cycle so the home node's request-id counter
+           sweeps the low sequence numbers node 1 is waiting on while
+           its request is pending. *)
+        Engine.delay (Time.ms 5);
+        for _ = 1 to 5 do
+          ignore (ok_or_fail "unfreeze" (Cluster.unfreeze cl frozen));
+          ignore (ok_or_fail "freeze" (Cluster.freeze cl frozen));
+          Engine.delay (Time.ms 2)
+        done;
+        Engine.delay (Time.ms 200))
+  in
+  Cluster.run cl;
+  check_bool "in-flight invocation survived the version bumps" true
+    (!inflight = Some (Ok [ Value.Int 5 ]));
+  (* The bump must not be mistaken for a nack of the pending request
+     (which would burn the retry budget and re-locate). *)
+  check_int "no spurious nacks on the reading node" 0
+    (cache_counter cl "eden.nacks" ~node:1)
+
 let test_cache_cleared_on_crash () =
   with_cluster ~options:cache_opts (fun cl ->
       let cap = new_counter cl ~node:0 9 in
@@ -584,6 +679,10 @@ let () =
             test_cache_unfreeze_invalidates;
           Alcotest.test_case "unfreeze refused with replicas" `Quick
             test_unfreeze_refused_with_replicas;
+          Alcotest.test_case "stale in-flight fetch discarded" `Quick
+            test_stale_fetch_discarded;
+          Alcotest.test_case "unfreeze spares unrelated in-flight requests"
+            `Quick test_unfreeze_spares_unrelated_inflight;
           Alcotest.test_case "cleared on crash" `Quick
             test_cache_cleared_on_crash;
         ] );

@@ -75,7 +75,7 @@ let gen_residence rng =
 let gen_node rng = Splitmix.int rng 16
 
 let gen_message rng : Message.t =
-  match Splitmix.int rng 19 with
+  match Splitmix.int rng 20 with
   | 0 ->
     Message.Inv_request
       {
@@ -170,7 +170,7 @@ let gen_message rng : Message.t =
   | 17 ->
     Message.Cache_fetch
       { req_id = gen_req rng; target = gen_name rng; reply_to = gen_node rng }
-  | _ ->
+  | 18 ->
     Message.Cache_data
       {
         req_id = gen_req rng;
@@ -179,6 +179,7 @@ let gen_message rng : Message.t =
           (if Splitmix.bool rng then Some (gen_string rng, gen_value 2 rng)
            else None);
       }
+  | _ -> Message.Cache_invalidate { target = gen_name rng }
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -224,6 +225,39 @@ let message_rejects_truncation =
           (Printf.sprintf "truncated input decoded as %s"
              (Message.describe m')))
 
+let test_decode_bounds_nesting () =
+  (* The reader recurses on Pair/List, so without a depth bound a
+     deeply nested input would kill the process with [Stack_overflow]
+     instead of returning [Error] — the codec must stay total on
+     hostile input.  Depth 300 sits just past the documented bound of
+     256; encoding is iterative enough at this size to be safe. *)
+  let rec deep n acc = if n = 0 then acc else deep (n - 1) (Value.Pair (acc, Value.Unit)) in
+  let m =
+    Message.Create_request
+      {
+        req_id = { Message.origin = 0; seq = 0 };
+        type_name = "t";
+        init = deep 300 Value.Unit;
+        reply_to = 1;
+      }
+  in
+  (match Message.decode (Message.encode m) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-deep nesting decoded successfully");
+  (* A value within the bound still round-trips. *)
+  let shallow =
+    Message.Create_request
+      {
+        req_id = { Message.origin = 0; seq = 0 };
+        type_name = "t";
+        init = deep 40 Value.Unit;
+        reply_to = 1;
+      }
+  in
+  match Message.decode (Message.encode shallow) with
+  | Ok m' -> Alcotest.(check bool) "round-trips" true (m' = shallow)
+  | Error e -> Alcotest.failf "shallow nesting rejected: %s" e
+
 let gen_plan_params rng =
   let seed = Splitmix.next64 rng in
   let nodes = Splitmix.int_in rng 2 8 in
@@ -249,6 +283,12 @@ let () =
     [
       ("name", [ name_roundtrip ]);
       ("capability", [ cap_roundtrip ]);
-      ("message", [ message_roundtrip; message_rejects_truncation ]);
+      ( "message",
+        [
+          message_roundtrip;
+          message_rejects_truncation;
+          Alcotest.test_case "decode bounds value nesting" `Quick
+            test_decode_bounds_nesting;
+        ] );
       ("fault_plan", [ plan_roundtrip ]);
     ]
