@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 # `make help` lists them.
 
-.PHONY: all build check test test-props bench examples smoke chaos \
+.PHONY: all build check ci test test-props bench examples smoke chaos \
   determinism clean help
 
 all: build
@@ -11,6 +11,7 @@ help:
 	@echo "make test         - run every alcotest suite"
 	@echo "make test-props   - seeded property tests only (codecs, plans, laws)"
 	@echo "make check        - build + tests + metrics smoke + chaos determinism"
+	@echo "make ci           - the full gate: build, tests, chaos cmp, props x3 seeds"
 	@echo "make bench        - run the full experiment suite (E1..E18, M)"
 	@echo "make examples     - run the example programs"
 	@echo "make smoke        - exercise the edenctl CLI end to end"
@@ -42,6 +43,20 @@ check:
 	dune exec bin/edenctl.exe -- metrics-check /tmp/eden_metrics_smoke.json
 	$(MAKE) chaos
 	@echo "check: OK"
+
+# The full local gate, mirroring what a hosted pipeline would run:
+# build, every unit suite, the chaos determinism comparison, and the
+# property suites under three distinct seed universes (the offset
+# shifts every property's base stream; see test/prop.ml).
+ci:
+	dune build @all
+	dune runtest --force
+	$(MAKE) chaos
+	for off in 0 271828 3141592; do \
+	  echo "props @ seed offset $$off"; \
+	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
+	done
+	@echo "ci: OK"
 
 bench:
 	dune exec bench/main.exe

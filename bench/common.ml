@@ -90,7 +90,7 @@ let fresh_cluster ?(seed = 42L) ?options ?coalesce ~n () =
 
 (* Nodes with enough memory to host megabyte representations (the
    checkpoint and mobility sweeps need headroom beyond 1 MB). *)
-let big_cluster ?(seed = 42L) ~n () =
+let big_cluster ?(seed = 42L) ?options ~n () =
   let configs =
     List.init n (fun i ->
         {
@@ -98,7 +98,7 @@ let big_cluster ?(seed = 42L) ~n () =
           Eden_hw.Machine.memory_bytes = 4_000_000;
         })
   in
-  let cl = Cluster.create ~seed ~configs () in
+  let cl = Cluster.create ~seed ?options ~configs () in
   Cluster.register_type cl bench_type;
   current_cluster := Some cl;
   cl

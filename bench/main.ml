@@ -24,6 +24,7 @@ let experiments =
     ("E16", "availability under node churn", Exp_availability.run);
     ("E17", "availability under fault injection (checksites)", Exp_faults.run);
     ("E18", "replica cache + message coalescing (hot path)", Exp_cache.run);
+    ("E19", "delta + async checkpoints vs full sync", Exp_delta.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 

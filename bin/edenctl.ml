@@ -3,11 +3,13 @@
      edenctl demo      [--nodes N] [--seed S] [--trace] [--metrics-out FILE]
      edenctl mail      [--nodes N] [--users K] [--messages M] [--trace] [--metrics-out FILE]
      edenctl synth     [--nodes N] [--locality F] [--requests R] [--fault-plan FILE]
-                       [--replica-cache] [--coalesce] [--trace] [--metrics-out FILE]
+                       [--replica-cache] [--coalesce] [--ckpt-delta] [--ckpt-async]
+                       [--trace] [--metrics-out FILE]
      edenctl efs       [--nodes N] [--txns T] [--optimistic] [--trace] [--metrics-out FILE]
      edenctl heartbeat [--nodes N] [--kill I] [--trace] [--metrics-out FILE]
      edenctl chaos     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
-                       [--replica-cache] [--coalesce] [--trace] [--metrics-out FILE]
+                       [--replica-cache] [--coalesce] [--ckpt-delta] [--ckpt-async]
+                       [--trace] [--metrics-out FILE]
      edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
      edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
@@ -68,8 +70,31 @@ let coalesce_t =
            small same-destination messages batch into one wire \
            transfer under size/count/delay budgets.")
 
-let cluster_options ~replica_cache =
-  { Cluster.default_options with Cluster.use_replica_cache = replica_cache }
+let ckpt_delta_t =
+  Arg.(
+    value & flag
+    & info [ "ckpt-delta" ]
+        ~doc:
+          "Enable delta checkpoints: a checkpoint ships only the \
+           representation chunks that changed since the version each \
+           checksite last acknowledged, falling back to a full write \
+           on version mismatch.")
+
+let ckpt_async_t =
+  Arg.(
+    value & flag
+    & info [ "ckpt-async" ]
+        ~doc:
+          "Checkpoint through the asynchronous pipeline: objects that \
+           persist their updates use $(b,checkpoint_async), so the \
+           writes overlap the request stream instead of blocking it.")
+
+let cluster_options ~replica_cache ~ckpt_delta =
+  {
+    Cluster.default_options with
+    Cluster.use_replica_cache = replica_cache;
+    Cluster.use_ckpt_delta = ckpt_delta;
+  }
 
 let cluster_coalesce coalesce =
   if coalesce then Some Transport.default_coalesce else None
@@ -229,10 +254,14 @@ let mail_cmd =
 (* synth *)
 
 let run_synth nodes seed locality requests fault_plan replica_cache coalesce
-    trace metrics_out =
+    ckpt_delta _ckpt_async trace metrics_out =
+  (* Synth itself runs checkpoint-free, so --ckpt-async has nothing to
+     route through the pipeline here; the flag is accepted for a
+     uniform CLI and --ckpt-delta still configures the protocol for
+     any checkpoint traffic (e.g. a fault plan forcing recovery). *)
   let cl =
     Cluster.default ~seed:(Int64.of_int seed)
-      ~options:(cluster_options ~replica_cache)
+      ~options:(cluster_options ~replica_cache ~ckpt_delta)
       ?coalesce:(cluster_coalesce coalesce) ~n_nodes:nodes ()
   in
   setup_trace cl trace;
@@ -293,8 +322,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthetic invocation workload.")
     Term.(
       const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t
-      $ fault_plan_t $ replica_cache_t $ coalesce_t $ trace_t
-      $ metrics_out_t)
+      $ fault_plan_t $ replica_cache_t $ coalesce_t $ ckpt_delta_t
+      $ ckpt_async_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* efs *)
@@ -450,7 +479,7 @@ let heartbeat_cmd =
    two identical invocations produce byte-identical --metrics-out
    files. *)
 
-let chaos_type =
+let chaos_type ~async =
   let open Api in
   Typemgr.make_exn ~name:"chaos_counter"
     [
@@ -474,8 +503,13 @@ let chaos_type =
           let* () = ctx.set_repr (Value.Int (n + 1)) in
           (* Persist every update.  A partial checkpoint (some mirror
              site down or disk-failed) still stored the copies it
-             could; the update itself succeeded, so reply Ok. *)
-          (match ctx.checkpoint () with Ok () | Error _ -> ());
+             could; the update itself succeeded, so reply Ok.  Under
+             --ckpt-async the write overlaps the request stream
+             instead of blocking the reply. *)
+          (match
+             if async then ctx.checkpoint_async () else ctx.checkpoint ()
+           with
+          | Ok () | Error _ -> ());
           reply [ Value.Int (n + 1) ]);
       Typemgr.operation "get" ~mutates:false (fun ctx args ->
           let* () = no_args args in
@@ -484,8 +518,8 @@ let chaos_type =
 
 let chaos_horizon = Time.s 2
 
-let run_chaos nodes seed fault_plan requests replica_cache coalesce trace
-    metrics_out =
+let run_chaos nodes seed fault_plan requests replica_cache coalesce
+    ckpt_delta ckpt_async trace metrics_out =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -501,10 +535,10 @@ let run_chaos nodes seed fault_plan requests replica_cache coalesce trace
   in
   let cl =
     Cluster.create ~seed:(Int64.of_int seed) ~segments
-      ~options:(cluster_options ~replica_cache)
+      ~options:(cluster_options ~replica_cache ~ckpt_delta)
       ?coalesce:(cluster_coalesce coalesce) ~configs ()
   in
-  Cluster.register_type cl chaos_type;
+  Cluster.register_type cl (chaos_type ~async:ckpt_async);
   setup_trace cl trace;
   let plan =
     load_plan ~file:fault_plan ~seed ~nodes
@@ -584,7 +618,8 @@ let chaos_cmd =
           from --seed unless --fault-plan is given).")
     Term.(
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
-      $ replica_cache_t $ coalesce_t $ trace_t $ metrics_out_t)
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
+      $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:

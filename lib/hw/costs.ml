@@ -9,6 +9,7 @@ type t = {
   locate_lookup_cpu : Time.t;
   checkpoint_fixed_cpu : Time.t;
   activation_fixed_cpu : Time.t;
+  delta_scan_per_byte : Time.t;
 }
 
 let default =
@@ -21,6 +22,9 @@ let default =
     locate_lookup_cpu = Time.us 50;
     checkpoint_fixed_cpu = Time.us 500;
     activation_fixed_cpu = Time.ms 2;
+    (* Comparing a chunk against the last checkpointed version is a
+       read-only sweep: much cheaper than marshalling the same bytes. *)
+    delta_scan_per_byte = Time.ns 100;
   }
 
 let scale c f =
@@ -35,8 +39,13 @@ let scale c f =
     locate_lookup_cpu = s c.locate_lookup_cpu;
     checkpoint_fixed_cpu = s c.checkpoint_fixed_cpu;
     activation_fixed_cpu = s c.activation_fixed_cpu;
+    delta_scan_per_byte = s c.delta_scan_per_byte;
   }
 
 let copy_cost c ~bytes =
   if bytes < 0 then invalid_arg "Costs.copy_cost: negative size";
   Time.scale c.per_byte_copy bytes
+
+let delta_scan_cost c ~bytes =
+  if bytes < 0 then invalid_arg "Costs.delta_scan_cost: negative size";
+  Time.scale c.delta_scan_per_byte bytes

@@ -23,6 +23,10 @@ type t = {
       (** preparing a representation snapshot, excluding disk I/O *)
   activation_fixed_cpu : Eden_util.Time.t;
       (** coordinator creation + reincarnation-handler entry *)
+  delta_scan_per_byte : Eden_util.Time.t;
+      (** comparing the representation against the last checkpointed
+          version to find dirty chunks (a read-only sweep, cheaper
+          than copying) *)
 }
 
 val default : t
@@ -33,3 +37,7 @@ val scale : t -> float -> t
 
 val copy_cost : t -> bytes:int -> Eden_util.Time.t
 (** Marshalling cost for a payload of the given size. *)
+
+val delta_scan_cost : t -> bytes:int -> Eden_util.Time.t
+(** CPU cost of diffing a representation of the given size against its
+    last checkpointed version. *)

@@ -47,6 +47,7 @@ type ctx = {
     Value.t ->
     (Capability.t, Error.t) result;
   checkpoint : unit -> (unit, Error.t) result;
+  checkpoint_async : unit -> (unit, Error.t) result;
   set_reliability : Reliability.t -> (unit, Error.t) result;
   crash : unit -> unit;
   move_to : int -> (unit, Error.t) result;

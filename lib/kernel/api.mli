@@ -67,6 +67,18 @@ type ctx = {
       (** create a sibling object (default: on this node) *)
   (* reliability *)
   checkpoint : unit -> (unit, Error.t) result;
+      (** synchronous: returns once every checksite acknowledged (or
+          the shared acknowledgement deadline expired) *)
+  checkpoint_async : unit -> (unit, Error.t) result;
+      (** start a checkpoint of the current representation and return
+          immediately; the local-disk and remote-site writes proceed in
+          the background against one shared deadline.  A request made
+          while a round is already in flight coalesces into one
+          follow-up round that snapshots the then-current
+          representation.  [Ok ()] means the round was launched (or
+          coalesced), not that it succeeded — failures surface in the
+          [eden.ckpt.*] counters and, as ever, at reincarnation
+          time. *)
   set_reliability : Reliability.t -> (unit, Error.t) result;
   crash : unit -> unit;
       (** destroy all active state; does not return (the invocation

@@ -48,11 +48,29 @@ type obj = {
   ob_rng : Splitmix.t;
   mutable ob_mem : int;  (* bytes reserved on the current home *)
   mutable ob_ckpt_sites : node_id list;
+  mutable ob_ckpt_version : int;
+      (* monotonic: bumped at the start of every checkpoint round and
+         carried across reincarnations via the snapshot it restores *)
+  mutable ob_ckpt_base : (int * Value.t) option;
+      (* (version, repr) as of the last checkpoint round — the diff
+         base for delta checkpoints.  Values are immutable, so holding
+         the old representation is free (structure is shared). *)
+  ob_ckpt_acked : (node_id, int) Hashtbl.t;
+      (* highest version each checksite acknowledged; a site at the
+         current base version gets a delta, anyone else a full write *)
+  mutable ob_ckpt_inflight : bool;
+      (* a checkpoint round is running; concurrent requests coalesce *)
+  mutable ob_ckpt_queued : bool;
+      (* a request arrived while in flight: run one follow-up round *)
+  ob_ckpt_idle : Condition.t;  (* signalled when the round finishes *)
 }
 
 type snapshot = {
   ss_type : string;
   mutable ss_repr : Value.t;
+  mutable ss_version : int;
+      (* the checkpoint round that wrote this snapshot; reincarnation
+         prefers the highest version among reachable checksites *)
   mutable ss_reliability : Reliability.t;
   mutable ss_frozen : bool;
   mutable ss_passive : bool;
@@ -66,7 +84,9 @@ type snapshot = {
 type inv_outcome = Inv_result of Api.invoke_result * bool | Inv_nacked
 
 type locate_state = {
-  mutable loc_candidates : (node_id * Message.residence) list;
+  mutable loc_candidates : (node_id * Message.residence * int) list;
+      (* (site, residence, snapshot version) — version is meaningful
+         for passive answers and 0 otherwise *)
   loc_active : (node_id * Message.residence) Promise.t;
       (* filled as soon as an active/replica site answers *)
 }
@@ -114,6 +134,9 @@ type node = {
   nd_seq : Idgen.t;
   nd_types_loaded : (string, unit) Hashtbl.t;
   mutable nd_kprocs : Engine.Pid.t list;
+  mutable nd_ckpt_async : int;
+      (* asynchronous checkpoint pipelines currently in flight from
+         this node (the eden.ckpt.async_inflight gauge) *)
 }
 
 type options = {
@@ -121,6 +144,7 @@ type options = {
   use_forwarding : bool;
   coalesce_locates : bool;
   use_replica_cache : bool;
+  use_ckpt_delta : bool;
 }
 
 let default_options =
@@ -129,6 +153,7 @@ let default_options =
     use_forwarding = true;
     coalesce_locates = true;
     use_replica_cache = false;
+    use_ckpt_delta = false;
   }
 
 (* Owned per-node counters on the invocation hot path (the sampled
@@ -149,6 +174,14 @@ type node_metrics = {
   m_cache_hit : Metrics.counter;  (* invocations served by the replica cache *)
   m_cache_miss : Metrics.counter;  (* frozen-hinted replies with no entry *)
   m_cache_inval : Metrics.counter;  (* cached replicas dropped *)
+  m_ckpt_delta_bytes : Metrics.counter;
+      (* checkpoint payload shipped as deltas from this home node *)
+  m_ckpt_full_bytes : Metrics.counter;  (* ... as full representations *)
+  m_ckpt_fallbacks : Metrics.counter;
+      (* delta writes nacked (version mismatch / lost base) and
+         re-sent as full writes *)
+  m_ckpt_coalesced : Metrics.counter;
+      (* checkpoint requests folded into an in-flight round *)
 }
 
 type t = {
@@ -281,6 +314,9 @@ let ref_do_crash : (t -> obj -> unit) ref =
 let ref_do_checkpoint : (t -> obj -> (unit, Error.t) result) ref =
   ref (fun _ _ -> raise (Fatal "not initialised"))
 
+let ref_do_checkpoint_async : (t -> obj -> (unit, Error.t) result) ref =
+  ref (fun _ _ -> raise (Fatal "not initialised"))
+
 let ref_do_move : (t -> obj -> to_node:node_id -> self_inflight:bool -> (unit, Error.t) result) ref =
   ref (fun _ _ ~to_node:_ ~self_inflight:_ -> raise (Fatal "not initialised"))
 
@@ -361,6 +397,7 @@ let make_ctx cl obj =
         let target = Option.value ~default:obj.ob_home node in
         !ref_do_create cl ~from:obj.ob_home ~node:target ~type_name init);
     checkpoint = (fun () -> !ref_do_checkpoint cl obj);
+    checkpoint_async = (fun () -> !ref_do_checkpoint_async cl obj);
     set_reliability =
       (fun r ->
         match Reliability.validate r ~node_count:(Array.length cl.nodes) with
@@ -613,6 +650,12 @@ let build_obj cl ~name ~tm ~repr ~frozen ~reliability ~home ~is_replica ~mem =
     ob_rng = Splitmix.split cl.c_rng;
     ob_mem = mem;
     ob_ckpt_sites = [];
+    ob_ckpt_version = 0;
+    ob_ckpt_base = None;
+    ob_ckpt_acked = Hashtbl.create 4;
+    ob_ckpt_inflight = false;
+    ob_ckpt_queued = false;
+    ob_ckpt_idle = Condition.create cl.eng;
   }
 
 (* Create a brand-new object on [node].  Blocking. *)
@@ -692,13 +735,28 @@ let activate cl node name =
               in
               obj.ob_ckpt_sites <-
                 Reliability.checksites snap.ss_reliability ~home:node.nd_id;
+              obj.ob_ckpt_version <- snap.ss_version;
+              obj.ob_ckpt_base <- Some (snap.ss_version, snap.ss_repr);
+              (* Seed the acked table optimistically: checksites are
+                 usually at the version we just restored.  A site that
+                 is actually behind nacks its first delta, which falls
+                 back to a full write and repairs the entry. *)
+              List.iter
+                (fun site ->
+                  Hashtbl.replace obj.ob_ckpt_acked site snap.ss_version)
+                obj.ob_ckpt_sites;
               snap.ss_passive <- false;
               (* Tell sibling checksites the object lives again. *)
               List.iter
                 (fun site ->
                   if site <> node.nd_id then
                     send_msg cl node ~dst:site
-                      (Message.Ckpt_mark { target = name; passive = false }))
+                      (Message.Ckpt_mark
+                         {
+                           target = name;
+                           passive = false;
+                           version = snap.ss_version;
+                         }))
                 obj.ob_ckpt_sites;
               (* The reincarnation condition handler runs before any
                  invocation is dispatched. *)
@@ -722,8 +780,8 @@ let activate cl node name =
 
 (* Returns whether the snapshot reached stable storage; a failed disk
    accepts nothing (and writes no partial state). *)
-let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
-    ~passive =
+let write_snapshot cl node ~target ~type_name ~repr ~version ~reliability
+    ~frozen ~passive =
   if not node.nd_disk_ok then begin
     tracef cl Trace.Store "node %d refused snapshot of %s: disk failed"
       node.nd_id (Name.to_string target);
@@ -736,6 +794,7 @@ let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
     (match Name.Table.find_opt node.nd_store target with
     | Some snap ->
       snap.ss_repr <- repr;
+      snap.ss_version <- version;
       snap.ss_reliability <- reliability;
       snap.ss_frozen <- frozen;
       snap.ss_passive <- passive
@@ -744,85 +803,281 @@ let write_snapshot cl node ~target ~type_name ~repr ~reliability ~frozen
         {
           ss_type = type_name;
           ss_repr = repr;
+          ss_version = version;
           ss_reliability = reliability;
           ss_frozen = frozen;
           ss_passive = passive;
         });
-    tracef cl Trace.Store "node %d stored snapshot of %s (%dB)" node.nd_id
-      (Name.to_string target) (Value.size_bytes repr);
+    tracef cl Trace.Store "node %d stored snapshot of %s v%d (%dB)" node.nd_id
+      (Name.to_string target) version (Value.size_bytes repr);
     true
   end
+
+(* Apply a delta checkpoint against the stored snapshot.  Refusal is
+   the nack that makes the sender fall back to a full write: disk
+   failed, no snapshot to diff against, or the stored version is not
+   the delta's base. *)
+let apply_delta_snapshot cl node ~target ~base_version ~version ~delta
+    ~reliability ~frozen =
+  if not node.nd_disk_ok then begin
+    tracef cl Trace.Store "node %d refused delta for %s: disk failed"
+      node.nd_id (Name.to_string target);
+    false
+  end
+  else
+    match Name.Table.find_opt node.nd_store target with
+    | None ->
+      tracef cl Trace.Store "node %d nacked delta for %s: no base snapshot"
+        node.nd_id (Name.to_string target);
+      false
+    | Some snap when snap.ss_version <> base_version ->
+      tracef cl Trace.Store
+        "node %d nacked delta for %s: base v%d but stored v%d" node.nd_id
+        (Name.to_string target) base_version snap.ss_version;
+      false
+    | Some snap -> (
+      match Delta.apply delta ~base:snap.ss_repr with
+      | Error msg ->
+        tracef cl Trace.Store "node %d nacked delta for %s: %s" node.nd_id
+          (Name.to_string target) msg;
+        false
+      | Ok repr ->
+        let bytes = Delta.size_bytes delta in
+        Metrics.incr (nm cl node).m_ckpts;
+        Metrics.add (nm cl node).m_ckpt_bytes bytes;
+        Disk.write (Machine.disk node.nd_machine) ~bytes;
+        snap.ss_repr <- repr;
+        snap.ss_version <- version;
+        snap.ss_reliability <- reliability;
+        snap.ss_frozen <- frozen;
+        snap.ss_passive <- false;
+        tracef cl Trace.Store "node %d applied delta for %s v%d->v%d (%dB)"
+          node.nd_id (Name.to_string target) base_version version bytes;
+        true)
+
+(* One checkpoint round: stamp a fresh version and write [repr] to
+   every checksite — as a delta where the site is known to hold the
+   current diff base, as a full representation otherwise.  All writes
+   (the local disk one included) race one shared acknowledgement
+   deadline instead of paying one [ack_timeout] per site. *)
+let checkpoint_round cl obj ~repr =
+  if obj.ob_status = Dead then Error Error.Object_crashed
+  else begin
+    let node = home cl obj in
+    let metrics = nm cl node in
+    consume node (costs node).Costs.checkpoint_fixed_cpu;
+    obj.ob_ckpt_version <- obj.ob_ckpt_version + 1;
+    let version = obj.ob_ckpt_version in
+    let type_name = Typemgr.name obj.ob_type in
+    let sites = Reliability.checksites obj.ob_reliability ~home:node.nd_id in
+    let deadline = deadline_of ~timeout:ack_timeout cl.eng in
+    let delta =
+      if not cl.opts.use_ckpt_delta then None
+      else
+        match obj.ob_ckpt_base with
+        | None -> None
+        | Some (bv, base) ->
+          (* Finding the dirty chunks is a read-only sweep of the
+             representation. *)
+          consume node
+            (Costs.delta_scan_cost (costs node)
+               ~bytes:(Value.size_bytes repr));
+          Some (bv, Delta.diff ~base ~target:repr)
+    in
+    let site_at site v = Hashtbl.find_opt obj.ob_ckpt_acked site = Some v in
+    let send_full site =
+      let req_id = new_request_id node in
+      let pr = Promise.create cl.eng in
+      add_pending node req_id.Message.seq (P_ack pr);
+      Metrics.add metrics.m_ckpt_full_bytes (Value.size_bytes repr);
+      send_msg cl node ~dst:site
+        (Message.Ckpt_write
+           {
+             req_id;
+             target = obj.ob_name;
+             type_name;
+             repr;
+             version;
+             reliability = obj.ob_reliability;
+             frozen = obj.ob_frozen;
+             reply_to = node.nd_id;
+           });
+      (req_id, pr)
+    in
+    let send_delta site ~base_version d =
+      let req_id = new_request_id node in
+      let pr = Promise.create cl.eng in
+      add_pending node req_id.Message.seq (P_ack pr);
+      Metrics.add metrics.m_ckpt_delta_bytes (Delta.size_bytes d);
+      send_msg cl node ~dst:site
+        (Message.Ckpt_delta
+           {
+             req_id;
+             target = obj.ob_name;
+             type_name;
+             delta = d;
+             base_version;
+             version;
+             reliability = obj.ob_reliability;
+             frozen = obj.ob_frozen;
+             reply_to = node.nd_id;
+           });
+      (req_id, pr)
+    in
+    (* Launch every remote write first so they overlap each other and
+       the local disk write. *)
+    let remote_acks =
+      List.filter_map
+        (fun site ->
+          if site = node.nd_id then None
+          else
+            match delta with
+            | Some (bv, d) when site_at site bv ->
+              let req_id, pr = send_delta site ~base_version:bv d in
+              Some (site, req_id, pr, true)
+            | _ ->
+              let req_id, pr = send_full site in
+              Some (site, req_id, pr, false))
+        sites
+    in
+    let write_local_full () =
+      Metrics.add metrics.m_ckpt_full_bytes (Value.size_bytes repr);
+      write_snapshot cl node ~target:obj.ob_name ~type_name ~repr ~version
+        ~reliability:obj.ob_reliability ~frozen:obj.ob_frozen ~passive:false
+    in
+    let write_local () =
+      match delta with
+      | Some (bv, d) when site_at node.nd_id bv ->
+        if
+          apply_delta_snapshot cl node ~target:obj.ob_name ~base_version:bv
+            ~version ~delta:d ~reliability:obj.ob_reliability
+            ~frozen:obj.ob_frozen
+        then begin
+          Metrics.add metrics.m_ckpt_delta_bytes (Delta.size_bytes d);
+          true
+        end
+        else begin
+          (* The local base is gone or stale: same fallback as a
+             remote nack. *)
+          Metrics.incr metrics.m_ckpt_fallbacks;
+          write_local_full ()
+        end
+      | _ -> write_local_full ()
+    in
+    let local_in = List.mem node.nd_id sites in
+    let local_ok = local_in && write_local () in
+    let local_failed = local_in && not local_ok in
+    (* Await the remote acknowledgements against the shared deadline;
+       a nacked delta re-sends the full representation, still under
+       the same deadline. *)
+    let rec await_ack site req_id pr was_delta =
+      match Promise.await ?timeout:(remaining cl.eng deadline) pr with
+      | Some true -> true
+      | Some false when was_delta ->
+        Hashtbl.remove node.nd_pending req_id.Message.seq;
+        Metrics.incr metrics.m_ckpt_fallbacks;
+        let req_id', pr' = send_full site in
+        await_ack site req_id' pr' false
+      | Some false | None ->
+        Hashtbl.remove node.nd_pending req_id.Message.seq;
+        false
+    in
+    let ok_sites, failed =
+      List.fold_left
+        (fun (oks, failed) (site, req_id, pr, was_delta) ->
+          if await_ack site req_id pr was_delta then (site :: oks, failed)
+          else (oks, site :: failed))
+        ( (if local_ok then [ node.nd_id ] else []),
+          if local_failed then [ node.nd_id ] else [] )
+        remote_acks
+    in
+    List.iter
+      (fun site -> Hashtbl.replace obj.ob_ckpt_acked site version)
+      ok_sites;
+    List.iter (fun site -> Hashtbl.remove obj.ob_ckpt_acked site) failed;
+    (* Remove snapshots at sites no longer in the checksite set. *)
+    List.iter
+      (fun old_site ->
+        if not (List.mem old_site sites) then begin
+          Hashtbl.remove obj.ob_ckpt_acked old_site;
+          if old_site = node.nd_id then
+            Name.Table.remove node.nd_store obj.ob_name
+          else
+            send_msg cl node ~dst:old_site
+              (Message.Ckpt_delete { target = obj.ob_name })
+        end)
+      obj.ob_ckpt_sites;
+    obj.ob_ckpt_sites <- List.rev ok_sites;
+    (* This round's representation is the next round's diff base. *)
+    obj.ob_ckpt_base <- Some (version, repr);
+    match failed with
+    | [] -> Ok ()
+    | _ :: _ ->
+      if local_failed then Error Error.Disk_failed else Error Error.Node_down
+  end
+
+(* Checkpoint rounds for one object are serialised: a second request
+   while one is in flight waits its turn (sync) or coalesces into a
+   single follow-up round (async). *)
+let acquire_ckpt_slot obj =
+  while obj.ob_ckpt_inflight do
+    ignore (Condition.await ~timeout:ack_timeout obj.ob_ckpt_idle)
+  done;
+  obj.ob_ckpt_inflight <- true
+
+let release_ckpt_slot obj =
+  obj.ob_ckpt_inflight <- false;
+  Condition.broadcast obj.ob_ckpt_idle
 
 let do_checkpoint cl obj =
   if obj.ob_is_replica then
     Error (Error.Bad_arguments "replicas do not checkpoint")
   else if obj.ob_status = Dead then Error Error.Object_crashed
   else begin
+    acquire_ckpt_slot obj;
+    Fun.protect
+      ~finally:(fun () -> release_ckpt_slot obj)
+      (fun () -> checkpoint_round cl obj ~repr:obj.ob_repr)
+  end
+
+(* Start a checkpoint and return immediately.  The round snapshots the
+   representation at call time — values are immutable, so capturing
+   the reference is a free copy-on-write — and runs in a kernel
+   process.  [Ok ()] means launched (or coalesced), not succeeded. *)
+let do_checkpoint_async cl obj =
+  if obj.ob_is_replica then
+    Error (Error.Bad_arguments "replicas do not checkpoint")
+  else if obj.ob_status = Dead then Error Error.Object_crashed
+  else begin
     let node = home cl obj in
-    consume node (costs node).Costs.checkpoint_fixed_cpu;
-    let repr = obj.ob_repr in
-    let sites =
-      Reliability.checksites obj.ob_reliability ~home:node.nd_id
-    in
-    (* Launch remote writes first so they overlap the local disk write. *)
-    let remote_acks =
-      List.filter_map
-        (fun site ->
-          if site = node.nd_id then None
-          else begin
-            let req_id = new_request_id node in
-            let pr = Promise.create cl.eng in
-            add_pending node req_id.Message.seq (P_ack pr);
-            send_msg cl node ~dst:site
-              (Message.Ckpt_write
-                 {
-                   req_id;
-                   target = obj.ob_name;
-                   type_name = Typemgr.name obj.ob_type;
-                   repr;
-                   reliability = obj.ob_reliability;
-                   frozen = obj.ob_frozen;
-                   reply_to = node.nd_id;
-                 });
-            Some (site, req_id, pr)
-          end)
-        sites
-    in
-    let local_ok =
-      List.mem node.nd_id sites
-      && write_snapshot cl node ~target:obj.ob_name
-           ~type_name:(Typemgr.name obj.ob_type) ~repr
-           ~reliability:obj.ob_reliability ~frozen:obj.ob_frozen
-           ~passive:false
-    in
-    let local_failed = List.mem node.nd_id sites && not local_ok in
-    let ok_sites, failed =
-      List.fold_left
-        (fun (oks, failed) (site, req_id, pr) ->
-          match Promise.await ~timeout:ack_timeout pr with
-          | Some true -> (site :: oks, failed)
-          | Some false | None ->
-            Hashtbl.remove node.nd_pending req_id.Message.seq;
-            (oks, site :: failed))
-        ( (if local_ok then [ node.nd_id ] else []),
-          if local_failed then [ node.nd_id ] else [] )
-        remote_acks
-    in
-    (* Remove snapshots at sites no longer in the checksite set. *)
-    List.iter
-      (fun old_site ->
-        if not (List.mem old_site sites) then
-          if old_site = node.nd_id then
-            Name.Table.remove node.nd_store obj.ob_name
-          else
-            send_msg cl node ~dst:old_site
-              (Message.Ckpt_delete { target = obj.ob_name }))
-      obj.ob_ckpt_sites;
-    obj.ob_ckpt_sites <- List.rev ok_sites;
-    match failed with
-    | [] -> Ok ()
-    | _ :: _ -> if local_failed then Error Error.Disk_failed
-      else Error Error.Node_down
+    if obj.ob_ckpt_inflight then begin
+      obj.ob_ckpt_queued <- true;
+      Metrics.incr (nm cl node).m_ckpt_coalesced;
+      Ok ()
+    end
+    else begin
+      obj.ob_ckpt_inflight <- true;
+      node.nd_ckpt_async <- node.nd_ckpt_async + 1;
+      let repr = obj.ob_repr in
+      ignore
+        (spawn_kproc cl node
+           ~name:("k:ckpt_async:" ^ Name.to_string obj.ob_name)
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () ->
+                 node.nd_ckpt_async <- node.nd_ckpt_async - 1;
+                 release_ckpt_slot obj)
+               (fun () ->
+                 let rec rounds repr =
+                   ignore (checkpoint_round cl obj ~repr);
+                   if obj.ob_ckpt_queued && obj.ob_status <> Dead then begin
+                     obj.ob_ckpt_queued <- false;
+                     rounds obj.ob_repr
+                   end
+                 in
+                 rounds repr)));
+      Ok ()
+    end
   end
 
 (* Collect every request the object is holding, in admission order. *)
@@ -893,7 +1148,12 @@ let do_crash cl obj =
         end
         else
           send_msg cl node ~dst:site
-            (Message.Ckpt_mark { target = obj.ob_name; passive = true }))
+            (Message.Ckpt_mark
+               {
+                 target = obj.ob_name;
+                 passive = true;
+                 version = obj.ob_ckpt_version;
+               }))
       obj.ob_ckpt_sites;
     unregister cl obj;
     tracef cl Trace.Kern "%s crashed on node %d" (Name.to_string obj.ob_name)
@@ -1142,8 +1402,32 @@ let locate_once cl node name ~window =
   match early with
   | Some hit -> Some hit
   | None ->
+    (* The broadcast does not loop back, but this node may itself be a
+       checksite: its own snapshot competes on version like any other
+       (the home can crash without marking mirrors passive, so
+       passivity of the local copy proves nothing either way). *)
+    (if node.nd_disk_ok then
+       match Name.Table.find_opt node.nd_store name with
+       | Some snap ->
+         st.loc_candidates <-
+           (node.nd_id, Message.Res_passive, snap.ss_version)
+           :: st.loc_candidates
+       | None -> ());
+    (* Among same-residence answers, take the highest snapshot version
+       (the earliest responder on a tie).  Replicas all report version
+       0, so for them this is plain arrival order; for passive sites
+       it is what makes reincarnation prefer the newest state. *)
     let pick res =
-      List.find_opt (fun (_, r) -> r = res) (List.rev st.loc_candidates)
+      List.fold_left
+        (fun best (n, r, v) ->
+          if r <> res then best
+          else
+            match best with
+            | Some (_, bv) when bv >= v -> best
+            | _ -> Some (n, v))
+        None
+        (List.rev st.loc_candidates)
+      |> Option.map (fun (n, _) -> (n, res))
     in
     (match pick Message.Res_replica with
     | Some hit -> Some hit
@@ -1347,6 +1631,11 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
                   (* Choosing a passive site after a full quiet window
                      authorises that site to reincarnate. *)
                   `Send (at_node, residence = Message.Res_passive)
+                | `Found (_, Message.Res_passive) ->
+                  (* Our own snapshot is the newest surviving state:
+                     the quiet window authorises reincarnating it
+                     right here. *)
+                  `Activate
                 | `Found (_, _) ->
                   (* We were told the object is on this very node: it
                      must have just (re)activated here; retry the local
@@ -1358,6 +1647,11 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
             match dst with
             | `Nowhere -> Error Error.No_such_object
             | `Deadline -> Error Error.Timeout
+            | `Activate -> (
+              match activate cl node name with
+              | Ok obj ->
+                dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+              | Error e -> Error e)
             | `Retry ->
               if nack_budget <= 0 then Error Error.No_such_object
               else attempt ~deadline ~nack_budget:(nack_budget - 1)
@@ -1524,18 +1818,22 @@ let handle_inv_request cl node ~src:_ r =
 let handle_locate_request cl node req =
   match req with
   | Message.Locate_request { req_id; target; reply_to } ->
-    let answer residence =
+    let answer ?(version = 0) residence =
       send_msg cl node ~dst:reply_to
         (Message.Locate_reply
-           { req_id; target; at_node = node.nd_id; residence })
+           { req_id; target; at_node = node.nd_id; residence; version })
     in
     if Name.Table.mem node.nd_active target then answer Message.Res_active
     else if Name.Table.mem node.nd_replicas target then
       answer Message.Res_replica
-    else if Name.Table.mem node.nd_store target && node.nd_disk_ok then
+    else if node.nd_disk_ok then (
       (* A failed disk cannot reincarnate: stay silent so the
-         requester picks a checksite that can. *)
-      answer Message.Res_passive
+         requester picks a checksite that can.  The answer carries the
+         snapshot's version so the requester reincarnates from the
+         newest surviving state, not the first responder. *)
+      match Name.Table.find_opt node.nd_store target with
+      | Some snap -> answer ~version:snap.ss_version Message.Res_passive
+      | None -> ())
   | _ -> raise (Fatal "handle_locate_request: wrong message")
 
 let on_message cl node ~src msg =
@@ -1565,14 +1863,15 @@ let on_message cl node ~src msg =
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
     | Message.Locate_request _ -> handle_locate_request cl node msg
-    | Message.Locate_reply { req_id; at_node; residence; _ } -> (
+    | Message.Locate_reply { req_id; at_node; residence; version; _ } -> (
       match Hashtbl.find_opt node.nd_pending req_id.Message.seq with
       | Some (P_locate st) -> (
         match residence with
         | Message.Res_active ->
           ignore (Promise.fill st.loc_active (at_node, residence))
         | Message.Res_replica | Message.Res_passive ->
-          st.loc_candidates <- (at_node, residence) :: st.loc_candidates)
+          st.loc_candidates <-
+            (at_node, residence, version) :: st.loc_candidates)
       | Some _ | None -> ())
     | Message.Create_request { req_id; type_name; init; reply_to } ->
       ignore
@@ -1613,12 +1912,24 @@ let on_message cl node ~src msg =
       | Some _ -> raise (Fatal "pending kind mismatch for move ack")
       | None -> ())
     | Message.Ckpt_write
-        { req_id; target; type_name; repr; reliability; frozen; reply_to } ->
+        { req_id; target; type_name; repr; version; reliability; frozen;
+          reply_to } ->
       ignore
         (spawn_kproc cl node ~name:"k:ckpt" (fun () ->
              let ok =
-               write_snapshot cl node ~target ~type_name ~repr ~reliability
-                 ~frozen ~passive:false
+               write_snapshot cl node ~target ~type_name ~repr ~version
+                 ~reliability ~frozen ~passive:false
+             in
+             send_msg cl node ~dst:reply_to
+               (Message.Ckpt_ack { req_id; ok })))
+    | Message.Ckpt_delta
+        { req_id; target; type_name = _; delta; base_version; version;
+          reliability; frozen; reply_to } ->
+      ignore
+        (spawn_kproc cl node ~name:"k:ckpt_delta" (fun () ->
+             let ok =
+               apply_delta_snapshot cl node ~target ~base_version ~version
+                 ~delta ~reliability ~frozen
              in
              send_msg cl node ~dst:reply_to
                (Message.Ckpt_ack { req_id; ok })))
@@ -1628,10 +1939,14 @@ let on_message cl node ~src msg =
       | Some _ -> raise (Fatal "pending kind mismatch for ckpt ack")
       | None -> ())
     | Message.Ckpt_delete { target } -> Name.Table.remove node.nd_store target
-    | Message.Ckpt_mark { target; passive } -> (
+    | Message.Ckpt_mark { target; passive; version } -> (
+      (* A mark stamped below the stored snapshot's version is stale
+         (reordered behind a later checkpoint): ignore it rather than
+         flip the authority bit on newer state. *)
       match Name.Table.find_opt node.nd_store target with
-      | Some snap -> snap.ss_passive <- passive
-      | None -> ())
+      | Some snap when version >= snap.ss_version ->
+        snap.ss_passive <- passive
+      | Some _ | None -> ())
     | Message.Replica_install { target; type_name; repr; transfer_id; from_node }
       ->
       ignore
@@ -1708,6 +2023,7 @@ let on_message cl node ~src msg =
 let () = ref_do_invoke := do_invoke
 let () = ref_do_crash := do_crash
 let () = ref_do_checkpoint := do_checkpoint
+let () = ref_do_checkpoint_async := do_checkpoint_async
 let () = ref_do_move := do_move
 let () = ref_do_replicate := do_replicate
 let () = ref_do_create := do_create
@@ -1811,7 +2127,9 @@ let register_collectors cl =
       g "eden.active_objects" (fun () ->
           float_of_int (Name.Table.length node.nd_active));
       g "eden.mem_available_bytes" (fun () ->
-          float_of_int (Memory.available node.nd_mem)))
+          float_of_int (Memory.available node.nd_mem));
+      g "eden.ckpt.async_inflight" (fun () ->
+          float_of_int node.nd_ckpt_async))
     cl.nodes
 
 let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
@@ -1880,6 +2198,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_seq = Idgen.create ();
              nd_types_loaded = Hashtbl.create 16;
              nd_kprocs = [];
+             nd_ckpt_async = 0;
            })
          configs)
   in
@@ -1927,6 +2246,14 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                 Metrics.counter reg ~labels "eden.replica_cache.misses";
               m_cache_inval =
                 Metrics.counter reg ~labels "eden.replica_cache.invalidations";
+              m_ckpt_delta_bytes =
+                Metrics.counter reg ~labels "eden.ckpt.delta_bytes";
+              m_ckpt_full_bytes =
+                Metrics.counter reg ~labels "eden.ckpt.full_bytes";
+              m_ckpt_fallbacks =
+                Metrics.counter reg ~labels "eden.ckpt.fallbacks";
+              m_ckpt_coalesced =
+                Metrics.counter reg ~labels "eden.ckpt.coalesced";
             });
       c_span_ctx = Hashtbl.create 64;
     }
@@ -2088,6 +2415,14 @@ let checkpoint_of cl cap =
     | None -> Error Error.No_such_object
     | Some obj -> do_checkpoint cl obj)
 
+let checkpoint_async_of cl cap =
+  match require_right cap Rights.Kernel_checkpoint "checkpoint" with
+  | Error e -> Error e
+  | Ok () -> (
+    match find_primary cl (Capability.name cap) with
+    | None -> Error Error.No_such_object
+    | Some obj -> do_checkpoint_async cl obj)
+
 let destroy cl cap =
   match require_right cap Rights.Kernel_destroy "destroy" with
   | Error e -> Error e
@@ -2169,10 +2504,12 @@ let crash_node cl i =
   end
 
 (* Reincarnate every object whose durable checkpoint lives on this
-   freshly-restarted node and which is active nowhere.  The checksite
-   list is consulted in order and only the first up site with a working
-   disk rebuilds, so a Mirrored object restarting on several sites at
-   once reactivates exactly once. *)
+   freshly-restarted node and which is active nowhere.  Among the up
+   checksites with a working disk and a stored snapshot, the one
+   holding the highest snapshot version rebuilds (the earliest listed
+   site on a tie), so a Mirrored object restarting on several sites at
+   once reactivates exactly once — and from its newest state, not from
+   whichever stale mirror happens to be listed first. *)
 let rebuild_from_store cl node =
   let candidates =
     Name.Table.fold
@@ -2185,19 +2522,30 @@ let rebuild_from_store cl node =
       let sites =
         Reliability.checksites snap.ss_reliability ~home:node.nd_id
       in
-      let first_able =
-        List.find_opt
-          (fun s ->
-            s >= 0
-            && s < Array.length cl.nodes
-            && cl.nodes.(s).nd_up
-            && cl.nodes.(s).nd_disk_ok)
-          sites
+      let best_able =
+        List.fold_left
+          (fun best s ->
+            if
+              s < 0
+              || s >= Array.length cl.nodes
+              || (not cl.nodes.(s).nd_up)
+              || not cl.nodes.(s).nd_disk_ok
+            then best
+            else
+              match Name.Table.find_opt cl.nodes.(s).nd_store name with
+              | None -> best
+              | Some ss -> (
+                match best with
+                | Some (_, bv) when bv >= ss.ss_version -> best
+                | _ -> Some (s, ss.ss_version)))
+          None sites
       in
-      if first_able = Some node.nd_id && find_primary cl name = None then
+      match best_able with
+      | Some (s, _) when s = node.nd_id && find_primary cl name = None -> (
         match activate cl node name with
         | Ok _ -> ()
         | Error _ -> () (* object stays passive; invocation will retry *))
+      | _ -> ())
     candidates
 
 let restart_node ?(rebuild = false) cl i =

@@ -29,6 +29,13 @@ type options = {
           (default false); entries are hints — rights validate on
           every dispatch, and {!unfreeze} or {!destroy} invalidates
           via the nack path *)
+  use_ckpt_delta : bool;
+      (** ship checkpoints as deltas (default false): the kernel diffs
+          the representation against the last checkpointed version and
+          sends only the changed chunks to checksites known to hold
+          the current base; a site whose stored version does not match
+          nacks, and the write falls back to a full representation
+          (counted by [eden.ckpt.fallbacks]) *)
 }
 
 val default_options : options
@@ -161,7 +168,19 @@ val replicate : t -> Capability.t -> to_node:node_id -> (unit, Error.t) result
 val checkpoint_of : t -> Capability.t -> (unit, Error.t) result
 (** Blocking.  Externally request a checkpoint (requires
     [Kernel_checkpoint]); equivalent to the object calling
-    [ctx.checkpoint] at its next quiescent point. *)
+    [ctx.checkpoint] at its next quiescent point.  Every checksite
+    write — the local disk one included — races a single shared
+    acknowledgement deadline, so k unreachable checksites cost one
+    timeout, not k. *)
+
+val checkpoint_async_of : t -> Capability.t -> (unit, Error.t) result
+(** Start a checkpoint without blocking (requires
+    [Kernel_checkpoint]); equivalent to the object calling
+    [ctx.checkpoint_async].  The round snapshots the representation at
+    call time and runs in a background kernel process; a request made
+    while a round is in flight coalesces into one follow-up round.
+    [Ok ()] means launched or coalesced, not succeeded — failures
+    surface in the [eden.ckpt.*] counters and at reincarnation. *)
 
 val destroy : t -> Capability.t -> (unit, Error.t) result
 (** Destroy the object for good (requires [Kernel_destroy]): active
@@ -181,9 +200,11 @@ val restart_node : ?rebuild:bool -> t -> node_id -> unit
     objects checkpointed to its disk become reachable again.  With
     [~rebuild:true] (default false) the kernel additionally scans its
     store and proactively reincarnates every object that is active
-    nowhere and whose first able checksite (in {!Reliability.checksites}
-    order, skipping downed nodes and failed disks) is this node — so a
-    Mirrored object whose sites all restart reactivates exactly once. *)
+    nowhere and whose best able checksite is this node — the able site
+    (up, working disk, snapshot present) holding the highest snapshot
+    version, breaking ties in {!Reliability.checksites} order — so a
+    Mirrored object whose sites all restart reactivates exactly once,
+    from its newest surviving state. *)
 
 val set_disk_failed : t -> node_id -> bool -> unit
 (** Fail (or restore) a node's checkpoint store.  While failed the

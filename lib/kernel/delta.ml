@@ -1,0 +1,75 @@
+(* Incremental checkpoint payloads.
+
+   The unit of dirty tracking is a chunk: one top-level element of a
+   [Value.List] representation.  A delta against a base version carries
+   only the chunks that changed (plus the new length, so appends and
+   truncations reconstruct exactly); representations that are not
+   chunked, or whose shape changed, degenerate to a [Whole] payload —
+   never wrong, merely no cheaper than a full write. *)
+
+type t =
+  | Unchanged
+  | Edits of { len : int; edits : (int * Value.t) list }
+  | Whole of Value.t
+
+(* Wire-size model: a tiny frame for [Unchanged], per-edit index plus
+   chunk payload for [Edits], full payload for [Whole].  This is what a
+   delta checkpoint saves: only dirty chunks cross the network and
+   settle on disk. *)
+let size_bytes = function
+  | Unchanged -> 4
+  | Whole v -> 8 + Value.size_bytes v
+  | Edits { edits; _ } ->
+    List.fold_left (fun acc (_, v) -> acc + 8 + Value.size_bytes v) 8 edits
+
+let diff ~base ~target =
+  if Value.equal base target then Unchanged
+  else
+    match (base, target) with
+    | Value.List bs, Value.List ts ->
+      let bs = Array.of_list bs in
+      let lb = Array.length bs in
+      let edits =
+        List.mapi (fun i tv -> (i, tv)) ts
+        |> List.filter (fun (i, tv) ->
+               i >= lb || not (Value.equal bs.(i) tv))
+      in
+      let d = Edits { len = List.length ts; edits } in
+      (* When most chunks are dirty the per-edit framing outweighs the
+         savings: ship the whole value instead, so a delta is never the
+         larger payload. *)
+      if size_bytes d <= size_bytes (Whole target) then d else Whole target
+    | _ -> Whole target
+
+let apply d ~base =
+  match d with
+  | Unchanged -> Ok base
+  | Whole v -> Ok v
+  | Edits { len; edits } -> (
+    if len < 0 || List.exists (fun (i, _) -> i < 0 || i >= len) edits then
+      Error "delta edit index out of range"
+    else
+      match base with
+      | Value.List bs ->
+        let bs = Array.of_list bs in
+        let missing = ref false in
+        let out =
+          List.init len (fun i ->
+              match List.assoc_opt i edits with
+              | Some v -> v
+              | None ->
+                if i < Array.length bs then bs.(i)
+                else begin
+                  missing := true;
+                  Value.Unit
+                end)
+        in
+        if !missing then Error "delta references chunks absent from the base"
+        else Ok (Value.List out)
+      | _ -> Error "base representation is not chunked")
+
+let describe = function
+  | Unchanged -> "unchanged"
+  | Whole _ -> "whole"
+  | Edits { len; edits } ->
+    Printf.sprintf "edits %d/%d" (List.length edits) len

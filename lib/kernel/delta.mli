@@ -1,0 +1,41 @@
+(** Incremental checkpoint payloads.
+
+    A checkpoint need not re-ship the whole representation: when the
+    home node knows which version a checksite last acknowledged, it can
+    send only what changed since.  The unit of dirty tracking is a
+    {e chunk} — one top-level element of a [Value.List] representation
+    — so a type that lays its state out as a list of blocks (e.g.
+    [List [Blob _; Blob _; ...]]) checkpoints in proportion to the
+    blocks it touched.  Non-list representations, or shape changes,
+    degenerate to a full payload: a delta is an optimisation, never a
+    semantic change. *)
+
+type t =
+  | Unchanged  (** the representation is identical to the base *)
+  | Edits of { len : int; edits : (int * Value.t) list }
+      (** the target is a list of [len] chunks; [edits] carries the
+          changed (index, chunk) pairs, sorted by index.  Chunks not
+          listed are taken from the base, so appends and truncations
+          reconstruct exactly. *)
+  | Whole of Value.t
+      (** shapes are incompatible: the full new representation rides
+          along (no cheaper than a full write, but still correct) *)
+
+val diff : base:Value.t -> target:Value.t -> t
+(** [diff ~base ~target] is a delta [d] with
+    [apply d ~base = Ok target] for {e any} two values, and
+    [size_bytes d <= size_bytes (Whole target)] — when most chunks are
+    dirty the diff degenerates to [Whole] rather than pay the per-edit
+    framing. *)
+
+val apply : t -> base:Value.t -> (Value.t, string) result
+(** Reconstruct the target from the base.  Fails (without partial
+    effect) when the delta does not fit the base — the caller should
+    treat that exactly like a version mismatch and request a full
+    write. *)
+
+val size_bytes : t -> int
+(** Approximate marshalled size: what a delta saves on the wire and on
+    disk compared to the full representation. *)
+
+val describe : t -> string

@@ -27,6 +27,7 @@ type t =
       target : Name.t;
       at_node : int;
       residence : residence;
+      version : int;
     }
   | Create_request of {
       req_id : request_id;
@@ -53,13 +54,25 @@ type t =
       target : Name.t;
       type_name : string;
       repr : Value.t;
+      version : int;
+      reliability : Reliability.t;
+      frozen : bool;
+      reply_to : int;
+    }
+  | Ckpt_delta of {
+      req_id : request_id;
+      target : Name.t;
+      type_name : string;
+      delta : Delta.t;
+      base_version : int;
+      version : int;
       reliability : Reliability.t;
       frozen : bool;
       reply_to : int;
     }
   | Ckpt_ack of { req_id : request_id; ok : bool }
   | Ckpt_delete of { target : Name.t }
-  | Ckpt_mark of { target : Name.t; passive : bool }
+  | Ckpt_mark of { target : Name.t; passive : bool; version : int }
   | Replica_install of {
       target : Name.t;
       type_name : string;
@@ -102,7 +115,10 @@ let size_bytes m =
     name_bytes + String.length type_name + Value.size_bytes repr + 16
   | Move_ack _ -> 8
   | Ckpt_write { type_name; repr; _ } ->
+    (* The version stamp rides in the fixed allowance. *)
     name_bytes + String.length type_name + Value.size_bytes repr + 16
+  | Ckpt_delta { type_name; delta; _ } ->
+    name_bytes + String.length type_name + Delta.size_bytes delta + 24
   | Ckpt_ack _ -> 8
   | Ckpt_delete _ -> name_bytes
   | Ckpt_mark _ -> name_bytes + 1
@@ -134,11 +150,16 @@ let describe = function
   | Create_reply _ -> "create_reply"
   | Move_transfer { target; _ } -> "move " ^ Name.to_string target
   | Move_ack _ -> "move_ack"
-  | Ckpt_write { target; _ } -> "ckpt_write " ^ Name.to_string target
+  | Ckpt_write { target; version; _ } ->
+    Printf.sprintf "ckpt_write %s v%d" (Name.to_string target) version
+  | Ckpt_delta { target; base_version; version; delta; _ } ->
+    Printf.sprintf "ckpt_delta %s v%d->v%d (%s)" (Name.to_string target)
+      base_version version (Delta.describe delta)
   | Ckpt_ack _ -> "ckpt_ack"
   | Ckpt_delete { target } -> "ckpt_delete " ^ Name.to_string target
-  | Ckpt_mark { target; passive } ->
-    Printf.sprintf "ckpt_mark %s passive=%b" (Name.to_string target) passive
+  | Ckpt_mark { target; passive; version } ->
+    Printf.sprintf "ckpt_mark %s passive=%b v%d" (Name.to_string target)
+      passive version
   | Replica_install { target; _ } -> "replica " ^ Name.to_string target
   | Replica_ack _ -> "replica_ack"
   | Destroy_notice { target } -> "destroy " ^ Name.to_string target
@@ -379,6 +400,42 @@ let r_reliability r =
     else Reliability.Mirrored (List.init n (fun _ -> r_int r))
   | n -> r_fail r (Printf.sprintf "bad reliability tag %d" n)
 
+let w_delta b = function
+  | Delta.Unchanged -> w_int b 0
+  | Delta.Edits { len; edits } ->
+    w_int b 1;
+    w_int b len;
+    w_int b (List.length edits);
+    List.iter
+      (fun (i, v) ->
+        w_int b i;
+        w_value b v)
+      edits
+  | Delta.Whole v ->
+    w_int b 2;
+    w_value b v
+
+let r_delta r =
+  match r_int r with
+  | 0 -> Delta.Unchanged
+  | 1 ->
+    let len = r_int r in
+    if len < 0 then r_fail r "negative delta length"
+    else begin
+      let n = r_int r in
+      if n < 0 || n > len then r_fail r "bad delta edit count"
+      else
+        let edits =
+          List.init n (fun _ ->
+              let i = r_int r in
+              let v = r_value r in
+              (i, v))
+        in
+        Delta.Edits { len; edits }
+    end
+  | 2 -> Delta.Whole (r_value r)
+  | n -> r_fail r (Printf.sprintf "bad delta tag %d" n)
+
 let w_residence b = function
   | Res_active -> w_int b 0
   | Res_passive -> w_int b 1
@@ -424,12 +481,13 @@ let encode m =
     w_req b req_id;
     w_name b target;
     w_int b reply_to
-  | Locate_reply { req_id; target; at_node; residence } ->
+  | Locate_reply { req_id; target; at_node; residence; version } ->
     w_int b 5;
     w_req b req_id;
     w_name b target;
     w_int b at_node;
-    w_residence b residence
+    w_residence b residence;
+    w_int b version
   | Create_request { req_id; type_name; init; reply_to } ->
     w_int b 6;
     w_req b req_id;
@@ -462,13 +520,15 @@ let encode m =
     w_int b 9;
     w_req b transfer_id;
     w_bool b accepted
-  | Ckpt_write { req_id; target; type_name; repr; reliability; frozen; reply_to }
-    ->
+  | Ckpt_write
+      { req_id; target; type_name; repr; version; reliability; frozen;
+        reply_to } ->
     w_int b 10;
     w_req b req_id;
     w_name b target;
     w_str b type_name;
     w_value b repr;
+    w_int b version;
     w_reliability b reliability;
     w_bool b frozen;
     w_int b reply_to
@@ -479,10 +539,11 @@ let encode m =
   | Ckpt_delete { target } ->
     w_int b 12;
     w_name b target
-  | Ckpt_mark { target; passive } ->
+  | Ckpt_mark { target; passive; version } ->
     w_int b 13;
     w_name b target;
-    w_bool b passive
+    w_bool b passive;
+    w_int b version
   | Replica_install { target; type_name; repr; transfer_id; from_node } ->
     w_int b 14;
     w_name b target;
@@ -514,7 +575,20 @@ let encode m =
       w_value b repr)
   | Cache_invalidate { target } ->
     w_int b 19;
-    w_name b target);
+    w_name b target
+  | Ckpt_delta
+      { req_id; target; type_name; delta; base_version; version; reliability;
+        frozen; reply_to } ->
+    w_int b 20;
+    w_req b req_id;
+    w_name b target;
+    w_str b type_name;
+    w_delta b delta;
+    w_int b base_version;
+    w_int b version;
+    w_reliability b reliability;
+    w_bool b frozen;
+    w_int b reply_to);
   Buffer.contents b
 
 let r_message r =
@@ -554,7 +628,8 @@ let r_message r =
     let target = r_name r in
     let at_node = r_int r in
     let residence = r_residence r in
-    Locate_reply { req_id; target; at_node; residence }
+    let version = r_int r in
+    Locate_reply { req_id; target; at_node; residence; version }
   | 6 ->
     let req_id = r_req r in
     let type_name = r_str r in
@@ -592,10 +667,13 @@ let r_message r =
     let target = r_name r in
     let type_name = r_str r in
     let repr = r_value r in
+    let version = r_int r in
     let reliability = r_reliability r in
     let frozen = r_bool r in
     let reply_to = r_int r in
-    Ckpt_write { req_id; target; type_name; repr; reliability; frozen; reply_to }
+    Ckpt_write
+      { req_id; target; type_name; repr; version; reliability; frozen;
+        reply_to }
   | 11 ->
     let req_id = r_req r in
     let ok = r_bool r in
@@ -604,7 +682,8 @@ let r_message r =
   | 13 ->
     let target = r_name r in
     let passive = r_bool r in
-    Ckpt_mark { target; passive }
+    let version = r_int r in
+    Ckpt_mark { target; passive; version }
   | 14 ->
     let target = r_name r in
     let type_name = r_str r in
@@ -636,6 +715,19 @@ let r_message r =
     in
     Cache_data { req_id; target; payload }
   | 19 -> Cache_invalidate { target = r_name r }
+  | 20 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let type_name = r_str r in
+    let delta = r_delta r in
+    let base_version = r_int r in
+    let version = r_int r in
+    let reliability = r_reliability r in
+    let frozen = r_bool r in
+    let reply_to = r_int r in
+    Ckpt_delta
+      { req_id; target; type_name; delta; base_version; version; reliability;
+        frozen; reply_to }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
 let decode s =

@@ -52,6 +52,11 @@ type t =
       target : Name.t;
       at_node : int;
       residence : residence;
+      version : int;
+          (** for [Res_passive]: the answering checksite's stored
+              snapshot version, so a requester reincarnating an object
+              can prefer the freshest snapshot among the candidates
+              instead of the first responder; 0 otherwise *)
     }
   | Create_request of {
       req_id : request_id;
@@ -78,15 +83,35 @@ type t =
       target : Name.t;
       type_name : string;
       repr : Value.t;
+      version : int;
+          (** monotonic snapshot version, stamped by the home node;
+              lets reincarnation prefer the freshest checksite *)
+      reliability : Reliability.t;
+      frozen : bool;
+      reply_to : int;
+    }
+  | Ckpt_delta of {
+      req_id : request_id;
+      target : Name.t;
+      type_name : string;
+      delta : Delta.t;  (** only the chunks that changed since the base *)
+      base_version : int;
+          (** the version the delta applies against; a checksite whose
+              stored snapshot is at any other version acks [ok = false]
+              and the home node falls back to a full {!Ckpt_write} *)
+      version : int;  (** the version the snapshot holds after applying *)
       reliability : Reliability.t;
       frozen : bool;
       reply_to : int;
     }
   | Ckpt_ack of { req_id : request_id; ok : bool }
   | Ckpt_delete of { target : Name.t }
-  | Ckpt_mark of { target : Name.t; passive : bool }
+  | Ckpt_mark of { target : Name.t; passive : bool; version : int }
       (** best-effort notice to checksites that the object passivated
-          (crash) or re-activated (reincarnation elsewhere) *)
+          (crash) or re-activated (reincarnation elsewhere), stamped
+          with the sender's snapshot version; a mark older than the
+          stored snapshot is ignored, so a delayed notice from a past
+          incarnation cannot flip a newer snapshot's authority *)
   | Replica_install of {
       target : Name.t;
       type_name : string;

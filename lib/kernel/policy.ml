@@ -34,20 +34,19 @@ let balance_once cl ~managed =
     | Some ((hot, hot_count), (cold, cold_count)) ->
       if hot_count - cold_count <= 1 then moved
       else begin
-        let candidate =
-          List.find_opt
-            (fun cap -> Cluster.where_is cl cap = Some hot)
-            managed
+        (* Candidates that refuse to move (busy or under-privileged)
+           must not end the round: one pinned object on the hot node
+           would wedge the balancer forever.  Try each in turn. *)
+        let rec try_each = function
+          | [] -> moved
+          | cap :: rest ->
+            if Cluster.where_is cl cap <> Some hot then try_each rest
+            else (
+              match Cluster.move cl cap ~to_node:cold with
+              | Ok () -> step (moved + 1)
+              | Error _ -> try_each rest)
         in
-        match candidate with
-        | None -> moved
-        | Some cap -> (
-          match Cluster.move cl cap ~to_node:cold with
-          | Ok () -> step (moved + 1)
-          | Error _ ->
-            (* This object will not move (busy or under-privileged);
-               stop rather than loop on it. *)
-            moved)
+        try_each managed
       end
   in
   step 0

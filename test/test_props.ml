@@ -73,9 +73,22 @@ let gen_residence rng =
   | _ -> Message.Res_replica
 
 let gen_node rng = Splitmix.int rng 16
+let gen_version rng = Splitmix.int rng 1_000
+
+let gen_delta rng =
+  match Splitmix.int rng 3 with
+  | 0 -> Delta.Unchanged
+  | 1 ->
+    let len = Splitmix.int rng 6 in
+    let edits =
+      List.init (Splitmix.int rng (len + 1)) (fun _ ->
+          (Splitmix.int rng (max len 1), gen_value 2 rng))
+    in
+    Delta.Edits { len; edits }
+  | _ -> Delta.Whole (gen_value 2 rng)
 
 let gen_message rng : Message.t =
-  match Splitmix.int rng 20 with
+  match Splitmix.int rng 21 with
   | 0 ->
     Message.Inv_request
       {
@@ -108,6 +121,7 @@ let gen_message rng : Message.t =
         target = gen_name rng;
         at_node = gen_node rng;
         residence = gen_residence rng;
+        version = gen_version rng;
       }
   | 6 ->
     Message.Create_request
@@ -146,6 +160,7 @@ let gen_message rng : Message.t =
         target = gen_name rng;
         type_name = gen_string rng;
         repr = gen_value 2 rng;
+        version = gen_version rng;
         reliability = gen_reliability rng;
         frozen = Splitmix.bool rng;
         reply_to = gen_node rng;
@@ -153,7 +168,12 @@ let gen_message rng : Message.t =
   | 11 -> Message.Ckpt_ack { req_id = gen_req rng; ok = Splitmix.bool rng }
   | 12 -> Message.Ckpt_delete { target = gen_name rng }
   | 13 ->
-    Message.Ckpt_mark { target = gen_name rng; passive = Splitmix.bool rng }
+    Message.Ckpt_mark
+      {
+        target = gen_name rng;
+        passive = Splitmix.bool rng;
+        version = gen_version rng;
+      }
   | 14 ->
     Message.Replica_install
       {
@@ -179,7 +199,20 @@ let gen_message rng : Message.t =
           (if Splitmix.bool rng then Some (gen_string rng, gen_value 2 rng)
            else None);
       }
-  | _ -> Message.Cache_invalidate { target = gen_name rng }
+  | 19 -> Message.Cache_invalidate { target = gen_name rng }
+  | _ ->
+    Message.Ckpt_delta
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        type_name = gen_string rng;
+        delta = gen_delta rng;
+        base_version = gen_version rng;
+        version = gen_version rng;
+        reliability = gen_reliability rng;
+        frozen = Splitmix.bool rng;
+        reply_to = gen_node rng;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -258,6 +291,57 @@ let test_decode_bounds_nesting () =
   | Ok m' -> Alcotest.(check bool) "round-trips" true (m' = shallow)
   | Error e -> Alcotest.failf "shallow nesting rejected: %s" e
 
+(* Chunked representations (a top-level List) are the delta fast path;
+   mix in arbitrary shapes so the [Whole] fallback is exercised too. *)
+let gen_chunked rng =
+  if Splitmix.int rng 4 = 0 then gen_value 3 rng
+  else Value.List (List.init (Splitmix.int rng 8) (fun _ -> gen_value 2 rng))
+
+let gen_delta_pair rng =
+  let base = gen_chunked rng in
+  let target =
+    match Splitmix.int rng 4 with
+    | 0 -> base
+    | 1 -> gen_chunked rng
+    | _ -> (
+      (* Dirty a few chunks of the base — the realistic shape. *)
+      match base with
+      | Value.List chunks ->
+        Value.List
+          (List.map
+             (fun c ->
+               if Splitmix.int rng 4 = 0 then gen_value 2 rng else c)
+             chunks)
+      | v -> v)
+  in
+  (base, target)
+
+let show_value_pair (b, t) =
+  Format.asprintf "%a -> %a" Value.pp b Value.pp t
+
+let delta_apply_roundtrip =
+  Prop.case ~name:"Delta.apply (diff base target) base = Ok target"
+    ~base:0xA110_0006L ~gen:gen_delta_pair ~show:show_value_pair
+    (fun (base, target) ->
+      let d = Delta.diff ~base ~target in
+      match Delta.apply d ~base with
+      | Ok v when Value.equal v target -> Ok ()
+      | Ok v -> Error (Format.asprintf "applied to %a" Value.pp v)
+      | Error e -> Error (Printf.sprintf "apply failed: %s" e))
+
+let delta_never_larger =
+  (* The wire motivation: [diff] guarantees its payload never exceeds
+     shipping the whole representation (it degenerates to [Whole]
+     when most chunks are dirty). *)
+  Prop.case ~name:"Delta.size_bytes (diff base target) <= whole"
+    ~base:0xA110_0007L ~gen:gen_delta_pair ~show:show_value_pair
+    (fun (base, target) ->
+      let d = Delta.diff ~base ~target in
+      let ds = Delta.size_bytes d
+      and fs = Delta.size_bytes (Delta.Whole target) in
+      if ds <= fs then Ok ()
+      else Error (Printf.sprintf "delta %dB vs full %dB" ds fs))
+
 let gen_plan_params rng =
   let seed = Splitmix.next64 rng in
   let nodes = Splitmix.int_in rng 2 8 in
@@ -290,5 +374,6 @@ let () =
           Alcotest.test_case "decode bounds value nesting" `Quick
             test_decode_bounds_nesting;
         ] );
+      ("delta", [ delta_apply_roundtrip; delta_never_larger ]);
       ("fault_plan", [ plan_roundtrip ]);
     ]

@@ -250,6 +250,54 @@ let test_stats_merge () =
   check_int "merged count" 2 (Stats.count m);
   Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Stats.mean m)
 
+let test_stats_percentile_boundaries () =
+  (* Nearest-rank on a single sample: every percentile is that sample. *)
+  let s = Stats.create () in
+  Stats.add s 7.5;
+  Alcotest.(check (float 1e-9)) "p0 of one" 7.5 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50 of one" 7.5 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100 of one" 7.5 (Stats.percentile s 100.0);
+  (* p=0 is the minimum and p=100 the maximum, on any sample. *)
+  let s2 = Stats.create () in
+  List.iter (Stats.add s2) [ 9.0; 1.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Stats.percentile s2 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 9.0 (Stats.percentile s2 100.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: out of range") (fun () ->
+      ignore (Stats.percentile s2 100.5))
+
+let test_stats_merge_preserves_samples () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 5.0 ];
+  List.iter (Stats.add b) [ 2.0; 8.0; 9.0 ];
+  let m = Stats.merge a b in
+  (* Every sample from both sides is present: the extremes come from
+     different inputs and the exact percentiles walk the full union. *)
+  check_int "union count" 5 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "union total" 25.0 (Stats.total m);
+  Alcotest.(check (float 1e-9)) "min from a" 1.0 (Stats.min_value m);
+  Alcotest.(check (float 1e-9)) "max from b" 9.0 (Stats.max_value m);
+  Alcotest.(check (float 1e-9)) "median of union" 5.0 (Stats.median m);
+  (* Merge is a fresh statistic: the inputs keep their own samples. *)
+  check_int "a untouched" 2 (Stats.count a);
+  check_int "b untouched" 3 (Stats.count b);
+  let e = Stats.merge (Stats.create ()) a in
+  check_int "merge with empty" 2 (Stats.count e);
+  Alcotest.(check (float 1e-9)) "empty merge mean" 3.0 (Stats.mean e)
+
+let test_histogram_edges () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  (* The range is half-open [lo, hi): lo itself is in-range, hi is
+     overflow, and a bucket boundary belongs to the upper bucket. *)
+  List.iter (Stats.Histogram.add h) [ 0.0; 1.0; 9.999; 10.0; -0.001 ];
+  let counts = Stats.Histogram.bucket_counts h in
+  check_int "lo lands in bucket 0" 1 counts.(0);
+  check_int "boundary rounds up" 1 counts.(1);
+  check_int "just below hi" 1 counts.(9);
+  check_int "hi overflows" 1 (Stats.Histogram.overflow h);
+  check_int "just below lo underflows" 1 (Stats.Histogram.underflow h);
+  check_int "all accounted" 5 (Stats.Histogram.total h)
+
 let test_stats_add_after_sort () =
   let s = Stats.create () in
   Stats.add s 5.0;
@@ -386,6 +434,11 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "percentile boundaries" `Quick
+            test_stats_percentile_boundaries;
+          Alcotest.test_case "merge preserves samples" `Quick
+            test_stats_merge_preserves_samples;
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
           Alcotest.test_case "add after sort" `Quick test_stats_add_after_sort;
           Alcotest.test_case "histogram" `Quick test_histogram;
           qt prop_stats_mean_bounded;

@@ -257,6 +257,44 @@ let test_balance_once () =
   let loads = Policy.managed_load cl ~managed:!caps in
   List.iter (fun (_, c) -> check_int "two each" 2 c) loads
 
+(* Regression: a capability the balancer holds without [Kernel_move]
+   cannot be migrated.  The old loop always retried the first managed
+   object on the hot node and stopped at the first refusal, so one
+   pinned object wedged the whole balancer. *)
+let test_balance_skips_pinned () =
+  let cl = Cluster.default ~n_nodes:3 () in
+  Cluster.register_type cl counter_type;
+  let caps = ref [] in
+  let moved = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for _ = 1 to 6 do
+          match
+            Cluster.create_object cl ~node:0 ~type_name:"p_counter"
+              (Value.Int 0)
+          with
+          | Ok c -> caps := !caps @ [ c ]
+          | Error e -> Alcotest.failf "create: %s" (Error.to_string e)
+        done;
+        (* Pin the first managed object by dropping its move right. *)
+        let managed =
+          match !caps with
+          | first :: rest -> Capability.restrict first Rights.invoke_only :: rest
+          | [] -> assert false
+        in
+        moved := Policy.balance_once cl ~managed)
+  in
+  Cluster.run cl;
+  check_bool "pinned object did not wedge the balancer" true (!moved >= 3);
+  let loads = Policy.managed_load cl ~managed:!caps in
+  List.iter
+    (fun (n, c) ->
+      check_bool
+        (Printf.sprintf "node %d balanced (load %d)" n c)
+        true
+        (c >= 1 && c <= 3))
+    loads
+
 let test_balance_skips_downed_nodes () =
   let cl = Cluster.default ~n_nodes:3 () in
   Cluster.register_type cl counter_type;
@@ -336,6 +374,8 @@ let () =
       ( "policy",
         [
           Alcotest.test_case "balance once" `Quick test_balance_once;
+          Alcotest.test_case "skips pinned objects" `Quick
+            test_balance_skips_pinned;
           Alcotest.test_case "skips downed nodes" `Quick
             test_balance_skips_downed_nodes;
           Alcotest.test_case "balancer process" `Quick test_balancer_process;
