@@ -2,7 +2,7 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  determinism clean help
+  trace-check determinism clean help
 
 all: build
 
@@ -16,6 +16,7 @@ help:
 	@echo "make examples     - run the example programs"
 	@echo "make smoke        - exercise the edenctl CLI end to end"
 	@echo "make chaos        - fault-injection suite + same-seed snapshot cmp"
+	@echo "make trace-check  - chaos trace invariants + same-seed timeline cmp"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -52,6 +53,7 @@ ci:
 	dune build @all
 	dune runtest --force
 	$(MAKE) chaos
+	$(MAKE) trace-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -94,6 +96,19 @@ chaos:
 	  --replica-cache --coalesce --metrics-out /tmp/eden_chaos_hot_b.json
 	cmp /tmp/eden_chaos_hot_a.json /tmp/eden_chaos_hot_b.json
 	@echo "chaos: OK (deterministic)"
+
+# Causal tracing: run the chaos workload with the trace checker armed
+# (non-zero exit on any cross-node invariant violation), twice with
+# the same seed — the assembled timelines (Chrome JSON and text) must
+# be byte-identical.
+trace-check:
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --check \
+	  --out /tmp/eden_trace_a.json --text /tmp/eden_trace_a.txt
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --check \
+	  --out /tmp/eden_trace_b.json --text /tmp/eden_trace_b.txt
+	cmp /tmp/eden_trace_a.json /tmp/eden_trace_b.json
+	cmp /tmp/eden_trace_a.txt /tmp/eden_trace_b.txt
+	@echo "trace-check: OK (invariants hold, timelines deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

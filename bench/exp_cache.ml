@@ -79,11 +79,28 @@ let burst_experiment ~coalesce ~burst =
         Transport.coalesced_batches net,
         Transport.coalesced_messages net ))
 
+(* [--trace-out FILE] (set by main.ml): export the cache-on run's
+   assembled cross-node timeline as a Chrome trace. *)
+let trace_out : string option ref = ref None
+
+let emit_trace () =
+  match (!trace_out, !Common.current_cluster) with
+  | None, _ | _, None -> ()
+  | Some file, Some cl ->
+    let tl = Cluster.timeline cl in
+    let oc = open_out_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Eden_obs.Timeline.to_chrome_string tl));
+    note "chrome trace of the cache-on run written to %s (%d events)" file
+      (Eden_obs.Timeline.length tl)
+
 let run () =
   heading "E18" "replica cache + message coalescing (the hot path)";
   let iters = 20 in
   let first_off, mean_off = read_experiment ~use_cache:false ~iters in
   let first_on, mean_on = read_experiment ~use_cache:true ~iters in
+  emit_trace ();
   let t =
     Table.create
       ~title:

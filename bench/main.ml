@@ -25,6 +25,7 @@ let experiments =
     ("E17", "availability under fault injection (checksites)", Exp_faults.run);
     ("E18", "replica cache + message coalescing (hot path)", Exp_cache.run);
     ("E19", "delta + async checkpoints vs full sync", Exp_delta.run);
+    ("E20", "event-journal overhead on invocation", Exp_journal.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 
@@ -40,8 +41,20 @@ let run_one (id, _, run) =
   run ();
   Common.attach_metrics ~id ()
 
+(* Pull [--trace-out FILE] out of the argument list (it modifies how
+   E18 runs rather than selecting an experiment). *)
+let rec extract_trace_out = function
+  | [] -> []
+  | "--trace-out" :: file :: rest ->
+    Exp_cache.trace_out := Some file;
+    extract_trace_out rest
+  | [ "--trace-out" ] ->
+    Printf.eprintf "--trace-out needs a file argument\n";
+    exit 1
+  | a :: rest -> a :: extract_trace_out rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = extract_trace_out (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "--list" ] -> list_experiments ()
   | [] ->

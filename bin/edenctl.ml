@@ -10,6 +10,9 @@
      edenctl chaos     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
                        [--replica-cache] [--coalesce] [--ckpt-delta] [--ckpt-async]
                        [--trace] [--metrics-out FILE]
+     edenctl trace     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
+                       [--out FILE] [--text FILE] [--check]
+                       (chaos workload + assembled cross-node causal timeline)
      edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
      edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
@@ -518,8 +521,12 @@ let chaos_type ~async =
 
 let chaos_horizon = Time.s 2
 
-let run_chaos nodes seed fault_plan requests replica_cache coalesce
-    ckpt_delta ckpt_async trace metrics_out =
+(* The chaos workload proper, shared by [chaos] (metrics-oriented) and
+   [trace] (journal/timeline-oriented): mirrored counters under a
+   deterministic fault plan, driven entirely by the virtual clock and
+   the seed.  Returns the finished cluster for post-run inspection. *)
+let chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache ~coalesce
+    ~ckpt_delta ~ckpt_async ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -601,6 +608,14 @@ let run_chaos nodes seed fault_plan requests replica_cache coalesce
     (100.0 *. Float.of_int !ok /. Float.of_int (max 1 attempts))
     (Eden_fault.Controller.injected ctl);
   dump_trace cl trace;
+  cl
+
+let run_chaos nodes seed fault_plan requests replica_cache coalesce
+    ckpt_delta ckpt_async trace metrics_out =
+  let cl =
+    chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
+      ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
+  in
   write_metrics cl metrics_out;
   summary cl
 
@@ -620,6 +635,105 @@ let chaos_cmd =
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
       $ trace_t $ metrics_out_t)
+
+(* ------------------------------------------------------------------ *)
+(* trace: run the chaos workload, assemble the per-node journals into
+   one causal timeline, export it, and audit the cross-node
+   invariants. *)
+
+let write_file ~path content =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  with Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
+let run_trace nodes seed fault_plan requests replica_cache coalesce ckpt_delta
+    ckpt_async out text check =
+  let cl =
+    chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
+      ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
+  in
+  let tl = Cluster.timeline cl in
+  let dropped = Cluster.journal_dropped cl in
+  Printf.printf "timeline: %d events in %d traces across %d nodes%s\n"
+    (Eden_obs.Timeline.length tl)
+    (List.length (Eden_obs.Timeline.traces tl))
+    (List.length (Eden_obs.Timeline.nodes tl))
+    (if dropped > 0 then
+       Printf.sprintf " (%d events dropped: traces incomplete)" dropped
+     else "");
+  (match out with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file (Eden_obs.Timeline.to_chrome_string tl);
+    Printf.printf
+      "chrome trace written to %s (load in chrome://tracing or Perfetto)\n"
+      file);
+  (match text with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file (Eden_obs.Timeline.to_text tl);
+    Printf.printf "text timeline written to %s\n" file);
+  if check then begin
+    match Eden_obs.Check.run ~complete:(dropped = 0) tl with
+    | [] -> print_endline "trace-check: all invariants hold"
+    | violations ->
+      List.iter
+        (fun v ->
+          Printf.eprintf "%s\n"
+            (Format.asprintf "%a" Eden_obs.Check.pp_violation v))
+        violations;
+      Printf.eprintf "trace-check: %d violation(s)\n"
+        (List.length violations);
+      exit 1
+  end;
+  summary cl
+
+let trace_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 220
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the assembled timeline as Chrome trace_event JSON to \
+             $(docv) (open in chrome://tracing or ui.perfetto.dev).")
+  in
+  let text_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "text" ] ~docv:"FILE"
+          ~doc:"Write the timeline as human-readable causal trees to $(docv).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Audit the assembled trace against the cross-node invariants \
+             (matched send/recv, causal time order, retry termination, \
+             cache install epochs); exit non-zero on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the chaos workload with causal tracing and export the \
+          merged cross-node timeline.")
+    Term.(
+      const run_trace $ nodes_t $ seed_t $ fault_plan_t $ requests_t
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t $ out_t
+      $ text_out_t $ check_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:
@@ -891,6 +1005,7 @@ let required_metrics =
     ("eden.hint_hits", Some [ ("node", "0") ]);
     ("eden.hint_misses", Some [ ("node", "0") ]);
     ("eden.invocation_latency_s", None);
+    ("eden.journal.events", Some [ ("node", "0") ]);
     ("net.frames_sent", Some [ ("segment", "0") ]);
     ("net.collisions", Some [ ("segment", "0") ]);
     ("sim.events", None);
@@ -981,6 +1096,7 @@ let () =
             efs_cmd;
             heartbeat_cmd;
             chaos_cmd;
+            trace_cmd;
             stats_cmd;
             metrics_check_cmd;
             edit_cmd;

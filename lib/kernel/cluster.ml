@@ -3,6 +3,9 @@ open Eden_sim
 open Eden_hw
 module Metrics = Eden_obs.Metrics
 module Span = Eden_obs.Span
+module Journal = Eden_obs.Journal
+module Tracectx = Eden_obs.Tracectx
+module Timeline = Eden_obs.Timeline
 
 type node_id = int
 
@@ -20,6 +23,9 @@ type work = {
   w_presented : Rights.t;
   w_route : reply_route;
   w_span : Span.t option;
+  w_ctx : Tracectx.t option;
+      (* the trace context the request arrived with, so the reply (and
+         anything else this work causes) extends the same causal chain *)
 }
 
 type obj_status = Running | Draining | Dead
@@ -137,6 +143,9 @@ type node = {
   mutable nd_ckpt_async : int;
       (* asynchronous checkpoint pipelines currently in flight from
          this node (the eden.ckpt.async_inflight gauge) *)
+  nd_journal : Journal.t;
+      (* this node's event journal; survives crashes (it is observer
+         state, not node state) *)
 }
 
 type options = {
@@ -203,10 +212,19 @@ type t = {
   c_span_ctx : (int, Span.t) Hashtbl.t;
       (* pid of a running invocation process -> the span it serves,
          giving nested [ctx.invoke] calls their parent link *)
+  c_jsink : Journal.sink;  (* shared event-id allocator for all journals *)
 }
 
 let locate_window = Time.ms 3
 let locate_retries = 3
+
+(* Per-node journal ring size.  Generous enough that the chaos suite
+   never wraps (wrapping only degrades trace completeness, it is not
+   an error), small enough that the rings cycle within the cache: E20
+   shows the journal's hot-path cost is dominated by the ring's cache
+   footprint, and quadrupling this cap roughly doubles the overhead.
+   [~journal_cap:0] disables retention entirely. *)
+let default_journal_cap = 4096
 
 (* Checkpoint/move/replica acknowledgements: generous enough for a
    megabyte representation to cross the wire and settle on an era disk
@@ -284,10 +302,30 @@ let spawn_kproc cl node ~name f =
       List.filter (fun p -> Engine.alive cl.eng p) node.nd_kprocs;
   pid
 
-let send_msg cl node ~dst msg =
+let jrecord cl node ?ctx kind =
+  Journal.record node.nd_journal ~at:(Engine.now cl.eng) ?ctx kind
+
+(* Journal the send and derive the envelope context: the message's
+   parent is the send event itself, and its trace is the caller's (or a
+   fresh trace rooted at the send when the caller has none). *)
+let send_ctx cl node ?ctx msg ~dst =
+  let s = jrecord cl node ?ctx (Journal.Send { msg = Message.describe msg; dst }) in
+  match ctx with
+  | Some c -> Tracectx.with_parent c ~parent:s
+  | None -> Tracectx.root s
+
+let send_msg ?ctx cl node ~dst msg =
   if node.nd_up && dst <> node.nd_id then begin
     tracef cl Trace.Kern "%d->%d %s" node.nd_id dst (Message.describe msg);
-    Transport.send node.nd_tp ~dst msg
+    let ctx = send_ctx cl node ?ctx msg ~dst:(Some dst) in
+    Transport.send node.nd_tp ~dst (Message.traced ~ctx msg)
+  end
+
+let bcast_msg ?ctx cl node msg =
+  if node.nd_up then begin
+    tracef cl Trace.Kern "%d->* %s" node.nd_id (Message.describe msg);
+    let ctx = send_ctx cl node ?ctx msg ~dst:None in
+    Transport.broadcast node.nd_tp (Message.traced ~ctx msg)
   end
 
 (* -------------------------------------------------------------------- *)
@@ -446,7 +484,7 @@ let resolve_inv_pending cl node seq outcome =
     | Inv_result _ -> Metrics.incr (nm cl node).m_orphans
     | Inv_nacked -> ())
 
-let deliver_reply cl obj route result =
+let deliver_reply ?ctx cl obj route result =
   let node = home cl obj in
   match route with
   | Reply_local pr -> ignore (Promise.fill pr result)
@@ -456,12 +494,12 @@ let deliver_reply cl obj route result =
       resolve_inv_pending cl node inv_id.Message.seq
         (Inv_result (result, obj.ob_frozen))
     else
-      send_msg cl node ~dst:requester
+      send_msg ?ctx cl node ~dst:requester
         (Message.Inv_reply { inv_id; result; frozen_hint = obj.ob_frozen })
 
 let fail_work cl obj w error =
   span_enter cl w Span.Reply;
-  deliver_reply cl obj w.w_route (Error error)
+  deliver_reply ?ctx:w.w_ctx cl obj w.w_route (Error error)
 
 (* -------------------------------------------------------------------- *)
 (* The coordinator: dispatching invocations inside an object *)
@@ -522,7 +560,7 @@ let rec start_invocation cl obj spec w =
             in
             Hashtbl.remove obj.ob_inflight (Engine.Pid.to_int self);
             span_enter cl w Span.Reply;
-            deliver_reply cl obj w.w_route result))
+            deliver_reply ?ctx:w.w_ctx cl obj w.w_route result))
   in
   obj.ob_proc_pids <- pid :: obj.ob_proc_pids
 
@@ -746,11 +784,20 @@ let activate cl node name =
                   Hashtbl.replace obj.ob_ckpt_acked site snap.ss_version)
                 obj.ob_ckpt_sites;
               snap.ss_passive <- false;
+              let actx =
+                Tracectx.root
+                  (jrecord cl node
+                     (Journal.Activate
+                        {
+                          target = Name.to_string name;
+                          version = snap.ss_version;
+                        }))
+              in
               (* Tell sibling checksites the object lives again. *)
               List.iter
                 (fun site ->
                   if site <> node.nd_id then
-                    send_msg cl node ~dst:site
+                    send_msg ~ctx:actx cl node ~dst:site
                       (Message.Ckpt_mark
                          {
                            target = name;
@@ -868,6 +915,12 @@ let checkpoint_round cl obj ~repr =
     consume node (costs node).Costs.checkpoint_fixed_cpu;
     obj.ob_ckpt_version <- obj.ob_ckpt_version + 1;
     let version = obj.ob_ckpt_version in
+    let ctx =
+      Tracectx.root
+        (jrecord cl node
+           (Journal.Ckpt_round
+              { target = Name.to_string obj.ob_name; version }))
+    in
     let type_name = Typemgr.name obj.ob_type in
     let sites = Reliability.checksites obj.ob_reliability ~home:node.nd_id in
     let deadline = deadline_of ~timeout:ack_timeout cl.eng in
@@ -890,7 +943,7 @@ let checkpoint_round cl obj ~repr =
       let pr = Promise.create cl.eng in
       add_pending node req_id.Message.seq (P_ack pr);
       Metrics.add metrics.m_ckpt_full_bytes (Value.size_bytes repr);
-      send_msg cl node ~dst:site
+      send_msg ~ctx cl node ~dst:site
         (Message.Ckpt_write
            {
              req_id;
@@ -909,7 +962,7 @@ let checkpoint_round cl obj ~repr =
       let pr = Promise.create cl.eng in
       add_pending node req_id.Message.seq (P_ack pr);
       Metrics.add metrics.m_ckpt_delta_bytes (Delta.size_bytes d);
-      send_msg cl node ~dst:site
+      send_msg ~ctx cl node ~dst:site
         (Message.Ckpt_delta
            {
              req_id;
@@ -1003,7 +1056,7 @@ let checkpoint_round cl obj ~repr =
           if old_site = node.nd_id then
             Name.Table.remove node.nd_store obj.ob_name
           else
-            send_msg cl node ~dst:old_site
+            send_msg ~ctx cl node ~dst:old_site
               (Message.Ckpt_delete { target = obj.ob_name })
         end)
       obj.ob_ckpt_sites;
@@ -1306,8 +1359,13 @@ let cache_epoch node name =
    flight (their payload predates the bump, see [cache_fetch]). *)
 let invalidate_cached cl node target =
   if Name.Table.mem node.nd_cache target || Name.Table.mem node.nd_fetching target
-  then
-    Name.Table.replace node.nd_cache_epoch target (cache_epoch node target + 1);
+  then begin
+    let epoch = cache_epoch node target + 1 in
+    Name.Table.replace node.nd_cache_epoch target epoch;
+    ignore
+      (jrecord cl node
+         (Journal.Cache_invalidate { target = Name.to_string target; epoch }))
+  end;
   drop_cached cl node target
 
 let install_cached cl node name ~type_name ~repr =
@@ -1334,13 +1392,17 @@ let install_cached cl node name ~type_name ~repr =
           in
           spawn_coordinator cl obj;
           Name.Table.replace node.nd_cache name obj;
+          ignore
+            (jrecord cl node
+               (Journal.Cache_install
+                  { target = Name.to_string name; epoch = cache_epoch node name }));
           tracef cl Trace.Kern "node %d cached frozen replica of %s"
             node.nd_id (Name.to_string name)))
 
 (* Fetch [name]'s representation from [from_node] in the background.
    Failures are silent: the cache is an optimisation, and the next
    frozen-hinted reply will try again. *)
-let cache_fetch cl node name ~from_node =
+let cache_fetch ?ctx cl node name ~from_node =
   if
     cl.opts.use_replica_cache && node.nd_up && from_node <> node.nd_id
     && (not (Name.Table.mem node.nd_cache name))
@@ -1358,7 +1420,7 @@ let cache_fetch cl node name ~from_node =
                let req_id = new_request_id node in
                let pr = Promise.create cl.eng in
                add_pending node req_id.Message.seq (P_cache pr);
-               send_msg cl node ~dst:from_node
+               send_msg ?ctx cl node ~dst:from_node
                  (Message.Cache_fetch
                     { req_id; target = name; reply_to = node.nd_id });
                let payload = Promise.await ~timeout:ack_timeout pr in
@@ -1388,14 +1450,14 @@ let enqueue_work cl obj w =
 
 (* Broadcast locate; prefer an actively-hosting node, else a replica,
    else a passive checksite. *)
-let locate_once cl node name ~window =
+let locate_once ?ctx cl node name ~window =
   let req_id = new_request_id node in
   let st =
     { loc_candidates = []; loc_active = Promise.create cl.eng }
   in
   add_pending node req_id.Message.seq (P_locate st);
   Metrics.incr (nm cl node).m_locates;
-  Transport.broadcast node.nd_tp
+  bcast_msg ?ctx cl node
     (Message.Locate_request { req_id; target = name; reply_to = node.nd_id });
   let early = Promise.await ~timeout:window st.loc_active in
   Hashtbl.remove node.nd_pending req_id.Message.seq;
@@ -1437,7 +1499,7 @@ let locate_once cl node name ~window =
    traffic the first window routinely expires while replies sit in
    collision backoff.  Windows are clamped to the caller's deadline so
    a tight invocation timeout is honoured even during location. *)
-let rec locate_backoff cl node name ~attempts ~window ~deadline =
+let rec locate_backoff ?ctx cl node name ~attempts ~window ~deadline =
   if attempts <= 0 then `Nowhere
   else
     let window =
@@ -1447,17 +1509,17 @@ let rec locate_backoff cl node name ~attempts ~window ~deadline =
     in
     if Time.is_zero window then `Deadline
     else
-      match locate_once cl node name ~window with
+      match locate_once ?ctx cl node name ~window with
       | Some hit -> `Found hit
       | None ->
-        locate_backoff cl node name ~attempts:(attempts - 1)
+        locate_backoff ?ctx cl node name ~attempts:(attempts - 1)
           ~window:(Time.scale window 3) ~deadline
 
 (* Concurrent locates of the same name from one node share a single
    broadcast (and its answer). *)
-let locate cl node name ~deadline =
+let locate ?ctx cl node name ~deadline =
   if not cl.opts.coalesce_locates then
-    locate_backoff cl node name ~attempts:locate_retries
+    locate_backoff ?ctx cl node name ~attempts:locate_retries
       ~window:locate_window ~deadline
   else
   match Name.Table.find_opt node.nd_locating name with
@@ -1477,7 +1539,7 @@ let locate cl node name ~deadline =
         ignore (Promise.fill pr None))
       (fun () ->
         match
-          locate_backoff cl node name ~attempts:locate_retries
+          locate_backoff ?ctx cl node name ~attempts:locate_retries
             ~window:locate_window ~deadline
         with
         | `Found hit ->
@@ -1486,8 +1548,8 @@ let locate cl node name ~deadline =
         | (`Nowhere | `Deadline) as r -> r)
 
 (* Send the request to [dst] and wait for the outcome. *)
-let send_request_and_wait cl node ~dst ~deadline ~may_activate ~span cap ~op
-    args =
+let send_request_and_wait ?ctx cl node ~dst ~deadline ~may_activate ~span cap
+    ~op args =
   let inv_id = new_request_id node in
   let pr = Promise.create cl.eng in
   add_pending node inv_id.Message.seq (P_invoke pr);
@@ -1502,7 +1564,7 @@ let send_request_and_wait cl node ~dst ~deadline ~may_activate ~span cap ~op
   | None -> ());
   consume node
     (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
-  send_msg cl node ~dst
+  send_msg ?ctx cl node ~dst
     (Message.Inv_request
        {
          inv_id;
@@ -1539,12 +1601,12 @@ let send_request_and_wait cl node ~dst ~deadline ~may_activate ~span cap ~op
       (* The target is immutable and we paid the round trip anyway:
          count the miss and fetch a local replica in the background. *)
       Metrics.incr (nm cl node).m_cache_miss;
-      cache_fetch cl node (Capability.name cap) ~from_node:dst
+      cache_fetch ?ctx cl node (Capability.name cap) ~from_node:dst
     end;
     `Result r
   | Some Inv_nacked -> `Nacked
 
-let dispatch_local_and_wait cl obj ~deadline ~span cap ~op args =
+let dispatch_local_and_wait ?ctx cl obj ~deadline ~span cap ~op args =
   let pr = Promise.create cl.eng in
   enqueue_work cl obj
     {
@@ -1553,6 +1615,7 @@ let dispatch_local_and_wait cl obj ~deadline ~span cap ~op args =
       w_presented = Capability.rights cap;
       w_route = Reply_local pr;
       w_span = span;
+      w_ctx = ctx;
     };
   match Promise.await ?timeout:(remaining cl.eng deadline) pr with
   | Some r -> r
@@ -1572,6 +1635,13 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
         ~origin:from ~at:(Engine.now cl.eng) ()
     in
     let span = Some sp in
+    (* The invocation's root journal event: every send, retry and
+       downstream handler event hangs off this trace id. *)
+    let ictx =
+      Tracectx.root
+        (jrecord cl node
+           (Journal.Inv_begin { op; target = Name.to_string name }))
+    in
     consume node (costs node).Costs.invoke_request_cpu;
     let rec attempt ~deadline ~nack_budget =
       (* A nack retry re-opens the Locate phase. *)
@@ -1580,11 +1650,11 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
       (* Local fast paths: active object, replica, or authoritative
          passive snapshot on this very node. *)
       match Name.Table.find_opt node.nd_active name with
-      | Some obj -> dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+      | Some obj -> dispatch_local_and_wait ~ctx:ictx cl obj ~deadline ~span cap ~op args
       | None -> (
         match Name.Table.find_opt node.nd_replicas name with
         | Some obj ->
-          dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+          dispatch_local_and_wait ~ctx:ictx cl obj ~deadline ~span cap ~op args
         | None -> (
         match
           if cl.opts.use_replica_cache then
@@ -1593,7 +1663,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
         with
         | Some obj ->
           Metrics.incr (nm cl node).m_cache_hit;
-          dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+          dispatch_local_and_wait ~ctx:ictx cl obj ~deadline ~span cap ~op args
         | None -> (
           let local_passive =
             match Name.Table.find_opt node.nd_store name with
@@ -1603,7 +1673,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
           if local_passive then
             match activate cl node name with
             | Ok obj ->
-              dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+              dispatch_local_and_wait ~ctx:ictx cl obj ~deadline ~span cap ~op args
             | Error e -> Error e
           else begin
             (* Remote: follow a hint if we have one, else locate. *)
@@ -1624,7 +1694,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
               match hinted with
               | Some h -> `Send (h, false)
               | None -> (
-                match locate cl node name ~deadline with
+                match locate ~ctx:ictx cl node name ~deadline with
                 | `Found (at_node, residence) when at_node <> node.nd_id ->
                   if cl.opts.use_hint_cache then
                     Name.Table.replace node.nd_hints name at_node;
@@ -1650,15 +1720,15 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
             | `Activate -> (
               match activate cl node name with
               | Ok obj ->
-                dispatch_local_and_wait cl obj ~deadline ~span cap ~op args
+                dispatch_local_and_wait ~ctx:ictx cl obj ~deadline ~span cap ~op args
               | Error e -> Error e)
             | `Retry ->
               if nack_budget <= 0 then Error Error.No_such_object
               else attempt ~deadline ~nack_budget:(nack_budget - 1)
             | `Send (dst, may_activate) -> (
               match
-                send_request_and_wait cl node ~dst ~deadline ~may_activate
-                  ~span cap ~op args
+                send_request_and_wait ~ctx:ictx cl node ~dst ~deadline
+                  ~may_activate ~span cap ~op args
               with
               | `Result r -> r
               | `Nacked ->
@@ -1678,6 +1748,8 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
       match attempt ~deadline ~nack_budget:2 with
       | Error Error.Timeout when i < retry.Api.r_max ->
         Metrics.incr (nm cl node).m_retries;
+        ignore
+          (jrecord cl node ~ctx:ictx (Journal.Retry { op; attempt = i + 1 }));
         Engine.delay (Api.backoff retry i);
         tries (i + 1)
       | r -> r
@@ -1686,6 +1758,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
     let outcome =
       match r with Ok _ -> "ok" | Error e -> Error.to_string e
     in
+    ignore (jrecord cl node ~ctx:ictx (Journal.Inv_end { op; outcome }));
     Span.finish sp ~outcome ~at:(Engine.now cl.eng);
     Metrics.observe_time cl.c_lat (Span.duration sp);
     r
@@ -1746,7 +1819,7 @@ let deliver_reply_at cl node route result =
       send_msg cl node ~dst:requester
         (Message.Inv_reply { inv_id; result; frozen_hint = false })
 
-let handle_inv_request cl node ~src:_ r =
+let handle_inv_request ?ctx cl node ~src:_ r =
   match r with
   | Message.Inv_request
       { inv_id; target; op; args; presented; reply_to; hops; may_activate;
@@ -1755,10 +1828,11 @@ let handle_inv_request cl node ~src:_ r =
     let route = Reply_remote { requester = reply_to; inv_id } in
     let w =
       { w_op = op; w_args = args; w_presented = presented; w_route = route;
-        w_span = span }
+        w_span = span; w_ctx = ctx }
     in
     let nack () =
-      send_msg cl node ~dst:reply_to (Message.Inv_nack { inv_id; target })
+      send_msg ?ctx cl node ~dst:reply_to
+        (Message.Inv_nack { inv_id; target })
     in
     consume node (costs node).Costs.locate_lookup_cpu;
     match Name.Table.find_opt node.nd_active target with
@@ -1794,7 +1868,7 @@ let handle_inv_request cl node ~src:_ r =
           in
           match forward_to with
           | Some next when hops < max_hops && next <> node.nd_id ->
-            send_msg cl node ~dst:next
+            send_msg ?ctx cl node ~dst:next
               (Message.Inv_request
                  {
                    inv_id;
@@ -1809,17 +1883,17 @@ let handle_inv_request cl node ~src:_ r =
                  });
             (* Repair the requester's knowledge of the new location. *)
             if reply_to <> node.nd_id then
-              send_msg cl node ~dst:reply_to
+              send_msg ?ctx cl node ~dst:reply_to
                 (Message.Hint_update { target; at_node = next })
           | Some _ | None -> nack ()
         end)))
   | _ -> raise (Fatal "handle_inv_request: not an invocation request")
 
-let handle_locate_request cl node req =
+let handle_locate_request ?ctx cl node req =
   match req with
   | Message.Locate_request { req_id; target; reply_to } ->
     let answer ?(version = 0) residence =
-      send_msg cl node ~dst:reply_to
+      send_msg ?ctx cl node ~dst:reply_to
         (Message.Locate_reply
            { req_id; target; at_node = node.nd_id; residence; version })
     in
@@ -1836,13 +1910,25 @@ let handle_locate_request cl node req =
       | None -> ())
   | _ -> raise (Fatal "handle_locate_request: wrong message")
 
-let on_message cl node ~src msg =
-  if node.nd_up then
+let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
+  if node.nd_up then begin
+    (* Journal the arrival linked to the sender's Send event, then hand
+       every follow-on send the same trace with this Recv as parent. *)
+    let recv_id =
+      jrecord cl node ?ctx:tr_ctx
+        (Journal.Recv { msg = Message.describe msg; src })
+    in
+    let hctx =
+      let trace =
+        match tr_ctx with Some c -> Tracectx.trace c | None -> recv_id
+      in
+      Tracectx.make ~trace ~parent:recv_id
+    in
     match msg with
     | Message.Inv_request _ ->
       ignore
         (spawn_kproc cl node ~name:"k:inv_req" (fun () ->
-             handle_inv_request cl node ~src msg))
+             handle_inv_request ~ctx:hctx cl node ~src msg))
     | Message.Inv_reply { inv_id; result; frozen_hint } ->
       resolve_inv_pending cl node inv_id.Message.seq
         (Inv_result (result, frozen_hint))
@@ -1862,7 +1948,7 @@ let on_message cl node ~src msg =
         resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
-    | Message.Locate_request _ -> handle_locate_request cl node msg
+    | Message.Locate_request _ -> handle_locate_request ~ctx:hctx cl node msg
     | Message.Locate_reply { req_id; at_node; residence; version; _ } -> (
       match Hashtbl.find_opt node.nd_pending req_id.Message.seq with
       | Some (P_locate st) -> (
@@ -1877,7 +1963,7 @@ let on_message cl node ~src msg =
       ignore
         (spawn_kproc cl node ~name:"k:create" (fun () ->
              let result = do_create_local cl node type_name init in
-             send_msg cl node ~dst:reply_to
+             send_msg ~ctx:hctx cl node ~dst:reply_to
                (Message.Create_reply { req_id; result })))
     | Message.Create_reply { req_id; result } -> (
       match take_pending node req_id.Message.seq with
@@ -1904,7 +1990,7 @@ let on_message cl node ~src msg =
                      true))
              in
              ignore target;
-             send_msg cl node ~dst:from_node
+             send_msg ~ctx:hctx cl node ~dst:from_node
                (Message.Move_ack { transfer_id; accepted })))
     | Message.Move_ack { transfer_id; accepted } -> (
       match take_pending node transfer_id.Message.seq with
@@ -1920,7 +2006,7 @@ let on_message cl node ~src msg =
                write_snapshot cl node ~target ~type_name ~repr ~version
                  ~reliability ~frozen ~passive:false
              in
-             send_msg cl node ~dst:reply_to
+             send_msg ~ctx:hctx cl node ~dst:reply_to
                (Message.Ckpt_ack { req_id; ok })))
     | Message.Ckpt_delta
         { req_id; target; type_name = _; delta; base_version; version;
@@ -1931,7 +2017,7 @@ let on_message cl node ~src msg =
                apply_delta_snapshot cl node ~target ~base_version ~version
                  ~delta ~reliability ~frozen
              in
-             send_msg cl node ~dst:reply_to
+             send_msg ~ctx:hctx cl node ~dst:reply_to
                (Message.Ckpt_ack { req_id; ok })))
     | Message.Ckpt_ack { req_id; ok } -> (
       match take_pending node req_id.Message.seq with
@@ -1979,7 +2065,7 @@ let on_message cl node ~src msg =
                        true
                      end))
              in
-             send_msg cl node ~dst:from_node
+             send_msg ~ctx:hctx cl node ~dst:from_node
                (Message.Replica_ack { transfer_id; accepted })))
     | Message.Replica_ack { transfer_id; accepted } -> (
       match take_pending node transfer_id.Message.seq with
@@ -2001,7 +2087,7 @@ let on_message cl node ~src msg =
             Some (Typemgr.name obj.ob_type, obj.ob_repr)
           | Some _ | None -> None)
       in
-      send_msg cl node ~dst:reply_to
+      send_msg ~ctx:hctx cl node ~dst:reply_to
         (Message.Cache_data { req_id; target; payload })
     | Message.Cache_data { req_id; target = _; payload } -> (
       match take_pending node req_id.Message.seq with
@@ -2016,6 +2102,7 @@ let on_message cl node ~src msg =
       Name.Table.remove node.nd_hints target;
       Name.Table.remove node.nd_forward target;
       invalidate_cached cl node target
+  end
 
 (* -------------------------------------------------------------------- *)
 (* Tying the recursive knot *)
@@ -2129,12 +2216,18 @@ let register_collectors cl =
       g "eden.mem_available_bytes" (fun () ->
           float_of_int (Memory.available node.nd_mem));
       g "eden.ckpt.async_inflight" (fun () ->
-          float_of_int node.nd_ckpt_async))
-    cl.nodes
+          float_of_int node.nd_ckpt_async);
+      c "eden.journal.events" (fun () -> Journal.recorded node.nd_journal);
+      c "eden.journal.dropped" (fun () -> Journal.dropped node.nd_journal))
+    cl.nodes;
+  Metrics.register_counter_fn reg "eden.span.late_events" (fun () ->
+      Span.late_events cl.c_spans)
 
 let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
-    ~configs () =
+    ?(journal_cap = default_journal_cap) ~configs () =
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
+  if journal_cap < 0 then
+    invalid_arg "Cluster.create: journal_cap must be >= 0";
   let n_nodes = List.length configs in
   let segment_sizes =
     match segments with
@@ -2165,6 +2258,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
     Transport.create_net ?params:net ?coalesce eng
       ~segments:(List.length segment_sizes)
   in
+  let jsink = Journal.sink () in
   let next_index = ref (-1) in
   let nodes =
     Array.of_list
@@ -2199,6 +2293,9 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_types_loaded = Hashtbl.create 16;
              nd_kprocs = [];
              nd_ckpt_async = 0;
+             nd_journal =
+               Journal.create jsink ~node:(Transport.address tp)
+                 ~cap:journal_cap;
            })
          configs)
   in
@@ -2256,6 +2353,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                 Metrics.counter reg ~labels "eden.ckpt.coalesced";
             });
       c_span_ctx = Hashtbl.create 64;
+      c_jsink = jsink;
     }
   in
   register_collectors cl;
@@ -2264,6 +2362,25 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
       Transport.on_message node.nd_tp (fun ~src msg ->
           on_message cl node ~src msg))
     nodes;
+  (* Wire-level verdicts (drops, duplicates, delays, coalesced
+     batches) are journalled at the sending node.  They root their own
+     trace: the injector fires below the layer that knows contexts. *)
+  Transport.set_event_hook lan
+    (Some
+       (fun ev ->
+         let record src kind =
+           if src >= 0 && src < Array.length nodes then
+             ignore (jrecord cl nodes.(src) kind)
+         in
+         match ev with
+         | Transport.Ev_drop { src; dst; msgs } ->
+           record src (Journal.Drop { dst; msgs })
+         | Transport.Ev_duplicate { src; dst; msgs } ->
+           record src (Journal.Duplicate { dst; msgs })
+         | Transport.Ev_delay { src; dst; msgs; by = _ } ->
+           record src (Journal.Delay { dst; msgs })
+         | Transport.Ev_coalesce { src; dst; msgs } ->
+           record src (Journal.Coalesce { dst; msgs })));
   Hashtbl.replace cl.types "eden_node" (node_type_for cl);
   cl.c_node_objects <-
     Array.map
@@ -2276,19 +2393,30 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
       nodes;
   cl
 
-let default ?seed ?options ?coalesce ~n_nodes () =
+let default ?seed ?options ?coalesce ?journal_cap ~n_nodes () =
   if n_nodes < 1 then invalid_arg "Cluster.default: need at least one node";
   let configs =
     List.init n_nodes (fun i ->
         Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
-  create ?seed ?options ?coalesce ~configs ()
+  create ?seed ?options ?coalesce ?journal_cap ~configs ()
 
 let engine cl = cl.eng
 let trace cl = cl.tr
 let network cl = cl.c_lan
 let node_segment cl i = Transport.segment (node_of cl i).nd_tp
 let node_count cl = Array.length cl.nodes
+let journal cl i = (node_of cl i).nd_journal
+
+let journals cl =
+  Array.to_list (Array.map (fun node -> node.nd_journal) cl.nodes)
+
+let timeline cl = Timeline.assemble (journals cl)
+
+let journal_dropped cl =
+  Array.fold_left
+    (fun acc node -> acc + Journal.dropped node.nd_journal)
+    0 cl.nodes
 let machine cl i = (node_of cl i).nd_machine
 let node_up cl i = (node_of cl i).nd_up
 
@@ -2389,8 +2517,7 @@ let unfreeze cl cap =
            home node — which may itself hold a cached copy from before
            the object migrated here — is invalidated directly. *)
         invalidate_cached cl node name;
-        Transport.broadcast node.nd_tp
-          (Message.Cache_invalidate { target = name });
+        bcast_msg cl node (Message.Cache_invalidate { target = name });
         tracef cl Trace.Kern "%s unfrozen on node %d" (Name.to_string name)
           obj.ob_home;
         Ok ()
@@ -2459,8 +2586,7 @@ let destroy cl cap =
     | None -> ()
     | Some origin ->
       forget_object cl origin name;
-      Transport.broadcast origin.nd_tp
-        (Message.Destroy_notice { target = name }));
+      bcast_msg cl origin (Message.Destroy_notice { target = name }));
     if !existed then Ok () else Error Error.No_such_object
 
 (* -------------------------------------------------------------------- *)

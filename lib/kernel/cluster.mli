@@ -48,6 +48,7 @@ val create :
   ?options:options ->
   ?segments:int list ->
   ?coalesce:Transport.coalesce ->
+  ?journal_cap:int ->
   configs:Eden_hw.Machine.config list ->
   unit ->
   t
@@ -61,12 +62,16 @@ val create :
     one segment.  [coalesce] enables unicast message coalescing on
     the kernel transport (default off): small messages to one
     destination batch into a single wire transfer under the given
-    budgets (see {!Transport.coalesce}). *)
+    budgets (see {!Transport.coalesce}).  [journal_cap] bounds each
+    node's event journal (default 4096 events; 0 disables retention
+    — trace contexts still propagate, but nothing is kept).  Raises
+    [Invalid_argument] if negative. *)
 
 val default :
   ?seed:int64 ->
   ?options:options ->
   ?coalesce:Transport.coalesce ->
+  ?journal_cap:int ->
   n_nodes:int ->
   unit ->
   t
@@ -249,6 +254,33 @@ val spans : t -> Eden_obs.Span.collector
 val metrics_snapshot : t -> Eden_obs.Snapshot.t
 (** Sample every instrument and the retained spans at the current
     virtual time. *)
+
+(** {2 Event journals and causal traces}
+
+    Each node keeps a bounded {!Eden_obs.Journal} of the distributed
+    steps it takes: sends and receives (linked by the trace context
+    that rides in every kernel message's envelope), wire-level fault
+    and coalescing decisions, invocation begin/retry/end, checkpoint
+    rounds, replica-cache installs/invalidations and reincarnations.
+    Per-node [eden.journal.events] and [eden.journal.dropped] counters
+    appear in {!metrics_snapshot}. *)
+
+val journal : t -> node_id -> Eden_obs.Journal.t
+(** A node's journal.  It survives {!crash_node} — the journal is
+    observer state, not simulated volatile memory. *)
+
+val journals : t -> Eden_obs.Journal.t list
+(** All journals, in node-id order. *)
+
+val timeline : t -> Eden_obs.Timeline.t
+(** Merge every node's journal into one deterministic timeline (see
+    {!Eden_obs.Timeline.assemble}); feed it to
+    {!Eden_obs.Timeline.to_chrome_json} or {!Eden_obs.Check.run}. *)
+
+val journal_dropped : t -> int
+(** Total ring-overflow drops across all nodes.  Non-zero means
+    assembled traces are incomplete; pass [~complete:false] to
+    {!Eden_obs.Check.run}. *)
 
 (** {1 Running} *)
 

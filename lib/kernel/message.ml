@@ -138,8 +138,11 @@ let size_bytes m =
 let describe = function
   | Inv_request { target; op; _ } ->
     Printf.sprintf "inv_request %s.%s" (Name.to_string target) op
-  | Inv_reply { inv_id; _ } ->
-    Printf.sprintf "inv_reply %d.%d" inv_id.origin inv_id.seq
+  (* Deliberately omits [inv_id.seq]: journals intern these strings,
+     and a per-invocation sequence number would make every reply
+     distinct.  Traces correlate request and reply through event
+     parent ids, not the description. *)
+  | Inv_reply { inv_id; _ } -> Printf.sprintf "inv_reply n%d" inv_id.origin
   | Inv_nack { target; _ } -> "inv_nack " ^ Name.to_string target
   | Hint_update { target; at_node } ->
     Printf.sprintf "hint %s@%d" (Name.to_string target) at_node
@@ -448,8 +451,18 @@ let r_residence r =
   | 2 -> Res_replica
   | n -> r_fail r (Printf.sprintf "bad residence tag %d" n)
 
-let encode m =
+(* A trace context, when present, precedes the message tag as a 'T'
+   marker plus two integers.  A tag never starts with 'T', so readers
+   that predate the envelope still decode untraced frames and new
+   readers accept both forms. *)
+let encode ?ctx m =
   let b = Buffer.create 64 in
+  (match ctx with
+  | Some c ->
+    Buffer.add_char b 'T';
+    w_int b (Eden_obs.Tracectx.trace c);
+    w_int b (Eden_obs.Tracectx.parent c)
+  | None -> ());
   (match m with
   | Inv_request
       { inv_id; target; op; args; presented; reply_to; hops; may_activate;
@@ -730,8 +743,40 @@ let r_message r =
         frozen; reply_to }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
-let decode s =
+let r_ctx r =
+  if r.pos < String.length r.buf && r.buf.[r.pos] = 'T' then begin
+    r.pos <- r.pos + 1;
+    let trace = r_int r in
+    let parent = r_int r in
+    Some (Eden_obs.Tracectx.make ~trace ~parent)
+  end
+  else None
+
+let decode_traced s =
   let r = { buf = s; pos = 0 } in
-  match r_message r with
-  | m -> if r.pos <> String.length s then Error "trailing bytes" else Ok m
+  match
+    let ctx = r_ctx r in
+    let m = r_message r in
+    (ctx, m)
+  with
+  | pair -> if r.pos <> String.length s then Error "trailing bytes" else Ok pair
   | exception Decode msg -> Error msg
+
+let decode s = Result.map snd (decode_traced s)
+
+(* ------------------------------------------------------------------ *)
+(* The simulated transport hands whole OCaml values between kernels, so
+   in-sim frames carry their trace context in an envelope rather than
+   re-encoding every message. *)
+
+type traced = { tr_ctx : Eden_obs.Tracectx.t option; tr_msg : t }
+
+let traced ?ctx m = { tr_ctx = ctx; tr_msg = m }
+
+(* What the 'T' prefix costs on the wire; charged to the LAN timing
+   model so traced and untraced frames are not timed identically. *)
+let trace_ctx_bytes = 16
+
+let traced_size { tr_ctx; tr_msg } =
+  size_bytes tr_msg
+  + (match tr_ctx with Some _ -> trace_ctx_bytes | None -> 0)

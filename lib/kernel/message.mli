@@ -147,14 +147,38 @@ val size_bytes : t -> int
 val describe : t -> string
 (** Short human-readable tag for tracing. *)
 
-val encode : t -> string
+val encode : ?ctx:Eden_obs.Tracectx.t -> t -> string
 (** Marshal to a self-delimiting textual wire form.  The [span] field
-    of an [Inv_request] is simulator-side metadata and is omitted. *)
+    of an [Inv_request] is simulator-side metadata and is omitted.
+    [ctx], when given, is written as an envelope prefix ahead of the
+    message tag; frames without it are unchanged from the previous
+    wire format. *)
 
 val decode : string -> (t, string) result
-(** Inverse of {!encode} up to [span] (always [None] after decoding).
-    Rejects malformed input, unknown tags, invalid rights bits and
-    trailing bytes with a description of the first error.  Total even
-    on hostile input: values nested deeper than 256 levels are
-    rejected as malformed rather than overflowing the stack (no
-    message the kernel builds comes near that bound). *)
+(** Inverse of {!encode} up to [span] (always [None] after decoding)
+    and the trace context (accepted and discarded — use
+    {!decode_traced} to keep it).  Rejects malformed input, unknown
+    tags, invalid rights bits and trailing bytes with a description of
+    the first error.  Total even on hostile input: values nested
+    deeper than 256 levels are rejected as malformed rather than
+    overflowing the stack (no message the kernel builds comes near
+    that bound). *)
+
+val decode_traced :
+  string -> (Eden_obs.Tracectx.t option * t, string) result
+(** Like {!decode} but also returns the envelope's trace context
+    ([None] for frames encoded without one). *)
+
+(** {1 In-sim envelope}
+
+    The simulated transport passes whole OCaml values between kernels;
+    {!traced} wraps a message with its trace context for that path
+    (the wire codec above is the serialised ground truth). *)
+
+type traced = { tr_ctx : Eden_obs.Tracectx.t option; tr_msg : t }
+
+val traced : ?ctx:Eden_obs.Tracectx.t -> t -> traced
+
+val traced_size : traced -> int
+(** {!size_bytes} of the payload plus the envelope prefix cost when a
+    context is present; feeds the LAN timing model. *)

@@ -1,7 +1,9 @@
 open Eden_net
 
-type net = Message.t Internet.t
-type t = Message.t Internet.endpoint
+(* The payload is the traced envelope: every frame carries its message
+   plus an optional trace context, so causal links survive the wire. *)
+type net = Message.traced Internet.t
+type t = Message.traced Internet.endpoint
 
 type fault = Internet.fault =
   | Pass
@@ -19,7 +21,7 @@ let default_coalesce = Internet.default_coalesce
 
 let create_net ?params ?bridge_latency ?coalesce eng ~segments =
   Internet.create ?params ?bridge_latency ?coalesce eng ~segments
-    ~size:Message.size_bytes
+    ~size:Message.traced_size
 
 let segment_count = Internet.segment_count
 let frames_delivered = Internet.frames_delivered
@@ -31,6 +33,14 @@ let segment_counters = Internet.segment_counters
 let set_partitioned = Internet.set_partitioned
 let partitioned = Internet.partitioned
 let set_fault_injector = Internet.set_fault_injector
+
+type event = Internet.event =
+  | Ev_drop of { src : int; dst : int option; msgs : int }
+  | Ev_duplicate of { src : int; dst : int option; msgs : int }
+  | Ev_delay of { src : int; dst : int option; msgs : int; by : Eden_util.Time.t }
+  | Ev_coalesce of { src : int; dst : int; msgs : int }
+
+let set_event_hook = Internet.set_event_hook
 let attach net ~segment ~name = Internet.attach net ~segment ~name
 let address = Internet.address
 let segment = Internet.segment_of_endpoint

@@ -64,6 +64,17 @@ val set_fault_injector :
     every unicast ([dst = Some addr]) and broadcast ([dst = None]).
     Must be deterministic given the virtual clock. *)
 
+type event = Eden_net.Internet.event =
+  | Ev_drop of { src : int; dst : int option; msgs : int }
+  | Ev_duplicate of { src : int; dst : int option; msgs : int }
+  | Ev_delay of { src : int; dst : int option; msgs : int; by : Eden_util.Time.t }
+  | Ev_coalesce of { src : int; dst : int; msgs : int }
+
+val set_event_hook : net -> (event -> unit) option -> unit
+(** Wire-level observability tap; see
+    {!Eden_net.Internet.set_event_hook}.  The cluster installs one to
+    journal fault verdicts and coalesced flushes at the sending node. *)
+
 type t
 (** A node's transport endpoint. *)
 
@@ -71,16 +82,16 @@ val attach : net -> segment:int -> name:string -> t
 val address : t -> int
 val segment : t -> int
 
-val on_message : t -> (src:int -> Message.t -> unit) -> unit
+val on_message : t -> (src:int -> Message.traced -> unit) -> unit
 (** The callback must not block. *)
 
-val send : t -> dst:int -> Message.t -> unit
+val send : t -> dst:int -> Message.traced -> unit
 (** Sending to oneself loopback-delivers asynchronously (never touches
     the wire), so retry loops survive an object relocating onto its own
     requester's node.  Raises [Invalid_argument] only for an unknown
     destination. *)
 
-val broadcast : t -> Message.t -> unit
+val broadcast : t -> Message.traced -> unit
 (** Reaches every node on every segment.  Acts as a coalescing
     barrier: queued unicasts are flushed first. *)
 

@@ -18,6 +18,16 @@ type 'a envelope = {
 
 type fault = Pass | Drop | Duplicate | Delay of Time.t
 
+(* Wire-level happenings an observability layer cannot see from the
+   endpoints: fault-injector verdicts that actually bit, and coalesced
+   batches leaving a queue.  Reported through an optional hook so the
+   net layer needs no dependency on the observability library. *)
+type event =
+  | Ev_drop of { src : int; dst : int option; msgs : int }
+  | Ev_duplicate of { src : int; dst : int option; msgs : int }
+  | Ev_delay of { src : int; dst : int option; msgs : int; by : Time.t }
+  | Ev_coalesce of { src : int; dst : int; msgs : int }
+
 type coalesce = {
   co_max_bytes : int;
   co_max_msgs : int;
@@ -55,6 +65,7 @@ type 'a t = {
   (* segments currently cut off from the bridge *)
   partitioned : bool array;
   mutable injector : (src:int -> dst:int option -> fault) option;
+  mutable event_hook : (event -> unit) option;
 }
 
 type 'a endpoint = {
@@ -143,6 +154,7 @@ let create ?params ?(bridge_latency = Time.us 500) ?coalesce eng ~segments
       n_coalesced_messages = 0;
       partitioned = Array.make segments false;
       injector = None;
+      event_hook = None;
     }
   in
   if segments > 1 then begin
@@ -210,17 +222,23 @@ let on_message ep f = ep.ep_handler <- Some f
 (* Every transmission funnels through the (optional) fault injector, so
    a schedule-driven chaos controller can drop, duplicate, or delay any
    link without the sender noticing. *)
-let apply_fault net ~src ~dst transmit =
+let emit net ev =
+  match net.event_hook with None -> () | Some f -> f ev
+
+let apply_fault net ~src ~dst ~msgs transmit =
   match net.injector with
   | None -> transmit ()
   | Some f -> (
     match f ~src ~dst with
     | Pass -> transmit ()
-    | Drop -> ()
+    | Drop -> emit net (Ev_drop { src; dst; msgs })
     | Duplicate ->
+      emit net (Ev_duplicate { src; dst; msgs });
       transmit ();
       transmit ()
-    | Delay d -> Engine.schedule net.eng ~after:d transmit)
+    | Delay d ->
+      emit net (Ev_delay { src; dst; msgs; by = d });
+      Engine.schedule net.eng ~after:d transmit)
 
 let transmit_unicast ep ~dst cargo =
   let net = ep.ep_net in
@@ -255,11 +273,12 @@ let flush_to ep dst =
         let net = ep.ep_net in
         if count > 1 then begin
           net.n_coalesced_batches <- net.n_coalesced_batches + 1;
-          net.n_coalesced_messages <- net.n_coalesced_messages + count
+          net.n_coalesced_messages <- net.n_coalesced_messages + count;
+          emit net (Ev_coalesce { src = ep.ep_global; dst; msgs = count })
         end;
         let cargo = match items with [ p ] -> One p | ps -> Batch ps in
-        apply_fault net ~src:ep.ep_global ~dst:(Some dst) (fun () ->
-            transmit_unicast ep ~dst cargo)
+        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:count
+          (fun () -> transmit_unicast ep ~dst cargo)
       end
     end
 
@@ -276,7 +295,7 @@ let send ep ~dst payload =
        queue is bypassed too.  Delivery is still asynchronous (next
        engine step) so callers observe the same send-then-return
        discipline as for remote destinations. *)
-    apply_fault net ~src:ep.ep_global ~dst:(Some dst) (fun () ->
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
         Engine.schedule net.eng (fun () ->
             if Msglink.is_up ep.ep_link then
               match ep.ep_handler with
@@ -285,7 +304,7 @@ let send ep ~dst payload =
   else
     match net.coalesce with
     | None ->
-      apply_fault net ~src:ep.ep_global ~dst:(Some dst) (fun () ->
+      apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
           transmit_unicast ep ~dst (One payload))
     | Some co ->
       let sz = net.size payload in
@@ -293,7 +312,7 @@ let send ep ~dst payload =
         (* Oversized messages travel alone; flushing first preserves
            per-destination FIFO order. *)
         flush_to ep dst;
-        apply_fault net ~src:ep.ep_global ~dst:(Some dst) (fun () ->
+        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
             transmit_unicast ep ~dst (One payload))
       end
       else begin
@@ -323,7 +342,7 @@ let send ep ~dst payload =
 let broadcast ep payload =
   (* A broadcast is a barrier: anything queued must not overtake it. *)
   flush ep;
-  apply_fault ep.ep_net ~src:ep.ep_global ~dst:None (fun () ->
+  apply_fault ep.ep_net ~src:ep.ep_global ~dst:None ~msgs:1 (fun () ->
       Msglink.broadcast ep.ep_link
         { env_src = ep.ep_global; env_dst = None; env_bridged = false;
           env_cargo = One payload })
@@ -365,3 +384,4 @@ let partitioned net seg =
   net.partitioned.(seg)
 
 let set_fault_injector net f = net.injector <- f
+let set_event_hook net f = net.event_hook <- f

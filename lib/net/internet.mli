@@ -129,3 +129,20 @@ val set_fault_injector :
     and [Duplicate] act on the whole transfer.  The injector must be
     deterministic given the virtual clock (seeded PRNG only) to keep
     runs reproducible. *)
+
+(** {2 Wire event hook}
+
+    Observability taps for things only this layer can see: injector
+    verdicts that actually perturbed a transfer, and coalesced batches
+    leaving a send queue.  [msgs] is the number of messages in the
+    affected transfer; [dst = None] means broadcast. *)
+
+type event =
+  | Ev_drop of { src : int; dst : int option; msgs : int }
+  | Ev_duplicate of { src : int; dst : int option; msgs : int }
+  | Ev_delay of { src : int; dst : int option; msgs : int; by : Eden_util.Time.t }
+  | Ev_coalesce of { src : int; dst : int; msgs : int }
+
+val set_event_hook : 'a t -> (event -> unit) option -> unit
+(** At most one hook; [None] removes it.  Called synchronously at the
+    decision point, before any transmission it describes. *)

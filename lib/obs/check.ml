@@ -1,0 +1,126 @@
+open Eden_util
+
+type violation = { v_rule : string; v_event : int option; v_detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s]%s %s" v.v_rule
+    (match v.v_event with
+    | Some id -> Printf.sprintf " event #%d:" id
+    | None -> "")
+    v.v_detail
+
+(* The four cross-node invariants.  [complete = false] (some journal
+   ring wrapped) downgrades the two rules that need every event to be
+   present — a missing send or a missing trace tail would otherwise
+   read as a violation. *)
+let run ?(complete = true) (tl : Timeline.t) =
+  let events = Timeline.events tl in
+  let by_id = Hashtbl.create 1024 in
+  List.iter
+    (fun (e : Journal.event) -> Hashtbl.replace by_id e.ev_id e)
+    events;
+  let out = ref [] in
+  let add v_rule v_event v_detail = out := { v_rule; v_event; v_detail } :: !out in
+
+  (* 1. Every recv has a matching send: its parent event exists, is a
+     send, and was recorded at the node the receiver names as source. *)
+  if complete then
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Recv { src; msg } -> (
+          match e.ev_parent with
+          | None -> add "recv-matches-send" (Some e.ev_id)
+              (Printf.sprintf "recv of %s has no parent" msg)
+          | Some p -> (
+            match Hashtbl.find_opt by_id p with
+            | None ->
+              add "recv-matches-send" (Some e.ev_id)
+                (Printf.sprintf "parent #%d of recv %s is not in any journal"
+                   p msg)
+            | Some pe -> (
+              match pe.ev_kind with
+              | Journal.Send _ ->
+                if pe.ev_node <> src then
+                  add "recv-matches-send" (Some e.ev_id)
+                    (Printf.sprintf
+                       "recv names source n%d but send #%d is on n%d" src p
+                       pe.ev_node)
+              | k ->
+                add "recv-matches-send" (Some e.ev_id)
+                  (Printf.sprintf "parent #%d is a %s, not a send" p
+                     (Journal.kind_name k)))))
+        | _ -> ())
+      events;
+
+  (* 2. No event is ordered against virtual time relative to its
+     causal parent. *)
+  List.iter
+    (fun (e : Journal.event) ->
+      match e.ev_parent with
+      | Some p when p <> e.ev_id -> (
+        match Hashtbl.find_opt by_id p with
+        | Some pe when Time.compare pe.ev_at e.ev_at > 0 ->
+          add "causal-time-order" (Some e.ev_id)
+            (Printf.sprintf "at %s but its parent #%d is at %s"
+               (Time.to_string e.ev_at) p (Time.to_string pe.ev_at))
+        | _ -> ())
+      | _ -> ())
+    events;
+
+  (* 3. Every retry chain terminates: a trace containing a retry must
+     also contain a later invocation end (ok or error). *)
+  if complete then begin
+    let ends = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Inv_end _ ->
+          let last =
+            match Hashtbl.find_opt ends e.ev_trace with
+            | Some id -> max id e.ev_id
+            | None -> e.ev_id
+          in
+          Hashtbl.replace ends e.ev_trace last
+        | _ -> ())
+      events;
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Retry { op; attempt } -> (
+          match Hashtbl.find_opt ends e.ev_trace with
+          | Some id when id > e.ev_id -> ()
+          | _ ->
+            add "retry-terminates" (Some e.ev_id)
+              (Printf.sprintf
+                 "retry #%d of %s in trace %d has no later inv_end" attempt
+                 op e.ev_trace))
+        | _ -> ())
+      events
+  end;
+
+  (* 4. A replica install never follows its invalidation: per
+     (node, target), an install's epoch is at least every earlier
+     invalidation epoch on that node. *)
+  let epochs = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.event) ->
+      match e.ev_kind with
+      | Journal.Cache_invalidate { target; epoch } ->
+        let key = (e.ev_node, target) in
+        let cur =
+          match Hashtbl.find_opt epochs key with Some x -> x | None -> 0
+        in
+        Hashtbl.replace epochs key (max cur epoch)
+      | Journal.Cache_install { target; epoch } -> (
+        match Hashtbl.find_opt epochs (e.ev_node, target) with
+        | Some bumped when epoch < bumped ->
+          add "install-epoch" (Some e.ev_id)
+            (Printf.sprintf
+               "install of %s at epoch %d on n%d after invalidation bumped \
+                the epoch to %d"
+               target epoch e.ev_node bumped)
+        | _ -> ())
+      | _ -> ())
+    events;
+  List.rev !out

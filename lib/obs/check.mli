@@ -1,0 +1,24 @@
+(** Trace checker: cross-node invariants over an assembled timeline.
+
+    Four rules, each a causality audit the simulator's own unit tests
+    cannot express because no single node sees the whole story:
+
+    - {b recv-matches-send}: every receive's causal parent exists, is
+      a send, and lives on the node the receiver names as its source.
+    - {b causal-time-order}: no event happens before its causal
+      parent in virtual time.
+    - {b retry-terminates}: a trace that retried also reports an
+      invocation end (ok or error) after the retry.
+    - {b install-epoch}: a replica-cache install never carries an
+      epoch older than an invalidation already seen on that node.
+
+    The first and third rules need the journals to be complete; pass
+    [complete:false] when any journal dropped events and they are
+    skipped. *)
+
+type violation = { v_rule : string; v_event : int option; v_detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run : ?complete:bool -> Timeline.t -> violation list
+(** Empty list = all invariants hold. *)

@@ -1,0 +1,79 @@
+(** Per-node event journal: a bounded ring of typed kernel events.
+
+    Every node keeps a journal of the distributed steps it takes —
+    message sends and receives, net-level fault and coalescing
+    decisions, invocation begin/retry/end, checkpoint rounds,
+    replica-cache installs and invalidations, reincarnations.  Each
+    event is stamped with the node, the virtual time and a trace
+    context ({!Tracectx}), so {!Timeline.assemble} can later merge the
+    journals of all nodes into cross-node causal trees.
+
+    Journals in one cluster share a {!sink} so event ids are globally
+    unique and allocated in engine execution order: under a fixed seed
+    the whole journal (and anything exported from it) is
+    byte-reproducible. *)
+
+open Eden_util
+
+type kind =
+  | Send of { msg : string; dst : int option }
+      (** [dst = None] means broadcast. *)
+  | Recv of { msg : string; src : int }
+  | Drop of { dst : int option; msgs : int }
+      (** fault injection ate a transfer; [dst = None] means broadcast *)
+  | Duplicate of { dst : int option; msgs : int }
+  | Delay of { dst : int option; msgs : int }
+  | Coalesce of { dst : int; msgs : int }
+      (** a coalesced batch of [msgs] messages left for [dst] *)
+  | Retry of { op : string; attempt : int }
+  | Inv_begin of { op : string; target : string }
+  | Inv_end of { op : string; outcome : string }
+  | Ckpt_round of { target : string; version : int }
+  | Cache_install of { target : string; epoch : int }
+  | Cache_invalidate of { target : string; epoch : int }
+  | Activate of { target : string; version : int }
+
+val kind_name : kind -> string
+val describe_kind : kind -> string
+
+type event = {
+  ev_id : int;  (** cluster-unique, allocated in execution order *)
+  ev_node : int;
+  ev_at : Time.t;  (** virtual time *)
+  ev_trace : int;  (** id of the event that rooted this trace *)
+  ev_parent : int option;  (** immediate causal predecessor, if any *)
+  ev_kind : kind;
+}
+
+type sink
+(** Shared id allocator; one per cluster. *)
+
+val sink : unit -> sink
+
+type t
+
+val create : sink -> node:int -> cap:int -> t
+(** A journal retaining at most [cap] events (oldest dropped first).
+    [cap = 0] disables storage entirely: {!record} still allocates ids
+    (trace contexts keep working) but nothing is retained and the
+    counters stay at zero. *)
+
+val enabled : t -> bool
+val node : t -> int
+
+val record : t -> at:Time.t -> ?ctx:Tracectx.t -> kind -> int
+(** Append an event and return its id.  Without [ctx] the event roots
+    a new trace (its trace id is its own id). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (the [eden.journal.events] counter). *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around (the [eden.journal.dropped]
+    counter).  When non-zero, assembled traces are incomplete and the
+    completeness-sensitive checker rules are skipped. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -175,11 +175,21 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.is_directory dir -> ()
   end
 
+(* Write-then-rename so a reader polling [path] never observes a torn
+   file: the temp file lives in the same directory, making the rename
+   atomic on POSIX filesystems. *)
 let write_file ?compact t ~path =
-  mkdir_p (Filename.dirname path);
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_string ?compact t);
-      Out_channel.output_char oc '\n')
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  (try
+     Out_channel.with_open_text tmp (fun oc ->
+         Out_channel.output_string oc (to_string ?compact t);
+         Out_channel.output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (* ---------------------------------------------------------------- *)
 (* Pretty table *)

@@ -125,6 +125,8 @@ type collector = {
   retained : info Fifo.t;
   mutable n_started : int;
   mutable n_finished : int;
+  mutable n_late : int;
+      (* enter/finish calls that arrived after the span was sealed *)
 }
 
 type t = {
@@ -150,6 +152,7 @@ let create ?(keep = 4096) () =
     retained = Fifo.create ();
     n_started = 0;
     n_finished = 0;
+    n_late = 0;
   }
 
 let start col ?parent ~op ~target ~origin ~at () =
@@ -182,9 +185,15 @@ let close_current t ~at =
   t.sp_acc.(i) <- Time.add t.sp_acc.(i) elapsed;
   t.sp_since <- at
 
+(* A phase change or finish on an already-sealed span is a late
+   server-side step (e.g. the requester timed out first).  It cannot
+   change the sealed record, but silently dropping it would hide the
+   straggler entirely — count it instead. *)
+let note_late t = t.sp_home.n_late <- t.sp_home.n_late + 1
+
 let enter t phase ~at =
   match t.sp_done with
-  | Some _ -> ()
+  | Some _ -> note_late t
   | None ->
     close_current t ~at;
     t.sp_cur <- phase
@@ -207,7 +216,7 @@ let to_info t ~outcome ~at =
 
 let finish t ~outcome ~at =
   match t.sp_done with
-  | Some _ -> ()
+  | Some _ -> note_late t
   | None ->
     close_current t ~at;
     t.sp_done <- Some (outcome, at);
@@ -223,6 +232,7 @@ let duration t =
 
 let started col = col.n_started
 let finished_count col = col.n_finished
+let late_events col = col.n_late
 let finished col = Fifo.to_list col.retained
 
 let last_finished col =

@@ -77,13 +77,15 @@ val start :
 
 val id : t -> int
 val enter : t -> phase -> at:Eden_util.Time.t -> unit
-(** Close the open phase and open [phase].  No-op on a finished span
-    (e.g. a server-side step arriving after the requester timed out). *)
+(** Close the open phase and open [phase].  On a finished span (e.g. a
+    server-side step arriving after the requester timed out) the sealed
+    record is left untouched and the call is counted in the
+    collector's {!late_events}. *)
 
 val note_remote : t -> unit
 val finish : t -> outcome:string -> at:Eden_util.Time.t -> unit
 (** Close the open phase, seal the span and retain its {!info}.
-    Idempotent. *)
+    Idempotent; a repeat finish is counted in {!late_events}. *)
 
 val duration : t -> Eden_util.Time.t
 (** Elapsed from start to finish; requires a finished span (raises
@@ -93,6 +95,12 @@ val duration : t -> Eden_util.Time.t
 
 val started : collector -> int
 val finished_count : collector -> int
+
+val late_events : collector -> int
+(** Phase changes or finishes that arrived after their span was
+    sealed — late server-side work the sealed records cannot show
+    (exported as the [eden.span.late_events] counter). *)
+
 val finished : collector -> info list
 (** Retained finished spans, oldest first. *)
 

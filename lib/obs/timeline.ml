@@ -1,0 +1,143 @@
+open Eden_util
+
+type t = Journal.event list
+
+(* Event ids are allocated from the cluster-shared sink in engine
+   execution order, which never runs ahead of virtual time — so a plain
+   id sort yields one deterministic, time-ordered, cross-node merge. *)
+let assemble journals =
+  List.concat_map Journal.events journals
+  |> List.sort (fun a b -> compare a.Journal.ev_id b.Journal.ev_id)
+
+let events t = t
+let length = List.length
+
+let nodes t =
+  List.sort_uniq compare (List.map (fun e -> e.Journal.ev_node) t)
+
+let traces t =
+  List.sort_uniq compare (List.map (fun e -> e.Journal.ev_trace) t)
+
+(* ---------------------------------------------------------------- *)
+(* Text timeline: one causal tree per trace. *)
+
+let to_text t =
+  let b = Buffer.create 4096 in
+  let by_trace = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.event) ->
+      let tl = try Hashtbl.find by_trace e.ev_trace with Not_found -> [] in
+      Hashtbl.replace by_trace e.ev_trace (e :: tl))
+    t;
+  let depth = Hashtbl.create 256 in
+  let depth_of (e : Journal.event) =
+    match e.ev_parent with
+    | None -> 0
+    | Some p when p = e.ev_id -> 0
+    | Some p -> (
+      match Hashtbl.find_opt depth p with Some d -> d + 1 | None -> 0)
+  in
+  List.iter
+    (fun trace ->
+      let evs = List.rev (Hashtbl.find by_trace trace) in
+      Buffer.add_string b (Printf.sprintf "trace %d (%d events)\n" trace
+           (List.length evs));
+      List.iter
+        (fun (e : Journal.event) ->
+          let d = depth_of e in
+          Hashtbl.replace depth e.ev_id d;
+          Buffer.add_string b
+            (Printf.sprintf "%*s[%s] n%d #%d%s %s\n" (2 + (2 * d)) ""
+               (Time.to_string e.ev_at) e.ev_node e.ev_id
+               (match e.ev_parent with
+               | Some p when p <> e.ev_id -> Printf.sprintf " <#%d" p
+               | _ -> "")
+               (Journal.describe_kind e.ev_kind)))
+        evs)
+    (traces t);
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+
+   Every journal event becomes an instant event (ph "i") with
+   pid = node and tid = trace id, so each node renders as a process and
+   each causal trace as a track.  Matched send/recv pairs additionally
+   emit a flow (ph "s" -> ph "f"), which the viewers draw as an arrow
+   across nodes. *)
+
+let ts_us (e : Journal.event) =
+  Json.Float (float_of_int (Time.to_ns e.ev_at) /. 1000.)
+
+let instant (e : Journal.event) =
+  Json.Obj
+    [
+      ("name", Json.Str (Journal.kind_name e.ev_kind));
+      ("cat", Json.Str "eden");
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("pid", Json.Int e.ev_node);
+      ("tid", Json.Int e.ev_trace);
+      ("ts", ts_us e);
+      ( "args",
+        Json.Obj
+          [
+            ("id", Json.Int e.ev_id);
+            ( "parent",
+              match e.ev_parent with
+              | Some p -> Json.Int p
+              | None -> Json.Null );
+            ("detail", Json.Str (Journal.describe_kind e.ev_kind));
+          ] );
+    ]
+
+let flow ~phase ?(extra = []) (e : Journal.event) ~id =
+  Json.Obj
+    ([
+       ("name", Json.Str "msg");
+       ("cat", Json.Str "eden");
+       ("ph", Json.Str phase);
+     ]
+    @ extra
+    @ [
+        ("id", Json.Int id);
+        ("pid", Json.Int e.ev_node);
+        ("tid", Json.Int e.ev_trace);
+        ("ts", ts_us e);
+      ])
+
+let process_name node =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int node);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "node %d" node)) ]);
+    ]
+
+let to_chrome_json t =
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Journal.event) -> Hashtbl.replace by_id e.ev_id e)
+    t;
+  let meta = List.map process_name (nodes t) in
+  let instants = List.map instant t in
+  let flows =
+    List.concat_map
+      (fun (e : Journal.event) ->
+        match (e.ev_kind, e.ev_parent) with
+        | Journal.Recv _, Some p -> (
+          match Hashtbl.find_opt by_id p with
+          | Some ({ Journal.ev_kind = Journal.Send _; _ } as s) ->
+            [
+              flow ~phase:"s" s ~id:p;
+              flow ~phase:"f" ~extra:[ ("bp", Json.Str "e") ] e ~id:p;
+            ]
+          | _ -> [])
+        | _ -> [])
+      t
+  in
+  Json.Obj [ ("traceEvents", Json.List (meta @ instants @ flows)) ]
+
+let to_chrome_string t = Json.to_string ~compact:true (to_chrome_json t)

@@ -166,6 +166,9 @@ type chaos_result = {
   probes_ok : bool;  (* post-heal, every counter answered *)
   injected : int;
   snapshot : string;
+  trace : string;  (* assembled cross-node timeline, text form *)
+  trace_nodes : int;
+  violations : string list;  (* trace-checker verdicts, formatted *)
 }
 
 (* A seeded chaos run: 4 nodes on 2 bridged segments, one Mirrored
@@ -246,12 +249,20 @@ let run_chaos ?plan ?options ?coalesce ~seed () =
           !caps)
   in
   Cluster.run cl;
+  let tl = Cluster.timeline cl in
+  let violations =
+    Eden_obs.Check.run ~complete:(Cluster.journal_dropped cl = 0) tl
+    |> List.map (Format.asprintf "%a" Eden_obs.Check.pp_violation)
+  in
   {
     ok = !ok;
     failed = !failed;
     probes_ok = !probes_ok;
     injected = Controller.injected ctl;
     snapshot = Eden_obs.Snapshot.to_string (Cluster.metrics_snapshot cl);
+    trace = Eden_obs.Timeline.to_text tl;
+    trace_nodes = List.length (Eden_obs.Timeline.nodes tl);
+    violations;
   }
 
 let test_chaos_no_faults_no_failures () =
@@ -283,8 +294,27 @@ let test_chaos_deterministic () =
         (Printf.sprintf "seed %d: identical metrics snapshots" seed)
         a.snapshot b.snapshot;
       check_int "identical completions" a.ok b.ok;
-      check_int "identical fault counts" a.injected b.injected)
+      check_int "identical fault counts" a.injected b.injected;
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: byte-identical assembled timelines" seed)
+        a.trace b.trace)
     [ 0; 7 ]
+
+(* The trace checker audits every chaos run end to end: journals on
+   all nodes assemble into one timeline whose cross-node invariants
+   (recv-matches-send, causal time order, retry termination, cache
+   epochs) hold under drops, delays, duplicates, crashes and
+   partitions. *)
+let test_chaos_trace_invariants () =
+  for seed = 0 to 4 do
+    let r = run_chaos ~seed () in
+    check_bool
+      (Printf.sprintf "seed %d: trace invariants hold (%s)" seed
+         (String.concat "; " r.violations))
+      true (r.violations = []);
+    check_bool (Printf.sprintf "seed %d: trace spans >= 3 nodes" seed) true
+      (r.trace_nodes >= 3)
+  done
 
 (* The invocation hot path options must not break chaos invariants:
    with coalescing batching kernel messages (a dropped or delayed wire
@@ -370,6 +400,8 @@ let () =
             test_chaos_invariants;
           Alcotest.test_case "same seed, same snapshot" `Slow
             test_chaos_deterministic;
+          Alcotest.test_case "trace invariants over seeds 0-4" `Slow
+            test_chaos_trace_invariants;
           Alcotest.test_case "hot-path options keep invariants" `Slow
             test_chaos_hot_path_invariants;
           Alcotest.test_case "hot-path options stay deterministic" `Slow

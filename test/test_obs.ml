@@ -377,6 +377,182 @@ let test_cluster_snapshot_contents () =
         (Result.is_ok (Snapshot.of_string (Snapshot.to_string snap))))
 
 (* ------------------------------------------------------------------ *)
+(* Event journals, trace contexts, timelines, and the trace checker *)
+
+let test_tracectx () =
+  let r = Tracectx.root 7 in
+  check_int "root trace" 7 (Tracectx.trace r);
+  check_int "root parent" 7 (Tracectx.parent r);
+  let c = Tracectx.with_parent r ~parent:9 in
+  check_int "same trace" 7 (Tracectx.trace c);
+  check_int "new parent" 9 (Tracectx.parent c);
+  check_bool "equal" true (Tracectx.equal c (Tracectx.make ~trace:7 ~parent:9))
+
+let test_journal_ring () =
+  let sink = Journal.sink () in
+  let j = Journal.create sink ~node:0 ~cap:4 in
+  check_bool "enabled" true (Journal.enabled j);
+  for i = 0 to 9 do
+    ignore
+      (Journal.record j ~at:(Time.ms i) (Journal.Retry { op = "x"; attempt = i }))
+  done;
+  check_int "recorded counts everything" 10 (Journal.recorded j);
+  check_int "overflow counted as dropped" 6 (Journal.dropped j);
+  let evs = Journal.events j in
+  check_int "ring keeps cap events" 4 (List.length evs);
+  check_bool "oldest evicted first, order kept" true
+    (List.map (fun e -> e.Journal.ev_id) evs = [ 6; 7; 8; 9 ]);
+  (* cap 0 disables retention but still allocates ids from the shared
+     sink, so trace contexts stay meaningful. *)
+  let j0 = Journal.create sink ~node:1 ~cap:0 in
+  check_bool "disabled" false (Journal.enabled j0);
+  let id = Journal.record j0 ~at:Time.zero (Journal.Send { msg = "m"; dst = None }) in
+  check_int "sink ids keep advancing" 10 id;
+  check_int "nothing retained" 0 (List.length (Journal.events j0));
+  check_bool "negative cap rejected" true
+    (try
+       ignore (Journal.create sink ~node:2 ~cap:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* The ring stores kinds in an encoded form; every constructor must
+   survive the round trip to [events] intact. *)
+let test_journal_kind_roundtrip () =
+  let kinds =
+    [
+      Journal.Send { msg = "inv_request obj#1.get"; dst = Some 2 };
+      Journal.Send { msg = "locate? obj#1"; dst = None };
+      Journal.Recv { msg = "inv_reply n0"; src = 3 };
+      Journal.Drop { dst = Some 1; msgs = 2 };
+      Journal.Drop { dst = None; msgs = 1 };
+      Journal.Duplicate { dst = Some 0; msgs = 1 };
+      Journal.Delay { dst = None; msgs = 4 };
+      Journal.Coalesce { dst = 2; msgs = 6 };
+      Journal.Retry { op = "get"; attempt = 2 };
+      Journal.Inv_begin { op = "get"; target = "obj#1" };
+      Journal.Inv_end { op = "get"; outcome = "ok" };
+      Journal.Ckpt_round { target = "obj#1"; version = 3 };
+      Journal.Cache_install { target = "obj#1"; epoch = 1 };
+      Journal.Cache_invalidate { target = "obj#1"; epoch = 2 };
+      Journal.Activate { target = "obj#1"; version = 4 };
+    ]
+  in
+  let j = Journal.create (Journal.sink ()) ~node:0 ~cap:64 in
+  List.iteri
+    (fun i k -> ignore (Journal.record j ~at:(Time.us i) k))
+    kinds;
+  let back = List.map (fun e -> e.Journal.ev_kind) (Journal.events j) in
+  check_bool "all kinds round-trip the ring encoding" true (back = kinds)
+
+(* A hand-built two-node exchange: send on node 0, causally linked
+   recv on node 1.  The assembled timeline is id-sorted, spans both
+   nodes, satisfies the checker, and exports a matched s/f flow pair
+   in the Chrome trace. *)
+let make_exchange () =
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:16 in
+  let j1 = Journal.create sink ~node:1 ~cap:16 in
+  let s =
+    Journal.record j0 ~at:(Time.us 1) (Journal.Send { msg = "m"; dst = Some 1 })
+  in
+  let ctx = Tracectx.root s in
+  let _r =
+    Journal.record j1 ~at:(Time.us 3) ~ctx (Journal.Recv { msg = "m"; src = 0 })
+  in
+  (* Assembly takes journals in any order and sorts by id. *)
+  (sink, j0, j1, Timeline.assemble [ j1; j0 ])
+
+let test_timeline_assemble () =
+  let _, _, _, tl = make_exchange () in
+  check_int "two events" 2 (Timeline.length tl);
+  check_bool "id-sorted" true
+    (List.map (fun e -> e.Journal.ev_id) (Timeline.events tl) = [ 0; 1 ]);
+  check_bool "both nodes present" true (Timeline.nodes tl = [ 0; 1 ]);
+  check_int "one trace" 1 (List.length (Timeline.traces tl));
+  let chrome = Timeline.to_chrome_string tl in
+  let has sub =
+    let n = String.length chrome and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub chrome i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "flow start exported" true (has {|"ph":"s"|});
+  check_bool "flow finish exported" true (has {|"ph":"f"|});
+  check_bool "text render non-empty" true (String.length (Timeline.to_text tl) > 0)
+
+let test_checker () =
+  let _, _, _, tl = make_exchange () in
+  check_int "well-formed exchange passes" 0 (List.length (Check.run tl));
+  (* A recv whose parent is not a send on the named source node. *)
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:16 in
+  let j1 = Journal.create sink ~node:1 ~cap:16 in
+  let p =
+    Journal.record j0 ~at:(Time.us 1) (Journal.Retry { op = "x"; attempt = 1 })
+  in
+  ignore
+    (Journal.record j1 ~at:(Time.us 2) ~ctx:(Tracectx.root p)
+       (Journal.Recv { msg = "m"; src = 0 }));
+  let vs = Check.run (Timeline.assemble [ j0; j1 ]) in
+  check_bool "recv-matches-send fires" true
+    (List.exists (fun v -> v.Check.v_rule = "recv-matches-send") vs);
+  (* An event earlier in virtual time than its causal parent. *)
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:16 in
+  let s =
+    Journal.record j0 ~at:(Time.us 5) (Journal.Send { msg = "m"; dst = Some 0 })
+  in
+  ignore
+    (Journal.record j0 ~at:(Time.us 2) ~ctx:(Tracectx.root s)
+       (Journal.Recv { msg = "m"; src = 0 }));
+  let vs = Check.run (Timeline.assemble [ j0 ]) in
+  check_bool "causal-time-order fires" true
+    (List.exists (fun v -> v.Check.v_rule = "causal-time-order") vs);
+  (* Incomplete journals skip the completeness-dependent rules: the
+     same broken recv is ignored when [complete:false]. *)
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:16 in
+  ignore
+    (Journal.record j0 ~at:(Time.us 1)
+       ~ctx:(Tracectx.make ~trace:999 ~parent:999)
+       (Journal.Recv { msg = "m"; src = 0 }));
+  check_int "dangling parent tolerated when incomplete" 0
+    (List.length (Check.run ~complete:false (Timeline.assemble [ j0 ])))
+
+(* The kernel's own journals: a short cluster run yields a non-empty,
+   checker-clean, multi-node timeline through the public accessors. *)
+let test_cluster_journal () =
+  with_cluster (fun cl ->
+      let cap =
+        ok_or_fail "create"
+          (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+             (Value.Int 7))
+      in
+      for _ = 1 to 4 do
+        ignore (ok_or_fail "get" (Cluster.invoke cl ~from:0 cap ~op:"get" []))
+      done;
+      ignore (ok_or_fail "get" (Cluster.invoke cl ~from:2 cap ~op:"get" []));
+      let tl = Cluster.timeline cl in
+      check_bool "events recorded" true (Timeline.length tl > 0);
+      check_int "no drops at default cap" 0 (Cluster.journal_dropped cl);
+      check_bool "spans all three nodes" true
+        (List.length (Timeline.nodes tl) = 3);
+      check_int "invariants hold" 0 (List.length (Check.run tl)));
+  (* journal_cap:0 disables retention cluster-wide. *)
+  let cl0 = Cluster.default ~journal_cap:0 ~n_nodes:2 () in
+  Cluster.register_type cl0 relay_type;
+  let _ =
+    Cluster.in_process cl0 (fun () ->
+        let cap =
+          ok_or_fail "create"
+            (Cluster.create_object cl0 ~node:0 ~type_name:"obs_relay"
+               (Value.Int 0))
+        in
+        ignore (ok_or_fail "get" (Cluster.invoke cl0 ~from:1 cap ~op:"get" [])))
+  in
+  Cluster.run cl0;
+  check_int "cap 0 retains nothing" 0 (Timeline.length (Cluster.timeline cl0))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -412,5 +588,16 @@ let () =
             test_nested_invoke_parent_link;
           Alcotest.test_case "snapshot contents" `Quick
             test_cluster_snapshot_contents;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "trace contexts" `Quick test_tracectx;
+          Alcotest.test_case "ring semantics" `Quick test_journal_ring;
+          Alcotest.test_case "kind round-trip" `Quick
+            test_journal_kind_roundtrip;
+          Alcotest.test_case "timeline assembly" `Quick
+            test_timeline_assemble;
+          Alcotest.test_case "checker verdicts" `Quick test_checker;
+          Alcotest.test_case "cluster journals" `Quick test_cluster_journal;
         ] );
     ]
