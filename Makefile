@@ -2,7 +2,7 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  trace-check determinism clean help
+  trace-check health-check determinism clean help
 
 all: build
 
@@ -17,6 +17,7 @@ help:
 	@echo "make smoke        - exercise the edenctl CLI end to end"
 	@echo "make chaos        - fault-injection suite + same-seed snapshot cmp"
 	@echo "make trace-check  - chaos trace invariants + same-seed timeline cmp"
+	@echo "make health-check - same-seed health reports must be byte-identical"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -54,6 +55,7 @@ ci:
 	dune runtest --force
 	$(MAKE) chaos
 	$(MAKE) trace-check
+	$(MAKE) health-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -109,6 +111,17 @@ trace-check:
 	cmp /tmp/eden_trace_a.json /tmp/eden_trace_b.json
 	cmp /tmp/eden_trace_a.txt /tmp/eden_trace_b.txt
 	@echo "trace-check: OK (invariants hold, timelines deterministic)"
+
+# The health plane: run the chaos workload with SLO watchdogs and the
+# hot-object sketch armed, twice with the same seed — the full report
+# (dashboard, alert transitions, top-k rollup) must be byte-identical.
+health-check:
+	dune exec bin/edenctl.exe -- health --nodes 5 --seed 11 \
+	  --out /tmp/eden_health_a.txt
+	dune exec bin/edenctl.exe -- health --nodes 5 --seed 11 \
+	  --out /tmp/eden_health_b.txt
+	cmp /tmp/eden_health_a.txt /tmp/eden_health_b.txt
+	@echo "health-check: OK (alerts and hot objects deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

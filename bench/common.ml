@@ -82,9 +82,11 @@ let attach_metrics ~id () =
     Printf.printf "METRICS %s %s\n" id
       (Eden_obs.Snapshot.to_string ~compact:true snap)
 
-let fresh_cluster ?(seed = 42L) ?options ?coalesce ?journal_cap ~n () =
+let fresh_cluster ?(seed = 42L) ?options ?coalesce ?journal_cap ?health ~n ()
+    =
   let cl =
-    Cluster.default ~seed ?options ?coalesce ?journal_cap ~n_nodes:n ()
+    Cluster.default ~seed ?options ?coalesce ?journal_cap ?health ~n_nodes:n
+      ()
   in
   Cluster.register_type cl bench_type;
   current_cluster := Some cl;

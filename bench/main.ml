@@ -26,6 +26,7 @@ let experiments =
     ("E18", "replica cache + message coalescing (hot path)", Exp_cache.run);
     ("E19", "delta + async checkpoints vs full sync", Exp_delta.run);
     ("E20", "event-journal overhead on invocation", Exp_journal.run);
+    ("E21", "health-plane overhead and hot-object recovery", Exp_health.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 

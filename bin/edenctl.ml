@@ -13,6 +13,12 @@
      edenctl trace     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
                        [--out FILE] [--text FILE] [--check]
                        (chaos workload + assembled cross-node causal timeline)
+     edenctl health    [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
+                       [--out FILE] [--json FILE]
+                       (chaos workload + SLO dashboard, alert transitions, hot objects)
+     edenctl top       [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
+                       [--k K] [--json FILE]
+                       (chaos workload + per-node / cluster hot-object tables)
      edenctl stats     [--nodes N] [--requests R]   (metrics tables after a synth run)
      edenctl metrics-check FILE                     (validate an exported snapshot)
      edenctl edit      [--nodes N]      (interactive object editor)
@@ -525,8 +531,8 @@ let chaos_horizon = Time.s 2
    [trace] (journal/timeline-oriented): mirrored counters under a
    deterministic fault plan, driven entirely by the virtual clock and
    the seed.  Returns the finished cluster for post-run inspection. *)
-let chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache ~coalesce
-    ~ckpt_delta ~ckpt_async ~trace () =
+let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
+    ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -543,7 +549,7 @@ let chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache ~coalesce
   let cl =
     Cluster.create ~seed:(Int64.of_int seed) ~segments
       ~options:(cluster_options ~replica_cache ~ckpt_delta)
-      ?coalesce:(cluster_coalesce coalesce) ~configs ()
+      ?coalesce:(cluster_coalesce coalesce) ?health ~configs ()
   in
   Cluster.register_type cl (chaos_type ~async:ckpt_async);
   setup_trace cl trace;
@@ -734,6 +740,184 @@ let trace_cmd =
       const run_trace $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t $ out_t
       $ text_out_t $ check_t)
+
+(* ------------------------------------------------------------------ *)
+(* health / top: run the chaos workload with the health plane enabled
+   and report what the SLO watchdogs and hot-object sketches saw.  The
+   whole report is a function of the seed, so `make health-check` can
+   cmp two same-seed runs byte for byte. *)
+
+module Health = Eden_obs.Health
+module Topk = Eden_obs.Topk
+module Json = Eden_obs.Json
+
+let hot_table ~indent entries =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i e ->
+      Printf.bprintf buf "%s%2d. %-24s count %-8d err <= %d\n" indent (i + 1)
+        e.Topk.e_key e.Topk.e_count e.Topk.e_err)
+    entries;
+  Buffer.contents buf
+
+let health_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
+    ~coalesce ~ckpt_delta ~ckpt_async () =
+  chaos_workload ~health:Health.default_config ~nodes ~seed ~fault_plan
+    ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
+
+let health_report cl =
+  let h =
+    match Cluster.health cl with Some h -> h | None -> assert false
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Health.report h);
+  (* The causal record of every state change, from node 0's journal
+     (where the cluster records Alert events). *)
+  let alerts =
+    List.filter
+      (fun ev ->
+        match ev.Eden_obs.Journal.ev_kind with
+        | Eden_obs.Journal.Alert _ -> true
+        | _ -> false)
+      (Eden_obs.Journal.events (Cluster.journal cl 0))
+  in
+  Printf.bprintf buf "alert transitions (%d retained):\n"
+    (List.length alerts);
+  List.iter
+    (fun ev ->
+      Printf.bprintf buf "  %s\n"
+        (Format.asprintf "%a" Eden_obs.Journal.pp_event ev))
+    alerts;
+  let hot = Cluster.hot_objects_rollup cl ~k:10 () in
+  Printf.bprintf buf "hottest objects (cluster rollup, top %d):\n"
+    (List.length hot);
+  Buffer.add_string buf (hot_table ~indent:"  " hot);
+  Buffer.contents buf
+
+let hot_json entries =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("object", Json.Str e.Topk.e_key);
+             ("count", Json.Int e.Topk.e_count);
+             ("err", Json.Int e.Topk.e_err);
+           ])
+       entries)
+
+let run_health nodes seed fault_plan requests replica_cache coalesce
+    ckpt_delta ckpt_async out json_out =
+  let cl =
+    health_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
+      ~coalesce ~ckpt_delta ~ckpt_async ()
+  in
+  let report = health_report cl in
+  print_string report;
+  (match out with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file report;
+    Printf.printf "health report written to %s\n" file);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    let h = Option.get (Cluster.health cl) in
+    let doc =
+      Json.Obj
+        [
+          ("health", Health.to_json h);
+          ("hot_objects", hot_json (Cluster.hot_objects_rollup cl ~k:10 ()));
+        ]
+    in
+    write_file ~path:file (Json.to_string ~compact:false doc);
+    Printf.printf "health JSON written to %s\n" file);
+  summary cl
+
+let health_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 220
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the health report (SLO dashboard, alert transitions, \
+             hot objects) to $(docv); byte-identical across same-seed \
+             runs.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the health state and hot-object rollup as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run the chaos workload with the health plane enabled and \
+          report SLO rule states, alert transitions and the hottest \
+          objects.")
+    Term.(
+      const run_health $ nodes_t $ seed_t $ fault_plan_t $ requests_t
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t $ out_t
+      $ json_t)
+
+let run_top nodes seed fault_plan requests replica_cache coalesce ckpt_delta
+    ckpt_async k json_out =
+  let cl =
+    health_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
+      ~coalesce ~ckpt_delta ~ckpt_async ()
+  in
+  for i = 0 to Cluster.node_count cl - 1 do
+    let entries = Cluster.hot_objects cl ~k i in
+    Printf.printf "node %d (top %d):\n%s" i (List.length entries)
+      (hot_table ~indent:"  " entries)
+  done;
+  let hot = Cluster.hot_objects_rollup cl ~k () in
+  Printf.printf "cluster rollup (top %d):\n%s" (List.length hot)
+    (hot_table ~indent:"  " hot);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file (Json.to_string ~compact:false (hot_json hot));
+    Printf.printf "hot-object JSON written to %s\n" file);
+  summary cl
+
+let top_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 220
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  let k_t =
+    Arg.(
+      value & opt int 10
+      & info [ "k"; "top" ] ~docv:"K" ~doc:"Entries per hot-object table.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the cluster hot-object rollup as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the chaos workload with the health plane enabled and show \
+          the hottest objects per node and cluster-wide.")
+    Term.(
+      const run_top $ nodes_t $ seed_t $ fault_plan_t $ requests_t
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t $ k_t
+      $ json_t)
 
 (* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:
@@ -1097,6 +1281,8 @@ let () =
             heartbeat_cmd;
             chaos_cmd;
             trace_cmd;
+            health_cmd;
+            top_cmd;
             stats_cmd;
             metrics_check_cmd;
             edit_cmd;

@@ -6,6 +6,8 @@ module Span = Eden_obs.Span
 module Journal = Eden_obs.Journal
 module Tracectx = Eden_obs.Tracectx
 module Timeline = Eden_obs.Timeline
+module Health = Eden_obs.Health
+module Topk = Eden_obs.Topk
 
 type node_id = int
 
@@ -193,6 +195,21 @@ type node_metrics = {
       (* checkpoint requests folded into an in-flight round *)
 }
 
+(* The health plane, present only when [Cluster.create ~health] asked
+   for it: the SLO evaluator plus one hot-object sketch per node, fed
+   from the invocation and locate paths. *)
+type health_plane = {
+  hp_health : Health.t;
+  hp_topk : Topk.t array;  (* indexed by node id *)
+}
+
+(* Per-node sketch size: large enough that every object of the bench
+   and chaos workloads is tracked exactly, small enough that the
+   eviction min-scan stays trivial.  The space-saving error bound is
+   total/capacity, so doubling this halves the worst-case
+   over-estimate. *)
+let topk_capacity = 64
+
 type t = {
   eng : Engine.t;
   tr : Trace.t;
@@ -213,6 +230,7 @@ type t = {
       (* pid of a running invocation process -> the span it serves,
          giving nested [ctx.invoke] calls their parent link *)
   c_jsink : Journal.sink;  (* shared event-id allocator for all journals *)
+  mutable c_health : health_plane option;
 }
 
 let locate_window = Time.ms 3
@@ -1457,6 +1475,11 @@ let locate_once ?ctx cl node name ~window =
   in
   add_pending node req_id.Message.seq (P_locate st);
   Metrics.incr (nm cl node).m_locates;
+  (* Locates count toward object heat too: an object that is hard to
+     find generates locate traffic even when invocations stall. *)
+  (match cl.c_health with
+  | Some hp -> Topk.add hp.hp_topk.(node.nd_id) (Name.to_string name)
+  | None -> ());
   bcast_msg ?ctx cl node
     (Message.Locate_request { req_id; target = name; reply_to = node.nd_id });
   let early = Promise.await ~timeout:window st.loc_active in
@@ -1626,21 +1649,27 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
   if not node.nd_up then Error Error.Node_down
   else begin
     let name = Capability.name cap in
+    let tname = Name.to_string name in
     Metrics.incr (nm cl node).m_inv;
+    (* Feed the origin node's hot-object sketch; the rendered name is
+       shared with the span and the journal event below, so the health
+       plane adds no allocation of its own here. *)
+    (match cl.c_health with
+    | Some hp -> Topk.add hp.hp_topk.(from) tname
+    | None -> ());
     let parent =
       match parent with Some _ as p -> p | None -> current_span cl
     in
     let sp =
-      Span.start cl.c_spans ?parent ~op ~target:(Name.to_string name)
-        ~origin:from ~at:(Engine.now cl.eng) ()
+      Span.start cl.c_spans ?parent ~op ~target:tname ~origin:from
+        ~at:(Engine.now cl.eng) ()
     in
     let span = Some sp in
     (* The invocation's root journal event: every send, retry and
        downstream handler event hangs off this trace id. *)
     let ictx =
       Tracectx.root
-        (jrecord cl node
-           (Journal.Inv_begin { op; target = Name.to_string name }))
+        (jrecord cl node (Journal.Inv_begin { op; target = tname }))
     in
     consume node (costs node).Costs.invoke_request_cpu;
     let rec attempt ~deadline ~nack_budget =
@@ -2217,6 +2246,21 @@ let register_collectors cl =
           float_of_int (Memory.available node.nd_mem));
       g "eden.ckpt.async_inflight" (fun () ->
           float_of_int node.nd_ckpt_async);
+      (* Depth gauges for the health plane: the deepest coordinator
+         mailbox on this node, requests awaiting replies, and what the
+         transport is holding (coalescing queues, partial
+         reassemblies). *)
+      g "eden.queue_depth" (fun () ->
+          float_of_int
+            (Name.Table.fold
+               (fun _ obj acc -> max acc (Mailbox.length obj.ob_queue))
+               node.nd_active 0));
+      g "eden.pending_requests" (fun () ->
+          float_of_int (Hashtbl.length node.nd_pending));
+      g "net.queued_messages" (fun () ->
+          float_of_int (Transport.queued_messages node.nd_tp));
+      g "net.reassembly_pending" (fun () ->
+          float_of_int (Transport.reassembly_pending node.nd_tp));
       c "eden.journal.events" (fun () -> Journal.recorded node.nd_journal);
       c "eden.journal.dropped" (fun () -> Journal.dropped node.nd_journal))
     cl.nodes;
@@ -2224,7 +2268,7 @@ let register_collectors cl =
       Span.late_events cl.c_spans)
 
 let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
-    ?(journal_cap = default_journal_cap) ~configs () =
+    ?(journal_cap = default_journal_cap) ?health ~configs () =
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
   if journal_cap < 0 then
     invalid_arg "Cluster.create: journal_cap must be >= 0";
@@ -2354,6 +2398,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
             });
       c_span_ctx = Hashtbl.create 64;
       c_jsink = jsink;
+      c_health = None;
     }
   in
   register_collectors cl;
@@ -2391,15 +2436,41 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
         install_node_object cl node name;
         Capability.make name Rights.invoke_only)
       nodes;
+  (* The health plane is strictly opt-in: without [~health] no sampler
+     is installed and the hot paths skip the sketch feed, so existing
+     runs keep their exact cost profile. *)
+  (match health with
+  | None -> ()
+  | Some hcfg ->
+    let hp_topk =
+      Array.init n_nodes (fun _ -> Topk.create ~capacity:topk_capacity)
+    in
+    let transitions = Metrics.counter reg "eden.health.transitions" in
+    (* Alert transitions are journalled at node 0 — the health plane is
+       a cluster-level observer, and a fixed node keeps the stream
+       totally ordered in the merged timeline. *)
+    let on_transition rule ~firing ~value:_ =
+      Metrics.incr transitions;
+      ignore
+        (jrecord cl cl.nodes.(0)
+           (Journal.Alert { rule = rule.Health.r_name; firing }))
+    in
+    let h = Health.create ~on_transition hcfg reg in
+    Metrics.register_gauge_fn reg "eden.health.alerts_firing" (fun () ->
+        float_of_int (Health.firing h));
+    Metrics.register_counter_fn reg "eden.health.ticks" (fun () ->
+        Health.ticks h);
+    cl.c_health <- Some { hp_health = h; hp_topk };
+    Engine.every eng ~interval:hcfg.Health.hc_tick (fun () -> Health.tick h));
   cl
 
-let default ?seed ?options ?coalesce ?journal_cap ~n_nodes () =
+let default ?seed ?options ?coalesce ?journal_cap ?health ~n_nodes () =
   if n_nodes < 1 then invalid_arg "Cluster.default: need at least one node";
   let configs =
     List.init n_nodes (fun i ->
         Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
-  create ?seed ?options ?coalesce ?journal_cap ~configs ()
+  create ?seed ?options ?coalesce ?journal_cap ?health ~configs ()
 
 let engine cl = cl.eng
 let trace cl = cl.tr
@@ -2417,6 +2488,22 @@ let journal_dropped cl =
   Array.fold_left
     (fun acc node -> acc + Journal.dropped node.nd_journal)
     0 cl.nodes
+
+let health cl = Option.map (fun hp -> hp.hp_health) cl.c_health
+
+let hot_objects cl ?(k = 10) i =
+  ignore (node_of cl i);
+  match cl.c_health with
+  | None -> []
+  | Some hp -> Topk.top hp.hp_topk.(i) k
+
+let hot_objects_rollup cl ?(k = 10) () =
+  match cl.c_health with
+  | None -> []
+  | Some hp ->
+    Topk.top
+      (Topk.merge ~capacity:topk_capacity (Array.to_list hp.hp_topk))
+      k
 let machine cl i = (node_of cl i).nd_machine
 let node_up cl i = (node_of cl i).nd_up
 

@@ -49,6 +49,7 @@ val create :
   ?segments:int list ->
   ?coalesce:Transport.coalesce ->
   ?journal_cap:int ->
+  ?health:Eden_obs.Health.config ->
   configs:Eden_hw.Machine.config list ->
   unit ->
   t
@@ -65,13 +66,20 @@ val create :
     budgets (see {!Transport.coalesce}).  [journal_cap] bounds each
     node's event journal (default 4096 events; 0 disables retention
     — trace contexts still propagate, but nothing is kept).  Raises
-    [Invalid_argument] if negative. *)
+    [Invalid_argument] if negative.  [health] (default off) enables
+    the health plane: SLO rules evaluated at the config's virtual-time
+    tick via the engine sampler, per-node hot-object sketches fed from
+    the invocation and locate paths, alert transitions journalled as
+    {!Eden_obs.Journal.Alert} events at node 0, and the
+    [eden.health.{alerts_firing,transitions,ticks}] series registered
+    in the metrics registry. *)
 
 val default :
   ?seed:int64 ->
   ?options:options ->
   ?coalesce:Transport.coalesce ->
   ?journal_cap:int ->
+  ?health:Eden_obs.Health.config ->
   n_nodes:int ->
   unit ->
   t
@@ -281,6 +289,25 @@ val journal_dropped : t -> int
 (** Total ring-overflow drops across all nodes.  Non-zero means
     assembled traces are incomplete; pass [~complete:false] to
     {!Eden_obs.Check.run}. *)
+
+(** {2 Health plane}
+
+    Present only when the cluster was built with [~health]; all three
+    accessors are cheap and deterministic. *)
+
+val health : t -> Eden_obs.Health.t option
+(** The SLO evaluator (rule statuses, report, JSON export). *)
+
+val hot_objects : t -> ?k:int -> node_id -> Eden_obs.Topk.entry list
+(** The [k] (default 10) hottest objects as seen from one node's
+    sketch — invocations issued there plus locate broadcasts for
+    hard-to-find names.  Empty without the health plane. *)
+
+val hot_objects_rollup : t -> ?k:int -> unit -> Eden_obs.Topk.entry list
+(** Cluster-wide rollup: the per-node sketches merged under
+    {!Eden_obs.Topk.merge}'s conservative error accounting.  This
+    report is the input the migration policy consumes.  Empty without
+    the health plane. *)
 
 (** {1 Running} *)
 

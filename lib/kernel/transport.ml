@@ -50,3 +50,5 @@ let broadcast = Internet.broadcast
 let flush = Internet.flush
 let set_up = Internet.set_up
 let is_up = Internet.is_up
+let queued_messages = Internet.queued_messages
+let reassembly_pending = Internet.reassembly_pending

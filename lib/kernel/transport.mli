@@ -103,3 +103,11 @@ val set_up : t -> bool -> unit
 (** A downed endpoint neither sends nor delivers. *)
 
 val is_up : t -> bool
+
+val queued_messages : t -> int
+(** Messages parked in the endpoint's coalescing queues (zero with
+    coalescing off); the [net.queued_messages] health gauge. *)
+
+val reassembly_pending : t -> int
+(** Partially received messages awaiting fragments; the
+    [net.reassembly_pending] health gauge. *)

@@ -362,6 +362,11 @@ let set_up ep up =
 
 let is_up ep = Msglink.is_up ep.ep_link
 
+let queued_messages ep =
+  Hashtbl.fold (fun _ pb acc -> acc + pb.pb_count) ep.ep_queues 0
+
+let reassembly_pending ep = Msglink.reassembly_pending ep.ep_link
+
 let frames_delivered net =
   Array.fold_left
     (fun acc lan -> acc + (Lan.counters lan).Lan.frames_delivered)

@@ -76,6 +76,15 @@ val flush : 'a endpoint -> unit
 val set_up : 'a endpoint -> bool -> unit
 val is_up : 'a endpoint -> bool
 
+val queued_messages : 'a endpoint -> int
+(** Messages currently parked in this endpoint's per-destination
+    coalescing queues (zero when coalescing is off) — a depth gauge
+    for the health plane. *)
+
+val reassembly_pending : 'a endpoint -> int
+(** Partially received messages in the endpoint's link-layer
+    reassembly table. *)
+
 val frames_delivered : 'a t -> int
 (** LAN frames delivered, summed over all segments (bridged traffic
     counts on each segment it crosses). *)

@@ -101,3 +101,4 @@ let broadcast tp msg = transmit tp ~dest:Lan.Broadcast msg
 let messages_sent tp = tp.sent
 let messages_received tp = tp.received
 let fragments_discarded tp = tp.discarded
+let reassembly_pending tp = Hashtbl.length tp.partial

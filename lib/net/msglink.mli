@@ -35,3 +35,7 @@ val messages_received : 'm t -> int
 
 val fragments_discarded : 'm t -> int
 (** Fragments belonging to messages that can never complete. *)
+
+val reassembly_pending : 'm t -> int
+(** Partially received messages currently held in the reassembly
+    table (a depth gauge for the health plane). *)

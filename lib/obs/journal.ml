@@ -14,6 +14,7 @@ type kind =
   | Cache_install of { target : string; epoch : int }
   | Cache_invalidate of { target : string; epoch : int }
   | Activate of { target : string; version : int }
+  | Alert of { rule : string; firing : bool }
 
 let kind_name = function
   | Send _ -> "send"
@@ -29,6 +30,7 @@ let kind_name = function
   | Cache_install _ -> "cache_install"
   | Cache_invalidate _ -> "cache_invalidate"
   | Activate _ -> "activate"
+  | Alert _ -> "alert"
 
 let pp_dst = function Some d -> Printf.sprintf "n%d" d | None -> "*"
 
@@ -54,6 +56,8 @@ let describe_kind = function
     Printf.sprintf "cache invalidate %s @e%d" target epoch
   | Activate { target; version } ->
     Printf.sprintf "activate %s from v%d" target version
+  | Alert { rule; firing } ->
+    Printf.sprintf "alert %s %s" rule (if firing then "firing" else "resolved")
 
 type event = {
   ev_id : int;
@@ -136,7 +140,7 @@ let create sink ~node ~cap =
     jn_node = node;
     jn_cap = cap;
     jn_intern = Strtbl.create 64;
-    jn_memo = Array.make 11 "";
+    jn_memo = Array.make 12 "";
     jn_ints = make_ints 0;
     jn_strs = [||];
     jn_size = 0;
@@ -240,6 +244,9 @@ let store t ~slot ~id ~at ~trace ~parent kind =
   | Activate { target; version } ->
     set t ~slot ~id ~at ~trace ~parent ~tag:12 ~a1:version ~a2:(-1)
       ~s1:(intern t 10 target) ~s2:""
+  | Alert { rule; firing } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:13 ~a1:(if firing then 1 else 0)
+      ~a2:(-1) ~s1:(intern t 11 rule) ~s2:""
 
 let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   match tag with
@@ -256,6 +263,7 @@ let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   | 10 -> Cache_install { target = s1; epoch = a1 }
   | 11 -> Cache_invalidate { target = s1; epoch = a1 }
   | 12 -> Activate { target = s1; version = a1 }
+  | 13 -> Alert { rule = s1; firing = a1 = 1 }
   | _ -> assert false
 
 let grow t =

@@ -32,6 +32,9 @@ type kind =
   | Cache_install of { target : string; epoch : int }
   | Cache_invalidate of { target : string; epoch : int }
   | Activate of { target : string; version : int }
+  | Alert of { rule : string; firing : bool }
+      (** a {!Health} SLO rule changed state; recorded at the virtual
+          time of the sampler tick that evaluated it *)
 
 val kind_name : kind -> string
 val describe_kind : kind -> string

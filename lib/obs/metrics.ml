@@ -70,7 +70,9 @@ let gauge reg ?labels name =
       let g = ref 0.0 in
       (I_gauge g, g))
 
-let set g v = g := v
+(* NaN would poison every later comparison against the gauge (all
+   orderings are false), so a NaN store is dropped rather than stored. *)
+let set g v = if Float.is_nan v then () else g := v
 let gauge_value g = !g
 
 let histogram reg ?labels ~buckets name =
@@ -99,13 +101,21 @@ let histogram reg ?labels ~buckets name =
       in
       (I_histogram h, h))
 
+(* A NaN observation fails every [v <= bound] test and lands in
+   overflow while turning [h_sum] into NaN for good; a negative one
+   lands in the first bucket and drags the sum down.  Histograms here
+   record magnitudes (durations, sizes), so both are measurement bugs:
+   drop them instead of polluting the buckets. *)
 let observe h v =
-  let n = Array.length h.h_bounds in
-  let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
-  let i = slot 0 in
-  h.h_counts.(i) <- h.h_counts.(i) + 1;
-  h.h_sum <- h.h_sum +. v;
-  h.h_n <- h.h_n + 1
+  if Float.is_nan v || v < 0.0 || v = infinity then ()
+  else begin
+    let n = Array.length h.h_bounds in
+    let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_n <- h.h_n + 1
+  end
 
 let observe_time h t = observe h (Time.to_sec t)
 
@@ -162,6 +172,20 @@ let sample reg =
          match String.compare a.s_name b.s_name with
          | 0 -> compare_labels a.s_labels b.s_labels
          | c -> c)
+
+(* [filter] is consulted before [read], so instruments it rejects never
+   have their collector closures evaluated.  That matters for callers on
+   a hot sampling path: registered gauge functions may walk large
+   structures (e.g. the engine's process table), and a periodic sampler
+   interested in a handful of names must not pay for the rest. *)
+let iter ?filter reg f =
+  let want =
+    match filter with None -> fun _ -> true | Some p -> p
+  in
+  Hashtbl.iter
+    (fun (name, labels) inst ->
+      if want name then f name labels (read inst))
+    reg.tbl
 
 let find samples ?(labels = []) name =
   let labels = canon labels in

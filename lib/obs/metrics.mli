@@ -43,6 +43,9 @@ type gauge
 
 val gauge : t -> ?labels:labels -> string -> gauge
 val set : gauge -> float -> unit
+(** Stores [v]; a NaN is silently dropped (it would make every later
+    threshold comparison against the gauge false). *)
+
 val gauge_value : gauge -> float
 
 type histogram
@@ -55,8 +58,12 @@ val histogram : t -> ?labels:labels -> buckets:float array -> string -> histogra
     bounds. *)
 
 val observe : histogram -> float -> unit
+(** Histograms record magnitudes: NaN, negative and infinite
+    observations are silently dropped (a NaN would poison the running
+    sum, a negative would land in the first bucket). *)
+
 val observe_time : histogram -> Eden_util.Time.t -> unit
-(** Record a duration in seconds. *)
+(** Record a duration in seconds, with the same guard as {!observe}. *)
 
 (** {1 Sampled instruments} *)
 
@@ -83,3 +90,13 @@ val sample : t -> sample list
     list. *)
 
 val find : sample list -> ?labels:labels -> string -> value option
+
+val iter : ?filter:(string -> bool) -> t -> (string -> labels -> value -> unit) -> unit
+(** Visit every instrument (invoking sampled closures) in unspecified
+    order, without building or sorting a sample list — the cheap read
+    path for periodic samplers.  Callers aggregating across label sets
+    must use order-insensitive folds (sums, maxima) to stay
+    deterministic.  When [filter] is given, instruments whose name it
+    rejects are skipped {e before} being read, so their collector
+    closures are never evaluated — a periodic sampler tracking a few
+    names must not pay for expensive unrelated gauges. *)

@@ -19,6 +19,19 @@ type wake = Woken | Timed_out
 
 type event = { ev_time : Time.t; ev_run : unit -> unit }
 
+(* The sampler is deliberately not a heap event: [run] drains the heap
+   to completion, so a self-rescheduling sampler event would keep the
+   simulation alive forever, and even a bounded one would perturb
+   [n_events].  Instead the run loop interleaves sampler boundaries
+   with heap events by time (boundary first on ties), touching neither
+   the heap nor the event counter — a run with a sampler executes the
+   exact same schedule as one without. *)
+type sampler = {
+  smp_interval : Time.t;
+  mutable smp_next : Time.t;
+  smp_fn : unit -> unit;
+}
+
 type t = {
   mutable clock : Time.t;
   heap : event Pqueue.t;
@@ -28,6 +41,7 @@ type t = {
   mutable n_events : int;
   mutable n_spawned : int;
   mutable running : Pid.t option;
+  mutable sampler : sampler option;
 }
 
 and proc = {
@@ -63,6 +77,7 @@ let create ?(seed = 1L) () =
     n_events = 0;
     n_spawned = 0;
     running = None;
+    sampler = None;
   }
 
 let now eng = eng.clock
@@ -245,6 +260,11 @@ let handle_idle eng =
         true)
     | Sched | Run | Done -> false)
 
+let every eng ~interval f =
+  if Time.is_zero interval then invalid_arg "Engine.every: zero interval";
+  eng.sampler <-
+    Some { smp_interval = interval; smp_next = Time.add eng.clock interval; smp_fn = f }
+
 let run ?until eng =
   (match eng.running with
   | Some _ ->
@@ -253,17 +273,46 @@ let run ?until eng =
   let within_limit t =
     match until with None -> true | Some l -> Time.(t <= l)
   in
+  (* True when the sampler's next boundary is due at or before [t] (and
+     within the run limit): the boundary fires first, so events at the
+     boundary instant land in the next window. *)
+  let sampler_due t =
+    match eng.sampler with
+    | Some smp
+      when (let n = smp.smp_next in
+            Time.(n <= t) && within_limit n) ->
+      Some smp
+    | Some _ | None -> None
+  in
+  let fire s =
+    eng.clock <- s.smp_next;
+    s.smp_next <- Time.add s.smp_next s.smp_interval;
+    s.smp_fn ()
+  in
   let rec loop () =
     match Pqueue.peek eng.heap with
     | None -> if handle_idle eng then loop ()
     | Some ev when not (within_limit ev.ev_time) -> (
-      match until with None -> assert false | Some l -> eng.clock <- l)
-    | Some _ ->
-      let ev = Pqueue.pop_exn eng.heap in
-      eng.clock <- ev.ev_time;
-      eng.n_events <- eng.n_events + 1;
-      ev.ev_run ();
-      loop ()
+      match until with
+      | None -> assert false
+      | Some l -> (
+        (* Catch up boundaries inside the limit before parking at it. *)
+        match sampler_due l with
+        | Some s ->
+          fire s;
+          loop ()
+        | None -> eng.clock <- l))
+    | Some ev -> (
+      match sampler_due ev.ev_time with
+      | Some s ->
+        fire s;
+        loop ()
+      | None ->
+        let ev = Pqueue.pop_exn eng.heap in
+        eng.clock <- ev.ev_time;
+        eng.n_events <- eng.n_events + 1;
+        ev.ev_run ();
+        loop ())
   in
   loop ()
 

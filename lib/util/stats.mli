@@ -29,9 +29,16 @@ val max_value : t -> float
 val percentile : t -> float -> float
 (** [percentile s p] with [p] in [\[0,100\]], nearest-rank on the sorted
     sample.  Raises [Invalid_argument] on an empty sample or [p] out of
-    range. *)
+    range — an empty sample has no order statistics, and a silent [0.0]
+    or [nan] would flow into downstream comparisons unnoticed.  Callers
+    sampling windows that may legitimately be empty should test
+    {!count} first (the health plane's windowed estimators instead
+    return [nan] for "no data", which its rule evaluation treats as
+    never breaching). *)
 
 val median : t -> float
+(** [percentile s 50.0]: same empty-sample and ordering contract. *)
+
 val merge : t -> t -> t
 (** A fresh statistic over the union of both samples. *)
 

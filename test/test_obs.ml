@@ -86,6 +86,253 @@ let test_histogram_buckets () =
        with Invalid_argument _ -> true)
   | _ -> Alcotest.fail "histogram sample missing"
 
+(* Measurement-bug inputs must be dropped, not recorded: a NaN gauge
+   store would poison every later comparison, and a NaN/negative/
+   infinite observation would corrupt bucket counts or the sum. *)
+let test_metrics_guards () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 2.0;
+  Metrics.set g nan;
+  check_bool "NaN set dropped" true (Metrics.gauge_value g = 2.0);
+  Metrics.set g (-3.0);
+  check_bool "negative gauge is a level, kept" true
+    (Metrics.gauge_value g = -3.0);
+  let h = Metrics.histogram reg ~buckets:[| 1.0; 2.0 |] "lat" in
+  Metrics.observe h 1.5;
+  (* Virtual time cannot go negative, so the duration guard lives at
+     the float level: negative, NaN and infinite observations drop. *)
+  List.iter (Metrics.observe h) [ nan; -0.5; infinity ];
+  (match Metrics.find (Metrics.sample reg) "lat" with
+  | Some (Metrics.Histogram v) ->
+    check_int "only the valid observation counted" 1 v.Metrics.count;
+    check_bool "sum untouched by dropped inputs" true
+      (v.Metrics.sum = 1.5);
+    check_int "nothing in overflow" 0 v.Metrics.overflow
+  | _ -> Alcotest.fail "histogram sample missing");
+  (* The iter filter skips rejected instruments before reading them:
+     an expensive (here: exploding) collector must not run. *)
+  Metrics.register_gauge_fn reg "expensive" (fun () ->
+      Alcotest.fail "filtered-out collector was evaluated");
+  let seen = ref [] in
+  Metrics.iter
+    ~filter:(fun name -> name <> "expensive")
+    reg
+    (fun name _ _ -> seen := name :: !seen);
+  check_bool "filtered walk saw the others" true
+    (List.sort compare !seen = [ "depth"; "lat" ])
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows *)
+
+let test_window_basics () =
+  let w = Window.create ~ticks:4 in
+  check_bool "empty sum" true (Window.sum_last w 4 = 0.0);
+  check_bool "empty mean is nan" true (Float.is_nan (Window.mean_last w 4));
+  check_bool "empty max is nan" true (Float.is_nan (Window.max_last w 4));
+  List.iter (Window.push w) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  (* Ring of 4: the 1.0 has been evicted. *)
+  check_bool "sum over full window" true (Window.sum_last w 4 = 14.0);
+  check_bool "sum over last 2" true (Window.sum_last w 2 = 9.0);
+  check_bool "deeper query clamps to filled" true
+    (Window.sum_last w 100 = 14.0);
+  check_bool "max over last 3" true (Window.max_last w 3 = 5.0);
+  check_bool "mean over last 2" true (Window.mean_last w 2 = 4.5);
+  check_bool "rate: sum / elapsed" true
+    (Window.rate_last w 2 ~tick:(Time.of_sec 0.5) = 9.0);
+  check_bool "zero ticks rejected" true
+    (try
+       ignore (Window.create ~ticks:0);
+       false
+     with Invalid_argument _ -> true);
+  (* Merge sums slot-wise across windows of the same shape. *)
+  let a = Window.create ~ticks:3 and b = Window.create ~ticks:3 in
+  List.iter (Window.push a) [ 1.0; 2.0; 3.0 ];
+  List.iter (Window.push b) [ 10.0; 20.0; 30.0 ];
+  let m = Window.merge a b in
+  check_bool "merged newest slot" true (Window.sum_last m 1 = 33.0);
+  check_bool "merged full window" true (Window.sum_last m 3 = 66.0);
+  check_bool "merge rejects shape mismatch" true
+    (try
+       ignore (Window.merge a (Window.create ~ticks:4));
+       false
+     with Invalid_argument _ -> true)
+
+let test_window_hist_quantile () =
+  let bounds = [| 0.01; 0.1; 1.0 |] in
+  let h = Window.Hist.create ~ticks:3 ~bounds in
+  check_bool "empty quantile is nan" true
+    (Float.is_nan (Window.Hist.quantile_last h 3 0.5));
+  (* Tick 1: 10 fast, tick 2: 10 slow. *)
+  Window.Hist.push h ~counts:[| 10; 0; 0 |] ~overflow:0;
+  Window.Hist.push h ~counts:[| 0; 0; 10 |] ~overflow:0;
+  check_int "counts accumulate over the window" 20
+    (Window.Hist.count_last h 3);
+  check_bool "p25 stays in the fast bucket" true
+    (Window.Hist.quantile_last h 3 0.25 <= 0.01);
+  check_bool "p99 reaches the slow bucket" true
+    (Window.Hist.quantile_last h 3 0.99 > 0.1);
+  (* Depth 1 sees only the slow tick. *)
+  check_bool "shallow query is all slow" true
+    (Window.Hist.quantile_last h 1 0.25 > 0.1);
+  (* Overflow mass reports the last bound (we know nothing beyond it). *)
+  Window.Hist.push h ~counts:[| 0; 0; 0 |] ~overflow:5;
+  check_bool "overflow quantile clamps to last bound" true
+    (Window.Hist.quantile_last h 1 0.99 = 1.0);
+  check_bool "quantile out of range rejected" true
+    (try
+       ignore (Window.Hist.quantile_last h 1 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Top-k sketch *)
+
+let test_topk_sketch () =
+  (* Under capacity the sketch is exact with zero error. *)
+  let t = Topk.create ~capacity:4 in
+  Topk.add t "a" ~count:3;
+  Topk.add t "b";
+  Topk.add t "b";
+  Topk.add t "c";
+  check_int "total" 6 (Topk.total t);
+  (match Topk.top t 2 with
+  | [ x; y ] ->
+    check_string "heaviest" "a" x.Topk.e_key;
+    check_int "heaviest count" 3 x.Topk.e_count;
+    check_string "runner-up" "b" y.Topk.e_key;
+    check_int "exact err below capacity" 0 (x.Topk.e_err + y.Topk.e_err)
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  (* Ties order by key, so reports are deterministic. *)
+  (match Topk.top t 3 with
+  | [ _; b'; c' ] ->
+    check_bool "tie broken by key" true
+      (b'.Topk.e_count = c'.Topk.e_count || b'.Topk.e_key = "b");
+    check_string "c after b on tie" "c" c'.Topk.e_key
+  | _ -> Alcotest.fail "expected 3 entries");
+  (* At capacity a newcomer evicts the minimum and inherits its count
+     as error; estimates never undercount. *)
+  Topk.add t "d";
+  Topk.add t "e";
+  let e =
+    match List.find_opt (fun e -> e.Topk.e_key = "e") (Topk.entries t) with
+    | Some e -> e
+    | None -> Alcotest.fail "newcomer missing after eviction"
+  in
+  check_bool "overestimate, never under" true (e.Topk.e_count >= 1);
+  check_bool "error bounds the inheritance" true
+    (e.Topk.e_count - e.Topk.e_err <= 1);
+  check_bool "negative count rejected" true
+    (try
+       Topk.add t "x" ~count:(-1);
+       false
+     with Invalid_argument _ -> true);
+  (* Merge: exact sketches combine exactly. *)
+  let a = Topk.create ~capacity:8 and b = Topk.create ~capacity:8 in
+  Topk.add a "x" ~count:5;
+  Topk.add a "y" ~count:2;
+  Topk.add b "x" ~count:1;
+  Topk.add b "z" ~count:4;
+  let m = Topk.merge ~capacity:8 [ a; b ] in
+  check_int "merged total" 12 (Topk.total m);
+  (match Topk.top m 3 with
+  | [ x; z; y ] ->
+    check_bool "merged counts" true
+      (x.Topk.e_key = "x" && x.Topk.e_count = 6
+      && z.Topk.e_key = "z" && z.Topk.e_count = 4
+      && y.Topk.e_key = "y" && y.Topk.e_count = 2)
+  | _ -> Alcotest.fail "merge lost entries")
+
+(* ------------------------------------------------------------------ *)
+(* Health watchdogs (unit level, fresh registry, manual ticks) *)
+
+let test_health_unit () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~labels:[ ("node", "0") ] "req" in
+  let c1 = Metrics.counter reg ~labels:[ ("node", "1") ] "req" in
+  let rule =
+    {
+      Health.r_name = "req-rate";
+      r_signal = Health.Rate "req";
+      r_cmp = Health.Above;
+      r_threshold = 5.0;
+    }
+  in
+  let cfg =
+    {
+      Health.hc_tick = Time.of_sec 1.0;
+      hc_short = 1;
+      hc_long = 2;
+      hc_rules = [ rule ];
+    }
+  in
+  let log = ref [] in
+  let on_transition r ~firing ~value:_ =
+    log := (r.Health.r_name, firing) :: !log
+  in
+  (* Pre-existing totals are baselined away: the first tick's delta
+     measures the first tick only. *)
+  Metrics.add c 1000;
+  let h = Health.create ~on_transition cfg reg in
+  Health.tick h;
+  check_int "baselined: quiet first tick" 0 (Health.firing h);
+  (* Labelled series sum across nodes: 8 + 7 = 15/s > 10. *)
+  (* Labelled series sum across nodes: 8 + 7 = 15/s.  The short
+     window (1 tick) sees 15/s and the long window (2 ticks) averages
+     (0 + 15)/2 = 7.5/s — both above 5, so the rule fires. *)
+  Metrics.add c 8;
+  Metrics.add c1 7;
+  Health.tick h;
+  check_int "short and long breach together" 1 (Health.firing h);
+  check_int "one transition" 1 (Health.transitions h);
+  check_bool "callback saw the rise" true (!log = [ ("req-rate", true) ]);
+  (* Hysteresis: the long window still remembers the burst, so one
+     quiet tick does not clear. *)
+  Health.tick h;
+  check_int "still firing on the long window" 1 (Health.firing h);
+  (* Second quiet tick ages the burst out of both windows. *)
+  Health.tick h;
+  check_int "cleared" 0 (Health.firing h);
+  check_int "two transitions total" 2 (Health.transitions h);
+  check_bool "callback saw the clear" true
+    (List.hd !log = ("req-rate", false));
+  check_int "ticks counted" 4 (Health.ticks h);
+  (* The report renders every rule and is pure (same state, same
+     bytes). *)
+  check_bool "report mentions the rule" true
+    (let r = Health.report h in
+     let n = String.length r and m = String.length "req-rate" in
+     let rec go i =
+       i + m <= n && (String.sub r i m = "req-rate" || go (i + 1))
+     in
+     go 0);
+  check_bool "report is pure" true (Health.report h = Health.report h);
+  (* Config validation. *)
+  let bad f =
+    try
+      ignore (Health.create (f cfg) reg);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "zero tick rejected" true
+    (bad (fun c -> { c with Health.hc_tick = Time.zero }));
+  check_bool "short < 1 rejected" true
+    (bad (fun c -> { c with Health.hc_short = 0 }));
+  check_bool "long < short rejected" true
+    (bad (fun c -> { c with Health.hc_short = 3; hc_long = 2 }));
+  check_bool "quantile out of range rejected" true
+    (bad (fun c ->
+         {
+           c with
+           Health.hc_rules =
+             [
+               {
+                 rule with
+                 Health.r_signal = Health.Quantile ("lat", 1.5);
+               };
+             ];
+         }))
+
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
@@ -435,6 +682,8 @@ let test_journal_kind_roundtrip () =
       Journal.Cache_install { target = "obj#1"; epoch = 1 };
       Journal.Cache_invalidate { target = "obj#1"; epoch = 2 };
       Journal.Activate { target = "obj#1"; version = 4 };
+      Journal.Alert { rule = "inv-latency-p99"; firing = true };
+      Journal.Alert { rule = "retry-ratio"; firing = false };
     ]
   in
   let j = Journal.create (Journal.sink ()) ~node:0 ~cap:64 in
@@ -443,6 +692,50 @@ let test_journal_kind_roundtrip () =
     kinds;
   let back = List.map (fun e -> e.Journal.ev_kind) (Journal.events j) in
   check_bool "all kinds round-trip the ring encoding" true (back = kinds)
+
+(* Alert events obey the same retention accounting as every other
+   kind: cap 0 allocates ids but retains and drops nothing; a full
+   ring counts exactly the overwritten events as dropped. *)
+let test_journal_alert_retention () =
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:0 in
+  let first =
+    Journal.record j0 ~at:Time.zero
+      (Journal.Alert { rule = "r"; firing = true })
+  in
+  let second =
+    Journal.record j0 ~at:(Time.ms 1)
+      (Journal.Alert { rule = "r"; firing = false })
+  in
+  check_int "ids advance at cap 0" (first + 1) second;
+  check_int "nothing retained" 0 (List.length (Journal.events j0));
+  check_int "cap 0 never counts drops" 0 (Journal.dropped j0);
+  check_int "cap 0 records nothing either" 0 (Journal.recorded j0);
+  (* Mixed alert/other traffic through a cap-3 ring: 7 records leave
+     the newest 3, and dropped = recorded - retained exactly. *)
+  let j = Journal.create sink ~node:1 ~cap:3 in
+  let kinds =
+    [
+      Journal.Alert { rule = "a"; firing = true };
+      Journal.Retry { op = "get"; attempt = 1 };
+      Journal.Alert { rule = "b"; firing = true };
+      Journal.Send { msg = "m"; dst = Some 0 };
+      Journal.Alert { rule = "a"; firing = false };
+      Journal.Recv { msg = "m"; src = 0 };
+      Journal.Alert { rule = "b"; firing = false };
+    ]
+  in
+  List.iteri (fun i k -> ignore (Journal.record j ~at:(Time.ms i) k)) kinds;
+  check_int "recorded counts everything" 7 (Journal.recorded j);
+  check_int "dropped = recorded - retained" 4 (Journal.dropped j);
+  let back = List.map (fun e -> e.Journal.ev_kind) (Journal.events j) in
+  check_bool "newest three survive, kinds intact" true
+    (back
+    = [
+        Journal.Alert { rule = "a"; firing = false };
+        Journal.Recv { msg = "m"; src = 0 };
+        Journal.Alert { rule = "b"; firing = false };
+      ])
 
 (* A hand-built two-node exchange: send on node 0, causally linked
    recv on node 1.  The assembled timeline is id-sorted, spans both
@@ -553,6 +846,108 @@ let test_cluster_journal () =
   check_int "cap 0 retains nothing" 0 (Timeline.length (Cluster.timeline cl0))
 
 (* ------------------------------------------------------------------ *)
+(* The health plane wired through a cluster: sampler ticks on virtual
+   time, transitions journalled on node 0, hot objects tracked, and
+   the whole report a pure function of the seed. *)
+
+let health_test_config =
+  {
+    Health.hc_tick = Time.ms 1;
+    hc_short = 1;
+    hc_long = 2;
+    hc_rules =
+      [
+        {
+          Health.r_name = "inv-rate";
+          r_signal = Health.Rate "eden.invocations";
+          r_cmp = Health.Above;
+          r_threshold = 0.0;
+        };
+      ];
+  }
+
+let run_health_cluster seed =
+  let cl =
+    Cluster.default ~seed ~health:health_test_config ~n_nodes:3 ()
+  in
+  Cluster.register_type cl relay_type;
+  let target = ref "" in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let cap =
+          ok_or_fail "create"
+            (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+               (Value.Int 7))
+        in
+        target := Eden_kernel.Name.to_string (Eden_kernel.Capability.name cap);
+        for _ = 1 to 5 do
+          ignore
+            (ok_or_fail "get" (Cluster.invoke cl ~from:0 cap ~op:"get" []));
+          Engine.delay (Time.ms 2)
+        done;
+        (* Quiet tail: both windows drain and the rule clears. *)
+        Engine.delay (Time.ms 10))
+  in
+  Cluster.run cl;
+  (cl, !target)
+
+let test_cluster_health () =
+  let cl, target = run_health_cluster 7L in
+  let h =
+    match Cluster.health cl with
+    | Some h -> h
+    | None -> Alcotest.fail "health plane not enabled"
+  in
+  check_bool "sampler ticked" true (Health.ticks h > 10);
+  check_bool "fired and cleared" true (Health.transitions h >= 2);
+  check_int "quiet at the end" 0 (Health.firing h);
+  (* Transitions surface as metrics alongside everything else. *)
+  let samples = Metrics.sample (Cluster.metrics cl) in
+  (match Metrics.find samples "eden.health.transitions" with
+  | Some (Metrics.Counter n) ->
+    check_int "transitions counter matches" (Health.transitions h) n
+  | _ -> Alcotest.fail "eden.health.transitions not exported");
+  (match Metrics.find samples "eden.health.ticks" with
+  | Some (Metrics.Counter n) ->
+    check_int "ticks counter matches" (Health.ticks h) n
+  | _ -> Alcotest.fail "eden.health.ticks not exported");
+  (* Every transition is a causally traceable journal event on node 0,
+     visible in the merged timeline. *)
+  let alerts =
+    List.filter
+      (fun e ->
+        match e.Journal.ev_kind with Journal.Alert _ -> true | _ -> false)
+      (Timeline.events (Cluster.timeline cl))
+  in
+  check_int "journalled transitions" (Health.transitions h)
+    (List.length alerts);
+  check_bool "alerts recorded on node 0" true
+    (List.for_all (fun e -> e.Journal.ev_node = 0) alerts);
+  check_bool "first transition is a rise" true
+    (match (List.hd alerts).Journal.ev_kind with
+    | Journal.Alert { rule = "inv-rate"; firing } -> firing
+    | _ -> false);
+  check_int "timeline still checker-clean" 0
+    (List.length (Check.run (Cluster.timeline cl)));
+  (* The requester's sketch saw the invoked object. *)
+  check_bool "hot object tracked at the requester" true
+    (List.exists
+       (fun e -> e.Topk.e_key = target)
+       (Cluster.hot_objects cl 0));
+  check_bool "rollup sees it too" true
+    (List.exists
+       (fun e -> e.Topk.e_key = target)
+       (Cluster.hot_objects_rollup cl ()));
+  (* Same seed, same bytes: report and alert stream are deterministic. *)
+  let cl2, _ = run_health_cluster 7L in
+  let h2 = Option.get (Cluster.health cl2) in
+  check_string "report byte-identical across same-seed runs"
+    (Health.report h) (Health.report h2);
+  check_string "health JSON byte-identical"
+    (Json.to_string (Health.to_json h))
+    (Json.to_string (Health.to_json h2))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -564,6 +959,18 @@ let () =
             test_sample_determinism;
           Alcotest.test_case "histogram buckets" `Quick
             test_histogram_buckets;
+          Alcotest.test_case "guards and filtered iter" `Quick
+            test_metrics_guards;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "window basics" `Quick test_window_basics;
+          Alcotest.test_case "windowed quantile" `Quick
+            test_window_hist_quantile;
+          Alcotest.test_case "top-k sketch" `Quick test_topk_sketch;
+          Alcotest.test_case "watchdog rules" `Quick test_health_unit;
+          Alcotest.test_case "cluster health plane" `Quick
+            test_cluster_health;
         ] );
       ( "spans",
         [
@@ -595,6 +1002,8 @@ let () =
           Alcotest.test_case "ring semantics" `Quick test_journal_ring;
           Alcotest.test_case "kind round-trip" `Quick
             test_journal_kind_roundtrip;
+          Alcotest.test_case "alert retention accounting" `Quick
+            test_journal_alert_retention;
           Alcotest.test_case "timeline assembly" `Quick
             test_timeline_assemble;
           Alcotest.test_case "checker verdicts" `Quick test_checker;

@@ -497,6 +497,131 @@ let plan_roundtrip =
         if String.equal text (Plan.to_string p') then Ok ()
         else Error "re-rendered text differs")
 
+(* ------------------------------------------------------------------ *)
+(* Health-plane structures: window-merge algebra and the space-saving
+   error bounds. *)
+
+(* A per-tick stream of small integer-valued deltas (exact as floats,
+   so equality checks need no epsilon), plus a coin per tick deciding
+   which of two windows receives it. *)
+let gen_window_stream rng =
+  let ticks = Splitmix.int_in rng 1 12 in
+  let len = Splitmix.int rng 30 in
+  let stream =
+    List.init len (fun _ ->
+        (float_of_int (Splitmix.int rng 100), Splitmix.bool rng))
+  in
+  (ticks, stream)
+
+let window_merge_algebra =
+  Prop.case ~name:"Window.merge of a split stream = window of the whole"
+    ~base:0xB1A0_0001L ~gen:gen_window_stream
+    ~show:(fun (ticks, stream) ->
+      Printf.sprintf "ticks=%d stream=[%s]" ticks
+        (String.concat ";"
+           (List.map
+              (fun (v, left) -> Printf.sprintf "%g%s" v (if left then "l" else "r"))
+              stream)))
+    (fun (ticks, stream) ->
+      let whole = Eden_obs.Window.create ~ticks in
+      let left = Eden_obs.Window.create ~ticks in
+      let right = Eden_obs.Window.create ~ticks in
+      (* The two windows tick in lockstep: every tick lands in both,
+         the value going to one side and zero to the other. *)
+      List.iter
+        (fun (v, goes_left) ->
+          Eden_obs.Window.push whole v;
+          Eden_obs.Window.push left (if goes_left then v else 0.0);
+          Eden_obs.Window.push right (if goes_left then 0.0 else v))
+        stream;
+      let merged = Eden_obs.Window.merge left right in
+      let depths = List.init (ticks + 2) (fun k -> k + 1) in
+      let mismatch =
+        List.find_opt
+          (fun k ->
+            Eden_obs.Window.sum_last merged k
+            <> Eden_obs.Window.sum_last whole k
+            || Eden_obs.Window.max_last merged k
+               < Eden_obs.Window.max_last whole k)
+          (List.filter (fun k -> stream <> [] || k = 1) depths)
+      in
+      match mismatch with
+      | None ->
+        if Eden_obs.Window.filled merged = Eden_obs.Window.filled whole then
+          Ok ()
+        else Error "filled differs after merge"
+      | Some k -> Error (Printf.sprintf "sum_last %d differs" k))
+
+(* A seeded Zipf-ish stream over more keys than the sketch holds. *)
+let gen_topk_stream rng =
+  let capacity = Splitmix.int_in rng 4 16 in
+  let keys = capacity * 4 in
+  let len = Splitmix.int_in rng 50 400 in
+  let stream =
+    List.init len (fun _ ->
+        (* Skewed: low ranks dominate, like object invocation counts. *)
+        let r = Splitmix.float rng 1.0 in
+        let rank = int_of_float (float_of_int keys *. r *. r *. r) in
+        Printf.sprintf "obj%d" (min rank (keys - 1)))
+  in
+  (capacity, stream)
+
+let topk_error_bounds =
+  Prop.case ~name:"Topk estimates never undercount and err <= n/capacity"
+    ~base:0xB1A0_0002L ~gen:gen_topk_stream
+    ~show:(fun (capacity, stream) ->
+      Printf.sprintf "capacity=%d len=%d" capacity (List.length stream))
+    (fun (capacity, stream) ->
+      let t = Eden_obs.Topk.create ~capacity in
+      let true_counts = Hashtbl.create 64 in
+      List.iter
+        (fun key ->
+          Eden_obs.Topk.add t key;
+          Hashtbl.replace true_counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt true_counts key)))
+        stream;
+      let n = List.length stream in
+      if Eden_obs.Topk.total t <> n then Error "total miscounted"
+      else
+        let bad =
+          List.find_opt
+            (fun e ->
+              let truth =
+                Option.value ~default:0
+                  (Hashtbl.find_opt true_counts e.Eden_obs.Topk.e_key)
+              in
+              e.Eden_obs.Topk.e_count < truth
+              || e.Eden_obs.Topk.e_count - e.Eden_obs.Topk.e_err > truth
+              || e.Eden_obs.Topk.e_err * capacity > n)
+            (Eden_obs.Topk.entries t)
+        in
+        match bad with
+        | None ->
+          (* Any key heavier than n/capacity must be present. *)
+          let missing_heavy =
+            Hashtbl.fold
+              (fun key c acc ->
+                if
+                  c * capacity > n
+                  && not
+                       (List.exists
+                          (fun e -> e.Eden_obs.Topk.e_key = key)
+                          (Eden_obs.Topk.entries t))
+                then key :: acc
+                else acc)
+              true_counts []
+          in
+          if missing_heavy = [] then Ok ()
+          else
+            Error
+              (Printf.sprintf "heavy hitter %s missing"
+                 (List.hd missing_heavy))
+        | Some e ->
+          Error
+            (Printf.sprintf "bounds violated for %s (count %d err %d)"
+               e.Eden_obs.Topk.e_key e.Eden_obs.Topk.e_count
+               e.Eden_obs.Topk.e_err))
+
 let () =
   Alcotest.run "eden_props"
     [
@@ -519,4 +644,5 @@ let () =
         ] );
       ("traced", [ traced_roundtrip ]);
       ("fault_plan", [ plan_roundtrip ]);
+      ("health", [ window_merge_algebra; topk_error_bounds ]);
     ]

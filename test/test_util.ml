@@ -240,7 +240,23 @@ let test_stats_empty () =
   Alcotest.(check (float 1e-9)) "stddev empty" 0.0 (Stats.stddev s);
   Alcotest.check_raises "min empty"
     (Invalid_argument "Stats.min_value: empty sample") (fun () ->
-      ignore (Stats.min_value s))
+      ignore (Stats.min_value s));
+  (* An empty sample has no order statistics: percentile (and median,
+     which is percentile 50) raise rather than invent a 0.0 or nan
+     that would flow into comparisons unnoticed.  This is the
+     documented boundary — callers with maybe-empty windows must
+     check [count] first. *)
+  Alcotest.check_raises "percentile empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile s 99.0));
+  Alcotest.check_raises "median empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.median s));
+  (* The raise happens before the range check: still the empty-sample
+     error even for an out-of-range p. *)
+  Alcotest.check_raises "empty beats out-of-range"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile s 200.0))
 
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
