@@ -2,7 +2,7 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  trace-check health-check determinism clean help
+  trace-check health-check tail-check determinism clean help
 
 all: build
 
@@ -18,6 +18,7 @@ help:
 	@echo "make chaos        - fault-injection suite + same-seed snapshot cmp"
 	@echo "make trace-check  - chaos trace invariants + same-seed timeline cmp"
 	@echo "make health-check - same-seed health reports must be byte-identical"
+	@echo "make tail-check   - speculation smoke: E22 tails + clone trace invariant"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -56,6 +57,7 @@ ci:
 	$(MAKE) chaos
 	$(MAKE) trace-check
 	$(MAKE) health-check
+	$(MAKE) tail-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -122,6 +124,20 @@ health-check:
 	  --out /tmp/eden_health_b.txt
 	cmp /tmp/eden_health_a.txt /tmp/eden_health_b.txt
 	@echo "health-check: OK (alerts and hot objects deterministic)"
+
+# Speculation: the E22 smoke (cloning + hedging must cut p999 under
+# slow-node chaos without taxing p50 — asserted inside the
+# experiment), then the chaos workload with speculation on: the
+# clone-resolution trace invariant must hold and same-seed timelines
+# stay byte-identical.
+tail-check:
+	dune exec bench/main.exe -- E22 --smoke
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --clone --hedge \
+	  --check --text /tmp/eden_tail_a.txt
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --clone --hedge \
+	  --check --text /tmp/eden_tail_b.txt
+	cmp /tmp/eden_tail_a.txt /tmp/eden_tail_b.txt
+	@echo "tail-check: OK (tails cut, clone invariant holds, deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

@@ -1,0 +1,215 @@
+(* E22 — tail latency under speculation: request cloning + hedging.
+
+   The hot path's defence against stragglers is speculative: read-only
+   invocations on a frozen object fan out to the home site and every
+   known replica (first response wins, losers get an urgent cancel),
+   and non-cloned requests are re-sent once when a reply takes longer
+   than the windowed latency quantile.  Neither changes what a request
+   computes, only who answers it — so the payoff must show up purely
+   in the latency distribution.
+
+   Part A: slow-node chaos.  A frozen object lives on [home] with
+   replicas on two other nodes; node 0 reads it on a fixed cadence
+   while a fault plan degrades [home] mid-run (every unicast touching
+   it held back — latency tails, not absence).  Baseline reads keep
+   going to the hinted home and eat the delay; with speculation on,
+   the fan-out reaches an undegraded replica.  Acceptance: p999
+   improves at least 3x with cloning + hedging, while p50 regresses
+   under 5% (the speculation tax: extra copies and cancels).
+
+   Part B: near-saturation Ethernet.  No faults; instead two
+   background processes pump blob-carrying invocations through the
+   shared segment while node 0 runs the same read cadence.  Queueing
+   in the collision domain, not any single node, makes the stragglers
+   here, so this reports how speculation behaves when the network
+   itself is the bottleneck (cloning adds traffic; the win is smaller
+   and can invert — the numbers are reported, not gated).
+
+   `make tail-check` runs the smoke variant: part A only, a shorter
+   read stream, and the same acceptance thresholds. *)
+
+open Eden_util
+open Eden_sim
+open Eden_kernel
+open Common
+
+let smoke = ref false
+
+let nodes = 6
+let home = 5
+let replicas = [ 1; 2 ]
+let read_gap = Time.ms 5
+let slow_by = Time.ms 25
+
+let options ~clone ~hedge =
+  {
+    Cluster.default_options with
+    Cluster.speculate =
+      { Api.no_speculation with Api.sp_clone = clone; sp_hedge = hedge };
+  }
+
+let counter cl name =
+  match
+    Eden_obs.Snapshot.find (Cluster.metrics_snapshot cl)
+      ~labels:[ ("node", "0") ] name
+  with
+  | Some (Eden_obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+(* Create the frozen object, replicate it, and warm the requester:
+   a few unmeasured reads teach node 0 the replica sites (clone
+   fan-out candidates) and seed the hedge window. *)
+let build cl =
+  drive cl (fun () ->
+      let cap =
+        must "create"
+          (Cluster.create_object cl ~node:home ~type_name:"bench_obj"
+             (Value.Int 7))
+      in
+      must "freeze" (Cluster.freeze cl cap);
+      List.iter
+        (fun n -> must "replicate" (Cluster.replicate cl cap ~to_node:n))
+        replicas;
+      for _ = 1 to 8 do
+        Engine.delay read_gap;
+        ignore
+          (must "warm"
+             (Cluster.invoke cl ~from:0 ~timeout:(Time.s 1) cap ~op:"get" []))
+      done;
+      cap)
+
+let read_stream cl cap ~reads =
+  let lat = Stats.create () in
+  drive cl (fun () ->
+      for _ = 1 to reads do
+        Engine.delay read_gap;
+        let d, _ =
+          timed cl (fun () ->
+              must "get"
+                (Cluster.invoke cl ~from:0 ~timeout:(Time.s 1) cap ~op:"get"
+                   []))
+        in
+        Stats.add_time lat d
+      done);
+  lat
+
+let pms lat p = Stats.percentile lat p *. 1e3
+
+let report label lat =
+  Printf.printf "  %-18s p50 %7.3fms   p99 %7.3fms   p999 %7.3fms\n" label
+    (pms lat 50.0) (pms lat 99.0) (pms lat 99.9)
+
+(* ------------------------------------------------------------------ *)
+(* Part A: slow-node chaos *)
+
+(* The slow window sits in the middle of the stream and covers ~15% of
+   it, so the tail percentiles land inside the degradation and the
+   median outside it. *)
+let chaos_run ~clone ~hedge ~reads =
+  let cl =
+    fresh_cluster ~seed:7L ~options:(options ~clone ~hedge) ~n:nodes ()
+  in
+  let cap = build cl in
+  let span = Time.scale read_gap reads in
+  let from = Time.divide span 2 in
+  let until = Time.add from (Time.divide span 6) in
+  let plan =
+    Eden_fault.Plan.make
+      [
+        {
+          Eden_fault.Plan.at = from;
+          action = Eden_fault.Plan.Slow_node { node = home; by = slow_by };
+        };
+        { Eden_fault.Plan.at = until; action = Eden_fault.Plan.Heal_slow home };
+      ]
+  in
+  let _ctl = Eden_fault.Controller.arm cl plan in
+  let lat = read_stream cl cap ~reads in
+  (cl, lat)
+
+let part_a ~reads =
+  note "part A: %d reads, home degraded by %s for ~1/6 of the stream" reads
+    (Time.to_string slow_by);
+  let _, base = chaos_run ~clone:false ~hedge:false ~reads in
+  report "baseline" base;
+  (* Hedge-only: one request as usual, a second copy to an alternate
+     replica only once the reply outruns the windowed quantile.  Tail
+     bounded by threshold + a fast round trip, at a fraction of
+     cloning's traffic. *)
+  let hcl, honly = chaos_run ~clone:false ~hedge:true ~reads in
+  report "hedge-only" honly;
+  let hedges_only = counter hcl "eden.hedge.sent" in
+  let cl, spec = chaos_run ~clone:true ~hedge:true ~reads in
+  report "clone+hedge" spec;
+  let fanouts = counter cl "eden.clone.fanouts" in
+  let cancels = counter cl "eden.clone.cancels" in
+  note "speculation: %d fan-outs, %d cancels; %d hedges in hedge-only"
+    fanouts cancels hedges_only;
+  let p999_gain = pms base 99.9 /. pms spec 99.9 in
+  let hedge_gain = pms base 99.9 /. pms honly 99.9 in
+  let p50_tax = (pms spec 50.0 /. pms base 50.0) -. 1.0 in
+  note "p999 %.1fx better (hedge-only %.1fx), p50 %+.2f%% (acceptance: >= \
+        3x, < 5%%)"
+    p999_gain hedge_gain (100.0 *. p50_tax);
+  assert (fanouts > 0);
+  assert (hedges_only > 0);
+  assert (p999_gain >= 3.0);
+  assert (p50_tax < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Part B: near-saturation Ethernet *)
+
+(* Blob-pumping background processes push the shared segment toward
+   saturation; the measured reads queue behind them in the collision
+   domain. *)
+let saturated_run ~clone ~hedge ~reads =
+  let cl =
+    fresh_cluster ~seed:7L ~options:(options ~clone ~hedge) ~n:nodes ()
+  in
+  let cap = build cl in
+  let noise =
+    drive cl (fun () ->
+        must "create noise"
+          (Cluster.create_object cl ~node:4 ~type_name:"bench_obj" Value.Unit))
+  in
+  let span = Time.scale read_gap (reads + 4) in
+  List.iter
+    (fun (src, gap) ->
+      ignore
+        (Cluster.in_process cl (fun () ->
+             let eng = Cluster.engine cl in
+             let stop = Time.add (Engine.now eng) span in
+             while Time.compare (Engine.now eng) stop < 0 do
+               (* The blob comes back in the echo, so each pump loads
+                  both directions; the two cadences together put the
+                  10 Mb/s segment around 70% utilisation — and they
+                  deliberately differ, or the pumps would collide in
+                  lockstep forever.  Well past the knee of the
+                  collision curve, short of queueing collapse. *)
+               Engine.delay gap;
+               ignore
+                 (Cluster.invoke_async cl ~from:src noise ~op:"work"
+                    [ Value.Blob 900; Value.Int 5 ])
+             done)))
+    [ (2, Time.us 6100); (3, Time.us 7300) ];
+  let lat = read_stream cl cap ~reads in
+  (cl, lat)
+
+let part_b ~reads =
+  note "part B: %d reads against two blob pumps on the shared segment"
+    reads;
+  let _, base = saturated_run ~clone:false ~hedge:false ~reads in
+  report "baseline" base;
+  let cl, spec = saturated_run ~clone:true ~hedge:true ~reads in
+  report "clone+hedge" spec;
+  note "speculation: %d fan-outs, %d cancels, %d hedges"
+    (counter cl "eden.clone.fanouts")
+    (counter cl "eden.clone.cancels")
+    (counter cl "eden.hedge.sent")
+
+let run () =
+  heading "E22" "tail latency: request cloning and hedged retries";
+  let reads = if !smoke then 150 else 400 in
+  part_a ~reads;
+  if not !smoke then part_b ~reads;
+  note "E22 acceptance holds"

@@ -27,6 +27,7 @@ let experiments =
     ("E19", "delta + async checkpoints vs full sync", Exp_delta.run);
     ("E20", "event-journal overhead on invocation", Exp_journal.run);
     ("E21", "health-plane overhead and hot-object recovery", Exp_health.run);
+    ("E22", "tail latency: request cloning and hedged retries", Exp_tail.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 
@@ -42,8 +43,9 @@ let run_one (id, _, run) =
   run ();
   Common.attach_metrics ~id ()
 
-(* Pull [--trace-out FILE] out of the argument list (it modifies how
-   E18 runs rather than selecting an experiment). *)
+(* Pull [--trace-out FILE] and [--smoke] out of the argument list
+   (they modify how E18 / E22 run rather than selecting an
+   experiment). *)
 let rec extract_trace_out = function
   | [] -> []
   | "--trace-out" :: file :: rest ->
@@ -52,6 +54,9 @@ let rec extract_trace_out = function
   | [ "--trace-out" ] ->
     Printf.eprintf "--trace-out needs a file argument\n";
     exit 1
+  | "--smoke" :: rest ->
+    Exp_tail.smoke := true;
+    extract_trace_out rest
   | a :: rest -> a :: extract_trace_out rest
 
 let () =

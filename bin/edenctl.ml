@@ -98,11 +98,32 @@ let ckpt_async_t =
            persist their updates use $(b,checkpoint_async), so the \
            writes overlap the request stream instead of blocking it.")
 
-let cluster_options ~replica_cache ~ckpt_delta =
+let clone_t =
+  Arg.(
+    value & flag
+    & info [ "clone" ]
+        ~doc:
+          "Speculatively clone read-only invocations on frozen objects \
+           to every known replica site; the first response wins and \
+           the losing sites receive an urgent cancel.")
+
+let hedge_t =
+  Arg.(
+    value & flag
+    & info [ "hedge" ]
+        ~doc:
+          "Hedge straggling requests: when a reply takes longer than \
+           the windowed latency quantile, re-send the same request \
+           once (the server suppresses the duplicate).")
+
+let cluster_options ?(clone = false) ?(hedge = false) ~replica_cache
+    ~ckpt_delta () =
   {
     Cluster.default_options with
     Cluster.use_replica_cache = replica_cache;
     Cluster.use_ckpt_delta = ckpt_delta;
+    Cluster.speculate =
+      { Api.no_speculation with Api.sp_clone = clone; sp_hedge = hedge };
   }
 
 let cluster_coalesce coalesce =
@@ -270,7 +291,7 @@ let run_synth nodes seed locality requests fault_plan replica_cache coalesce
      any checkpoint traffic (e.g. a fault plan forcing recovery). *)
   let cl =
     Cluster.default ~seed:(Int64.of_int seed)
-      ~options:(cluster_options ~replica_cache ~ckpt_delta)
+      ~options:(cluster_options ~replica_cache ~ckpt_delta ())
       ?coalesce:(cluster_coalesce coalesce) ~n_nodes:nodes ()
   in
   setup_trace cl trace;
@@ -531,8 +552,9 @@ let chaos_horizon = Time.s 2
    [trace] (journal/timeline-oriented): mirrored counters under a
    deterministic fault plan, driven entirely by the virtual clock and
    the seed.  Returns the finished cluster for post-run inspection. *)
-let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
-    ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
+let chaos_workload ?health ?(clone = false) ?(hedge = false) ~nodes ~seed
+    ~fault_plan ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async
+    ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -548,7 +570,7 @@ let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
   in
   let cl =
     Cluster.create ~seed:(Int64.of_int seed) ~segments
-      ~options:(cluster_options ~replica_cache ~ckpt_delta)
+      ~options:(cluster_options ~clone ~hedge ~replica_cache ~ckpt_delta ())
       ?coalesce:(cluster_coalesce coalesce) ?health ~configs ()
   in
   Cluster.register_type cl (chaos_type ~async:ckpt_async);
@@ -588,6 +610,33 @@ let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
               cap))
   in
   Cluster.run cl;
+  (* A frozen, replicated object gives speculation something to fan
+     out on: reads from a replica-less node clone to home + replicas,
+     and hedged retries re-send the stragglers.  Built fault-free like
+     the counters. *)
+  let frozen = ref None in
+  if clone || hedge then begin
+    let _ =
+      Cluster.in_process cl (fun () ->
+          match
+            Cluster.create_object cl ~node:(nodes - 1)
+              ~type_name:"chaos_counter" (Value.Int 7)
+          with
+          | Error e -> failwith ("create frozen: " ^ Error.to_string e)
+          | Ok cap ->
+            (match Cluster.freeze cl cap with
+            | Ok () -> ()
+            | Error e -> failwith ("freeze: " ^ Error.to_string e));
+            List.iter
+              (fun n ->
+                match Cluster.replicate cl cap ~to_node:n with
+                | Ok () -> ()
+                | Error e -> failwith ("replicate: " ^ Error.to_string e))
+              (if nodes >= 4 then [ 1; 2 ] else []);
+            frozen := Some cap)
+    in
+    Cluster.run cl
+  end;
   let ctl = Eden_fault.Controller.arm ~seed:(Int64.of_int seed) cl plan in
   let ok = ref 0 and failed = ref 0 in
   let _ =
@@ -597,12 +646,23 @@ let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
         for r = 0 to requests - 1 do
           Engine.delay (Time.ms 10);
           let cap = (!caps).(r mod nodes) in
-          match
-            Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
-              ~retry:Api.default_retry cap ~op:"incr" []
-          with
+          (match
+             Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+               ~retry:Api.default_retry cap ~op:"incr" []
+           with
           | Ok _ -> incr ok
-          | Error _ -> incr failed
+          | Error _ -> incr failed);
+          match !frozen with
+          | Some fcap -> (
+            (* Interleave reads of the frozen object so the clone /
+               hedge path sees the same chaos the counters do. *)
+            match
+              Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+                ~retry:Api.default_retry fcap ~op:"get" []
+            with
+            | Ok _ -> incr ok
+            | Error _ -> incr failed)
+          | None -> ()
         done)
   in
   Cluster.run cl;
@@ -617,10 +677,10 @@ let chaos_workload ?health ~nodes ~seed ~fault_plan ~requests ~replica_cache
   cl
 
 let run_chaos nodes seed fault_plan requests replica_cache coalesce
-    ckpt_delta ckpt_async trace metrics_out =
+    ckpt_delta ckpt_async clone hedge trace metrics_out =
   let cl =
-    chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
-      ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
+    chaos_workload ~clone ~hedge ~nodes ~seed ~fault_plan ~requests
+      ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
   in
   write_metrics cl metrics_out;
   summary cl
@@ -640,7 +700,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
-      $ trace_t $ metrics_out_t)
+      $ clone_t $ hedge_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* trace: run the chaos workload, assemble the per-node journals into
@@ -658,10 +718,10 @@ let write_file ~path content =
     exit 1
 
 let run_trace nodes seed fault_plan requests replica_cache coalesce ckpt_delta
-    ckpt_async out text check =
+    ckpt_async clone hedge out text check =
   let cl =
-    chaos_workload ~nodes ~seed ~fault_plan ~requests ~replica_cache
-      ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
+    chaos_workload ~clone ~hedge ~nodes ~seed ~fault_plan ~requests
+      ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
   in
   let tl = Cluster.timeline cl in
   let dropped = Cluster.journal_dropped cl in
@@ -738,8 +798,8 @@ let trace_cmd =
           merged cross-node timeline.")
     Term.(
       const run_trace $ nodes_t $ seed_t $ fault_plan_t $ requests_t
-      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t $ out_t
-      $ text_out_t $ check_t)
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
+      $ clone_t $ hedge_t $ out_t $ text_out_t $ check_t)
 
 (* ------------------------------------------------------------------ *)
 (* health / top: run the chaos workload with the health plane enabled

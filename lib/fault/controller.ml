@@ -7,6 +7,8 @@ type t = {
   cl : Cluster.t;
   rng : Splitmix.t;
   links : (int * int, Plan.link_kind * float) Hashtbl.t;
+  (* nodes currently degraded: every unicast touching one is held *)
+  slow : (int, Time.t) Hashtbl.t;
   mutable armed : bool;
   mutable n_injected : int;
   c_injected : Metrics.counter;
@@ -17,6 +19,7 @@ type t = {
   c_drops : Metrics.counter;
   c_dups : Metrics.counter;
   c_delays : Metrics.counter;
+  c_slow : Metrics.counter;
 }
 
 let count ctl c =
@@ -45,30 +48,58 @@ let apply ctl ev =
   | Plan.Break_link { src; dst; kind; p } ->
     Hashtbl.replace ctl.links (src, dst) (kind, p)
   | Plan.Heal_link { src; dst } -> Hashtbl.remove ctl.links (src, dst)
+  | Plan.Slow_node { node; by } ->
+    Hashtbl.replace ctl.slow node by;
+    count ctl ctl.c_slow
+  | Plan.Heal_slow n -> Hashtbl.remove ctl.slow n
 
 (* The per-message decision consulted by the transport.  Unicast only:
-   locate broadcasts and destroy notices stay reliable. *)
+   locate broadcasts and destroy notices stay reliable.  The link coin
+   is flipped first and exactly as without slow nodes, so arming a
+   [Slow_node] never shifts the PRNG stream feeding link faults; the
+   slow-node hold (a fixed, coin-free delay charged when either end of
+   the transfer is degraded) then stacks on a Pass or Delay verdict.
+   A Drop loses the message regardless and a Duplicate keeps its
+   immediate double transmission — the fault type cannot express
+   duplicate-and-delay, and a fast duplicate only makes the tail
+   harder on the cloning machinery, which is the point. *)
 let decide ctl ~src ~dst =
   if not ctl.armed then Transport.Pass
   else
     match dst with
     | None -> Transport.Pass
-    | Some g -> (
-      match Hashtbl.find_opt ctl.links (src, g) with
-      | None -> Transport.Pass
-      | Some (kind, p) ->
-        if not (Splitmix.coin ctl.rng p) then Transport.Pass
-        else (
-          match kind with
-          | Plan.Drop ->
-            count ctl ctl.c_drops;
-            Transport.Drop
-          | Plan.Duplicate ->
-            count ctl ctl.c_dups;
-            Transport.Duplicate
-          | Plan.Delay d ->
-            count ctl ctl.c_delays;
-            Transport.Delay d))
+    | Some g ->
+      let verdict =
+        match Hashtbl.find_opt ctl.links (src, g) with
+        | None -> Transport.Pass
+        | Some (kind, p) ->
+          if not (Splitmix.coin ctl.rng p) then Transport.Pass
+          else (
+            match kind with
+            | Plan.Drop ->
+              count ctl ctl.c_drops;
+              Transport.Drop
+            | Plan.Duplicate ->
+              count ctl ctl.c_dups;
+              Transport.Duplicate
+            | Plan.Delay d ->
+              count ctl ctl.c_delays;
+              Transport.Delay d)
+      in
+      let slow_by =
+        let at n acc =
+          match Hashtbl.find_opt ctl.slow n with
+          | Some d -> Time.add acc d
+          | None -> acc
+        in
+        at src (at g Time.zero)
+      in
+      if Time.to_ns slow_by = 0 then verdict
+      else (
+        match verdict with
+        | Transport.Pass -> Transport.Delay slow_by
+        | Transport.Delay d -> Transport.Delay (Time.add d slow_by)
+        | (Transport.Drop | Transport.Duplicate) as v -> v)
 
 let arm ?(seed = 0xFA17L) cl plan =
   let reg = Cluster.metrics cl in
@@ -80,6 +111,7 @@ let arm ?(seed = 0xFA17L) cl plan =
       cl;
       rng = Splitmix.create seed;
       links = Hashtbl.create 8;
+      slow = Hashtbl.create 4;
       armed = true;
       n_injected = 0;
       c_injected = Metrics.counter reg "fault.injected";
@@ -90,6 +122,7 @@ let arm ?(seed = 0xFA17L) cl plan =
       c_drops = Metrics.counter reg "fault.link_drops";
       c_dups = Metrics.counter reg "fault.link_dups";
       c_delays = Metrics.counter reg "fault.link_delays";
+      c_slow = Metrics.counter reg "fault.slow_nodes";
     }
   in
   Transport.set_fault_injector (Cluster.network cl)
@@ -115,7 +148,12 @@ let broken_links ctl =
   Hashtbl.fold (fun k _ acc -> k :: acc) ctl.links []
   |> List.sort compare
 
+let slow_nodes ctl =
+  Hashtbl.fold (fun n d acc -> (n, d) :: acc) ctl.slow []
+  |> List.sort compare
+
 let disarm ctl =
   ctl.armed <- false;
   Hashtbl.reset ctl.links;
+  Hashtbl.reset ctl.slow;
   Transport.set_fault_injector (Cluster.network ctl.cl) None

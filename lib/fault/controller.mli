@@ -15,7 +15,14 @@
     [fault.injected] (every fault the controller actually applied) and
     the per-kind breakdown [fault.node_crashes], [fault.node_restarts],
     [fault.disk_failures], [fault.partitions], [fault.link_drops],
-    [fault.link_dups], [fault.link_delays]. *)
+    [fault.link_dups], [fault.link_delays], [fault.slow_nodes].
+
+    A {!Plan.action.Slow_node} degrades a node rather than a link:
+    every unicast the node sends {e or} receives is held by the given
+    delay (stacking with any link-fault delay; coin-free, so it never
+    perturbs the link PRNG stream).  This makes latency {e tails}
+    rather than absence — the degradation mode the cloning and hedging
+    machinery is built to survive. *)
 
 type t
 
@@ -31,6 +38,10 @@ val injected : t -> int
 
 val broken_links : t -> (int * int) list
 (** Currently-broken (src, dst) pairs, sorted — for tests. *)
+
+val slow_nodes : t -> (int * Eden_util.Time.t) list
+(** Currently-degraded nodes with their hold delay, sorted — for
+    tests. *)
 
 val disarm : t -> unit
 (** Remove the transport hook and heal all link faults.  Scheduled

@@ -14,6 +14,8 @@ type action =
   | Heal_segment of int
   | Break_link of { src : int; dst : int; kind : link_kind; p : float }
   | Heal_link of { src : int; dst : int }
+  | Slow_node of { node : int; by : Time.t }
+  | Heal_slow of int
 
 type event = { at : Time.t; action : action }
 type t = event list
@@ -55,6 +57,9 @@ let action_to_string = function
       Printf.sprintf "delay %d->%d %s p=%s" src dst (time_to_string d)
         (prob_to_string p))
   | Heal_link { src; dst } -> Printf.sprintf "heal-link %d->%d" src dst
+  | Slow_node { node; by } ->
+    Printf.sprintf "slow %d %s" node (time_to_string by)
+  | Heal_slow n -> Printf.sprintf "heal-slow %d" n
 
 let to_string t =
   String.concat ""
@@ -135,6 +140,11 @@ let parse_action tokens =
     | _ -> None)
   | [ "heal-link"; link ] ->
     Option.map (fun (src, dst) -> Heal_link { src; dst }) (parse_link link)
+  | [ "slow"; n; d ] -> (
+    match (int_tok n, parse_time d) with
+    | Some node, Some by -> Some (Slow_node { node; by })
+    | _ -> None)
+  | [ "heal-slow"; n ] -> Option.map (fun n -> Heal_slow n) (int_tok n)
   | _ -> None
 
 let strip_comment line =
@@ -208,7 +218,13 @@ let validate t ~nodes ~segments =
         else Ok ()
       | Heal_link { src; dst } ->
         let* () = check_node src "link src" in
-        check_node dst "link dst")
+        check_node dst "link dst"
+      | Slow_node { node; by } ->
+        let* () = check_node node "node" in
+        if Time.to_ns by <= 0 then
+          Error (Printf.sprintf "slow %d: delay must be positive" node)
+        else Ok ()
+      | Heal_slow n -> check_node n "node")
     (Ok ()) t
 
 (* ------------------------------------------------------------------ *)
@@ -265,6 +281,23 @@ let random ~seed ~nodes ~segments ~horizon =
     in
     push cut (Partition_segment s);
     push heal (Heal_segment s)
+  end;
+  (* Sometimes a slow-node window: a straggler, not an absence — the
+     degradation pattern speculative cloning and hedging defend
+     against. *)
+  if Splitmix.coin rng 0.5 then begin
+    let v = pick_node () in
+    let by = Time.ms (1 + Splitmix.int rng 8) in
+    let from =
+      rand_time rng ~lo:(frac horizon 0.10) ~hi:(frac horizon 0.45)
+    in
+    let heal =
+      rand_time rng
+        ~lo:(Time.add from (frac horizon 0.10))
+        ~hi:(frac horizon 0.80)
+    in
+    push from (Slow_node { node = v; by });
+    push heal (Heal_slow v)
   end;
   (* A few lossy-link windows. *)
   let n_links = Splitmix.int rng 3 in

@@ -24,6 +24,8 @@
     at 60ms   dup 0->2 p=0.25
     at 70ms   delay 0->2 2ms p=1
     at 300ms  heal-link 0->2
+    at 100ms  slow 3 5ms
+    at 500ms  heal-slow 3
     v}
 
     Times accept [ns]/[us]/[ms]/[s] suffixes.  Link faults are
@@ -44,6 +46,12 @@ type action =
   | Heal_segment of int
   | Break_link of { src : int; dst : int; kind : link_kind; p : float }
   | Heal_link of { src : int; dst : int }
+  | Slow_node of { node : int; by : Eden_util.Time.t }
+      (** degrade the node without killing it: every unicast it sends
+          or receives is held back by [by].  Creates latency tails —
+          the degradation chaos plans need for hedging and cloning to
+          bite — where [Crash_node] only creates absence. *)
+  | Heal_slow of int
 
 type event = { at : Eden_util.Time.t; action : action }
 

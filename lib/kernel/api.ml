@@ -18,6 +18,25 @@ let backoff p i =
   if Time.is_zero p.r_base then Time.zero
   else Time.min p.r_cap (Time.scale p.r_base (1 lsl min i 20))
 
+type speculate = {
+  sp_clone : bool;
+  sp_hedge : bool;
+  sp_max_sites : int;
+  sp_quantile : float;
+}
+
+let no_speculation =
+  { sp_clone = false; sp_hedge = false; sp_max_sites = 3; sp_quantile = 0.95 }
+
+let default_speculate = { no_speculation with sp_clone = true; sp_hedge = true }
+
+let validate_speculate s =
+  if s.sp_max_sites < 2 then
+    Error "speculation needs at least two fan-out sites"
+  else if Float.is_nan s.sp_quantile || s.sp_quantile <= 0.0 || s.sp_quantile >= 1.0
+  then Error "hedge quantile must lie strictly inside (0,1)"
+  else Ok ()
+
 type ctx = {
   self : Capability.t;
   node_id : unit -> int;

@@ -30,6 +30,34 @@ val backoff : retry -> int -> Eden_util.Time.t
 (** [backoff p i] is the pause before re-issuing after failed attempt
     [i] (0-based): [min r_cap (r_base * 2^i)]. *)
 
+type speculate = {
+  sp_clone : bool;
+      (** clone read requests on frozen objects to every known replica
+          site, first response wins, losers are cancelled *)
+  sp_hedge : bool;
+      (** re-issue a non-cloned request that has outrun the windowed
+          latency quantile below, without abandoning the original *)
+  sp_max_sites : int;
+      (** cap on the total fan-out of one cloned request, the primary
+          destination included (at least 2) *)
+  sp_quantile : float;
+      (** the hedged retry fires when an attempt's wait exceeds this
+          quantile of recently observed remote round trips — strictly
+          inside (0,1); 0.95 hedges roughly the slowest 5% *)
+}
+(** Speculation policy for the invocation hot path.  Cloning and
+    hedging both trade duplicate work for tail latency; the serving
+    side's idempotence bookkeeping makes the duplicates harmless. *)
+
+val no_speculation : speculate
+(** Both mechanisms off (the historical behaviour). *)
+
+val default_speculate : speculate
+(** Cloning and hedging on: fan out to at most 3 sites, hedge at the
+    0.95 quantile. *)
+
+val validate_speculate : speculate -> (unit, string) result
+
 type ctx = {
   self : Capability.t;  (** full-rights capability for this object *)
   node_id : unit -> int;  (** the node currently executing us *)

@@ -8,6 +8,7 @@ module Tracectx = Eden_obs.Tracectx
 module Timeline = Eden_obs.Timeline
 module Health = Eden_obs.Health
 module Topk = Eden_obs.Topk
+module Window = Eden_obs.Window
 
 type node_id = int
 
@@ -99,8 +100,19 @@ type locate_state = {
       (* filled as soon as an active/replica site answers *)
 }
 
+(* One speculative fan-out: the same request id sent to every site in
+   the clone set.  The first real result wins (and names the site it
+   came from, so losers can be told apart and cancelled); nacks are
+   only an answer once every site has nacked. *)
+type clone_state = {
+  cp_pr : (inv_outcome * node_id) Promise.t;
+  cp_count : int;  (* sites fanned out to *)
+  mutable cp_nacks : int;
+}
+
 type pending =
   | P_invoke of inv_outcome Promise.t
+  | P_clone of clone_state
   | P_locate of locate_state
   | P_create of (Capability.t, Error.t) result Promise.t
   | P_ack of bool Promise.t
@@ -140,6 +152,16 @@ type node = {
       (* coalesces concurrent locate broadcasts for one name *)
   nd_pending : (int, pending) Hashtbl.t;
   nd_seq : Idgen.t;
+  nd_clone_sites : node_id list Name.Table.t;
+      (* replica sites learned from locate answers and frozen-hinted
+         replies: the clone set for speculative reads.  Hints in
+         Lampson's sense — a stale site just nacks its clone, which
+         also evicts the entry *)
+  nd_recent : Dedup.t;
+      (* serving-side idempotence bookkeeping: recently seen request
+         ids and what became of them, so duplicated, hedged and
+         cancelled clones never double-apply (volatile; reset on
+         crash) *)
   nd_types_loaded : (string, unit) Hashtbl.t;
   mutable nd_kprocs : Engine.Pid.t list;
   mutable nd_ckpt_async : int;
@@ -156,6 +178,7 @@ type options = {
   coalesce_locates : bool;
   use_replica_cache : bool;
   use_ckpt_delta : bool;
+  speculate : Api.speculate;
 }
 
 let default_options =
@@ -165,6 +188,7 @@ let default_options =
     coalesce_locates = true;
     use_replica_cache = false;
     use_ckpt_delta = false;
+    speculate = Api.no_speculation;
   }
 
 (* Owned per-node counters on the invocation hot path (the sampled
@@ -193,6 +217,14 @@ type node_metrics = {
          re-sent as full writes *)
   m_ckpt_coalesced : Metrics.counter;
       (* checkpoint requests folded into an in-flight round *)
+  m_clone_fanouts : Metrics.counter;
+      (* speculative fan-outs issued from this node *)
+  m_clone_cancels : Metrics.counter;  (* cancellations sent to losers *)
+  m_hedges : Metrics.counter;  (* hedged retries fired from this node *)
+  m_dedup : Metrics.counter;
+      (* duplicate requests dropped by the idempotence table here *)
+  m_retracted : Metrics.counter;
+      (* queued work dropped unexecuted because a cancel arrived *)
 }
 
 (* The health plane, present only when [Cluster.create ~health] asked
@@ -209,6 +241,20 @@ type health_plane = {
    total/capacity, so doubling this halves the worst-case
    over-estimate. *)
 let topk_capacity = 64
+
+(* Cluster-wide remote round-trip telemetry for hedged retries: the
+   requester path bumps a cumulative bucket count per observed RTT and
+   an engine sampler closes one tick at a time into a sliding
+   {!Window.Hist}, exactly the windowed-quantile machinery the health
+   plane's burn-rate rules use.  The hedge threshold is then a live
+   quantile of recent RTTs rather than a guessed constant. *)
+type hedge_state = {
+  hs_hist : Window.Hist.h;
+  hs_cum : int array;  (* cumulative per-bucket observation counts *)
+  mutable hs_cum_over : int;
+  hs_prev : int array;  (* the counts at the last closed tick *)
+  mutable hs_prev_over : int;
+}
 
 type t = {
   eng : Engine.t;
@@ -231,6 +277,7 @@ type t = {
          giving nested [ctx.invoke] calls their parent link *)
   c_jsink : Journal.sink;  (* shared event-id allocator for all journals *)
   mutable c_health : health_plane option;
+  c_hedge : hedge_state option;  (* present iff hedging is enabled *)
 }
 
 let locate_window = Time.ms 3
@@ -254,6 +301,19 @@ let max_hops = 8
    locate-retry storms: log-spaced 1-3-10 bucket bounds, in seconds. *)
 let latency_buckets =
   [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0 |]
+
+(* Hedge telemetry window: 1000 one-millisecond ticks.  The window
+   must out-span a degradation episode, or the quantile chases the
+   inflated latencies — each slow reply pushes the threshold past the
+   next, and hedging disarms itself exactly when it is needed.  A
+   second of history keeps the healthy baseline in the estimate. *)
+let hedge_tick = Time.ms 1
+let hedge_ticks = 1000
+
+(* Serving-side idempotence table size.  Bounds memory, not
+   correctness: sequence numbers are never reissued, so eviction can
+   only let a duplicate re-execute, never drop a fresh request. *)
+let dedup_cap = 8192
 
 exception Fatal of string
 (* Internal invariant violations surface loudly instead of corrupting
@@ -339,12 +399,60 @@ let send_msg ?ctx cl node ~dst msg =
     Transport.send node.nd_tp ~dst (Message.traced ~ctx msg)
   end
 
+(* Urgent unicast: flushes any coalescing batch queued for [dst] ahead
+   of itself, so a cancellation never rides behind — or worse, inside
+   the same wire transfer as — the very work it retracts. *)
+let send_msg_now ?ctx cl node ~dst msg =
+  if node.nd_up && dst <> node.nd_id then begin
+    tracef cl Trace.Kern "%d->%d! %s" node.nd_id dst (Message.describe msg);
+    let ctx = send_ctx cl node ?ctx msg ~dst:(Some dst) in
+    Transport.send_now node.nd_tp ~dst (Message.traced ~ctx msg)
+  end
+
 let bcast_msg ?ctx cl node msg =
   if node.nd_up then begin
     tracef cl Trace.Kern "%d->* %s" node.nd_id (Message.describe msg);
     let ctx = send_ctx cl node ?ctx msg ~dst:None in
     Transport.broadcast node.nd_tp (Message.traced ~ctx msg)
   end
+
+(* ---- Hedge telemetry (see {!hedge_state}) ---- *)
+
+let hedge_observe cl rtt =
+  match cl.c_hedge with
+  | None -> ()
+  | Some hs ->
+    let s = float_of_int (Time.to_ns rtt) /. 1e9 in
+    let n = Array.length latency_buckets in
+    let rec idx i =
+      if i >= n || s <= latency_buckets.(i) then i else idx (i + 1)
+    in
+    let i = idx 0 in
+    if i = n then hs.hs_cum_over <- hs.hs_cum_over + 1
+    else hs.hs_cum.(i) <- hs.hs_cum.(i) + 1
+
+let hedge_close_tick hs =
+  let n = Array.length hs.hs_cum in
+  let deltas = Array.make n 0 in
+  for i = 0 to n - 1 do
+    deltas.(i) <- hs.hs_cum.(i) - hs.hs_prev.(i);
+    hs.hs_prev.(i) <- hs.hs_cum.(i)
+  done;
+  let overflow = hs.hs_cum_over - hs.hs_prev_over in
+  hs.hs_prev_over <- hs.hs_cum_over;
+  Window.Hist.push hs.hs_hist ~counts:deltas ~overflow
+
+(* The wait after which a hedged retry fires, or [None] while the
+   estimator has nothing to stand on.  An empty window estimates [nan]
+   — hedging only starts once real round trips have been observed. *)
+let hedge_threshold cl =
+  match cl.c_hedge with
+  | None -> None
+  | Some hs ->
+    let q = cl.opts.speculate.Api.sp_quantile in
+    let v = Window.Hist.quantile_last hs.hs_hist hedge_ticks q in
+    if Float.is_nan v || v <= 0.0 then None
+    else Some (Time.ns (int_of_float (v *. 1e9)))
 
 (* -------------------------------------------------------------------- *)
 (* Forward declarations via references (the invocation path, object
@@ -490,14 +598,30 @@ let make_ctx cl obj =
 (* -------------------------------------------------------------------- *)
 (* Delivering replies *)
 
-let resolve_inv_pending cl node seq outcome =
-  match take_pending node seq with
-  | Some (P_invoke pr) -> ignore (Promise.fill pr outcome)
+let resolve_inv_pending cl node ~src seq outcome =
+  match Hashtbl.find_opt node.nd_pending seq with
+  | Some (P_invoke pr) ->
+    Hashtbl.remove node.nd_pending seq;
+    ignore (Promise.fill pr outcome)
+  | Some (P_clone cs) -> (
+    (* First real result wins the fan-out.  A nack is one site's
+       refusal, not an answer — only unanimity resolves the race. *)
+    match outcome with
+    | Inv_result _ ->
+      Hashtbl.remove node.nd_pending seq;
+      ignore (Promise.fill cs.cp_pr (outcome, src))
+    | Inv_nacked ->
+      cs.cp_nacks <- cs.cp_nacks + 1;
+      if cs.cp_nacks >= cs.cp_count then begin
+        Hashtbl.remove node.nd_pending seq;
+        ignore (Promise.fill cs.cp_pr (outcome, src))
+      end)
   | Some (P_locate _ | P_create _ | P_ack _ | P_cache _) ->
     raise (Fatal "pending kind mismatch for invocation reply")
   | None -> (
-    (* Late reply after the requester gave up: the operation may have
-       executed, but nobody is listening — the paper's orphan. *)
+    (* Late reply after the requester gave up (or after a faster clone
+       already won): the operation may have executed, but nobody is
+       listening — the paper's orphan. *)
     match outcome with
     | Inv_result _ -> Metrics.incr (nm cl node).m_orphans
     | Inv_nacked -> ())
@@ -509,7 +633,7 @@ let deliver_reply ?ctx cl obj route result =
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
       (* The object moved to the requester's node mid-request. *)
-      resolve_inv_pending cl node inv_id.Message.seq
+      resolve_inv_pending cl node ~src:node.nd_id inv_id.Message.seq
         (Inv_result (result, obj.ob_frozen))
     else
       send_msg ?ctx cl node ~dst:requester
@@ -541,7 +665,31 @@ let class_state obj class_name =
   in
   (running, queue)
 
+(* Retraction point: the moment queued work would become an invocation
+   process is the last chance for a cancellation to matter.  Local work
+   is never speculative; remote work transitions its idempotence entry
+   to Started here — or is dropped, if a cancel got there first. *)
+let work_retracted node w =
+  match w.w_route with
+  | Reply_local _ -> false
+  | Reply_remote { inv_id; _ } -> (
+    match Dedup.start node.nd_recent inv_id with
+    | `Run -> false
+    | `Retracted -> true)
+
 let rec start_invocation cl obj spec w =
+  let node = home cl obj in
+  if work_retracted node w then begin
+    Metrics.incr (nm cl node).m_retracted;
+    (* Dropped unexecuted; give the slot to the next queued work. *)
+    let _, queue = class_state obj spec.Opclass.class_name in
+    match Fifo.pop queue with
+    | Some next -> start_invocation cl obj spec next
+    | None -> ()
+  end
+  else start_invocation_admitted cl obj spec w
+
+and start_invocation_admitted cl obj spec w =
   let node = home cl obj in
   let running, _ = class_state obj spec.Opclass.class_name in
   incr running;
@@ -1570,12 +1718,105 @@ let locate ?ctx cl node name ~deadline =
           `Found hit
         | (`Nowhere | `Deadline) as r -> r)
 
-(* Send the request to [dst] and wait for the outcome. *)
-let send_request_and_wait ?ctx cl node ~dst ~deadline ~may_activate ~span cap
-    ~op args =
+(* A frozen-hinted reply teaches us one more site able to serve reads
+   of this name: remember it as a clone candidate.  The set is a hint —
+   a stale member just nacks its clone, which evicts it.  Hedge-only
+   mode learns too: a hedge that can re-send to an alternate replica
+   dodges a degraded home, where re-sending to the same site only
+   helps against loss. *)
+let speculating cl =
+  cl.opts.speculate.Api.sp_clone || cl.opts.speculate.Api.sp_hedge
+
+let learn_clone_site cl node name site =
+  if speculating cl && site <> node.nd_id then begin
+    let prev =
+      Option.value ~default:[] (Name.Table.find_opt node.nd_clone_sites name)
+    in
+    if (not (List.mem site prev)) && List.length prev < 8 then
+      Name.Table.replace node.nd_clone_sites name (site :: prev)
+  end
+
+let forget_clone_site node name site =
+  match Name.Table.find_opt node.nd_clone_sites name with
+  | None -> ()
+  | Some sites -> (
+    match List.filter (fun s -> s <> site) sites with
+    | [] -> Name.Table.remove node.nd_clone_sites name
+    | rest -> Name.Table.replace node.nd_clone_sites name rest)
+
+(* The home answers a locate before any replica does, and a plain read
+   never leaves the hinted route at all, so a requester on the happy
+   path would never discover the replica set.  The first time a node
+   learns a target is frozen (with cloning on), it broadcasts one
+   fire-and-forget locate: no pending entry resolves it, but every
+   [Res_replica] answer teaches the clone set in [on_message].  The
+   table entry — possibly still empty — doubles as the asked-once
+   marker; [Cache_invalidate] and [forget_object] drop it, re-arming
+   discovery after the frozen epoch changes. *)
+let discover_clone_sites ?ctx cl node name =
+  if speculating cl && not (Name.Table.mem node.nd_clone_sites name) then begin
+    Name.Table.replace node.nd_clone_sites name [];
+    let req_id = new_request_id node in
+    Metrics.incr (nm cl node).m_locates;
+    (match cl.c_health with
+    | Some hp -> Topk.add hp.hp_topk.(node.nd_id) (Name.to_string name)
+    | None -> ());
+    bcast_msg ?ctx cl node
+      (Message.Locate_request { req_id; target = name; reply_to = node.nd_id })
+  end
+
+(* What a reply means for the requester's local bookkeeping: pay the
+   unmarshalling cost, note the frozen hint, teach the clone set. *)
+let absorb_reply ?ctx cl node ~from_node cap r frozen_hint =
+  (match r with
+  | Ok vs ->
+    consume node (costs node).Costs.invoke_reply_cpu;
+    consume node
+      (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes vs))
+  | Error _ -> ());
+  if frozen_hint then begin
+    discover_clone_sites ?ctx cl node (Capability.name cap);
+    learn_clone_site cl node (Capability.name cap) from_node;
+    if
+      cl.opts.use_replica_cache
+      && not (Name.Table.mem node.nd_cache (Capability.name cap))
+    then begin
+      (* The target is immutable and we paid the round trip anyway:
+         count the miss and fetch a local replica in the background. *)
+      Metrics.incr (nm cl node).m_cache_miss;
+      cache_fetch ?ctx cl node (Capability.name cap) ~from_node
+    end
+  end
+
+(* Send the request to [dst] — and speculatively to every site in
+   [clones] — and wait for the outcome.  A cloned request shares one
+   id across its whole fan-out: the first real result wins and every
+   other site is sent an urgent [Cancel].  A non-cloned request that
+   outruns the windowed latency quantile is hedged: the same request
+   is re-issued (urgently, same id) without abandoning the original,
+   and the serving side's idempotence table drops whichever copy
+   arrives second. *)
+let send_request_and_wait ?ctx cl node ~dst ~clones ~deadline ~may_activate
+    ~span cap ~op args =
   let inv_id = new_request_id node in
-  let pr = Promise.create cl.eng in
-  add_pending node inv_id.Message.seq (P_invoke pr);
+  let name = Capability.name cap in
+  let request ~to_site =
+    Message.Inv_request
+      {
+        inv_id;
+        target = name;
+        op;
+        args;
+        presented = Capability.rights cap;
+        reply_to = node.nd_id;
+        hops = 0;
+        (* Only the primary may reincarnate a passive copy: a clone
+           waking its own activation at every site would multiply the
+           object. *)
+        may_activate = may_activate && to_site = dst;
+        span;
+      }
+  in
   cl.n_remote <- cl.n_remote + 1;
   Metrics.incr (nm cl node).m_remote;
   (match span with
@@ -1585,49 +1826,111 @@ let send_request_and_wait ?ctx cl node ~dst ~deadline ~may_activate ~span cap
        forwarding hops; it ends when the target enqueues the work. *)
     Span.enter sp Span.Transport ~at:(Engine.now cl.eng)
   | None -> ());
-  consume node
-    (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
-  send_msg ?ctx cl node ~dst
-    (Message.Inv_request
-       {
-         inv_id;
-         target = Capability.name cap;
-         op;
-         args;
-         presented = Capability.rights cap;
-         reply_to = node.nd_id;
-         hops = 0;
-         may_activate;
-         span;
-       });
-  let outcome = Promise.await ?timeout:(remaining cl.eng deadline) pr in
-  Hashtbl.remove node.nd_pending inv_id.Message.seq;
-  match outcome with
-  | None ->
-    (* The node we trusted never answered: distrust the cached
-       location so the next attempt re-locates instead of sending
-       into the void again. *)
-    Name.Table.remove node.nd_hints (Capability.name cap);
-    Name.Table.remove node.nd_forward (Capability.name cap);
-    `Result (Error Error.Timeout)
-  | Some (Inv_result (r, frozen_hint)) ->
-    (match r with
-    | Ok vs ->
-      consume node (costs node).Costs.invoke_reply_cpu;
-      consume node
-        (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes vs))
-    | Error _ -> ());
-    if
-      frozen_hint && cl.opts.use_replica_cache
-      && not (Name.Table.mem node.nd_cache (Capability.name cap))
-    then begin
-      (* The target is immutable and we paid the round trip anyway:
-         count the miss and fetch a local replica in the background. *)
-      Metrics.incr (nm cl node).m_cache_miss;
-      cache_fetch ?ctx cl node (Capability.name cap) ~from_node:dst
-    end;
-    `Result r
-  | Some Inv_nacked -> `Nacked
+  let t0 = Engine.now cl.eng in
+  let finish ~from_node outcome =
+    match outcome with
+    | None ->
+      (* The node we trusted never answered: distrust the cached
+         location so the next attempt re-locates instead of sending
+         into the void again. *)
+      Name.Table.remove node.nd_hints name;
+      Name.Table.remove node.nd_forward name;
+      `Result (Error Error.Timeout)
+    | Some (Inv_result (r, frozen_hint)) ->
+      hedge_observe cl (Time.diff (Engine.now cl.eng) t0);
+      absorb_reply ?ctx cl node ~from_node cap r frozen_hint;
+      `Result r
+    | Some Inv_nacked -> `Nacked
+  in
+  if clones = [] then begin
+    let pr = Promise.create cl.eng in
+    add_pending node inv_id.Message.seq (P_invoke pr);
+    consume node
+      (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+    send_msg ?ctx cl node ~dst (request ~to_site:dst);
+    let hedge_after =
+      if not cl.opts.speculate.Api.sp_hedge then None
+      else
+        match (hedge_threshold cl, remaining cl.eng deadline) with
+        | None, _ -> None
+        | Some h, Some left when Time.(left <= h) -> None
+        | (Some _ as h), _ -> h
+    in
+    let outcome =
+      match hedge_after with
+      | None -> Promise.await ?timeout:(remaining cl.eng deadline) pr
+      | Some h -> (
+        match Promise.await ~timeout:h pr with
+        | Some _ as o -> o
+        | None ->
+          (* The attempt has outrun the recent latency quantile.
+             Prefer an alternative site known to serve this name;
+             otherwise re-send to the same one (a second chance for a
+             dropped or delayed transfer). *)
+          let hedge_dst =
+            match
+              Reliability.fanout ~primary:dst
+                ~candidates:
+                  (List.filter
+                     (fun s -> s <> node.nd_id)
+                     (Option.value ~default:[]
+                        (Name.Table.find_opt node.nd_clone_sites name)))
+                ~max_extra:1
+            with
+            | alt :: _ -> alt
+            | [] -> dst
+          in
+          Metrics.incr (nm cl node).m_hedges;
+          ignore (jrecord cl node ?ctx (Journal.Hedge { op; dst = hedge_dst }));
+          consume node
+            (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+          send_msg_now ?ctx cl node ~dst:hedge_dst (request ~to_site:hedge_dst);
+          Promise.await ?timeout:(remaining cl.eng deadline) pr)
+    in
+    Hashtbl.remove node.nd_pending inv_id.Message.seq;
+    finish ~from_node:dst outcome
+  end
+  else begin
+    (* Speculative fan-out: primary first, then the clone sites. *)
+    let sites = dst :: clones in
+    let count = List.length sites in
+    let pr = Promise.create cl.eng in
+    add_pending node inv_id.Message.seq
+      (P_clone { cp_pr = pr; cp_count = count; cp_nacks = 0 });
+    Metrics.incr (nm cl node).m_clone_fanouts;
+    ignore (jrecord cl node ?ctx (Journal.Clone_fanout { op; sites = count }));
+    List.iter
+      (fun site ->
+        consume node
+          (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
+        send_msg ?ctx cl node ~dst:site (request ~to_site:site))
+      sites;
+    let outcome = Promise.await ?timeout:(remaining cl.eng deadline) pr in
+    Hashtbl.remove node.nd_pending inv_id.Message.seq;
+    let winner =
+      match outcome with
+      | Some (Inv_result _, won) -> Some won
+      | Some (Inv_nacked, _) | None -> None
+    in
+    (match winner with
+    | Some won ->
+      ignore (jrecord cl node ?ctx (Journal.Clone_win { op; winner = won }))
+    | None -> ());
+    (* Retract the losers — all sites, when nobody won.  Urgent sends,
+       so a cancellation is never batched behind the work it cancels. *)
+    List.iter
+      (fun site ->
+        if Some site <> winner then begin
+          Metrics.incr (nm cl node).m_clone_cancels;
+          ignore (jrecord cl node ?ctx (Journal.Clone_cancel { dst = site }));
+          send_msg_now ?ctx cl node ~dst:site
+            (Message.Cancel { inv_id; target = name })
+        end)
+      sites;
+    finish
+      ~from_node:(Option.value ~default:dst winner)
+      (Option.map fst outcome)
+  end
 
 let dispatch_local_and_wait ?ctx cl obj ~deadline ~span cap ~op args =
   let pr = Promise.create cl.eng in
@@ -1755,8 +2058,22 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
               if nack_budget <= 0 then Error Error.No_such_object
               else attempt ~deadline ~nack_budget:(nack_budget - 1)
             | `Send (dst, may_activate) -> (
+              (* Clone set: every other site known to serve reads of
+                 this (frozen, replicated) name.  Empty for ordinary
+                 objects, so the single-destination path is untouched. *)
+              let clones =
+                if not cl.opts.speculate.Api.sp_clone then []
+                else
+                  match Name.Table.find_opt node.nd_clone_sites name with
+                  | None -> []
+                  | Some sites ->
+                    Reliability.fanout ~primary:dst
+                      ~candidates:
+                        (List.filter (fun s -> s <> node.nd_id) sites)
+                      ~max_extra:(cl.opts.speculate.Api.sp_max_sites - 1)
+              in
               match
-                send_request_and_wait ~ctx:ictx cl node ~dst ~deadline
+                send_request_and_wait ~ctx:ictx cl node ~dst ~clones ~deadline
                   ~may_activate ~span cap ~op args
               with
               | `Result r -> r
@@ -1830,7 +2147,8 @@ let forget_object cl node target =
   invalidate_cached cl node target;
   Name.Table.remove node.nd_store target;
   Name.Table.remove node.nd_hints target;
-  Name.Table.remove node.nd_forward target
+  Name.Table.remove node.nd_forward target;
+  Name.Table.remove node.nd_clone_sites target
 
 (* -------------------------------------------------------------------- *)
 (* Message handling *)
@@ -1842,7 +2160,7 @@ let deliver_reply_at cl node route result =
   | Reply_local pr -> ignore (Promise.fill pr result)
   | Reply_remote { requester; inv_id } ->
     if requester = node.nd_id then
-      resolve_inv_pending cl node inv_id.Message.seq
+      resolve_inv_pending cl node ~src:node.nd_id inv_id.Message.seq
         (Inv_result (result, false))
     else
       send_msg cl node ~dst:requester
@@ -1863,18 +2181,32 @@ let handle_inv_request ?ctx cl node ~src:_ r =
       send_msg ?ctx cl node ~dst:reply_to
         (Message.Inv_nack { inv_id; target })
     in
-    consume node (costs node).Costs.locate_lookup_cpu;
-    match Name.Table.find_opt node.nd_active target with
-    | Some obj ->
+    (* Exactly-once gate: cloning, hedging and the fault injector's
+       duplicate verdict all deliver one logical request more than
+       once.  A request we have already queued, started or had
+       cancelled is dropped silently — the first copy answers (or its
+       cancellation already told the requester's bookkeeping the
+       answer does not matter). *)
+    let fresh =
+      match Dedup.find node.nd_recent inv_id with
+      | Some (Dedup.Queued | Dedup.Started | Dedup.Cancelled) ->
+        Metrics.incr (nm cl node).m_dedup;
+        false
+      | None -> true
+    in
+    let admit obj =
+      Dedup.note_queued node.nd_recent inv_id;
       consume node
         (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
       enqueue_work cl obj w
+    in
+    if fresh then begin
+    consume node (costs node).Costs.locate_lookup_cpu;
+    match Name.Table.find_opt node.nd_active target with
+    | Some obj -> admit obj
     | None -> (
       match Name.Table.find_opt node.nd_replicas target with
-      | Some obj ->
-        consume node
-          (Costs.copy_cost (costs node) ~bytes:(Value.list_size_bytes args));
-        enqueue_work cl obj w
+      | Some obj -> admit obj
       | None -> (
         let passive_here =
           match Name.Table.find_opt node.nd_store target with
@@ -1883,7 +2215,7 @@ let handle_inv_request ?ctx cl node ~src:_ r =
         in
         if passive_here then
           match activate cl node target with
-          | Ok obj -> enqueue_work cl obj w
+          | Ok obj -> admit obj
           | Error Error.Disk_failed ->
             (* We cannot serve from a failed store; nack so the
                requester re-locates and finds a healthier checksite. *)
@@ -1915,7 +2247,8 @@ let handle_inv_request ?ctx cl node ~src:_ r =
               send_msg ?ctx cl node ~dst:reply_to
                 (Message.Hint_update { target; at_node = next })
           | Some _ | None -> nack ()
-        end)))
+        end))
+    end)
   | _ -> raise (Fatal "handle_inv_request: not an invocation request")
 
 let handle_locate_request ?ctx cl node req =
@@ -1959,13 +2292,22 @@ let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
         (spawn_kproc cl node ~name:"k:inv_req" (fun () ->
              handle_inv_request ~ctx:hctx cl node ~src msg))
     | Message.Inv_reply { inv_id; result; frozen_hint } ->
-      resolve_inv_pending cl node inv_id.Message.seq
-        (Inv_result (result, frozen_hint))
+      (* Same origin discipline as the nack below: sequence numbers
+         are node-local, so only a reply echoing one of OUR request
+         ids may resolve pending state.  A foreign-origin reply —
+         e.g. a cancelled clone's answer finally surfacing somewhere
+         it was never addressed — must not resolve an unrelated
+         request that happens to share the sequence number. *)
+      if inv_id.Message.origin = node.nd_id then
+        resolve_inv_pending cl node ~src inv_id.Message.seq
+          (Inv_result (result, frozen_hint))
+      else Metrics.incr (nm cl node).m_orphans
     | Message.Inv_nack { inv_id; target } ->
       (* Nack-after-crash: whatever routed us there is stale.  Purge
          the hint even when the pending entry already timed out, or a
          crashed-and-forgotten location would be re-trusted forever.
-         The same evidence invalidates any cached frozen replica.
+         The same evidence invalidates any cached frozen replica and
+         evicts the nacking site from the clone set.
          Only a nack echoing one of OUR request ids may resolve
          pending state: sequence numbers are node-local, so a foreign
          origin's seq can collide with an unrelated in-flight request
@@ -1973,18 +2315,37 @@ let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
       Name.Table.remove node.nd_hints target;
       Name.Table.remove node.nd_forward target;
       invalidate_cached cl node target;
+      forget_clone_site node target src;
       if inv_id.Message.origin = node.nd_id then
-        resolve_inv_pending cl node inv_id.Message.seq Inv_nacked
+        resolve_inv_pending cl node ~src inv_id.Message.seq Inv_nacked
+    | Message.Cancel { inv_id; target = _ } -> (
+      (* A requester withdrawing its clone (or its whole fan-out):
+         queued work is dropped at dispatch, started work is left to
+         finish — its reply lands in the requester's orphan
+         accounting.  A cancel that overtook its own request (urgent
+         sends bypass the coalescer) is remembered so the request is
+         dropped on arrival. *)
+      match Dedup.cancel node.nd_recent inv_id with
+      | `Retracted | `Noted | `Too_late -> ())
     | Message.Hint_update { target; at_node } ->
       Name.Table.replace node.nd_hints target at_node
     | Message.Locate_request _ -> handle_locate_request ~ctx:hctx cl node msg
-    | Message.Locate_reply { req_id; at_node; residence; version; _ } -> (
+    | Message.Locate_reply { req_id; target; at_node; residence; version } -> (
+      (* A replica answer teaches the clone set — even when the locate
+         already resolved (the home usually answers first, and
+         discovery broadcasts keep no pending entry at all): this site
+         serves reads of the (frozen) name. *)
+      if residence = Message.Res_replica then
+        learn_clone_site cl node target at_node;
       match Hashtbl.find_opt node.nd_pending req_id.Message.seq with
       | Some (P_locate st) -> (
         match residence with
         | Message.Res_active ->
           ignore (Promise.fill st.loc_active (at_node, residence))
-        | Message.Res_replica | Message.Res_passive ->
+        | Message.Res_replica ->
+          st.loc_candidates <-
+            (at_node, residence, version) :: st.loc_candidates
+        | Message.Res_passive ->
           st.loc_candidates <-
             (at_node, residence, version) :: st.loc_candidates)
       | Some _ | None -> ())
@@ -2124,12 +2485,14 @@ let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
       | Some _ -> raise (Fatal "pending kind mismatch for cache data")
       | None -> ())
     | Message.Cache_invalidate { target } ->
-      (* The version bump from unfreeze.  Purge location knowledge and
-         the cached replica; carries no request id and never touches
-         [nd_pending], so it cannot collide with an in-flight
-         request. *)
+      (* The version bump from unfreeze.  Purge location knowledge,
+         the cached replica and the clone set (the object can mutate
+         again, so speculative reads are over); carries no request id
+         and never touches [nd_pending], so it cannot collide with an
+         in-flight request. *)
       Name.Table.remove node.nd_hints target;
       Name.Table.remove node.nd_forward target;
+      Name.Table.remove node.nd_clone_sites target;
       invalidate_cached cl node target
   end
 
@@ -2272,6 +2635,9 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
   if journal_cap < 0 then
     invalid_arg "Cluster.create: journal_cap must be >= 0";
+  (match Api.validate_speculate options.speculate with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
   let n_nodes = List.length configs in
   let segment_sizes =
     match segments with
@@ -2334,6 +2700,8 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_locating = Name.Table.create 8;
              nd_pending = Hashtbl.create 64;
              nd_seq = Idgen.create ();
+             nd_clone_sites = Name.Table.create 8;
+             nd_recent = Dedup.create ~cap:dedup_cap;
              nd_types_loaded = Hashtbl.create 16;
              nd_kprocs = [];
              nd_ckpt_async = 0;
@@ -2395,12 +2763,40 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                 Metrics.counter reg ~labels "eden.ckpt.fallbacks";
               m_ckpt_coalesced =
                 Metrics.counter reg ~labels "eden.ckpt.coalesced";
+              m_clone_fanouts =
+                Metrics.counter reg ~labels "eden.clone.fanouts";
+              m_clone_cancels =
+                Metrics.counter reg ~labels "eden.clone.cancels";
+              m_hedges = Metrics.counter reg ~labels "eden.hedge.sent";
+              m_dedup = Metrics.counter reg ~labels "eden.dedup.dropped";
+              m_retracted =
+                Metrics.counter reg ~labels "eden.cancel.retracted";
             });
       c_span_ctx = Hashtbl.create 64;
       c_jsink = jsink;
       c_health = None;
+      c_hedge =
+        (if options.speculate.Api.sp_hedge then
+           Some
+             {
+               hs_hist =
+                 Window.Hist.create ~ticks:hedge_ticks
+                   ~bounds:latency_buckets;
+               hs_cum = Array.make (Array.length latency_buckets) 0;
+               hs_cum_over = 0;
+               hs_prev = Array.make (Array.length latency_buckets) 0;
+               hs_prev_over = 0;
+             }
+         else None);
     }
   in
+  (* The hedge estimator's tick, like the health sampler a daemon on
+     the virtual clock; absent entirely when hedging is off, so the
+     default cost (and event) profile is untouched. *)
+  (match cl.c_hedge with
+  | None -> ()
+  | Some hs ->
+    Engine.every eng ~interval:hedge_tick (fun () -> hedge_close_tick hs));
   register_collectors cl;
   Array.iter
     (fun node ->
@@ -2706,6 +3102,11 @@ let crash_node cl i =
     Name.Table.reset node.nd_activating;
     Name.Table.iter (fun _ pr -> ignore (Promise.fill pr None)) node.nd_locating;
     Name.Table.reset node.nd_locating;
+    Name.Table.reset node.nd_clone_sites;
+    (* Volatile like the rest — but [nd_seq] survives, so request ids
+       issued after the restart can never collide with pre-crash ones
+       still remembered elsewhere. *)
+    Dedup.reset node.nd_recent;
     Hashtbl.reset node.nd_pending;
     Hashtbl.reset node.nd_types_loaded;
     node.nd_mem <-

@@ -36,6 +36,23 @@ type options = {
           the current base; a site whose stored version does not match
           nacks, and the write falls back to a full representation
           (counted by [eden.ckpt.fallbacks]) *)
+  speculate : Api.speculate;
+      (** tail-latency speculation (default {!Api.no_speculation}).
+          With [sp_clone], a request whose target is known to have
+          read-serving replica sites fans out to the primary plus up
+          to [sp_max_sites - 1] of them under one request id; the
+          first result wins and every loser receives an urgent
+          {!Message.Cancel}.  With [sp_hedge], a non-cloned request
+          whose wait exceeds the [sp_quantile] of recently observed
+          remote round trips (a sliding {!Eden_obs.Window.Hist} over
+          the latency buckets, closed every millisecond) is re-issued
+          once — urgently, same id — without abandoning the original.
+          Serving nodes keep idempotence bookkeeping keyed by the full
+          (origin, sequence) request id, so duplicated, delayed and
+          cancelled copies never double-apply; cancelled queued work
+          is dropped at dispatch ([eden.cancel.retracted]).  Counters:
+          [eden.clone.fanouts], [eden.clone.cancels],
+          [eden.hedge.sent], [eden.dedup.dropped]. *)
 }
 
 val default_options : options

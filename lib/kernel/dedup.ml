@@ -1,0 +1,83 @@
+(* Serving-side idempotence bookkeeping for the invocation path.
+
+   Speculative cloning, hedged retries and the fault injector's
+   Duplicate verdict all deliver the same request more than once.  The
+   requester allocates one request id per logical invocation (a clone
+   fan-out shares its id across every site), so the serving node can
+   recognise a duplicate by remembering the ids it has recently seen
+   and what became of them.
+
+   Keys are the FULL id — (origin node, per-origin sequence).  Every
+   node's sequence counter starts at zero, so sequences collide across
+   origins constantly; keying by sequence alone would let one
+   requester's bookkeeping retract another requester's queued work.
+
+   The table is bounded: keys are remembered in arrival order and the
+   oldest is evicted once the cap is reached.  Sequences are monotonic
+   per origin (the generator survives crashes precisely so ids are
+   never reissued), so an evicted entry can only cause a duplicate to
+   slip through — re-executing a read or re-queueing work the
+   coordinator will serialise anyway — never a fresh request to be
+   wrongly dropped. *)
+
+type state =
+  | Queued
+  | Started
+  | Cancelled
+
+type key = int * int
+
+type t = {
+  cap : int;
+  tbl : (key, state) Hashtbl.t;
+  order : key Queue.t;
+}
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Dedup.create: cap must be positive";
+  { cap; tbl = Hashtbl.create (min cap 256); order = Queue.create () }
+
+let key (id : Message.request_id) = (id.Message.origin, id.Message.seq)
+
+(* [order] holds each live key exactly once, oldest first: keys are
+   enqueued only on first insertion and leave the table only here. *)
+let set t k st =
+  if not (Hashtbl.mem t.tbl k) then begin
+    if Hashtbl.length t.tbl >= t.cap then (
+      match Queue.take_opt t.order with
+      | Some oldest -> Hashtbl.remove t.tbl oldest
+      | None -> ());
+    Queue.push k t.order
+  end;
+  Hashtbl.replace t.tbl k st
+
+let find t id = Hashtbl.find_opt t.tbl (key id)
+
+let note_queued t id = set t (key id) Queued
+
+let start t id =
+  let k = key id in
+  match Hashtbl.find_opt t.tbl k with
+  | Some Cancelled -> `Retracted
+  | Some (Queued | Started) | None ->
+    set t k Started;
+    `Run
+
+let cancel t id =
+  let k = key id in
+  match Hashtbl.find_opt t.tbl k with
+  | Some Queued ->
+    set t k Cancelled;
+    `Retracted
+  | Some (Started | Cancelled) -> `Too_late
+  | None ->
+    (* The cancel overtook its own request (urgent sends bypass the
+       coalescer); remember it so the request is dropped on arrival. *)
+    set t k Cancelled;
+    `Noted
+
+let size t = Hashtbl.length t.tbl
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.order

@@ -1,0 +1,45 @@
+(** Serving-side idempotence bookkeeping for the invocation path.
+
+    Speculative cloning, hedged retries and the fault injector's
+    duplicate verdict all deliver one logical request more than once.
+    A serving node remembers recently seen request ids — keyed by the
+    {e full} (origin, sequence) pair, since per-origin sequence
+    counters collide across nodes — and what became of each: queued,
+    started, or cancelled.  The table is bounded with oldest-first
+    eviction; because sequences are never reissued, eviction can only
+    let a duplicate through, never drop a fresh request.
+
+    One table per node, volatile: {!reset} on crash.  All operations
+    are O(1). *)
+
+type t
+
+type state =
+  | Queued  (** work accepted and queued, retractable by a cancel *)
+  | Started  (** execution began; cancels arriving now are too late *)
+  | Cancelled  (** retracted (or cancelled in advance of arrival) *)
+
+val create : cap:int -> t
+(** Raises [Invalid_argument] if [cap <= 0]. *)
+
+val find : t -> Message.request_id -> state option
+
+val note_queued : t -> Message.request_id -> unit
+(** Record that this request's work was accepted and queued.  Call it
+    only when work is actually enqueued locally — forwarded or nacked
+    requests are not remembered, so a retransmission retries them. *)
+
+val start : t -> Message.request_id -> [ `Run | `Retracted ]
+(** Decide at dispatch time: [`Retracted] if a cancel arrived while
+    the work was queued (drop it unexecuted), otherwise mark the
+    request started — exactly once — and [`Run]. *)
+
+val cancel : t -> Message.request_id -> [ `Retracted | `Too_late | `Noted ]
+(** Apply a cancellation: [`Retracted] if the work was still queued
+    (it will be dropped at dispatch), [`Too_late] if it already
+    started or was already cancelled, [`Noted] if the cancel overtook
+    its own request — remembered so the request is dropped on
+    arrival. *)
+
+val size : t -> int
+val reset : t -> unit

@@ -89,6 +89,7 @@ type t =
       payload : (string * Value.t) option;
     }
   | Cache_invalidate of { target : Name.t }
+  | Cancel of { inv_id : request_id; target : Name.t }
 
 let header_bytes = 32
 let name_bytes = 12
@@ -134,6 +135,7 @@ let size_bytes m =
       | Some (type_name, repr) ->
         String.length type_name + Value.size_bytes repr)
   | Cache_invalidate _ -> name_bytes
+  | Cancel _ -> name_bytes
 
 let describe = function
   | Inv_request { target; op; _ } ->
@@ -171,6 +173,9 @@ let describe = function
     Printf.sprintf "cache! %s %s" (Name.to_string target)
       (if payload = None then "miss" else "hit")
   | Cache_invalidate { target } -> "cache_inval " ^ Name.to_string target
+  (* Like [Inv_reply], omits the sequence number so journal interning
+     keeps one string per target rather than one per cancellation. *)
+  | Cancel { target; _ } -> "cancel " ^ Name.to_string target
 
 (* ------------------------------------------------------------------ *)
 (* Wire codec.
@@ -601,7 +606,11 @@ let encode ?ctx m =
     w_int b version;
     w_reliability b reliability;
     w_bool b frozen;
-    w_int b reply_to);
+    w_int b reply_to
+  | Cancel { inv_id; target } ->
+    w_int b 21;
+    w_req b inv_id;
+    w_name b target);
   Buffer.contents b
 
 let r_message r =
@@ -741,6 +750,10 @@ let r_message r =
     Ckpt_delta
       { req_id; target; type_name; delta; base_version; version; reliability;
         frozen; reply_to }
+  | 21 ->
+    let inv_id = r_req r in
+    let target = r_name r in
+    Cancel { inv_id; target }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
 let r_ctx r =

@@ -139,6 +139,15 @@ type t =
           Deliberately carries no [request_id] — it is broadcast, not a
           reply, and must never be confused with a pending request on
           the receiving node. *)
+  | Cancel of { inv_id : request_id; target : Name.t }
+      (** "withdraw my outstanding request [inv_id] for [target]": a
+          clone fan-out resolved elsewhere (or the requester gave up),
+          so a site still holding the cloned work may discard it.
+          Purely advisory — a site that already started or finished
+          executing ignores it; the requester's idempotence
+          bookkeeping makes any late reply harmless.  Sent urgently
+          (bypassing the coalescer) so the retraction is never queued
+          behind the very work it cancels. *)
 
 val size_bytes : t -> int
 (** Approximate marshalled size, including a fixed per-message

@@ -22,6 +22,16 @@ let validate r ~node_count =
 let checksites r ~home =
   match r with Local -> [ home ] | Remote n -> [ n ] | Mirrored ns -> ns
 
+(* Ascending order makes the fan-out set a pure function of the
+   candidate *set*, so two requesters that learned the same replica
+   sites in different orders clone identically. *)
+let fanout ~primary ~candidates ~max_extra =
+  if max_extra <= 0 then []
+  else
+    List.sort_uniq Int.compare candidates
+    |> List.filter (fun s -> s <> primary)
+    |> List.filteri (fun i _ -> i < max_extra)
+
 let equal a b =
   match (a, b) with
   | Local, Local -> true

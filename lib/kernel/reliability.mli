@@ -17,5 +17,10 @@ val validate : t -> node_count:int -> (unit, string) result
 val checksites : t -> home:int -> int list
 (** The node ids holding the long-term state, given the hosting node. *)
 
+val fanout : primary:int -> candidates:int list -> max_extra:int -> int list
+(** Site hygiene for a speculative fan-out: the candidate sites with
+    duplicates and the primary removed, in ascending id order, capped
+    at [max_extra].  Empty when [max_extra <= 0]. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -46,6 +46,7 @@ let address = Internet.address
 let segment = Internet.segment_of_endpoint
 let on_message = Internet.on_message
 let send = Internet.send
+let send_now = Internet.send_now
 let broadcast = Internet.broadcast
 let flush = Internet.flush
 let set_up = Internet.set_up

@@ -91,6 +91,12 @@ val send : t -> dst:int -> Message.traced -> unit
     requester's node.  Raises [Invalid_argument] only for an unknown
     destination. *)
 
+val send_now : t -> dst:int -> Message.traced -> unit
+(** Urgent unicast: bypasses the coalescing queue (after flushing
+    anything already queued for [dst], preserving FIFO order).  Used
+    for {!Message.t.Cancel} so a retraction is never batched behind
+    the work it cancels.  See {!Eden_net.Internet.send_now}. *)
+
 val broadcast : t -> Message.traced -> unit
 (** Reaches every node on every segment.  Acts as a coalescing
     barrier: queued unicasts are flushed first. *)

@@ -339,6 +339,30 @@ let send ep ~dst payload =
         end
       end
 
+(* An urgent unicast: never enters the coalescing queue.  Anything
+   already queued for [dst] is flushed first so per-destination FIFO
+   order still holds, then the payload goes out alone.  Exists for
+   retraction-style traffic (a [Cancel]) that must not be batched
+   behind — and thus delivered together with — the very work it is
+   trying to cancel.  The fault injector still gets its verdict, so
+   chaos plans see urgent traffic like any other unicast. *)
+let send_now ep ~dst payload =
+  let net = ep.ep_net in
+  if dst < 0 || dst >= Array.length net.directory then
+    invalid_arg "Internet.send_now: unknown destination";
+  if dst = ep.ep_global then
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
+        Engine.schedule net.eng (fun () ->
+            if Msglink.is_up ep.ep_link then
+              match ep.ep_handler with
+              | Some f -> f ~src:ep.ep_global payload
+              | None -> ()))
+  else begin
+    flush_to ep dst;
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
+        transmit_unicast ep ~dst (One payload))
+  end
+
 let broadcast ep payload =
   (* A broadcast is a barrier: anything queued must not overtake it. *)
   flush ep;

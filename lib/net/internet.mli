@@ -62,6 +62,15 @@ val send : 'a endpoint -> dst:int -> 'a -> unit
     oneself loopback-delivers on the next engine step without touching
     the wire (no MAC contention, no frame counters). *)
 
+val send_now : 'a endpoint -> dst:int -> 'a -> unit
+(** Like {!send} but urgent: the message never enters the coalescing
+    queue.  Anything already queued for [dst] is flushed first (so
+    per-destination FIFO order is preserved), then the payload travels
+    as its own wire transfer.  Built for retractions — a cancel must
+    not be batched behind the very work it cancels.  Loopback and
+    fault-injection behaviour match {!send}.  Raises
+    [Invalid_argument] on an unknown destination. *)
+
 val broadcast : 'a endpoint -> 'a -> unit
 (** Delivered to every endpoint on every segment (except the sender);
     the bridge re-emits on remote segments.  A broadcast is a

@@ -9,8 +9,8 @@ let pp_violation fmt v =
     | None -> "")
     v.v_detail
 
-(* The four cross-node invariants.  [complete = false] (some journal
-   ring wrapped) downgrades the two rules that need every event to be
+(* The five cross-node invariants.  [complete = false] (some journal
+   ring wrapped) downgrades the rules that need every event to be
    present — a missing send or a missing trace tail would otherwise
    read as a violation. *)
 let run ?(complete = true) (tl : Timeline.t) =
@@ -123,4 +123,51 @@ let run ?(complete = true) (tl : Timeline.t) =
         | _ -> ())
       | _ -> ())
     events;
+
+  (* 5. Every clone fan-out resolves to exactly one win plus cancelled
+     (or never-sent-to) losers.  Per trace: each fan-out to S sites
+     must account for all S — either one win and S-1 cancels, or (no
+     winner: timeout / every site nacked) S cancels.  So across a
+     trace, wins <= fan-outs and wins + cancels = total sites.  Needs
+     complete journals: a dropped cancel event would read as a leak. *)
+  if complete then begin
+    let acct = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.event) ->
+        let bump dfan dsites dwin dcancel =
+          let fans, sites, wins, cancels =
+            match Hashtbl.find_opt acct e.ev_trace with
+            | Some x -> x
+            | None -> (0, 0, 0, 0)
+          in
+          Hashtbl.replace acct e.ev_trace
+            (fans + dfan, sites + dsites, wins + dwin, cancels + dcancel)
+        in
+        match e.ev_kind with
+        | Journal.Clone_fanout { sites; _ } -> bump 1 sites 0 0
+        | Journal.Clone_win _ -> bump 0 0 1 0
+        | Journal.Clone_cancel _ -> bump 0 0 0 1
+        | _ -> ())
+      events;
+    Hashtbl.fold (fun trace acct l -> (trace, acct) :: l) acct []
+    |> List.sort compare
+    |> List.iter (fun (trace, (fans, sites, wins, cancels)) ->
+           if fans = 0 then begin
+             if wins > 0 || cancels > 0 then
+               add "clone-resolves-once" None
+                 (Printf.sprintf
+                    "trace %d has %d win(s) and %d cancel(s) but no fan-out"
+                    trace wins cancels)
+           end
+           else if wins > fans then
+             add "clone-resolves-once" None
+               (Printf.sprintf "trace %d: %d wins for %d fan-out(s)" trace
+                  wins fans)
+           else if wins + cancels <> sites then
+             add "clone-resolves-once" None
+               (Printf.sprintf
+                  "trace %d: %d fan-out(s) to %d site(s) resolved as %d \
+                   win(s) + %d cancel(s)"
+                  trace fans sites wins cancels))
+  end;
   List.rev !out

@@ -1,6 +1,6 @@
 (** Trace checker: cross-node invariants over an assembled timeline.
 
-    Four rules, each a causality audit the simulator's own unit tests
+    Five rules, each a causality audit the simulator's own unit tests
     cannot express because no single node sees the whole story:
 
     - {b recv-matches-send}: every receive's causal parent exists, is
@@ -11,9 +11,13 @@
       invocation end (ok or error) after the retry.
     - {b install-epoch}: a replica-cache install never carries an
       epoch older than an invalidation already seen on that node.
+    - {b clone-resolves-once}: every clone fan-out resolves to exactly
+      one win plus cancelled losers (or, with no winner, a cancel for
+      every site) — per trace, wins never exceed fan-outs and
+      wins + cancels equals the total sites fanned out to.
 
-    The first and third rules need the journals to be complete; pass
-    [complete:false] when any journal dropped events and they are
+    The first, third and fifth rules need the journals to be complete;
+    pass [complete:false] when any journal dropped events and they are
     skipped. *)
 
 type violation = { v_rule : string; v_event : int option; v_detail : string }

@@ -15,6 +15,10 @@ type kind =
   | Cache_invalidate of { target : string; epoch : int }
   | Activate of { target : string; version : int }
   | Alert of { rule : string; firing : bool }
+  | Clone_fanout of { op : string; sites : int }
+  | Clone_win of { op : string; winner : int }
+  | Clone_cancel of { dst : int }
+  | Hedge of { op : string; dst : int }
 
 let kind_name = function
   | Send _ -> "send"
@@ -31,6 +35,10 @@ let kind_name = function
   | Cache_invalidate _ -> "cache_invalidate"
   | Activate _ -> "activate"
   | Alert _ -> "alert"
+  | Clone_fanout _ -> "clone_fanout"
+  | Clone_win _ -> "clone_win"
+  | Clone_cancel _ -> "clone_cancel"
+  | Hedge _ -> "hedge"
 
 let pp_dst = function Some d -> Printf.sprintf "n%d" d | None -> "*"
 
@@ -58,6 +66,11 @@ let describe_kind = function
     Printf.sprintf "activate %s from v%d" target version
   | Alert { rule; firing } ->
     Printf.sprintf "alert %s %s" rule (if firing then "firing" else "resolved")
+  | Clone_fanout { op; sites } ->
+    Printf.sprintf "clone fanout %s to %d site(s)" op sites
+  | Clone_win { op; winner } -> Printf.sprintf "clone win %s <- n%d" op winner
+  | Clone_cancel { dst } -> Printf.sprintf "clone cancel -> n%d" dst
+  | Hedge { op; dst } -> Printf.sprintf "hedge %s -> n%d" op dst
 
 type event = {
   ev_id : int;
@@ -140,7 +153,7 @@ let create sink ~node ~cap =
     jn_node = node;
     jn_cap = cap;
     jn_intern = Strtbl.create 64;
-    jn_memo = Array.make 12 "";
+    jn_memo = Array.make 15 "";
     jn_ints = make_ints 0;
     jn_strs = [||];
     jn_size = 0;
@@ -247,6 +260,17 @@ let store t ~slot ~id ~at ~trace ~parent kind =
   | Alert { rule; firing } ->
     set t ~slot ~id ~at ~trace ~parent ~tag:13 ~a1:(if firing then 1 else 0)
       ~a2:(-1) ~s1:(intern t 11 rule) ~s2:""
+  | Clone_fanout { op; sites } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:14 ~a1:sites ~a2:(-1)
+      ~s1:(intern t 12 op) ~s2:""
+  | Clone_win { op; winner } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:15 ~a1:winner ~a2:(-1)
+      ~s1:(intern t 13 op) ~s2:""
+  | Clone_cancel { dst } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:16 ~a1:dst ~a2:(-1) ~s1:"" ~s2:""
+  | Hedge { op; dst } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:17 ~a1:dst ~a2:(-1)
+      ~s1:(intern t 14 op) ~s2:""
 
 let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   match tag with
@@ -264,6 +288,10 @@ let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   | 11 -> Cache_invalidate { target = s1; epoch = a1 }
   | 12 -> Activate { target = s1; version = a1 }
   | 13 -> Alert { rule = s1; firing = a1 = 1 }
+  | 14 -> Clone_fanout { op = s1; sites = a1 }
+  | 15 -> Clone_win { op = s1; winner = a1 }
+  | 16 -> Clone_cancel { dst = a1 }
+  | 17 -> Hedge { op = s1; dst = a1 }
   | _ -> assert false
 
 let grow t =

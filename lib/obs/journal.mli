@@ -35,6 +35,16 @@ type kind =
   | Alert of { rule : string; firing : bool }
       (** a {!Health} SLO rule changed state; recorded at the virtual
           time of the sampler tick that evaluated it *)
+  | Clone_fanout of { op : string; sites : int }
+      (** a read-only invocation left for [sites] (>= 2) sites at
+          once, first response wins *)
+  | Clone_win of { op : string; winner : int }
+      (** the fan-out resolved; [winner] served it *)
+  | Clone_cancel of { dst : int }
+      (** a [Cancel] retraction left for losing site [dst] *)
+  | Hedge of { op : string; dst : int }
+      (** a hedged duplicate of a still-pending request left for
+          [dst] after the latency-quantile threshold expired *)
 
 val kind_name : kind -> string
 val describe_kind : kind -> string

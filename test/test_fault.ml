@@ -169,12 +169,32 @@ type chaos_result = {
   trace : string;  (* assembled cross-node timeline, text form *)
   trace_nodes : int;
   violations : string list;  (* trace-checker verdicts, formatted *)
+  reads : int option list;  (* frozen-read results, stream order *)
+  fanouts : int;  (* clone fan-outs, summed over nodes *)
+  cancels : int;  (* clone cancels sent, summed over nodes *)
+  dedup_dropped : int;  (* duplicates the serving side refused *)
 }
+
+let sum_counter snap name =
+  List.fold_left
+    (fun acc i ->
+      match
+        Eden_obs.Snapshot.find snap
+          ~labels:[ ("node", string_of_int i) ]
+          name
+      with
+      | Some (Eden_obs.Metrics.Counter n) -> acc + n
+      | _ -> acc)
+    0
+    (List.init nodes Fun.id)
 
 (* A seeded chaos run: 4 nodes on 2 bridged segments, one Mirrored
    counter per node, a paced request stream from node 0 under the
-   seed's random plan, then a post-heal probe of every counter. *)
-let run_chaos ?plan ?options ?coalesce ~seed () =
+   seed's random plan, then a post-heal probe of every counter.  With
+   [frozen_reads] a frozen counter lives on node 3 with replicas on
+   1 and 2, and every other stream iteration reads it from node 0 —
+   the shape the speculation hot path (cloning + hedging) acts on. *)
+let run_chaos ?plan ?options ?coalesce ?(frozen_reads = false) ~seed () =
   let configs =
     List.init nodes (fun i ->
         Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
@@ -192,6 +212,7 @@ let run_chaos ?plan ?options ?coalesce ~seed () =
       Plan.random ~seed:(Int64.of_int seed) ~nodes ~segments:2 ~horizon
   in
   let caps = ref [||] in
+  let frozen = ref None in
   let _ =
     Cluster.in_process cl (fun () ->
         caps :=
@@ -212,12 +233,33 @@ let run_chaos ?plan ?options ?coalesce ~seed () =
                   ]
               with
               | Ok _ -> cap
-              | Error e -> failwith ("config: " ^ Error.to_string e)))
+              | Error e -> failwith ("config: " ^ Error.to_string e));
+        if frozen_reads then begin
+          let cap =
+            match
+              Cluster.create_object cl ~node:(nodes - 1)
+                ~type_name:"chaos_counter" (Value.Int 7)
+            with
+            | Ok c -> c
+            | Error e -> failwith ("create frozen: " ^ Error.to_string e)
+          in
+          (match Cluster.freeze cl cap with
+          | Ok () -> ()
+          | Error e -> failwith ("freeze: " ^ Error.to_string e));
+          List.iter
+            (fun n ->
+              match Cluster.replicate cl cap ~to_node:n with
+              | Ok () -> ()
+              | Error e -> failwith ("replicate: " ^ Error.to_string e))
+            [ 1; 2 ];
+          frozen := Some cap
+        end)
   in
   Cluster.run cl;
   let ctl = Controller.arm ~seed:(Int64.of_int seed) cl plan in
   let ok = ref 0 and failed = ref 0 in
   let probes_ok = ref true in
+  let reads = ref [] in
   let _ =
     Cluster.in_process cl (fun () ->
         let last = ref (Engine.now eng) in
@@ -227,14 +269,23 @@ let run_chaos ?plan ?options ?coalesce ~seed () =
           if Time.(Engine.now eng < !last) then
             failwith "virtual clock went backwards";
           last := Engine.now eng;
-          match
-            Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
-              ~retry:Api.default_retry
-              (!caps).(r mod nodes)
-              ~op:"incr" []
-          with
+          (match
+             Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+               ~retry:Api.default_retry
+               (!caps).(r mod nodes)
+               ~op:"incr" []
+           with
           | Ok _ -> incr ok
-          | Error _ -> incr failed
+          | Error _ -> incr failed);
+          match !frozen with
+          | Some cap when r mod 2 = 0 -> (
+            match
+              Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+                ~retry:Api.default_retry cap ~op:"get" []
+            with
+            | Ok [ Value.Int v ] -> reads := Some v :: !reads
+            | Ok _ | Error _ -> reads := None :: !reads)
+          | _ -> ()
         done;
         (* Post-heal: every fault has healed (the stream outlives the
            plan horizon), so every Mirrored counter must answer. *)
@@ -254,15 +305,20 @@ let run_chaos ?plan ?options ?coalesce ~seed () =
     Eden_obs.Check.run ~complete:(Cluster.journal_dropped cl = 0) tl
     |> List.map (Format.asprintf "%a" Eden_obs.Check.pp_violation)
   in
+  let snap = Cluster.metrics_snapshot cl in
   {
     ok = !ok;
     failed = !failed;
     probes_ok = !probes_ok;
     injected = Controller.injected ctl;
-    snapshot = Eden_obs.Snapshot.to_string (Cluster.metrics_snapshot cl);
+    snapshot = Eden_obs.Snapshot.to_string snap;
     trace = Eden_obs.Timeline.to_text tl;
     trace_nodes = List.length (Eden_obs.Timeline.nodes tl);
     violations;
+    reads = List.rev !reads;
+    fanouts = sum_counter snap "eden.clone.fanouts";
+    cancels = sum_counter snap "eden.clone.cancels";
+    dedup_dropped = sum_counter snap "eden.dedup.dropped";
   }
 
 let test_chaos_no_faults_no_failures () =
@@ -358,6 +414,181 @@ let test_chaos_hot_path_deterministic () =
       check_int "identical fault counts" a.injected b.injected)
     [ 2; 11 ]
 
+(* ------------------------------------------------------------------ *)
+(* Speculation under chaos: cloning + hedged retries *)
+
+let spec_options =
+  {
+    Cluster.default_options with
+    Cluster.speculate =
+      { Api.no_speculation with Api.sp_clone = true; sp_hedge = true };
+  }
+
+(* A fixed plan shaped for the speculation hot path: a duplicating
+   link into the frozen object's home (feeds the serving-side dedup
+   table), two overlapping slow-node windows (the straggler pattern
+   cloning and hedging exist for), and a replica crash + rebuild
+   (clone fan-outs must resolve even when a fan-out site is down). *)
+let spec_plan =
+  Plan.make
+    [
+      { Plan.at = Time.ms 80;
+        action =
+          Plan.Break_link
+            { src = 0; dst = 3; kind = Plan.Duplicate; p = 0.4 } };
+      { Plan.at = Time.ms 1600; action = Plan.Heal_link { src = 0; dst = 3 } };
+      { Plan.at = Time.ms 300;
+        action = Plan.Slow_node { node = 3; by = Time.ms 4 } };
+      { Plan.at = Time.ms 900; action = Plan.Heal_slow 3 };
+      { Plan.at = Time.ms 500;
+        action = Plan.Slow_node { node = 1; by = Time.ms 2 } };
+      { Plan.at = Time.ms 1100; action = Plan.Heal_slow 1 };
+      { Plan.at = Time.ms 700; action = Plan.Crash_node 2 };
+      { Plan.at = Time.ms 1300;
+        action = Plan.Restart_node { node = 2; rebuild = true } };
+    ]
+
+(* Speculation must change who answers a read, never what it answers:
+   the frozen-read result stream is identical with cloning on and
+   off, every loser is retracted, and the dedup table absorbs the
+   duplicating link's extra copies. *)
+let test_spec_chaos_results_match () =
+  let base = run_chaos ~plan:spec_plan ~frozen_reads:true ~seed:5 () in
+  let spec =
+    run_chaos ~plan:spec_plan ~options:spec_options ~frozen_reads:true
+      ~seed:5 ()
+  in
+  check_int "baseline never fans out" 0 base.fanouts;
+  check_bool "speculation fans out" true (spec.fanouts > 0);
+  check_bool "losers are cancelled" true (spec.cancels > 0);
+  check_bool "dedup table drops duplicates" true (spec.dedup_dropped > 0);
+  Alcotest.(check (list (option int)))
+    "read results identical with cloning on and off" base.reads spec.reads;
+  check_bool "every read answered with the frozen value" true
+    (base.reads <> [] && List.for_all (( = ) (Some 7)) base.reads);
+  check_bool "no trace violations with speculation on" true
+    (spec.violations = [])
+
+let test_spec_chaos_deterministic () =
+  (* Same seed, same random plan, speculation on: byte-identical
+     metrics snapshots and assembled timelines — first-response-wins
+     races are resolved by virtual time, not wall-clock chance. *)
+  List.iter
+    (fun seed ->
+      let once () =
+        run_chaos ~options:spec_options ~frozen_reads:true ~seed ()
+      in
+      let a = once () and b = once () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical snapshots with speculation" seed)
+        a.snapshot b.snapshot;
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: byte-identical timelines with speculation"
+           seed)
+        a.trace b.trace;
+      Alcotest.(check (list (option int)))
+        "identical read results" a.reads b.reads;
+      check_int "identical completions" a.ok b.ok)
+    [ 1; 9 ]
+
+let test_spec_chaos_trace_invariants () =
+  (* Random plans (drops, delays, duplicates, crashes, partitions,
+     slow nodes) with cloning + hedging armed: the clone-resolves-once
+     invariant and all the older cross-node invariants must hold. *)
+  for seed = 0 to 2 do
+    let r = run_chaos ~options:spec_options ~frozen_reads:true ~seed () in
+    check_bool
+      (Printf.sprintf "seed %d: trace invariants hold (%s)" seed
+         (String.concat "; " r.violations))
+      true (r.violations = []);
+    check_int
+      (Printf.sprintf "seed %d: every request accounted for" seed)
+      requests (r.ok + r.failed);
+    check_bool
+      (Printf.sprintf "seed %d: counters recover post-heal" seed)
+      true r.probes_ok
+  done
+
+(* Regression: cancels are keyed by the full (origin, sequence) id.
+   Per-origin sequence counters all start at zero, so sequence numbers
+   collide across nodes constantly; bookkeeping keyed by sequence
+   alone lets one requester's clone cancels retract another
+   requester's queued work at a shared serving node — or a cancelled
+   clone's tombstone silently drop an unrelated request that reused
+   the number.  Node 0 clone-reads a frozen object whose losers
+   (node 3 among them) get cancelled every iteration, while node 1
+   drives a counter that lives on node 3; with its sequence counter
+   pushed ahead, node 0's cancels name sequence numbers node 1 has
+   yet to use.  Verified failing against a sequence-only key. *)
+let test_cancel_cross_origin_isolation () =
+  let configs =
+    List.init nodes (fun i ->
+        Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
+  in
+  let cl =
+    Cluster.create ~seed:42L ~segments:[ 2; 2 ] ~options:spec_options ~configs
+      ()
+  in
+  Cluster.register_type cl chaos_type;
+  let must what = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" what (Error.to_string e)
+  in
+  let rounds = 40 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let frozen =
+          must "create frozen"
+            (Cluster.create_object cl ~node:3 ~type_name:"chaos_counter"
+               (Value.Int 7))
+        in
+        must "freeze" (Cluster.freeze cl frozen);
+        List.iter
+          (fun n -> must "replicate" (Cluster.replicate cl frozen ~to_node:n))
+          [ 1; 2 ];
+        let counter =
+          must "create counter"
+            (Cluster.create_object cl ~node:3 ~type_name:"chaos_counter"
+               (Value.Int 0))
+        in
+        (* Warm reads push node 0's sequence counter ahead of node
+           1's, so every cancelled loser names a sequence number node
+           1 is still approaching. *)
+        for _ = 1 to 6 do
+          ignore
+            (must "warm"
+               (Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300) frozen
+                  ~op:"get" []))
+        done;
+        for r = 1 to rounds do
+          Engine.delay (Time.ms 2);
+          ignore
+            (must "clone read"
+               (Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300) frozen
+                  ~op:"get" []));
+          match
+            Cluster.invoke cl ~from:1 ~timeout:(Time.ms 300) counter
+              ~op:"incr" []
+          with
+          | Ok [ Value.Int v ] -> check_int "monotonic count" r v
+          | Ok _ -> Alcotest.fail "incr: unexpected reply shape"
+          | Error e ->
+            Alcotest.failf
+              "incr %d retracted by a foreign cancel: %s" r
+              (Error.to_string e)
+        done;
+        match
+          Cluster.invoke cl ~from:1 ~timeout:(Time.ms 300) counter ~op:"get" []
+        with
+        | Ok [ Value.Int v ] -> check_int "no increment lost" rounds v
+        | Ok _ | Error _ -> Alcotest.fail "final get failed")
+  in
+  Cluster.run cl;
+  let snap = Cluster.metrics_snapshot cl in
+  check_bool "the reads really cloned and cancelled" true
+    (sum_counter snap "eden.clone.fanouts" > 0
+    && sum_counter snap "eden.clone.cancels" > 0)
+
 let test_controller_links_and_disarm () =
   let cl = Cluster.default ~seed:1L ~n_nodes:2 () in
   let plan =
@@ -408,5 +639,16 @@ let () =
             test_chaos_hot_path_deterministic;
           Alcotest.test_case "controller links + disarm" `Quick
             test_controller_links_and_disarm;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "cloning changes who answers, not what" `Slow
+            test_spec_chaos_results_match;
+          Alcotest.test_case "deterministic with speculation on" `Slow
+            test_spec_chaos_deterministic;
+          Alcotest.test_case "trace invariants with speculation on" `Slow
+            test_spec_chaos_trace_invariants;
+          Alcotest.test_case "cancels are origin-scoped" `Quick
+            test_cancel_cross_origin_isolation;
         ] );
     ]

@@ -308,6 +308,110 @@ let prop_capability_restrict =
         else Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Dedup: serving-side idempotence bookkeeping *)
+
+(* A random interleaving of arrivals (clones, hedges, fault-injected
+   duplicates), dispatches and cancels over a tiny id space — sequence
+   numbers collide across origins by construction — must never
+   double-apply an invocation, and must agree with a four-state
+   reference model about which ids executed at all.  Shrinking drops
+   one event at a time, so a reported counterexample is a near-minimal
+   message ordering. *)
+
+type dedup_op =
+  | Arrive of Message.request_id
+  | Dispatch of Message.request_id
+  | Cancel of Message.request_id
+
+let show_dedup_op op =
+  let f verb (id : Message.request_id) =
+    Printf.sprintf "%s %d.%d" verb id.Message.origin id.Message.seq
+  in
+  match op with
+  | Arrive id -> f "arrive" id
+  | Dispatch id -> f "dispatch" id
+  | Cancel id -> f "cancel" id
+
+let gen_dedup_ops rng =
+  List.init
+    (1 + Splitmix.int rng 40)
+    (fun _ ->
+      let id =
+        { Message.origin = Splitmix.int rng 3; seq = Splitmix.int rng 4 }
+      in
+      match Splitmix.int rng 4 with
+      | 0 | 1 -> Arrive id (* arrivals weighted up: duplicates abound *)
+      | 2 -> Dispatch id
+      | _ -> Cancel id)
+
+let shrink_dedup_ops ops =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ops) ops
+
+let prop_dedup_exactly_once =
+  Prop.case ~seeds:iters ~base:0xBEEF04L ~name:"dedup exactly-once"
+    ~gen:gen_dedup_ops ~shrink:shrink_dedup_ops
+    ~show:(fun ops -> String.concat "; " (List.map show_dedup_op ops))
+    (fun ops ->
+      let t = Dedup.create ~cap:64 in
+      let key (id : Message.request_id) = (id.Message.origin, id.Message.seq) in
+      let exec = Hashtbl.create 16 in (* executions through the table *)
+      let model = Hashtbl.create 16 in (* reference id states *)
+      let expect = Hashtbl.create 16 in (* executions the model allows *)
+      let pending = ref [] in (* queued work not yet dispatched *)
+      let bump h k =
+        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k))
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Arrive id ->
+            (* The serving node queues work only for unseen ids:
+               anything already in the table is a duplicate or a
+               pre-cancelled tombstone, and is dropped. *)
+            (match Dedup.find t id with
+            | Some _ -> ()
+            | None ->
+              Dedup.note_queued t id;
+              pending := key id :: !pending);
+            if not (Hashtbl.mem model (key id)) then
+              Hashtbl.replace model (key id) `Queued
+          | Dispatch id when List.mem (key id) !pending ->
+            pending := List.filter (fun k -> k <> key id) !pending;
+            (match Dedup.start t id with
+            | `Run -> bump exec (key id)
+            | `Retracted -> ());
+            (match Hashtbl.find_opt model (key id) with
+            | Some `Queued ->
+              Hashtbl.replace model (key id) `Started;
+              bump expect (key id)
+            | _ -> ())
+          | Dispatch _ -> ()
+          | Cancel id -> (
+            ignore (Dedup.cancel t id);
+            match Hashtbl.find_opt model (key id) with
+            | Some `Queued | None -> Hashtbl.replace model (key id) `Cancelled
+            | Some _ -> ()))
+        ops;
+      let doubled =
+        Hashtbl.fold (fun k c acc -> if c > 1 then k :: acc else acc) exec []
+      in
+      match doubled with
+      | (o, s) :: _ -> Error (Printf.sprintf "id %d.%d executed twice" o s)
+      | [] ->
+        let mismatch = ref None in
+        let compare_to other k c =
+          if Option.value ~default:0 (Hashtbl.find_opt other k) <> c then
+            mismatch := Some k
+        in
+        Hashtbl.iter (compare_to exec) expect;
+        Hashtbl.iter (compare_to expect) exec;
+        (match !mismatch with
+        | Some (o, s) ->
+          Error
+            (Printf.sprintf "id %d.%d: table and reference model disagree" o s)
+        | None -> Ok ()))
+
+(* ------------------------------------------------------------------ *)
 (* Opclass *)
 
 let test_opclass_validate () =
@@ -478,6 +582,7 @@ let () =
           prop_reliability_validate;
           prop_reliability_checksites;
           prop_capability_restrict;
+          prop_dedup_exactly_once;
         ] );
       ( "opclass",
         [

@@ -185,6 +185,36 @@ let test_window_hist_quantile () =
        false
      with Invalid_argument _ -> true)
 
+let test_window_hist_quantile_edges () =
+  (* The hedge threshold on the invocation hot path derives from
+     these quantiles, so the edges must be airtight: a single-bucket
+     histogram, a window whose observations have all aged out, and
+     the nan that threshold consumers must guard. *)
+  let h = Window.Hist.create ~ticks:2 ~bounds:[| 0.5 |] in
+  Window.Hist.push h ~counts:[| 4 |] ~overflow:0;
+  check_bool "q=0 stays inside the only bucket" true
+    (let v = Window.Hist.quantile_last h 2 0.0 in
+     v >= 0.0 && v <= 0.5);
+  check_bool "q=1 stays inside the only bucket" true
+    (let v = Window.Hist.quantile_last h 2 1.0 in
+     v >= 0.0 && v <= 0.5);
+  (* Zero-count ticks age the observations out of the window. *)
+  Window.Hist.push h ~counts:[| 0 |] ~overflow:0;
+  Window.Hist.push h ~counts:[| 0 |] ~overflow:0;
+  check_int "no observations left in the window" 0
+    (Window.Hist.count_last h 2);
+  let v = Window.Hist.quantile_last h 2 0.5 in
+  check_bool "aged-out window reports nan" true (Float.is_nan v);
+  (* The nan is a disarm signal, not a number: a threshold comparison
+     against it must be false both ways, so a consumer that hedges on
+     [elapsed > threshold] goes quiet instead of hedging everything. *)
+  check_bool "nan never exceeds a latency" true (not (1.0 > v));
+  check_bool "nan never undercuts a latency" true (not (1.0 < v));
+  (* A window holding only overflow mass clamps to the only bound. *)
+  Window.Hist.push h ~counts:[| 0 |] ~overflow:3;
+  check_bool "overflow-only window clamps to the bound" true
+    (Window.Hist.quantile_last h 1 0.5 = 0.5)
+
 (* ------------------------------------------------------------------ *)
 (* Top-k sketch *)
 
@@ -967,6 +997,8 @@ let () =
           Alcotest.test_case "window basics" `Quick test_window_basics;
           Alcotest.test_case "windowed quantile" `Quick
             test_window_hist_quantile;
+          Alcotest.test_case "windowed quantile edges" `Quick
+            test_window_hist_quantile_edges;
           Alcotest.test_case "top-k sketch" `Quick test_topk_sketch;
           Alcotest.test_case "watchdog rules" `Quick test_health_unit;
           Alcotest.test_case "cluster health plane" `Quick

@@ -88,7 +88,7 @@ let gen_delta rng =
   | _ -> Delta.Whole (gen_value 2 rng)
 
 let gen_message rng : Message.t =
-  match Splitmix.int rng 21 with
+  match Splitmix.int rng 22 with
   | 0 ->
     Message.Inv_request
       {
@@ -200,6 +200,7 @@ let gen_message rng : Message.t =
            else None);
       }
   | 19 -> Message.Cache_invalidate { target = gen_name rng }
+  | 20 -> Message.Cancel { inv_id = gen_req rng; target = gen_name rng }
   | _ ->
     Message.Ckpt_delta
       {
@@ -290,6 +291,38 @@ let test_decode_bounds_nesting () =
   match Message.decode (Message.encode shallow) with
   | Ok m' -> Alcotest.(check bool) "round-trips" true (m' = shallow)
   | Error e -> Alcotest.failf "shallow nesting rejected: %s" e
+
+let test_cancel_codec_hostile () =
+  (* The Cancel envelope rides the urgent path past the coalescer, so
+     its codec gets the same hostile-input treatment as the nested
+     value decoding above: every proper prefix is rejected, trailing
+     garbage is rejected, and corrupting any single byte returns
+     [Error] (or an honestly decoded other message) rather than
+     raising. *)
+  let rng = Splitmix.create 0xCA9CE1L in
+  for _ = 1 to 50 do
+    let m = Message.Cancel { inv_id = gen_req rng; target = gen_name rng } in
+    let s = Message.encode m in
+    (match Message.decode s with
+    | Ok m' -> Alcotest.(check bool) "cancel round-trips" true (m' = m)
+    | Error e -> Alcotest.failf "cancel rejected: %s" e);
+    for i = 0 to String.length s - 1 do
+      match Message.decode (String.sub s 0 i) with
+      | Error _ -> ()
+      | Ok m' ->
+        Alcotest.failf "prefix of length %d decoded as %s" i
+          (Message.describe m')
+    done;
+    (match Message.decode (s ^ "\x00") with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "trailing garbage accepted");
+    String.iteri
+      (fun i _ ->
+        let b = Bytes.of_string s in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+        ignore (Message.decode (Bytes.to_string b)))
+      s
+  done
 
 (* Chunked representations (a top-level List) are the delta fast path;
    mix in arbitrary shapes so the [Whole] fallback is exercised too. *)
@@ -633,6 +666,8 @@ let () =
           message_rejects_truncation;
           Alcotest.test_case "decode bounds value nesting" `Quick
             test_decode_bounds_nesting;
+          Alcotest.test_case "cancel codec survives hostile input" `Quick
+            test_cancel_codec_hostile;
         ] );
       ("delta", [ delta_apply_roundtrip; delta_never_larger ]);
       ( "span_json",
