@@ -2,7 +2,7 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  trace-check health-check tail-check determinism clean help
+  trace-check health-check tail-check dir-check determinism clean help
 
 all: build
 
@@ -19,6 +19,7 @@ help:
 	@echo "make trace-check  - chaos trace invariants + same-seed timeline cmp"
 	@echo "make health-check - same-seed health reports must be byte-identical"
 	@echo "make tail-check   - speculation smoke: E22 tails + clone trace invariant"
+	@echo "make dir-check    - directory smoke: E23 scaling + dir trace invariant"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -58,6 +59,7 @@ ci:
 	$(MAKE) trace-check
 	$(MAKE) health-check
 	$(MAKE) tail-check
+	$(MAKE) dir-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -138,6 +140,25 @@ tail-check:
 	  --check --text /tmp/eden_tail_b.txt
 	cmp /tmp/eden_tail_a.txt /tmp/eden_tail_b.txt
 	@echo "tail-check: OK (tails cut, clone invariant holds, deterministic)"
+
+# The sharded locate directory: the E23 smoke (O(1) hit-path cost and
+# the >= 10x message win over broadcast at 32 nodes — asserted inside
+# the experiment), then the chaos workload with the directory on: the
+# dir-resolves-or-falls-back trace invariant must hold, and same-seed
+# runs must produce byte-identical snapshots and timelines.
+dir-check:
+	dune exec bench/main.exe -- E23 --smoke
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 --directory \
+	  --metrics-out /tmp/eden_dir_a.json
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --seed 11 --directory \
+	  --metrics-out /tmp/eden_dir_b.json
+	cmp /tmp/eden_dir_a.json /tmp/eden_dir_b.json
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --directory \
+	  --check --text /tmp/eden_dir_a.txt
+	dune exec bin/edenctl.exe -- trace --nodes 5 --seed 11 --directory \
+	  --check --text /tmp/eden_dir_b.txt
+	cmp /tmp/eden_dir_a.txt /tmp/eden_dir_b.txt
+	@echo "dir-check: OK (O(1) locate, dir invariant holds, deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

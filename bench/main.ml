@@ -28,6 +28,7 @@ let experiments =
     ("E20", "event-journal overhead on invocation", Exp_journal.run);
     ("E21", "health-plane overhead and hot-object recovery", Exp_health.run);
     ("E22", "tail latency: request cloning and hedged retries", Exp_tail.run);
+    ("E23", "sharded locate directory vs broadcast scaling", Exp_directory.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 
@@ -56,6 +57,7 @@ let rec extract_trace_out = function
     exit 1
   | "--smoke" :: rest ->
     Exp_tail.smoke := true;
+    Exp_directory.smoke := true;
     extract_trace_out rest
   | a :: rest -> a :: extract_trace_out rest
 

@@ -70,6 +70,17 @@ let replica_cache_t =
            representation of remote frozen objects on first use and \
            serve later invocations locally.")
 
+let directory_t =
+  Arg.(
+    value & flag
+    & info [ "directory" ]
+        ~doc:
+          "Enable the sharded locate directory: a consistent-hash \
+           ring assigns every object name a registry shard, and a \
+           requester with no hint asks the shard with one unicast \
+           instead of broadcasting a locate.  Misses, dead shards \
+           and stale answers fall back to the broadcast path.")
+
 let coalesce_t =
   Arg.(
     value & flag
@@ -116,14 +127,15 @@ let hedge_t =
            the windowed latency quantile, re-send the same request \
            once (the server suppresses the duplicate).")
 
-let cluster_options ?(clone = false) ?(hedge = false) ~replica_cache
-    ~ckpt_delta () =
+let cluster_options ?(clone = false) ?(hedge = false) ?(directory = false)
+    ~replica_cache ~ckpt_delta () =
   {
     Cluster.default_options with
     Cluster.use_replica_cache = replica_cache;
     Cluster.use_ckpt_delta = ckpt_delta;
     Cluster.speculate =
       { Api.no_speculation with Api.sp_clone = clone; sp_hedge = hedge };
+    Cluster.use_directory = directory;
   }
 
 let cluster_coalesce coalesce =
@@ -284,14 +296,14 @@ let mail_cmd =
 (* synth *)
 
 let run_synth nodes seed locality requests fault_plan replica_cache coalesce
-    ckpt_delta _ckpt_async trace metrics_out =
+    ckpt_delta _ckpt_async directory trace metrics_out =
   (* Synth itself runs checkpoint-free, so --ckpt-async has nothing to
      route through the pipeline here; the flag is accepted for a
      uniform CLI and --ckpt-delta still configures the protocol for
      any checkpoint traffic (e.g. a fault plan forcing recovery). *)
   let cl =
     Cluster.default ~seed:(Int64.of_int seed)
-      ~options:(cluster_options ~replica_cache ~ckpt_delta ())
+      ~options:(cluster_options ~directory ~replica_cache ~ckpt_delta ())
       ?coalesce:(cluster_coalesce coalesce) ~n_nodes:nodes ()
   in
   setup_trace cl trace;
@@ -353,7 +365,7 @@ let synth_cmd =
     Term.(
       const run_synth $ nodes_t $ seed_t $ locality_t $ requests_t
       $ fault_plan_t $ replica_cache_t $ coalesce_t $ ckpt_delta_t
-      $ ckpt_async_t $ trace_t $ metrics_out_t)
+      $ ckpt_async_t $ directory_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* efs *)
@@ -552,9 +564,9 @@ let chaos_horizon = Time.s 2
    [trace] (journal/timeline-oriented): mirrored counters under a
    deterministic fault plan, driven entirely by the virtual clock and
    the seed.  Returns the finished cluster for post-run inspection. *)
-let chaos_workload ?health ?(clone = false) ?(hedge = false) ~nodes ~seed
-    ~fault_plan ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async
-    ~trace () =
+let chaos_workload ?health ?(clone = false) ?(hedge = false)
+    ?(directory = false) ~nodes ~seed ~fault_plan ~requests ~replica_cache
+    ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -570,7 +582,9 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false) ~nodes ~seed
   in
   let cl =
     Cluster.create ~seed:(Int64.of_int seed) ~segments
-      ~options:(cluster_options ~clone ~hedge ~replica_cache ~ckpt_delta ())
+      ~options:
+        (cluster_options ~clone ~hedge ~directory ~replica_cache ~ckpt_delta
+           ())
       ?coalesce:(cluster_coalesce coalesce) ?health ~configs ()
   in
   Cluster.register_type cl (chaos_type ~async:ckpt_async);
@@ -677,10 +691,10 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false) ~nodes ~seed
   cl
 
 let run_chaos nodes seed fault_plan requests replica_cache coalesce
-    ckpt_delta ckpt_async clone hedge trace metrics_out =
+    ckpt_delta ckpt_async clone hedge directory trace metrics_out =
   let cl =
-    chaos_workload ~clone ~hedge ~nodes ~seed ~fault_plan ~requests
-      ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
+    chaos_workload ~clone ~hedge ~directory ~nodes ~seed ~fault_plan
+      ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
   in
   write_metrics cl metrics_out;
   summary cl
@@ -700,7 +714,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
-      $ clone_t $ hedge_t $ trace_t $ metrics_out_t)
+      $ clone_t $ hedge_t $ directory_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* trace: run the chaos workload, assemble the per-node journals into
@@ -718,9 +732,9 @@ let write_file ~path content =
     exit 1
 
 let run_trace nodes seed fault_plan requests replica_cache coalesce ckpt_delta
-    ckpt_async clone hedge out text check =
+    ckpt_async clone hedge directory out text check =
   let cl =
-    chaos_workload ~clone ~hedge ~nodes ~seed ~fault_plan ~requests
+    chaos_workload ~clone ~hedge ~directory ~nodes ~seed ~fault_plan ~requests
       ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
   in
   let tl = Cluster.timeline cl in
@@ -799,7 +813,7 @@ let trace_cmd =
     Term.(
       const run_trace $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
-      $ clone_t $ hedge_t $ out_t $ text_out_t $ check_t)
+      $ clone_t $ hedge_t $ directory_t $ out_t $ text_out_t $ check_t)
 
 (* ------------------------------------------------------------------ *)
 (* health / top: run the chaos workload with the health plane enabled

@@ -118,6 +118,21 @@ type pending =
   | P_ack of bool Promise.t
   | P_cache of (string * Value.t) option Promise.t
       (* a frozen representation being fetched for the replica cache *)
+  | P_dir of (node_id * node_id list) option Promise.t
+      (* a directory lookup in flight: [Some (home, replicas)] from
+         the shard's [Dir_put] reply, [None] from its [Dir_nack] *)
+
+(* One name's record at its registry shard: the last published home,
+   the replica sites accumulated across publishes, and the publish
+   stamp (virtual-time ns).  Stamps are monotonic per name — a
+   delayed or duplicated pre-move publish can never regress the entry
+   — and double as the lease: an entry older than [dir_lease_ttl] is
+   dropped rather than served. *)
+type dir_entry = {
+  mutable de_home : node_id;
+  mutable de_replicas : node_id list;
+  mutable de_lease : int;
+}
 
 type node = {
   nd_id : node_id;
@@ -170,6 +185,10 @@ type node = {
   nd_journal : Journal.t;
       (* this node's event journal; survives crashes (it is observer
          state, not node state) *)
+  nd_dir : dir_entry Name.Table.t;
+      (* the registry shard this node serves: entries for every name
+         whose ring position lands here.  Volatile — a crash empties
+         it, and requesters fall back to broadcast and republish. *)
 }
 
 type options = {
@@ -179,6 +198,7 @@ type options = {
   use_replica_cache : bool;
   use_ckpt_delta : bool;
   speculate : Api.speculate;
+  use_directory : bool;
 }
 
 let default_options =
@@ -189,6 +209,7 @@ let default_options =
     use_replica_cache = false;
     use_ckpt_delta = false;
     speculate = Api.no_speculation;
+    use_directory = false;
   }
 
 (* Owned per-node counters on the invocation hot path (the sampled
@@ -225,6 +246,16 @@ type node_metrics = {
       (* duplicate requests dropped by the idempotence table here *)
   m_retracted : Metrics.counter;
       (* queued work dropped unexecuted because a cancel arrived *)
+  m_dir_hits : Metrics.counter;
+      (* locates resolved by a directory answer from this requester *)
+  m_dir_misses : Metrics.counter;
+      (* lookups this shard answered with "no valid entry" *)
+  m_dir_nacks : Metrics.counter;
+      (* directory-routed sends nacked by a stale home (requester) *)
+  m_dir_fallbacks : Metrics.counter;
+      (* attempts that gave up on the directory and broadcast *)
+  m_dir_leases : Metrics.counter;
+      (* expired entries dropped by this shard at lookup time *)
 }
 
 (* The health plane, present only when [Cluster.create ~health] asked
@@ -278,6 +309,13 @@ type t = {
   c_jsink : Journal.sink;  (* shared event-id allocator for all journals *)
   mutable c_health : health_plane option;
   c_hedge : hedge_state option;  (* present iff hedging is enabled *)
+  c_dir : Directory.t;
+      (* the consistent-hash ring mapping names to registry shards; a
+         pure function of the (static) node set, shared by all nodes *)
+  mutable c_dir_nack_fallback : bool;
+      (* NACK-on-wrong-home invalidation armed (default).  Test
+         scaffolding: disabling it lets the stale-hint regression show
+         what the fallback exists to prevent. *)
 }
 
 let locate_window = Time.ms 3
@@ -455,6 +493,135 @@ let hedge_threshold cl =
     else Some (Time.ns (int_of_float (v *. 1e9)))
 
 (* -------------------------------------------------------------------- *)
+(* The sharded locate directory.
+
+   A consistent-hash ring ({!Directory}) assigns every name a registry
+   shard: the node recording the name's current home and known replica
+   sites.  A requester with no hint asks the shard with one unicast
+   instead of broadcasting; every event that changes an object's home
+   — creation, reincarnation, move (and through it the migration
+   policy) — publishes a lease-stamped update to the shard.  The
+   registry is a hint layer, never an authority: a stale entry is
+   detected by the home's own nack (NACK-on-wrong-home, the replica
+   cache's lazy-invalidation discipline), and every failure of the
+   directory — miss, expired lease, dead shard, stale answer — falls
+   back to the broadcast locate, which remains the ground truth and
+   repairs the registry as a side effect. *)
+
+(* How long a requester waits for the shard's answer before falling
+   back to broadcast; matches the broadcast locate's first window, so
+   a dead shard costs one window, not a retry ladder. *)
+let dir_window = Time.ms 3
+
+(* An entry this much older than its last publish is dropped rather
+   than served: a home that died without handing the object anywhere
+   republishes on reincarnation, and anything it failed to republish
+   ages out instead of misdirecting requesters forever. *)
+let dir_lease_ttl = Time.s 10
+
+let dir_enabled cl = cl.opts.use_directory
+let dir_shard cl name = Directory.shard cl.c_dir name
+
+let dir_lease_valid cl lease =
+  Time.to_ns (Engine.now cl.eng) - lease <= Time.to_ns dir_lease_ttl
+
+(* Store an update at the shard.  Publish stamps are monotonic per
+   name; a same-home update unions replica knowledge (capped like the
+   clone set), a home change restates it. *)
+let dir_store node ~target ~home ~replicas ~lease =
+  match Name.Table.find_opt node.nd_dir target with
+  | Some e when lease < e.de_lease -> ()
+  | Some e ->
+    if e.de_home = home then
+      List.iter
+        (fun s ->
+          if (not (List.mem s e.de_replicas)) && List.length e.de_replicas < 8
+          then e.de_replicas <- s :: e.de_replicas)
+        replicas
+    else begin
+      e.de_home <- home;
+      e.de_replicas <- replicas
+    end;
+    e.de_lease <- lease
+  | None ->
+    Name.Table.replace node.nd_dir target
+      { de_home = home; de_replicas = replicas; de_lease = lease }
+
+(* Publish [target]'s location to its registry shard, stamped with the
+   current virtual time.  Fire-and-forget: a lost publish only costs
+   the next requester a broadcast. *)
+let dir_publish ?ctx cl node target ~home ~replicas =
+  if dir_enabled cl && node.nd_up then begin
+    let pub =
+      jrecord cl node ?ctx
+        (Journal.Dir_publish { target = Name.to_string target; home })
+    in
+    let ctx =
+      match ctx with
+      | Some c -> Tracectx.with_parent c ~parent:pub
+      | None -> Tracectx.root pub
+    in
+    let lease = Time.to_ns (Engine.now cl.eng) in
+    let shard = dir_shard cl target in
+    if shard = node.nd_id then dir_store node ~target ~home ~replicas ~lease
+    else
+      send_msg ~ctx cl node ~dst:shard
+        (Message.Dir_put
+           { req_id = new_request_id node; target; home; replicas; lease })
+  end
+
+(* NACK-on-wrong-home: the home the shard named refused to serve, so
+   tell the shard.  The shard drops the entry only if it still names
+   [stale_home] — a newer publish that already repaired it wins. *)
+let dir_invalidate ?ctx cl node target ~stale_home =
+  let shard = dir_shard cl target in
+  if shard = node.nd_id then (
+    match Name.Table.find_opt node.nd_dir target with
+    | Some e when e.de_home = stale_home -> Name.Table.remove node.nd_dir target
+    | Some _ | None -> ())
+  else
+    send_msg ?ctx cl node ~dst:shard
+      (Message.Dir_nack
+         { req_id = new_request_id node; target; home = stale_home })
+
+(* Ask [target]'s registry shard where it lives.  A [`Hit] is a hint,
+   not an authority — it is trusted for exactly one send, and the
+   home's nack falls back to broadcast.  [`Dead] is a shard that never
+   answered (down, partitioned, or just slow): same fallback. *)
+let dir_resolve ?ctx cl node target ~deadline =
+  let shard = dir_shard cl target in
+  if shard = node.nd_id then (
+    (* This node is the shard: consult the registry in place. *)
+    match Name.Table.find_opt node.nd_dir target with
+    | Some e when dir_lease_valid cl e.de_lease -> `Hit (e.de_home, e.de_replicas)
+    | Some _ ->
+      Name.Table.remove node.nd_dir target;
+      Metrics.incr (nm cl node).m_dir_leases;
+      Metrics.incr (nm cl node).m_dir_misses;
+      `Miss
+    | None ->
+      Metrics.incr (nm cl node).m_dir_misses;
+      `Miss)
+  else begin
+    let req_id = new_request_id node in
+    let pr = Promise.create cl.eng in
+    add_pending node req_id.Message.seq (P_dir pr);
+    send_msg ?ctx cl node ~dst:shard
+      (Message.Dir_get { req_id; target; reply_to = node.nd_id });
+    let window =
+      match remaining cl.eng deadline with
+      | Some left when Time.(left < dir_window) -> left
+      | Some _ | None -> dir_window
+    in
+    let answer = Promise.await ~timeout:window pr in
+    Hashtbl.remove node.nd_pending req_id.Message.seq;
+    match answer with
+    | Some (Some (home, replicas)) -> `Hit (home, replicas)
+    | Some None -> `Miss
+    | None -> `Dead
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Forward declarations via references (the invocation path, object
    crash and activation are mutually recursive through ctx closures). *)
 
@@ -616,7 +783,7 @@ let resolve_inv_pending cl node ~src seq outcome =
         Hashtbl.remove node.nd_pending seq;
         ignore (Promise.fill cs.cp_pr (outcome, src))
       end)
-  | Some (P_locate _ | P_create _ | P_ack _ | P_cache _) ->
+  | Some (P_locate _ | P_create _ | P_ack _ | P_cache _ | P_dir _) ->
     raise (Fatal "pending kind mismatch for invocation reply")
   | None -> (
     (* Late reply after the requester gave up (or after a faster clone
@@ -888,6 +1055,7 @@ let do_create_local cl node type_name init =
           spawn_coordinator cl obj;
           spawn_behaviours cl obj;
           Name.Table.replace node.nd_active name obj;
+          dir_publish cl node name ~home:node.nd_id ~replicas:[];
           tracef cl Trace.Kern "created %s type=%s on node %d"
             (Name.to_string name) type_name node.nd_id;
           Ok (Capability.make name Rights.all)))
@@ -982,6 +1150,10 @@ let activate cl node name =
                 spawn_coordinator cl obj;
                 spawn_behaviours cl obj;
                 Name.Table.replace node.nd_active name obj;
+                (* Reincarnation is a home change the shard must hear
+                   about, or it keeps naming the dead home. *)
+                dir_publish ~ctx:actx cl node name ~home:node.nd_id
+                  ~replicas:[];
                 Metrics.incr (nm cl node).m_recoveries;
                 tracef cl Trace.Store "reincarnated %s on node %d"
                   (Name.to_string name) node.nd_id;
@@ -1447,6 +1619,12 @@ let do_move cl obj ~to_node ~self_inflight =
       Name.Table.replace target.nd_active obj.ob_name obj;
       spawn_behaviours cl obj;
       resume_and_flush ();
+      (* Every mover — the external [move], the migration policy's
+         [balance_once], checkpoint-driven migration — publishes the
+         new home here, so the registry never needs per-caller
+         discipline.  Without this a balanced-away object costs every
+         directory user a nack round before the fallback repairs it. *)
+      dir_publish cl source obj.ob_name ~home:to_node ~replicas:[];
       tracef cl Trace.Move "moved %s: node %d -> node %d"
         (Name.to_string obj.ob_name) source.nd_id to_node;
       Ok ()
@@ -1480,6 +1658,10 @@ let do_replicate cl obj ~to_node =
     Hashtbl.remove node.nd_pending transfer_id.Message.seq;
     match accepted with
     | Some true ->
+      (* Same-home publish: the shard unions [to_node] into the
+         entry's replica set, seeding requesters' clone sets. *)
+      dir_publish cl node obj.ob_name ~home:obj.ob_home
+        ~replicas:[ to_node ];
       tracef cl Trace.Move "replicated %s to node %d"
         (Name.to_string obj.ob_name) to_node;
       Ok ()
@@ -1975,7 +2157,15 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
         (jrecord cl node (Journal.Inv_begin { op; target = tname }))
     in
     consume node (costs node).Costs.invoke_request_cpu;
-    let rec attempt ~deadline ~nack_budget =
+    (* Journalled at the moment an attempt abandons the directory for
+       this name: invariant 6 requires every Dir_hit/Dir_miss to end in
+       Inv_end or one of these. *)
+    let dir_fallback () =
+      Metrics.incr (nm cl node).m_dir_fallbacks;
+      ignore
+        (jrecord cl node ~ctx:ictx (Journal.Dir_fallback { target = tname }))
+    in
+    let rec attempt ~deadline ~nack_budget ~use_dir =
       (* A nack retry re-opens the Locate phase. *)
       Span.enter sp Span.Locate ~at:(Engine.now cl.eng);
       consume node (costs node).Costs.locate_lookup_cpu;
@@ -2022,29 +2212,65 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
             (match hinted with
             | Some _ -> Metrics.incr (nm cl node).m_hint_hit
             | None -> Metrics.incr (nm cl node).m_hint_miss);
+            (* The broadcast locate: the authoritative path, and the
+               directory's fallback.  Finding the active home here
+               repairs the registry for the next requester. *)
+            let broadcast_locate () =
+              match locate ~ctx:ictx cl node name ~deadline with
+              | `Found (at_node, residence) when at_node <> node.nd_id ->
+                if cl.opts.use_hint_cache then
+                  Name.Table.replace node.nd_hints name at_node;
+                if residence = Message.Res_active then
+                  dir_publish ~ctx:ictx cl node name ~home:at_node
+                    ~replicas:[];
+                (* Choosing a passive site after a full quiet window
+                   authorises that site to reincarnate. *)
+                `Send (at_node, residence = Message.Res_passive, false)
+              | `Found (_, Message.Res_passive) ->
+                (* Our own snapshot is the newest surviving state:
+                   the quiet window authorises reincarnating it
+                   right here. *)
+                `Activate
+              | `Found (_, _) ->
+                (* We were told the object is on this very node: it
+                   must have just (re)activated here; retry the local
+                   fast paths. *)
+                `Retry
+              | `Nowhere -> `Nowhere
+              | `Deadline -> `Deadline
+            in
             let dst =
               match hinted with
-              | Some h -> `Send (h, false)
-              | None -> (
-                match locate ~ctx:ictx cl node name ~deadline with
-                | `Found (at_node, residence) when at_node <> node.nd_id ->
-                  if cl.opts.use_hint_cache then
-                    Name.Table.replace node.nd_hints name at_node;
-                  (* Choosing a passive site after a full quiet window
-                     authorises that site to reincarnate. *)
-                  `Send (at_node, residence = Message.Res_passive)
-                | `Found (_, Message.Res_passive) ->
-                  (* Our own snapshot is the newest surviving state:
-                     the quiet window authorises reincarnating it
-                     right here. *)
-                  `Activate
-                | `Found (_, _) ->
-                  (* We were told the object is on this very node: it
-                     must have just (re)activated here; retry the local
-                     fast paths. *)
-                  `Retry
-                | `Nowhere -> `Nowhere
-                | `Deadline -> `Deadline)
+              | Some h -> `Send (h, false, false)
+              | None ->
+                if not (use_dir && dir_enabled cl) then broadcast_locate ()
+                else (
+                  match dir_resolve ~ctx:ictx cl node name ~deadline with
+                  | `Hit (dhome, replicas) when dhome <> node.nd_id ->
+                    Metrics.incr (nm cl node).m_dir_hits;
+                    ignore
+                      (jrecord cl node ~ctx:ictx
+                         (Journal.Dir_hit { target = tname; home = dhome }));
+                    List.iter (learn_clone_site cl node name) replicas;
+                    (* A directory answer is a hint, never activation
+                       authority: only a full broadcast quiet window
+                       may authorise reincarnation. *)
+                    `Send (dhome, false, true)
+                  | `Hit _ ->
+                    (* The registry names this very node, but every
+                       local fast path already missed: stale
+                       self-entry, fall back. *)
+                    dir_fallback ();
+                    broadcast_locate ()
+                  | `Miss ->
+                    ignore
+                      (jrecord cl node ~ctx:ictx
+                         (Journal.Dir_miss { target = tname }));
+                    dir_fallback ();
+                    broadcast_locate ()
+                  | `Dead ->
+                    dir_fallback ();
+                    broadcast_locate ())
             in
             match dst with
             | `Nowhere -> Error Error.No_such_object
@@ -2056,8 +2282,8 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
               | Error e -> Error e)
             | `Retry ->
               if nack_budget <= 0 then Error Error.No_such_object
-              else attempt ~deadline ~nack_budget:(nack_budget - 1)
-            | `Send (dst, may_activate) -> (
+              else attempt ~deadline ~nack_budget:(nack_budget - 1) ~use_dir
+            | `Send (dst, may_activate, via_dir) -> (
               (* Clone set: every other site known to serve reads of
                  this (frozen, replicated) name.  Empty for ordinary
                  objects, so the single-destination path is untouched. *)
@@ -2081,8 +2307,25 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
                 Metrics.incr (nm cl node).m_nacks;
                 Name.Table.remove node.nd_hints name;
                 Name.Table.remove node.nd_forward name;
+                if via_dir then begin
+                  (* The shard pointed at a node that cannot serve.
+                     Lazily invalidate its entry (it drops it only if
+                     it still names this home) and retry on the
+                     broadcast path.  With the invalidation disarmed
+                     (test scaffolding) the stale entry keeps winning
+                     until the nack budget runs out — the regression
+                     this fallback exists to prevent. *)
+                  Metrics.incr (nm cl node).m_dir_nacks;
+                  if cl.c_dir_nack_fallback then begin
+                    dir_invalidate ~ctx:ictx cl node name ~stale_home:dst;
+                    dir_fallback ()
+                  end
+                end;
                 if nack_budget <= 0 then Error Error.No_such_object
-                else attempt ~deadline ~nack_budget:(nack_budget - 1))
+                else
+                  attempt ~deadline ~nack_budget:(nack_budget - 1)
+                    ~use_dir:
+                      (use_dir && not (via_dir && cl.c_dir_nack_fallback)))
           end)))
     in
     (* [?timeout] bounds each attempt; a timed-out attempt may be
@@ -2091,7 +2334,7 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
        a definitive answer. *)
     let rec tries i =
       let deadline = deadline_of ?timeout cl.eng in
-      match attempt ~deadline ~nack_budget:2 with
+      match attempt ~deadline ~nack_budget:2 ~use_dir:(dir_enabled cl) with
       | Error Error.Timeout when i < retry.Api.r_max ->
         Metrics.incr (nm cl node).m_retries;
         ignore
@@ -2148,7 +2391,10 @@ let forget_object cl node target =
   Name.Table.remove node.nd_store target;
   Name.Table.remove node.nd_hints target;
   Name.Table.remove node.nd_forward target;
-  Name.Table.remove node.nd_clone_sites target
+  Name.Table.remove node.nd_clone_sites target;
+  (* The destroy notice reaches the registry shard like everyone else:
+     its entry dies with the object. *)
+  Name.Table.remove node.nd_dir target
 
 (* -------------------------------------------------------------------- *)
 (* Message handling *)
@@ -2494,6 +2740,57 @@ let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
       Name.Table.remove node.nd_forward target;
       Name.Table.remove node.nd_clone_sites target;
       invalidate_cached cl node target
+    | Message.Dir_put { req_id; target; home; replicas; lease } ->
+      (* Our own request id coming back is the shard's positive reply
+         to a [Dir_get]; anything else is a publish and this node is
+         the shard.  The origin check is load-bearing: sequence
+         numbers are node-local, so a foreign publish must never
+         resolve an unrelated pending entry here. *)
+      if req_id.Message.origin = node.nd_id then (
+        match take_pending node req_id.Message.seq with
+        | Some (P_dir pr) -> ignore (Promise.fill pr (Some (home, replicas)))
+        | Some _ -> raise (Fatal "pending kind mismatch for dir reply")
+        | None -> () (* answer outlived its window; the fallback ran *))
+      else dir_store node ~target ~home ~replicas ~lease
+    | Message.Dir_get { req_id; target; reply_to } -> (
+      (* Serve the registry.  The reply echoes the requester's own
+         request id, so it routes to the pending lookup and nothing
+         else.  An expired entry is dropped, not served: better one
+         broadcast than a misdirected send to a long-dead home. *)
+      match Name.Table.find_opt node.nd_dir target with
+      | Some e when dir_lease_valid cl e.de_lease ->
+        send_msg ~ctx:hctx cl node ~dst:reply_to
+          (Message.Dir_put
+             {
+               req_id;
+               target;
+               home = e.de_home;
+               replicas = e.de_replicas;
+               lease = e.de_lease;
+             })
+      | entry ->
+        (match entry with
+        | Some _ ->
+          Name.Table.remove node.nd_dir target;
+          Metrics.incr (nm cl node).m_dir_leases
+        | None -> ());
+        Metrics.incr (nm cl node).m_dir_misses;
+        send_msg ~ctx:hctx cl node ~dst:reply_to
+          (Message.Dir_nack { req_id; target; home = -1 }))
+    | Message.Dir_nack { req_id; target; home } ->
+      (* Same origin discipline as [Dir_put]: our own id is the
+         shard's miss reply; a foreign id is a requester's lazy
+         NACK-on-wrong-home invalidation, honoured only while the
+         entry still names the home the requester found stale. *)
+      if req_id.Message.origin = node.nd_id then (
+        match take_pending node req_id.Message.seq with
+        | Some (P_dir pr) -> ignore (Promise.fill pr None)
+        | Some _ -> raise (Fatal "pending kind mismatch for dir nack")
+        | None -> ())
+      else (
+        match Name.Table.find_opt node.nd_dir target with
+        | Some e when e.de_home = home -> Name.Table.remove node.nd_dir target
+        | Some _ | None -> ())
   end
 
 (* -------------------------------------------------------------------- *)
@@ -2708,6 +3005,7 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_journal =
                Journal.create jsink ~node:(Transport.address tp)
                  ~cap:journal_cap;
+             nd_dir = Name.Table.create 64;
            })
          configs)
   in
@@ -2771,6 +3069,13 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
               m_dedup = Metrics.counter reg ~labels "eden.dedup.dropped";
               m_retracted =
                 Metrics.counter reg ~labels "eden.cancel.retracted";
+              m_dir_hits = Metrics.counter reg ~labels "eden.dir.hits";
+              m_dir_misses = Metrics.counter reg ~labels "eden.dir.misses";
+              m_dir_nacks = Metrics.counter reg ~labels "eden.dir.nacks";
+              m_dir_fallbacks =
+                Metrics.counter reg ~labels "eden.dir.fallbacks";
+              m_dir_leases =
+                Metrics.counter reg ~labels "eden.dir.leases_expired";
             });
       c_span_ctx = Hashtbl.create 64;
       c_jsink = jsink;
@@ -2788,6 +3093,10 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                hs_prev_over = 0;
              }
          else None);
+      (* The shard map is a pure function of the (static) node set:
+         every node computes the same ring, no coordination. *)
+      c_dir = Directory.make ~nodes:(List.init n_nodes Fun.id) ();
+      c_dir_nack_fallback = true;
     }
   in
   (* The hedge estimator's tick, like the health sampler a daemon on
@@ -2886,6 +3195,8 @@ let journal_dropped cl =
     0 cl.nodes
 
 let health cl = Option.map (fun hp -> hp.hp_health) cl.c_health
+let directory_shard cl name = dir_shard cl name
+let set_dir_nack_fallback cl enabled = cl.c_dir_nack_fallback <- enabled
 
 let hot_objects cl ?(k = 10) i =
   ignore (node_of cl i);
@@ -3103,6 +3414,10 @@ let crash_node cl i =
     Name.Table.iter (fun _ pr -> ignore (Promise.fill pr None)) node.nd_locating;
     Name.Table.reset node.nd_locating;
     Name.Table.reset node.nd_clone_sites;
+    (* The registry shard is volatile kernel memory: requesters meet
+       misses after the restart, fall back to broadcast, and their
+       republishes rebuild the shard on demand. *)
+    Name.Table.reset node.nd_dir;
     (* Volatile like the rest — but [nd_seq] survives, so request ids
        issued after the restart can never collide with pre-crash ones
        still remembered elsewhere. *)

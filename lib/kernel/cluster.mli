@@ -53,6 +53,27 @@ type options = {
           is dropped at dispatch ([eden.cancel.retracted]).  Counters:
           [eden.clone.fanouts], [eden.clone.cancels],
           [eden.hedge.sent], [eden.dedup.dropped]. *)
+  use_directory : bool;
+      (** the sharded locate directory (default false).  A
+          consistent-hash ring over object names assigns each name a
+          {e registry shard} — the node recording the name's current
+          home and known replica sites — and a requester with no hint
+          asks the shard with one unicast ({!Message.Dir_get}) instead
+          of broadcasting: O(1) messages per first touch, independent
+          of cluster size.  Creation, reincarnation and moves (the
+          migration policy's included) publish lease-stamped
+          {!Message.Dir_put} updates to the shard; staleness is
+          handled lazily — a home that nacks a directory-routed
+          request triggers a NACK-on-wrong-home invalidation at the
+          shard, and the attempt falls back to the broadcast locate,
+          which stays authoritative (reincarnation authority, version
+          preference) and repairs the registry as a side effect.
+          Misses, expired leases and dead or partitioned shards take
+          the same fallback.  Counters:
+          [eden.dir.{hits,misses,nacks,fallbacks,leases_expired}];
+          journal kinds [Dir_hit]/[Dir_miss]/[Dir_fallback]/
+          [Dir_publish]; checker rule 6 pins the
+          resolve-or-fall-back discipline. *)
 }
 
 val default_options : options
@@ -252,6 +273,19 @@ val where_is : t -> Capability.t -> node_id option
     passive copies excluded).  Non-blocking, omniscient (for tests). *)
 
 val is_active : t -> Capability.t -> bool
+
+val directory_shard : t -> Name.t -> node_id
+(** The registry shard the locate directory assigns to [name] — a pure
+    function of the node set, meaningful whether or not
+    [use_directory] is on.  Non-blocking (for tests and tooling). *)
+
+val set_dir_nack_fallback : t -> bool -> unit
+(** Test scaffolding: arm or disarm the NACK-on-wrong-home shard
+    invalidation (armed by default).  Disarmed, a stale registry entry
+    is never repaired and a directory-routed request to a moved object
+    burns its whole nack budget — the regression the fallback
+    prevents; see the chaos suite's stale-hint test. *)
+
 val replica_sites : t -> Capability.t -> node_id list
 val checkpoint_sites : t -> Capability.t -> node_id list
 val active_objects : t -> node_id -> int

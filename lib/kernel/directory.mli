@@ -1,0 +1,40 @@
+(** The locate directory's shard map: a consistent-hash ring over
+    object names.
+
+    Each name deterministically maps to one {e registry shard} — the
+    node recording the name's current home and known replica sites —
+    via a consistent-hash ring with hundreds of virtual points per
+    node.  The map is a pure function of the node set, so every node
+    computes the same shard for every name without coordination, and
+    a locate becomes a unicast to the shard instead of a broadcast.
+
+    Guarantees (both pinned by the property suite):
+    - {b balance}: max/mean shard load stays ≤ 1.3 over random node
+      sets (relative arc spread ~1/√vnodes);
+    - {b minimal remapping}: a node joining or leaving moves at most
+      ~2/n of the keys, and a key not owned by a leaving node keeps
+      its shard exactly.
+
+    Hashing is a splitmix64-style finalizer — deterministic across
+    runs, independent of [Hashtbl.hash] versioning. *)
+
+type t
+
+val make : ?vnodes:int -> nodes:int list -> unit -> t
+(** [make ~nodes ()] builds the ring for the given node-id set.
+    [vnodes] (default 512) is the number of virtual points per node.
+    Raises [Invalid_argument] on an empty set, duplicate ids, or a
+    non-positive [vnodes]. *)
+
+val nodes : t -> int list
+(** The node set the ring was built over, ascending. *)
+
+val shard : t -> Name.t -> int
+(** The registry shard owning [name]. *)
+
+val shard_of_hash : t -> int -> int
+(** Shard lookup from a pre-mixed ring position (exposed for tests). *)
+
+val hash_name : Name.t -> int
+(** The ring position of a name: [Name.hash] re-mixed through the
+    64-bit finalizer (the raw table hash clusters badly). *)

@@ -90,6 +90,15 @@ type t =
     }
   | Cache_invalidate of { target : Name.t }
   | Cancel of { inv_id : request_id; target : Name.t }
+  | Dir_put of {
+      req_id : request_id;
+      target : Name.t;
+      home : int;
+      replicas : int list;
+      lease : int;
+    }
+  | Dir_get of { req_id : request_id; target : Name.t; reply_to : int }
+  | Dir_nack of { req_id : request_id; target : Name.t; home : int }
 
 let header_bytes = 32
 let name_bytes = 12
@@ -136,6 +145,9 @@ let size_bytes m =
         String.length type_name + Value.size_bytes repr)
   | Cache_invalidate _ -> name_bytes
   | Cancel _ -> name_bytes
+  | Dir_put { replicas; _ } -> name_bytes + 12 + (4 * List.length replicas)
+  | Dir_get _ -> name_bytes + 4
+  | Dir_nack _ -> name_bytes + 4
 
 let describe = function
   | Inv_request { target; op; _ } ->
@@ -176,6 +188,12 @@ let describe = function
   (* Like [Inv_reply], omits the sequence number so journal interning
      keeps one string per target rather than one per cancellation. *)
   | Cancel { target; _ } -> "cancel " ^ Name.to_string target
+  (* Omits the lease stamp (virtual-time ns would defeat journal
+     interning) and, like the replies above, any sequence number. *)
+  | Dir_put { target; home; _ } ->
+    Printf.sprintf "dir_put %s@%d" (Name.to_string target) home
+  | Dir_get { target; _ } -> "dir? " ^ Name.to_string target
+  | Dir_nack { target; _ } -> "dir_nack " ^ Name.to_string target
 
 (* ------------------------------------------------------------------ *)
 (* Wire codec.
@@ -610,7 +628,25 @@ let encode ?ctx m =
   | Cancel { inv_id; target } ->
     w_int b 21;
     w_req b inv_id;
-    w_name b target);
+    w_name b target
+  | Dir_put { req_id; target; home; replicas; lease } ->
+    w_int b 22;
+    w_req b req_id;
+    w_name b target;
+    w_int b home;
+    w_int b (List.length replicas);
+    List.iter (w_int b) replicas;
+    w_int b lease
+  | Dir_get { req_id; target; reply_to } ->
+    w_int b 23;
+    w_req b req_id;
+    w_name b target;
+    w_int b reply_to
+  | Dir_nack { req_id; target; home } ->
+    w_int b 24;
+    w_req b req_id;
+    w_name b target;
+    w_int b home);
   Buffer.contents b
 
 let r_message r =
@@ -754,6 +790,26 @@ let r_message r =
     let inv_id = r_req r in
     let target = r_name r in
     Cancel { inv_id; target }
+  | 22 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let home = r_int r in
+    let n = r_int r in
+    if n < 0 || n > 4096 then r_fail r "bad replica count"
+    else
+      let replicas = List.init n (fun _ -> r_int r) in
+      let lease = r_int r in
+      Dir_put { req_id; target; home; replicas; lease }
+  | 23 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let reply_to = r_int r in
+    Dir_get { req_id; target; reply_to }
+  | 24 ->
+    let req_id = r_req r in
+    let target = r_name r in
+    let home = r_int r in
+    Dir_nack { req_id; target; home }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
 let r_ctx r =

@@ -148,6 +148,32 @@ type t =
           bookkeeping makes any late reply harmless.  Sent urgently
           (bypassing the coalescer) so the retraction is never queued
           behind the very work it cancels. *)
+  | Dir_put of {
+      req_id : request_id;
+      target : Name.t;
+      home : int;
+      replicas : int list;
+      lease : int;
+          (** publish stamp in virtual-time nanoseconds; the shard
+              keeps the highest stamp it has seen per name, so a
+              delayed or duplicated update from before a move can
+              never regress the registry — the same lazy-staleness
+              discipline as the replica cache's invalidation epochs *)
+    }
+      (** a registry update for [target]'s shard: the current home
+          and the publisher's known replica sites.  Doubles as the
+          positive reply to {!constructor:Dir_get} — a receiver that
+          holds a pending directory lookup under its own [req_id]
+          treats it as the answer, anyone else as a publish. *)
+  | Dir_get of { req_id : request_id; target : Name.t; reply_to : int }
+      (** "where does [target] live?" — the unicast lookup sent to
+          the name's registry shard instead of a broadcast locate *)
+  | Dir_nack of { req_id : request_id; target : Name.t; home : int }
+      (** miss reply from a shard ([home = -1]: no valid entry, fall
+          back to broadcast), or — sent requester-to-shard with the
+          stale [home] — the lazy NACK-on-wrong-home invalidation:
+          the shard drops its entry only if it still names that
+          home *)
 
 val size_bytes : t -> int
 (** Approximate marshalled size, including a fixed per-message

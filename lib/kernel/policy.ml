@@ -27,6 +27,11 @@ let extremes loads =
     in
     Some (mx, mn)
 
+(* Moves ride [Cluster.move] -> [do_move], whose success path
+   publishes the new home to the name's registry shard — so a
+   balanced-away object is found in one directory message by the next
+   requester instead of costing everyone a nack round (pinned by the
+   balance regression in the chaos suite). *)
 let balance_once cl ~managed =
   let rec step moved =
     match extremes (managed_load cl ~managed) with

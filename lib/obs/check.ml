@@ -170,4 +170,58 @@ let run ?(complete = true) (tl : Timeline.t) =
                    win(s) + %d cancel(s)"
                   trace fans sites wins cancels))
   end;
+
+  (* 6. The directory resolves to the true home or falls back: per
+     trace, a [Dir_hit] must be followed (later event, same trace) by
+     the invocation's end or an explicit [Dir_fallback] — a hit may
+     never strand an attempt on a stale answer with neither outcome —
+     and a [Dir_miss] must always be followed by a [Dir_fallback] (a
+     miss has no answer to act on, so broadcast is mandatory).  Needs
+     complete journals: a dropped tail would read as a stranding. *)
+  if complete then begin
+    let last = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Inv_end _ | Journal.Dir_fallback _ ->
+          let fb, iv =
+            match Hashtbl.find_opt last e.ev_trace with
+            | Some x -> x
+            | None -> (0, 0)
+          in
+          let entry =
+            match e.ev_kind with
+            | Journal.Dir_fallback _ -> (max fb e.ev_id, iv)
+            | _ -> (fb, max iv e.ev_id)
+          in
+          Hashtbl.replace last e.ev_trace entry
+        | _ -> ())
+      events;
+    List.iter
+      (fun (e : Journal.event) ->
+        let resolved ~fallback_only what target =
+          let fb, iv =
+            match Hashtbl.find_opt last e.ev_trace with
+            | Some x -> x
+            | None -> (0, 0)
+          in
+          let ok =
+            fb > e.ev_id || ((not fallback_only) && iv > e.ev_id)
+          in
+          if not ok then
+            add "dir-resolves-or-falls-back" (Some e.ev_id)
+              (Printf.sprintf
+                 "dir %s for %s in trace %d has no later %s" what target
+                 e.ev_trace
+                 (if fallback_only then "dir_fallback"
+                  else "inv_end or dir_fallback"))
+        in
+        match e.ev_kind with
+        | Journal.Dir_hit { target; _ } ->
+          resolved ~fallback_only:false "hit" target
+        | Journal.Dir_miss { target } ->
+          resolved ~fallback_only:true "miss" target
+        | _ -> ())
+      events
+  end;
   List.rev !out

@@ -1,6 +1,6 @@
 (** Trace checker: cross-node invariants over an assembled timeline.
 
-    Five rules, each a causality audit the simulator's own unit tests
+    Six rules, each a causality audit the simulator's own unit tests
     cannot express because no single node sees the whole story:
 
     - {b recv-matches-send}: every receive's causal parent exists, is
@@ -15,10 +15,16 @@
       one win plus cancelled losers (or, with no winner, a cancel for
       every site) — per trace, wins never exceed fan-outs and
       wins + cancels equals the total sites fanned out to.
+    - {b dir-resolves-or-falls-back}: the locate directory resolves to
+      the true home or falls back — per trace, a [Dir_hit] is followed
+      by the invocation's end or an explicit [Dir_fallback] (a stale
+      answer may cost a nack round, never strand the attempt), and a
+      [Dir_miss] is always followed by a [Dir_fallback] (a miss
+      mandates the broadcast path).
 
-    The first, third and fifth rules need the journals to be complete;
-    pass [complete:false] when any journal dropped events and they are
-    skipped. *)
+    The first, third, fifth and sixth rules need the journals to be
+    complete; pass [complete:false] when any journal dropped events
+    and they are skipped. *)
 
 type violation = { v_rule : string; v_event : int option; v_detail : string }
 

@@ -19,6 +19,10 @@ type kind =
   | Clone_win of { op : string; winner : int }
   | Clone_cancel of { dst : int }
   | Hedge of { op : string; dst : int }
+  | Dir_hit of { target : string; home : int }
+  | Dir_miss of { target : string }
+  | Dir_fallback of { target : string }
+  | Dir_publish of { target : string; home : int }
 
 let kind_name = function
   | Send _ -> "send"
@@ -39,6 +43,10 @@ let kind_name = function
   | Clone_win _ -> "clone_win"
   | Clone_cancel _ -> "clone_cancel"
   | Hedge _ -> "hedge"
+  | Dir_hit _ -> "dir_hit"
+  | Dir_miss _ -> "dir_miss"
+  | Dir_fallback _ -> "dir_fallback"
+  | Dir_publish _ -> "dir_publish"
 
 let pp_dst = function Some d -> Printf.sprintf "n%d" d | None -> "*"
 
@@ -71,6 +79,11 @@ let describe_kind = function
   | Clone_win { op; winner } -> Printf.sprintf "clone win %s <- n%d" op winner
   | Clone_cancel { dst } -> Printf.sprintf "clone cancel -> n%d" dst
   | Hedge { op; dst } -> Printf.sprintf "hedge %s -> n%d" op dst
+  | Dir_hit { target; home } -> Printf.sprintf "dir hit %s@%d" target home
+  | Dir_miss { target } -> Printf.sprintf "dir miss %s" target
+  | Dir_fallback { target } -> Printf.sprintf "dir fallback %s" target
+  | Dir_publish { target; home } ->
+    Printf.sprintf "dir publish %s@%d" target home
 
 type event = {
   ev_id : int;
@@ -153,7 +166,7 @@ let create sink ~node ~cap =
     jn_node = node;
     jn_cap = cap;
     jn_intern = Strtbl.create 64;
-    jn_memo = Array.make 15 "";
+    jn_memo = Array.make 19 "";
     jn_ints = make_ints 0;
     jn_strs = [||];
     jn_size = 0;
@@ -271,6 +284,18 @@ let store t ~slot ~id ~at ~trace ~parent kind =
   | Hedge { op; dst } ->
     set t ~slot ~id ~at ~trace ~parent ~tag:17 ~a1:dst ~a2:(-1)
       ~s1:(intern t 14 op) ~s2:""
+  | Dir_hit { target; home } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:18 ~a1:home ~a2:(-1)
+      ~s1:(intern t 15 target) ~s2:""
+  | Dir_miss { target } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:19 ~a1:(-1) ~a2:(-1)
+      ~s1:(intern t 16 target) ~s2:""
+  | Dir_fallback { target } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:20 ~a1:(-1) ~a2:(-1)
+      ~s1:(intern t 17 target) ~s2:""
+  | Dir_publish { target; home } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:21 ~a1:home ~a2:(-1)
+      ~s1:(intern t 18 target) ~s2:""
 
 let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   match tag with
@@ -292,6 +317,10 @@ let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   | 15 -> Clone_win { op = s1; winner = a1 }
   | 16 -> Clone_cancel { dst = a1 }
   | 17 -> Hedge { op = s1; dst = a1 }
+  | 18 -> Dir_hit { target = s1; home = a1 }
+  | 19 -> Dir_miss { target = s1 }
+  | 20 -> Dir_fallback { target = s1 }
+  | 21 -> Dir_publish { target = s1; home = a1 }
   | _ -> assert false
 
 let grow t =

@@ -45,6 +45,17 @@ type kind =
   | Hedge of { op : string; dst : int }
       (** a hedged duplicate of a still-pending request left for
           [dst] after the latency-quantile threshold expired *)
+  | Dir_hit of { target : string; home : int }
+      (** the locate directory resolved [target] to [home] without a
+          broadcast; the hint is unverified until the home replies *)
+  | Dir_miss of { target : string }
+      (** the registry shard had no (valid) entry for [target] *)
+  | Dir_fallback of { target : string }
+      (** the requester gave up on the directory for this attempt and
+          fell back to a broadcast locate *)
+  | Dir_publish of { target : string; home : int }
+      (** a lease-stamped location update for [target] left for its
+          registry shard *)
 
 val kind_name : kind -> string
 val describe_kind : kind -> string

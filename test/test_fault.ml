@@ -173,6 +173,8 @@ type chaos_result = {
   fanouts : int;  (* clone fan-outs, summed over nodes *)
   cancels : int;  (* clone cancels sent, summed over nodes *)
   dedup_dropped : int;  (* duplicates the serving side refused *)
+  dir_hits : int;  (* directory resolutions, summed over nodes *)
+  dir_fallbacks : int;  (* attempts that fell back to broadcast *)
 }
 
 let sum_counter snap name =
@@ -319,6 +321,8 @@ let run_chaos ?plan ?options ?coalesce ?(frozen_reads = false) ~seed () =
     fanouts = sum_counter snap "eden.clone.fanouts";
     cancels = sum_counter snap "eden.clone.cancels";
     dedup_dropped = sum_counter snap "eden.dedup.dropped";
+    dir_hits = sum_counter snap "eden.dir.hits";
+    dir_fallbacks = sum_counter snap "eden.dir.fallbacks";
   }
 
 let test_chaos_no_faults_no_failures () =
@@ -589,6 +593,248 @@ let test_cancel_cross_origin_isolation () =
     (sum_counter snap "eden.clone.fanouts" > 0
     && sum_counter snap "eden.clone.cancels" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* The sharded locate directory under chaos *)
+
+let dir_options =
+  { Cluster.default_options with Cluster.use_directory = true }
+
+(* Hint cache and forwarding off: every invocation pays the full
+   resolution price, so the directory (not a warm hint) is what finds
+   the object — the configuration the directed regressions need. *)
+let dir_cold_options =
+  {
+    Cluster.default_options with
+    Cluster.use_directory = true;
+    use_hint_cache = false;
+    use_forwarding = false;
+  }
+
+let must what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Error.to_string e)
+
+let dir_cluster ?(options = dir_cold_options) ~seed () =
+  let configs =
+    List.init nodes (fun i ->
+        Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
+  in
+  let cl =
+    Cluster.create ~seed:(Int64.of_int seed) ~segments:[ 2; 2 ] ~options
+      ~configs ()
+  in
+  Cluster.register_type cl chaos_type;
+  cl
+
+(* Object names are kernel-assigned, so tests that need a name whose
+   registry shard lands on a particular node create until one does
+   (shards spread evenly, so a handful of tries suffices; the spares
+   are harmless). *)
+let rec create_on_shard cl ~node ~shards ~tries init =
+  if tries = 0 then Alcotest.fail "no name landed on the wanted shards"
+  else
+    let cap =
+      must "create"
+        (Cluster.create_object cl ~node ~type_name:"chaos_counter" init)
+    in
+    if List.mem (Cluster.directory_shard cl (Capability.name cap)) shards then
+      cap
+    else create_on_shard cl ~node ~shards ~tries:(tries - 1) init
+
+let test_dir_chaos_deterministic () =
+  (* Same seed, same random plan, directory on: byte-identical metrics
+     snapshots and assembled timelines — ring placement, lease stamps
+     and fallback races are all functions of virtual time and the
+     seed, never of hash-table iteration or wall clock. *)
+  List.iter
+    (fun seed ->
+      let once () = run_chaos ~options:dir_options ~seed () in
+      let a = once () and b = once () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical snapshots with directory" seed)
+        a.snapshot b.snapshot;
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: byte-identical timelines with directory"
+           seed)
+        a.trace b.trace;
+      check_int "identical completions" a.ok b.ok;
+      check_int "identical fault counts" a.injected b.injected)
+    [ 3; 8 ]
+
+let test_dir_chaos_invariants () =
+  (* Random plans (drops, delays, duplicates, crashes, partitions)
+     with the directory armed: every request still accounted for, the
+     cluster recovers post-heal, and all six cross-node invariants —
+     dir-resolves-or-falls-back included — hold on the assembled
+     timeline. *)
+  let hits = ref 0 in
+  for seed = 0 to 4 do
+    let r = run_chaos ~options:dir_options ~seed () in
+    check_bool
+      (Printf.sprintf "seed %d: trace invariants hold (%s)" seed
+         (String.concat "; " r.violations))
+      true (r.violations = []);
+    check_int
+      (Printf.sprintf "seed %d: every request accounted for" seed)
+      requests (r.ok + r.failed);
+    check_bool
+      (Printf.sprintf "seed %d: counters recover post-heal" seed)
+      true r.probes_ok;
+    hits := !hits + r.dir_hits
+  done;
+  (* With the hint cache on, a lucky seed can serve the whole stream
+     from hints — but across the seeds, re-locates after crashes and
+     partitions must have gone through the directory. *)
+  check_bool "the directory resolved names across the seeds" true (!hits > 0)
+
+let test_dir_shard_death_fallback () =
+  (* A dead registry shard must cost one reply window, never the
+     answer: the requester's Dir_get goes unanswered, the attempt
+     falls back to the broadcast locate, and the invocation still
+     completes. *)
+  let cl = dir_cluster ~seed:21 () in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        (* Home the object on node 0; its shard must be elsewhere so
+           crashing the shard leaves the object itself alive. *)
+        let cap =
+          create_on_shard cl ~node:0 ~shards:[ 2; 3 ] ~tries:50 (Value.Int 7)
+        in
+        let shard = Cluster.directory_shard cl (Capability.name cap) in
+        Cluster.crash_node cl shard;
+        Engine.delay (Time.ms 20);
+        let from = 5 - shard in  (* the other seg-1 node: 2 <-> 3 *)
+        match
+          Cluster.invoke cl ~from ~timeout:(Time.ms 300) cap ~op:"get" []
+        with
+        | Ok [ Value.Int v ] -> check_int "value survives the dead shard" 7 v
+        | Ok _ -> Alcotest.fail "unexpected reply shape"
+        | Error e ->
+          Alcotest.failf "invoke with dead shard: %s" (Error.to_string e))
+  in
+  Cluster.run cl;
+  let snap = Cluster.metrics_snapshot cl in
+  check_bool "fallback taken" true
+    (sum_counter snap "eden.dir.fallbacks" > 0);
+  check_bool "broadcast locate answered" true
+    (sum_counter snap "eden.locate_broadcasts" > 0)
+
+(* The stale-hint regression: a move whose Dir_put is lost to a
+   partition leaves the shard naming the old home.  The next
+   directory-routed request is nacked by that home; NACK-on-wrong-home
+   must invalidate the shard entry and fall back to broadcast, or the
+   stale answer wins every retry and the invocation fails.  Verified
+   failing: with the fallback disabled the same run errors out. *)
+let stale_hint_run ~fallback =
+  let cl = dir_cluster ~seed:29 () in
+  let eng = Cluster.engine cl in
+  let cap = ref None in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        (* The shard must sit across the bridge (segment 1), so the
+           partition drops the move's publish but not the move. *)
+        cap :=
+          Some
+            (create_on_shard cl ~node:0 ~shards:[ 2; 3 ] ~tries:50
+               (Value.Int 7)))
+  in
+  Cluster.run cl;
+  let cap = Option.get !cap in
+  let now = Engine.now eng in
+  let plan =
+    Plan.make
+      [
+        { Plan.at = Time.add now (Time.ms 50);
+          action = Plan.Partition_segment 1 };
+        { Plan.at = Time.add now (Time.ms 150);
+          action = Plan.Heal_segment 1 };
+      ]
+  in
+  let _ctl = Controller.arm cl plan in
+  let result = ref (Error Eden_kernel.Error.Timeout) in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        Engine.delay (Time.ms 100);
+        (* Partitioned: the move succeeds inside segment 0, its
+           publish to the segment-1 shard is dropped at the bridge. *)
+        must "move" (Cluster.move cl cap ~to_node:1);
+        Engine.delay (Time.ms 100);
+        (* Healed: the shard still names node 0. *)
+        Cluster.set_dir_nack_fallback cl fallback;
+        result :=
+          Cluster.invoke cl ~from:3 ~timeout:(Time.ms 300) cap ~op:"get" [])
+  in
+  Cluster.run cl;
+  let snap = Cluster.metrics_snapshot cl in
+  (!result, sum_counter snap "eden.dir.nacks",
+   sum_counter snap "eden.dir.fallbacks")
+
+let test_dir_stale_hint_nack_fallback () =
+  (match stale_hint_run ~fallback:true with
+  | Ok [ Value.Int 7 ], nacks, fallbacks ->
+    check_bool "the stale home nacked" true (nacks > 0);
+    check_bool "the nack fell back to broadcast" true (fallbacks > 0)
+  | Ok _, _, _ -> Alcotest.fail "unexpected reply shape"
+  | Error e, _, _ ->
+    Alcotest.failf "stale entry not recovered: %s"
+      (Eden_kernel.Error.to_string e));
+  (* Verified failing: same run, fallback disabled — the stale entry
+     wins every retry and the invocation errors out. *)
+  match stale_hint_run ~fallback:false with
+  | Error _, nacks, _ ->
+    check_bool "the stale home kept nacking" true (nacks > 0)
+  | Ok _, _, _ ->
+    Alcotest.fail
+      "invocation succeeded with NACK fallback disabled — the regression \
+       guard is not guarding"
+
+let test_dir_balance_publishes () =
+  (* Policy.balance_once moves objects through Cluster.move, whose
+     success path publishes the new home to the shard — so a fresh
+     requester finds a balanced-away object in one directory exchange,
+     no broadcast.  Pins the move-path publish: drop it and the hits
+     stay but the broadcasts climb. *)
+  let cl = dir_cluster ~seed:31 () in
+  let caps = ref [] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        caps :=
+          List.init 6 (fun i ->
+              must "create"
+                (Cluster.create_object cl ~node:0 ~type_name:"chaos_counter"
+                   (Value.Int i))))
+  in
+  Cluster.run cl;
+  let snap0 = Cluster.metrics_snapshot cl in
+  let bcasts0 = sum_counter snap0 "eden.locate_broadcasts" in
+  let hits0 = sum_counter snap0 "eden.dir.hits" in
+  let moved = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        moved := Policy.balance_once cl ~managed:!caps;
+        Engine.delay (Time.ms 20);
+        List.iteri
+          (fun i cap ->
+            match
+              Cluster.invoke cl ~from:3 ~timeout:(Time.ms 300) cap ~op:"get"
+                []
+            with
+            | Ok [ Value.Int v ] ->
+              check_int (Printf.sprintf "object %d keeps its state" i) i v
+            | Ok _ -> Alcotest.fail "unexpected reply shape"
+            | Error e ->
+              Alcotest.failf "get %d after balance: %s" i
+                (Eden_kernel.Error.to_string e))
+          !caps)
+  in
+  Cluster.run cl;
+  let snap = Cluster.metrics_snapshot cl in
+  check_bool "the balancer moved something" true (!moved > 0);
+  check_int "no broadcast needed after the balance pass" bcasts0
+    (sum_counter snap "eden.locate_broadcasts");
+  check_bool "the directory answered the post-balance locates" true
+    (sum_counter snap "eden.dir.hits" > hits0)
+
 let test_controller_links_and_disarm () =
   let cl = Cluster.default ~seed:1L ~n_nodes:2 () in
   let plan =
@@ -650,5 +896,18 @@ let () =
             test_spec_chaos_trace_invariants;
           Alcotest.test_case "cancels are origin-scoped" `Quick
             test_cancel_cross_origin_isolation;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "deterministic with directory on" `Slow
+            test_dir_chaos_deterministic;
+          Alcotest.test_case "six invariants under random plans" `Slow
+            test_dir_chaos_invariants;
+          Alcotest.test_case "dead shard falls back to broadcast" `Quick
+            test_dir_shard_death_fallback;
+          Alcotest.test_case "stale entry: NACK invalidates, or fails" `Quick
+            test_dir_stale_hint_nack_fallback;
+          Alcotest.test_case "balance pass publishes new homes" `Quick
+            test_dir_balance_publishes;
         ] );
     ]

@@ -88,7 +88,7 @@ let gen_delta rng =
   | _ -> Delta.Whole (gen_value 2 rng)
 
 let gen_message rng : Message.t =
-  match Splitmix.int rng 22 with
+  match Splitmix.int rng 25 with
   | 0 ->
     Message.Inv_request
       {
@@ -201,6 +201,26 @@ let gen_message rng : Message.t =
       }
   | 19 -> Message.Cache_invalidate { target = gen_name rng }
   | 20 -> Message.Cancel { inv_id = gen_req rng; target = gen_name rng }
+  | 22 ->
+    Message.Dir_put
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        home = gen_node rng;
+        replicas = List.init (Splitmix.int rng 4) (fun _ -> gen_node rng);
+        lease = Splitmix.int rng 1_000_000_000;
+      }
+  | 23 ->
+    Message.Dir_get
+      { req_id = gen_req rng; target = gen_name rng; reply_to = gen_node rng }
+  | 24 ->
+    (* home = -1 is the shard-miss reply, a live wire shape. *)
+    Message.Dir_nack
+      {
+        req_id = gen_req rng;
+        target = gen_name rng;
+        home = (if Splitmix.bool rng then gen_node rng else -1);
+      }
   | _ ->
     Message.Ckpt_delta
       {
@@ -306,6 +326,61 @@ let test_cancel_codec_hostile () =
     (match Message.decode s with
     | Ok m' -> Alcotest.(check bool) "cancel round-trips" true (m' = m)
     | Error e -> Alcotest.failf "cancel rejected: %s" e);
+    for i = 0 to String.length s - 1 do
+      match Message.decode (String.sub s 0 i) with
+      | Error _ -> ()
+      | Ok m' ->
+        Alcotest.failf "prefix of length %d decoded as %s" i
+          (Message.describe m')
+    done;
+    (match Message.decode (s ^ "\x00") with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "trailing garbage accepted");
+    String.iteri
+      (fun i _ ->
+        let b = Bytes.of_string s in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+        ignore (Message.decode (Bytes.to_string b)))
+      s
+  done
+
+let test_dir_codec_hostile () =
+  (* The directory messages carry the locate hot path once the ring is
+     on, so their codecs get the same hostile-input treatment as
+     Cancel: every proper prefix rejected, trailing garbage rejected,
+     and any single corrupted byte returns [Error] (or an honestly
+     decoded other message) rather than raising.  Dir_put's replica
+     list exercises the bounded-count read; Dir_nack covers the
+     negative-home miss reply. *)
+  let rng = Splitmix.create 0xD19EC7L in
+  let gen_dir rng : Message.t =
+    match Splitmix.int rng 3 with
+    | 0 ->
+      Message.Dir_put
+        {
+          req_id = gen_req rng;
+          target = gen_name rng;
+          home = gen_node rng;
+          replicas = List.init (Splitmix.int rng 5) (fun _ -> gen_node rng);
+          lease = Splitmix.int rng 1_000_000_000;
+        }
+    | 1 ->
+      Message.Dir_get
+        { req_id = gen_req rng; target = gen_name rng; reply_to = gen_node rng }
+    | _ ->
+      Message.Dir_nack
+        {
+          req_id = gen_req rng;
+          target = gen_name rng;
+          home = (if Splitmix.bool rng then gen_node rng else -1);
+        }
+  in
+  for _ = 1 to 60 do
+    let m = gen_dir rng in
+    let s = Message.encode m in
+    (match Message.decode s with
+    | Ok m' -> Alcotest.(check bool) "dir message round-trips" true (m' = m)
+    | Error e -> Alcotest.failf "dir message rejected: %s" e);
     for i = 0 to String.length s - 1 do
       match Message.decode (String.sub s 0 i) with
       | Error _ -> ()
@@ -655,6 +730,151 @@ let topk_error_bounds =
                e.Eden_obs.Topk.e_key e.Eden_obs.Topk.e_count
                e.Eden_obs.Topk.e_err))
 
+(* ------------------------------------------------------------------ *)
+(* Directory ring: placement balance and minimal remapping *)
+
+(* A random membership: 2..16 distinct node ids drawn from 0..63 —
+   ring quality must not depend on ids being dense or starting at 0. *)
+let gen_node_set rng =
+  let n = 2 + Splitmix.int rng 15 in
+  let seen = Hashtbl.create 16 in
+  let rec draw acc k =
+    if k = 0 then acc
+    else
+      let id = Splitmix.int rng 64 in
+      if Hashtbl.mem seen id then draw acc k
+      else begin
+        Hashtbl.add seen id ();
+        draw (id :: acc) (k - 1)
+      end
+  in
+  draw [] n
+
+let show_nodes nodes = String.concat "," (List.map string_of_int nodes)
+
+(* Distinct names, enough per node that placement noise is statistical
+   rather than structural: with 512 vnodes per node the load spread is
+   ~1/sqrt(512) = 4.4%, so 1.3x the mean is a >6-sigma bound — tight
+   enough to catch a broken mixer, loose enough never to flake. *)
+let ring_keys n =
+  List.init (2048 * n) (fun i -> Name.make ~birth_node:(i mod 64) ~serial:i)
+
+let shard_counts ring nodes keys =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      let s = Directory.shard ring name in
+      if not (List.mem s nodes) then
+        failwith (Printf.sprintf "shard %d not in the node set" s);
+      Hashtbl.replace counts s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+    keys;
+  counts
+
+let ring_balance =
+  Prop.case ~name:"ring balance: max/mean load <= 1.3" ~base:0xD1A0_0001L
+    ~gen:gen_node_set ~show:show_nodes (fun nodes ->
+      let ring = Directory.make ~nodes () in
+      let n = List.length nodes in
+      let keys = ring_keys n in
+      let counts = shard_counts ring nodes keys in
+      let mean = float_of_int (List.length keys) /. float_of_int n in
+      let worst =
+        List.fold_left
+          (fun w id ->
+            max w (Option.value ~default:0 (Hashtbl.find_opt counts id)))
+          0 nodes
+      in
+      if float_of_int worst <= 1.3 *. mean then Ok ()
+      else Error (Printf.sprintf "max load %d vs mean %.0f" worst mean))
+
+let test_ring_point_name_aliasing () =
+  (* Regression: point positions and name positions must come from
+     disjoint mixer domains.  With a shared domain, node 0's vnode [k]
+     sits at [mix64 k] and a node-0-born name with serial [s] at
+     [mix64 s] — every low-serial name lands exactly on a node-0 vnode
+     point, and "first point at or after" hands node 0 the entire
+     keyspace.  Low ids and low serials are precisely what a real
+     cluster mints first, so this shape is the common case, not a
+     corner. *)
+  let nodes = [ 0; 1; 2; 3 ] in
+  let ring = Directory.make ~nodes () in
+  let keys =
+    List.init 2048 (fun s -> Name.make ~birth_node:0 ~serial:(s + 1))
+  in
+  let counts = shard_counts ring nodes keys in
+  let mean = float_of_int (List.length keys) /. float_of_int 4 in
+  List.iter
+    (fun id ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+      if float_of_int c > 1.3 *. mean then
+        Alcotest.failf "node %d owns %d of %d node-0-born names" id c
+          (List.length keys))
+    nodes
+
+(* Consistent hashing's point: membership changes remap only the keys
+   the changed node owned.  A leave must not move any key the leaver
+   did not own, a join may only move keys onto the joiner, and either
+   way the moved fraction stays near 1/n (bounded at 2/n — again about
+   6 sigma for these sizes). *)
+let gen_membership rng =
+  let nodes = gen_node_set rng in
+  let rec fresh () =
+    let id = Splitmix.int rng 64 in
+    if List.mem id nodes then fresh () else id
+  in
+  (nodes, fresh ())
+
+let ring_minimal_remap =
+  Prop.case ~name:"ring remap: join/leave move <= 2/n of the keys"
+    ~base:0xD1A0_0002L ~gen:gen_membership
+    ~show:(fun (nodes, joiner) ->
+      Printf.sprintf "[%s] joiner %d" (show_nodes nodes) joiner)
+    (fun (nodes, joiner) ->
+      let n = List.length nodes in
+      let keys = ring_keys n in
+      let k = List.length keys in
+      let before = Directory.make ~nodes () in
+      let leaver = List.hd nodes in
+      let after_leave = Directory.make ~nodes:(List.tl nodes) () in
+      let after_join = Directory.make ~nodes:(joiner :: nodes) () in
+      let moved_leave = ref 0 and moved_join = ref 0 in
+      let err = ref None in
+      List.iter
+        (fun key ->
+          let s0 = Directory.shard before key in
+          let sl = Directory.shard after_leave key in
+          let sj = Directory.shard after_join key in
+          if s0 = leaver then incr moved_leave
+          else if sl <> s0 && !err = None then
+            err :=
+              Some
+                (Printf.sprintf
+                   "leave of %d moved %s from %d to %d" leaver
+                   (Name.to_string key) s0 sl);
+          if sj <> s0 then begin
+            incr moved_join;
+            if sj <> joiner && !err = None then
+              err :=
+                Some
+                  (Printf.sprintf
+                     "join of %d moved %s from %d to %d" joiner
+                     (Name.to_string key) s0 sj)
+          end)
+        keys;
+      match !err with
+      | Some e -> Error e
+      | None ->
+        if !moved_leave * n > 2 * k then
+          Error
+            (Printf.sprintf "leave moved %d of %d keys (n = %d)"
+               !moved_leave k n)
+        else if !moved_join * (n + 1) > 2 * k then
+          Error
+            (Printf.sprintf "join moved %d of %d keys (n = %d)"
+               !moved_join k n)
+        else Ok ())
+
 let () =
   Alcotest.run "eden_props"
     [
@@ -668,6 +888,8 @@ let () =
             test_decode_bounds_nesting;
           Alcotest.test_case "cancel codec survives hostile input" `Quick
             test_cancel_codec_hostile;
+          Alcotest.test_case "dir codecs survive hostile input" `Quick
+            test_dir_codec_hostile;
         ] );
       ("delta", [ delta_apply_roundtrip; delta_never_larger ]);
       ( "span_json",
@@ -680,4 +902,11 @@ let () =
       ("traced", [ traced_roundtrip ]);
       ("fault_plan", [ plan_roundtrip ]);
       ("health", [ window_merge_algebra; topk_error_bounds ]);
+      ( "directory",
+        [
+          ring_balance;
+          ring_minimal_remap;
+          Alcotest.test_case "point/name domains never alias" `Quick
+            test_ring_point_name_aliasing;
+        ] );
     ]
