@@ -2,7 +2,8 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  trace-check health-check tail-check dir-check determinism clean help
+  trace-check health-check tail-check dir-check reconfig-check determinism \
+  clean help
 
 all: build
 
@@ -20,6 +21,7 @@ help:
 	@echo "make health-check - same-seed health reports must be byte-identical"
 	@echo "make tail-check   - speculation smoke: E22 tails + clone trace invariant"
 	@echo "make dir-check    - directory smoke: E23 scaling + dir trace invariant"
+	@echo "make reconfig-check - membership smoke: E24 join/drain/leave + reconfig chaos cmp"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -60,6 +62,7 @@ ci:
 	$(MAKE) health-check
 	$(MAKE) tail-check
 	$(MAKE) dir-check
+	$(MAKE) reconfig-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -159,6 +162,38 @@ dir-check:
 	  --check --text /tmp/eden_dir_b.txt
 	cmp /tmp/eden_dir_a.txt /tmp/eden_dir_b.txt
 	@echo "dir-check: OK (O(1) locate, dir invariant holds, deterministic)"
+
+# Online reconfiguration: the E24 smoke (join + drain + leave under
+# load within 1.5x of the static locate cost, all seven trace
+# invariants clean — asserted inside the experiment), then the same
+# reconfig run twice — byte-identical snapshots — and the chaos
+# workload under a plan that mixes crash/link faults with a join and a
+# decommission: trace invariants (epoch monotonicity included) must
+# hold and same-seed snapshots and timelines stay byte-identical.
+reconfig-check:
+	dune exec bench/main.exe -- E24 --smoke
+	dune exec bin/edenctl.exe -- reconfig --nodes 4 --spares 1 --seed 11 \
+	  --metrics-out /tmp/eden_reconfig_a.json
+	dune exec bin/edenctl.exe -- reconfig --nodes 4 --spares 1 --seed 11 \
+	  --metrics-out /tmp/eden_reconfig_b.json
+	cmp /tmp/eden_reconfig_a.json /tmp/eden_reconfig_b.json
+	printf 'at 100ms  crash 3\nat 400ms  restart 3 rebuild\nat 200ms  drop 0->2 p=0.3\nat 700ms  heal-link 0->2\nat 500ms  join 5\nat 1200ms decommission 2\n' \
+	  > /tmp/eden_reconfig.plan
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --spares 1 --seed 11 \
+	  --directory --fault-plan /tmp/eden_reconfig.plan \
+	  --metrics-out /tmp/eden_reconfig_chaos_a.json
+	dune exec bin/edenctl.exe -- chaos --nodes 5 --spares 1 --seed 11 \
+	  --directory --fault-plan /tmp/eden_reconfig.plan \
+	  --metrics-out /tmp/eden_reconfig_chaos_b.json
+	cmp /tmp/eden_reconfig_chaos_a.json /tmp/eden_reconfig_chaos_b.json
+	dune exec bin/edenctl.exe -- trace --nodes 5 --spares 1 --seed 11 \
+	  --directory --fault-plan /tmp/eden_reconfig.plan \
+	  --check --text /tmp/eden_reconfig_a.txt
+	dune exec bin/edenctl.exe -- trace --nodes 5 --spares 1 --seed 11 \
+	  --directory --fault-plan /tmp/eden_reconfig.plan \
+	  --check --text /tmp/eden_reconfig_b.txt
+	cmp /tmp/eden_reconfig_a.txt /tmp/eden_reconfig_b.txt
+	@echo "reconfig-check: OK (join/drain/leave live, invariants hold, deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

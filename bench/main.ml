@@ -29,6 +29,7 @@ let experiments =
     ("E21", "health-plane overhead and hot-object recovery", Exp_health.run);
     ("E22", "tail latency: request cloning and hedged retries", Exp_tail.run);
     ("E23", "sharded locate directory vs broadcast scaling", Exp_directory.run);
+    ("E24", "online reconfiguration: join, drain, leave under load", Exp_reconfig.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 
@@ -58,6 +59,7 @@ let rec extract_trace_out = function
   | "--smoke" :: rest ->
     Exp_tail.smoke := true;
     Exp_directory.smoke := true;
+    Exp_reconfig.smoke := true;
     extract_trace_out rest
   | a :: rest -> a :: extract_trace_out rest
 

@@ -9,7 +9,10 @@
      edenctl heartbeat [--nodes N] [--kill I] [--trace] [--metrics-out FILE]
      edenctl chaos     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
                        [--replica-cache] [--coalesce] [--ckpt-delta] [--ckpt-async]
-                       [--trace] [--metrics-out FILE]
+                       [--spares K] [--trace] [--metrics-out FILE]
+     edenctl reconfig  [--nodes N] [--spares K] [--seed S] [--requests R]
+                       [--fault-plan FILE] [--trace] [--metrics-out FILE]
+                       (join + drain + leave while a counter stream runs)
      edenctl trace     [--nodes N] [--seed S] [--fault-plan FILE] [--requests R]
                        [--out FILE] [--text FILE] [--check]
                        (chaos workload + assembled cross-node causal timeline)
@@ -126,6 +129,15 @@ let hedge_t =
           "Hedge straggling requests: when a reply takes longer than \
            the windowed latency quantile, re-send the same request \
            once (the server suppresses the duplicate).")
+
+let spares_t =
+  Arg.(
+    value & opt int 0
+    & info [ "spares" ] ~docv:"K"
+        ~doc:
+          "Rack $(docv) spare nodes after the configured ones: powered \
+           and reachable but outside the boot membership, so a fault \
+           plan's 'join' action can admit them mid-run.")
 
 let cluster_options ?(clone = false) ?(hedge = false) ?(directory = false)
     ~replica_cache ~ckpt_delta () =
@@ -565,8 +577,8 @@ let chaos_horizon = Time.s 2
    deterministic fault plan, driven entirely by the virtual clock and
    the seed.  Returns the finished cluster for post-run inspection. *)
 let chaos_workload ?health ?(clone = false) ?(hedge = false)
-    ?(directory = false) ~nodes ~seed ~fault_plan ~requests ~replica_cache
-    ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
+    ?(directory = false) ?(spares = 0) ~nodes ~seed ~fault_plan ~requests
+    ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -581,7 +593,7 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false)
         Eden_hw.Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
   let cl =
-    Cluster.create ~seed:(Int64.of_int seed) ~segments
+    Cluster.create ~seed:(Int64.of_int seed) ~segments ~spares
       ~options:
         (cluster_options ~clone ~hedge ~directory ~replica_cache ~ckpt_delta
            ())
@@ -589,8 +601,10 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false)
   in
   Cluster.register_type cl (chaos_type ~async:ckpt_async);
   setup_trace cl trace;
+  (* Spares are valid fault-plan targets (join admits them), so the
+     plan validates against the full rack, not just the members. *)
   let plan =
-    load_plan ~file:fault_plan ~seed ~nodes
+    load_plan ~file:fault_plan ~seed ~nodes:(nodes + spares)
       ~segments:(List.length segments) ~horizon:chaos_horizon
       ~default_random:true
   in
@@ -691,9 +705,9 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false)
   cl
 
 let run_chaos nodes seed fault_plan requests replica_cache coalesce
-    ckpt_delta ckpt_async clone hedge directory trace metrics_out =
+    ckpt_delta ckpt_async clone hedge directory spares trace metrics_out =
   let cl =
-    chaos_workload ~clone ~hedge ~directory ~nodes ~seed ~fault_plan
+    chaos_workload ~clone ~hedge ~directory ~spares ~nodes ~seed ~fault_plan
       ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace ()
   in
   write_metrics cl metrics_out;
@@ -714,7 +728,157 @@ let chaos_cmd =
     Term.(
       const run_chaos $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
-      $ clone_t $ hedge_t $ directory_t $ trace_t $ metrics_out_t)
+      $ clone_t $ hedge_t $ directory_t $ spares_t $ trace_t $ metrics_out_t)
+
+(* ------------------------------------------------------------------ *)
+(* reconfig: online membership change under load.  A paced counter
+   stream runs while a spare joins and a member is drained and
+   retired; the run reports what the epoch machinery did and the
+   request stream's availability through it.  Driven by the virtual
+   clock and the seed, so same-seed --metrics-out files are
+   byte-identical. *)
+
+let sum_node_counter cl name =
+  let snap = Cluster.metrics_snapshot cl in
+  List.fold_left
+    (fun acc i ->
+      match
+        Eden_obs.Snapshot.find snap
+          ~labels:[ ("node", string_of_int i) ]
+          name
+      with
+      | Some (Eden_obs.Metrics.Counter c) -> acc + c
+      | _ -> acc)
+    0
+    (List.init (Cluster.node_count cl) Fun.id)
+
+let run_reconfig nodes spares seed requests fault_plan trace metrics_out =
+  if nodes < 2 then begin
+    Printf.eprintf "reconfig needs --nodes >= 2\n";
+    exit 1
+  end;
+  if spares < 1 && fault_plan = None then begin
+    Printf.eprintf
+      "reconfig needs --spares >= 1 (the default plan joins a spare); \
+       give --fault-plan to script something else\n";
+    exit 1
+  end;
+  (* The locate directory is always on here: the epoch-stamped ring it
+     resolves through is the machinery under test. *)
+  let cl =
+    Cluster.default ~seed:(Int64.of_int seed)
+      ~options:
+        (cluster_options ~directory:true ~replica_cache:false
+           ~ckpt_delta:true ())
+      ~spares ~n_nodes:nodes ()
+  in
+  Cluster.register_type cl counter_type;
+  setup_trace cl trace;
+  let horizon = Time.ms (10 * requests) in
+  let plan =
+    match fault_plan with
+    | Some _ ->
+      load_plan ~file:fault_plan ~seed ~nodes:(nodes + spares) ~segments:1
+        ~horizon ~default_random:false
+    | None ->
+      (* Join the first spare a third of the way in, retire node 1 at
+         two thirds: both membership steps land mid-stream. *)
+      Eden_fault.Plan.make
+        [
+          {
+            Eden_fault.Plan.at = Time.divide horizon 3;
+            action = Eden_fault.Plan.Join_node nodes;
+          };
+          {
+            Eden_fault.Plan.at = Time.divide (Time.scale horizon 2) 3;
+            action = Eden_fault.Plan.Decommission_node 1;
+          };
+        ]
+  in
+  print_string "--- reconfiguration plan ---\n";
+  print_string (Eden_fault.Plan.to_string plan);
+  let caps = ref [||] in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        caps :=
+          Array.init nodes (fun i ->
+              match
+                Cluster.create_object cl ~node:i ~type_name:"ctl_counter"
+                  (Value.Int 0)
+              with
+              | Ok c -> c
+              | Error e -> failwith ("create: " ^ Error.to_string e)))
+  in
+  Cluster.run cl;
+  let ctl = Eden_fault.Controller.arm ~seed:(Int64.of_int seed) cl plan in
+  let ok = ref 0 and failed = ref 0 in
+  let _ =
+    Cluster.in_process cl (fun () ->
+        for r = 0 to requests - 1 do
+          Engine.delay (Time.ms 10);
+          match
+            Cluster.invoke cl ~from:0 ~timeout:(Time.ms 300)
+              ~retry:Api.default_retry
+              (!caps).(r mod nodes)
+              ~op:"incr" []
+          with
+          | Ok _ -> incr ok
+          | Error _ -> incr failed
+        done)
+  in
+  Cluster.run cl;
+  let attempts = !ok + !failed in
+  Printf.printf
+    "reconfig: %d/%d invocations completed (%.1f%% available), %d faults \
+     injected\n"
+    !ok attempts
+    (100.0 *. Float.of_int !ok /. Float.of_int (max 1 attempts))
+    (Eden_fault.Controller.injected ctl);
+  Printf.printf "epoch %d; members [%s]; drain moves %d; epoch bumps %d\n"
+    (Cluster.epoch cl)
+    (String.concat "; " (List.map string_of_int (Cluster.members cl)))
+    (sum_node_counter cl "eden.drain.moves")
+    (sum_node_counter cl "eden.epoch.bumps");
+  Array.iteri
+    (fun i cap ->
+      match Cluster.where_is cl cap with
+      | Some home when Cluster.is_member cl home -> ()
+      | Some home ->
+        Printf.eprintf "counter %d homed on non-member %d\n" i home;
+        exit 1
+      | None ->
+        Printf.eprintf "counter %d lost by the reconfiguration\n" i;
+        exit 1)
+    !caps;
+  print_endline "census: every object homed exactly once on a member";
+  dump_trace cl trace;
+  write_metrics cl metrics_out;
+  summary cl
+
+let reconfig_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 180
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  let spares_default_t =
+    Arg.(
+      value & opt int 1
+      & info [ "spares" ] ~docv:"K"
+          ~doc:
+            "Spare nodes racked beyond the boot membership, available \
+             for the plan's 'join' actions.")
+  in
+  Cmd.v
+    (Cmd.info "reconfig"
+       ~doc:
+         "Join a spare and decommission a member while a counter \
+          stream runs: online membership change over the epoch-stamped \
+          directory ring (plan overridable with --fault-plan).")
+    Term.(
+      const run_reconfig $ nodes_t $ spares_default_t $ seed_t $ requests_t
+      $ fault_plan_t $ trace_t $ metrics_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* trace: run the chaos workload, assemble the per-node journals into
@@ -732,10 +896,11 @@ let write_file ~path content =
     exit 1
 
 let run_trace nodes seed fault_plan requests replica_cache coalesce ckpt_delta
-    ckpt_async clone hedge directory out text check =
+    ckpt_async clone hedge directory spares out text check =
   let cl =
-    chaos_workload ~clone ~hedge ~directory ~nodes ~seed ~fault_plan ~requests
-      ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace:false ()
+    chaos_workload ~clone ~hedge ~directory ~spares ~nodes ~seed ~fault_plan
+      ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace:false
+      ()
   in
   let tl = Cluster.timeline cl in
   let dropped = Cluster.journal_dropped cl in
@@ -813,7 +978,8 @@ let trace_cmd =
     Term.(
       const run_trace $ nodes_t $ seed_t $ fault_plan_t $ requests_t
       $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
-      $ clone_t $ hedge_t $ directory_t $ out_t $ text_out_t $ check_t)
+      $ clone_t $ hedge_t $ directory_t $ spares_t $ out_t $ text_out_t
+      $ check_t)
 
 (* ------------------------------------------------------------------ *)
 (* health / top: run the chaos workload with the health plane enabled
@@ -1354,6 +1520,7 @@ let () =
             efs_cmd;
             heartbeat_cmd;
             chaos_cmd;
+            reconfig_cmd;
             trace_cmd;
             health_cmd;
             top_cmd;

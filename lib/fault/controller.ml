@@ -20,6 +20,8 @@ type t = {
   c_dups : Metrics.counter;
   c_delays : Metrics.counter;
   c_slow : Metrics.counter;
+  c_joins : Metrics.counter;
+  c_decommissions : Metrics.counter;
 }
 
 let count ctl c =
@@ -52,6 +54,18 @@ let apply ctl ev =
     Hashtbl.replace ctl.slow node by;
     count ctl ctl.c_slow
   | Plan.Heal_slow n -> Hashtbl.remove ctl.slow n
+  (* Reconfigurations that the cluster refuses (already a member, last
+     member, powered off by an earlier fault) are simply skipped — a
+     chaos plan's join/decommission races the crash windows around it,
+     and a refusal is a legitimate interleaving, not a plan error. *)
+  | Plan.Join_node n -> (
+    match Cluster.join_node cl n with
+    | Ok () -> count ctl ctl.c_joins
+    | Error _ -> ())
+  | Plan.Decommission_node n -> (
+    match Cluster.decommission_node cl n with
+    | Ok () -> count ctl ctl.c_decommissions
+    | Error _ -> ())
 
 (* The per-message decision consulted by the transport.  Unicast only:
    locate broadcasts and destroy notices stay reliable.  The link coin
@@ -123,6 +137,8 @@ let arm ?(seed = 0xFA17L) cl plan =
       c_dups = Metrics.counter reg "fault.link_dups";
       c_delays = Metrics.counter reg "fault.link_delays";
       c_slow = Metrics.counter reg "fault.slow_nodes";
+      c_joins = Metrics.counter reg "fault.joins";
+      c_decommissions = Metrics.counter reg "fault.decommissions";
     }
   in
   Transport.set_fault_injector (Cluster.network cl)

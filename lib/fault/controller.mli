@@ -15,7 +15,12 @@
     [fault.injected] (every fault the controller actually applied) and
     the per-kind breakdown [fault.node_crashes], [fault.node_restarts],
     [fault.disk_failures], [fault.partitions], [fault.link_drops],
-    [fault.link_dups], [fault.link_delays], [fault.slow_nodes].
+    [fault.link_dups], [fault.link_delays], [fault.slow_nodes],
+    [fault.joins], [fault.decommissions].  A {!Plan.action.Join_node}
+    or {!Plan.action.Decommission_node} the cluster refuses (node
+    already a member, last member, powered off by an earlier fault) is
+    skipped and not counted — a refusal is a legitimate interleaving
+    under chaos, not a plan error.
 
     A {!Plan.action.Slow_node} degrades a node rather than a link:
     every unicast the node sends {e or} receives is held by the given

@@ -16,6 +16,8 @@ type action =
   | Heal_link of { src : int; dst : int }
   | Slow_node of { node : int; by : Time.t }
   | Heal_slow of int
+  | Join_node of int
+  | Decommission_node of int
 
 type event = { at : Time.t; action : action }
 type t = event list
@@ -60,6 +62,8 @@ let action_to_string = function
   | Slow_node { node; by } ->
     Printf.sprintf "slow %d %s" node (time_to_string by)
   | Heal_slow n -> Printf.sprintf "heal-slow %d" n
+  | Join_node n -> Printf.sprintf "join %d" n
+  | Decommission_node n -> Printf.sprintf "decommission %d" n
 
 let to_string t =
   String.concat ""
@@ -145,6 +149,9 @@ let parse_action tokens =
     | Some node, Some by -> Some (Slow_node { node; by })
     | _ -> None)
   | [ "heal-slow"; n ] -> Option.map (fun n -> Heal_slow n) (int_tok n)
+  | [ "join"; n ] -> Option.map (fun n -> Join_node n) (int_tok n)
+  | [ "decommission"; n ] ->
+    Option.map (fun n -> Decommission_node n) (int_tok n)
   | _ -> None
 
 let strip_comment line =
@@ -224,7 +231,8 @@ let validate t ~nodes ~segments =
         if Time.to_ns by <= 0 then
           Error (Printf.sprintf "slow %d: delay must be positive" node)
         else Ok ()
-      | Heal_slow n -> check_node n "node")
+      | Heal_slow n -> check_node n "node"
+      | Join_node n | Decommission_node n -> check_node n "node")
     (Ok ()) t
 
 (* ------------------------------------------------------------------ *)

@@ -26,6 +26,8 @@
     at 300ms  heal-link 0->2
     at 100ms  slow 3 5ms
     at 500ms  heal-slow 3
+    at 250ms  join 5
+    at 800ms  decommission 2
     v}
 
     Times accept [ns]/[us]/[ms]/[s] suffixes.  Link faults are
@@ -52,6 +54,17 @@ type action =
           the degradation chaos plans need for hedging and cloning to
           bite — where [Crash_node] only creates absence. *)
   | Heal_slow of int
+  | Join_node of int
+      (** admit a powered non-member (a spare) into the membership via
+          {!Eden_kernel.Cluster.join_node} — reconfiguration as a
+          plannable event, so joins land under whatever chaos the rest
+          of the plan is injecting *)
+  | Decommission_node of int
+      (** drain and retire a member via
+          {!Eden_kernel.Cluster.decommission_node}: evacuate its
+          objects, bump the epoch, power it off.  Blocking for the
+          controller's daemon process, not for the cluster — traffic
+          flows throughout. *)
 
 type event = { at : Eden_util.Time.t; action : action }
 

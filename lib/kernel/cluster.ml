@@ -189,6 +189,15 @@ type node = {
       (* the registry shard this node serves: entries for every name
          whose ring position lands here.  Volatile — a crash empties
          it, and requesters fall back to broadcast and republish. *)
+  mutable nd_epoch : int;
+      (* this node's membership view: the epoch of the newest
+         [Epoch_announce] it has applied (or initiated).  May lag the
+         cluster epoch while an announce is in flight; invariant 7
+         checks it only ever moves forward. *)
+  mutable nd_draining : bool;
+      (* decommission in progress: the node still serves traffic, but
+         drain evacuation and the migration policy must not choose it
+         as a destination *)
 }
 
 type options = {
@@ -256,6 +265,10 @@ type node_metrics = {
       (* attempts that gave up on the directory and broadcast *)
   m_dir_leases : Metrics.counter;
       (* expired entries dropped by this shard at lookup time *)
+  m_epoch_bumps : Metrics.counter;
+      (* membership view advances applied on this node *)
+  m_drain_moves : Metrics.counter;
+      (* objects evacuated from this node by a decommission drain *)
 }
 
 (* The health plane, present only when [Cluster.create ~health] asked
@@ -310,12 +323,24 @@ type t = {
   mutable c_health : health_plane option;
   c_hedge : hedge_state option;  (* present iff hedging is enabled *)
   c_dir : Directory.t;
-      (* the consistent-hash ring mapping names to registry shards; a
-         pure function of the (static) node set, shared by all nodes *)
+      (* the consistent-hash ring mapping names to registry shards at
+         the boot membership (epoch 0); a pure function of the member
+         set, shared by all nodes *)
   mutable c_dir_nack_fallback : bool;
       (* NACK-on-wrong-home invalidation armed (default).  Test
          scaffolding: disabling it lets the stale-hint regression show
          what the fallback exists to prevent. *)
+  mutable c_epoch : int;
+      (* the newest membership epoch any node has initiated; bumped by
+         join and decommission.  Epoch 0 is the boot membership. *)
+  mutable c_members : node_id list;
+      (* ring members at [c_epoch], ascending.  Spares are powered
+         nodes outside this list: reachable over the LAN, but owning
+         no ring segment until a join admits them. *)
+  c_rings : (int, Directory.t) Hashtbl.t;
+      (* epoch -> the ring built for that membership, cached at bump
+         time so a node serving through an old view keeps resolving
+         against the exact ring its view names *)
 }
 
 let locate_window = Time.ms 3
@@ -352,6 +377,15 @@ let hedge_ticks = 1000
    correctness: sequence numbers are never reissued, so eviction can
    only let a duplicate re-execute, never drop a fresh request. *)
 let dedup_cap = 8192
+
+(* Lease on cancelled-only dedup entries.  A cancel that arrives for a
+   request this node never saw leaves a tombstone whose only job is to
+   swallow that request should it still show up; one virtual second
+   out-lives any urgent-cancel / queued-request race by orders of
+   magnitude.  Expiring them keeps a drop-heavy run from filling the
+   table with dead keys and evicting entries that still guard real
+   in-flight duplicates. *)
+let dedup_ttl = Time.s 1
 
 exception Fatal of string
 (* Internal invariant violations surface loudly instead of corrupting
@@ -520,7 +554,33 @@ let dir_window = Time.ms 3
 let dir_lease_ttl = Time.s 10
 
 let dir_enabled cl = cl.opts.use_directory
-let dir_shard cl name = Directory.shard cl.c_dir name
+
+(* The ring a given membership view resolves against.  Rings are
+   cached per epoch at bump time, so every view a node can hold has
+   its exact ring on hand; the boot ring backs epoch 0. *)
+let ring_of cl view =
+  if view <= 0 then cl.c_dir
+  else
+    match Hashtbl.find_opt cl.c_rings view with
+    | Some r -> r
+    | None -> cl.c_dir
+
+(* The registry shard [viewer] talks to for [name]: the owner under
+   the viewer's membership view, detouring past powered-off owners to
+   the next live ring point.  Publisher and requester compute the same
+   detour, so entries published while a shard is down are findable at
+   its stand-in.  Before the detour, a crashed shard stayed pinned in
+   the ring: every lookup of a name it owned burned the full directory
+   window against a dead node and fell back to broadcast — one wasted
+   round trip per touch, forever.  Minimal-remap makes the detour and
+   reconfiguration agree: a decommissioned node's ring points are
+   exactly the ones removed at the next epoch, so an old view skipping
+   the dead owner lands on the same shard the new ring names. *)
+let dir_shard cl (viewer : node) name =
+  Directory.shard_skipping
+    (ring_of cl viewer.nd_epoch)
+    ~down:(fun id -> not cl.nodes.(id).nd_up)
+    name
 
 let dir_lease_valid cl lease =
   Time.to_ns (Engine.now cl.eng) - lease <= Time.to_ns dir_lease_ttl
@@ -562,7 +622,7 @@ let dir_publish ?ctx cl node target ~home ~replicas =
       | None -> Tracectx.root pub
     in
     let lease = Time.to_ns (Engine.now cl.eng) in
-    let shard = dir_shard cl target in
+    let shard = dir_shard cl node target in
     if shard = node.nd_id then dir_store node ~target ~home ~replicas ~lease
     else
       send_msg ~ctx cl node ~dst:shard
@@ -574,7 +634,7 @@ let dir_publish ?ctx cl node target ~home ~replicas =
    tell the shard.  The shard drops the entry only if it still names
    [stale_home] — a newer publish that already repaired it wins. *)
 let dir_invalidate ?ctx cl node target ~stale_home =
-  let shard = dir_shard cl target in
+  let shard = dir_shard cl node target in
   if shard = node.nd_id then (
     match Name.Table.find_opt node.nd_dir target with
     | Some e when e.de_home = stale_home -> Name.Table.remove node.nd_dir target
@@ -589,7 +649,7 @@ let dir_invalidate ?ctx cl node target ~stale_home =
    home's nack falls back to broadcast.  [`Dead] is a shard that never
    answered (down, partitioned, or just slow): same fallback. *)
 let dir_resolve ?ctx cl node target ~deadline =
-  let shard = dir_shard cl target in
+  let shard = dir_shard cl node target in
   if shard = node.nd_id then (
     (* This node is the shard: consult the registry in place. *)
     match Name.Table.find_opt node.nd_dir target with
@@ -1260,7 +1320,15 @@ let checkpoint_round cl obj ~repr =
               { target = Name.to_string obj.ob_name; version }))
     in
     let type_name = Typemgr.name obj.ob_type in
-    let sites = Reliability.checksites obj.ob_reliability ~home:node.nd_id in
+    (* A checksite that has left the membership (decommissioned, not
+       merely crashed) will never ack: drop it from the write set
+       rather than stalling every round on a permanently dark mirror.
+       Crashed members keep their write — the shared deadline covers
+       transient outages. *)
+    let sites =
+      Reliability.checksites obj.ob_reliability ~home:node.nd_id
+      |> List.filter (fun s -> s = node.nd_id || List.mem s cl.c_members)
+    in
     let deadline = deadline_of ~timeout:ack_timeout cl.eng in
     let delta =
       if not cl.opts.use_ckpt_delta then None
@@ -1934,9 +2002,20 @@ let forget_clone_site node name site =
    [Res_replica] answer teaches the clone set in [on_message].  The
    table entry — possibly still empty — doubles as the asked-once
    marker; [Cache_invalidate] and [forget_object] drop it, re-arming
-   discovery after the frozen epoch changes. *)
+   discovery after the frozen epoch changes.
+
+   With the locate directory on, the discovery broadcast is skipped
+   entirely: the registry answer already carries the shard's known
+   replica set (every [`Hit] feeds [learn_clone_site]), so fanning out
+   a broadcast here would re-introduce exactly the per-name broadcast
+   the directory exists to avoid — cloned reads were costing E23-scale
+   locate traffic whenever both flags were enabled. *)
 let discover_clone_sites ?ctx cl node name =
-  if speculating cl && not (Name.Table.mem node.nd_clone_sites name) then begin
+  if
+    speculating cl
+    && (not (dir_enabled cl))
+    && not (Name.Table.mem node.nd_clone_sites name)
+  then begin
     Name.Table.replace node.nd_clone_sites name [];
     let req_id = new_request_id node in
     Metrics.incr (nm cl node).m_locates;
@@ -2791,6 +2870,18 @@ let on_message cl node ~src { Message.tr_ctx; tr_msg = msg } =
         match Name.Table.find_opt node.nd_dir target with
         | Some e when e.de_home = home -> Name.Table.remove node.nd_dir target
         | Some _ | None -> ())
+    | Message.Epoch_announce { epoch; members = _ } ->
+      (* Adopt a newer membership view.  Epochs are totally ordered,
+         so the highest one wins regardless of delivery order — a
+         delayed or duplicated announce from a past reconfiguration is
+         simply ignored.  The ring for the adopted epoch was cached
+         cluster-side by the initiator; the member list on the wire is
+         what a real kernel would rebuild it from. *)
+      if epoch > node.nd_epoch then begin
+        node.nd_epoch <- epoch;
+        Metrics.incr (nm cl node).m_epoch_bumps;
+        ignore (jrecord cl node ~ctx:hctx (Journal.Epoch_bump { epoch }))
+      end
   end
 
 (* -------------------------------------------------------------------- *)
@@ -2928,13 +3019,23 @@ let register_collectors cl =
       Span.late_events cl.c_spans)
 
 let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
-    ?(journal_cap = default_journal_cap) ?health ~configs () =
+    ?(journal_cap = default_journal_cap) ?health ?(spares = 0) ~configs () =
   if configs = [] then invalid_arg "Cluster.create: no machine configs";
+  if spares < 0 then invalid_arg "Cluster.create: spares must be >= 0";
   if journal_cap < 0 then
     invalid_arg "Cluster.create: journal_cap must be >= 0";
   (match Api.validate_speculate options.speculate with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let n_members = List.length configs in
+  (* Spares are whole machines racked alongside the members: powered
+     and attached to the LAN from boot, but outside the epoch-0 ring
+     until [join_node] admits them. *)
+  let configs =
+    configs
+    @ List.init spares (fun i ->
+          Machine.default_config ~name:(Printf.sprintf "spare%d" i))
+  in
   let n_nodes = List.length configs in
   let segment_sizes =
     match segments with
@@ -2942,9 +3043,18 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
     | Some sizes ->
       if List.exists (fun s -> s <= 0) sizes then
         invalid_arg "Cluster.create: segment sizes must be positive";
-      if List.fold_left ( + ) 0 sizes <> n_nodes then
+      if List.fold_left ( + ) 0 sizes <> n_members then
         invalid_arg "Cluster.create: segment sizes must sum to node count";
-      sizes
+      if spares = 0 then sizes
+      else (
+        (* Spares share the last segment — an extension of the
+           existing wing, not a new bridged one. *)
+        let rec extend = function
+          | [] -> assert false
+          | [ last ] -> [ last + spares ]
+          | s :: rest -> s :: extend rest
+        in
+        extend sizes)
   in
   (* Node id -> segment, in id order. *)
   let segment_of_index =
@@ -2998,7 +3108,10 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
              nd_pending = Hashtbl.create 64;
              nd_seq = Idgen.create ();
              nd_clone_sites = Name.Table.create 8;
-             nd_recent = Dedup.create ~cap:dedup_cap;
+             nd_recent =
+               Dedup.create ~ttl:dedup_ttl
+                 ~now:(fun () -> Engine.now eng)
+                 ~cap:dedup_cap ();
              nd_types_loaded = Hashtbl.create 16;
              nd_kprocs = [];
              nd_ckpt_async = 0;
@@ -3006,6 +3119,8 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                Journal.create jsink ~node:(Transport.address tp)
                  ~cap:journal_cap;
              nd_dir = Name.Table.create 64;
+             nd_epoch = 0;
+             nd_draining = false;
            })
          configs)
   in
@@ -3076,6 +3191,10 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                 Metrics.counter reg ~labels "eden.dir.fallbacks";
               m_dir_leases =
                 Metrics.counter reg ~labels "eden.dir.leases_expired";
+              m_epoch_bumps =
+                Metrics.counter reg ~labels "eden.epoch.bumps";
+              m_drain_moves =
+                Metrics.counter reg ~labels "eden.drain.moves";
             });
       c_span_ctx = Hashtbl.create 64;
       c_jsink = jsink;
@@ -3093,10 +3212,14 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                hs_prev_over = 0;
              }
          else None);
-      (* The shard map is a pure function of the (static) node set:
-         every node computes the same ring, no coordination. *)
-      c_dir = Directory.make ~nodes:(List.init n_nodes Fun.id) ();
+      (* The shard map is a pure function of the member set: every
+         node computes the same ring, no coordination.  Spares are
+         excluded until a join bumps the epoch. *)
+      c_dir = Directory.make ~nodes:(List.init n_members Fun.id) ();
       c_dir_nack_fallback = true;
+      c_epoch = 0;
+      c_members = List.init n_members Fun.id;
+      c_rings = Hashtbl.create 8;
     }
   in
   (* The hedge estimator's tick, like the health sampler a daemon on
@@ -3169,13 +3292,13 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
     Engine.every eng ~interval:hcfg.Health.hc_tick (fun () -> Health.tick h));
   cl
 
-let default ?seed ?options ?coalesce ?journal_cap ?health ~n_nodes () =
+let default ?seed ?options ?coalesce ?journal_cap ?health ?spares ~n_nodes () =
   if n_nodes < 1 then invalid_arg "Cluster.default: need at least one node";
   let configs =
     List.init n_nodes (fun i ->
         Machine.default_config ~name:(Printf.sprintf "node%d" i))
   in
-  create ?seed ?options ?coalesce ?journal_cap ?health ~configs ()
+  create ?seed ?options ?coalesce ?journal_cap ?health ?spares ~configs ()
 
 let engine cl = cl.eng
 let trace cl = cl.tr
@@ -3195,7 +3318,11 @@ let journal_dropped cl =
     0 cl.nodes
 
 let health cl = Option.map (fun hp -> hp.hp_health) cl.c_health
-let directory_shard cl name = dir_shard cl name
+
+(* The canonical owner at the current epoch — no liveness detour, so
+   the answer is a pure function of the membership (for tests and
+   tooling; the kernel's own routing detours past downed shards). *)
+let directory_shard cl name = Directory.shard (ring_of cl cl.c_epoch) name
 let set_dir_nack_fallback cl enabled = cl.c_dir_nack_fallback <- enabled
 
 let hot_objects cl ?(k = 10) i =
@@ -3483,6 +3610,15 @@ let restart_node ?(rebuild = false) cl i =
     node.nd_up <- true;
     Transport.set_up node.nd_tp true;
     tracef cl Trace.Kern "node %d: power on" i;
+    (* A node that slept through reconfigurations catches up at boot
+       (a real kernel would learn the epoch from its first exchange).
+       Journalled only when the view actually moves — invariant 7
+       demands strict increase per node. *)
+    if cl.c_epoch > node.nd_epoch then begin
+      node.nd_epoch <- cl.c_epoch;
+      Metrics.incr (nm cl node).m_epoch_bumps;
+      ignore (jrecord cl node (Journal.Epoch_bump { epoch = cl.c_epoch }))
+    end;
     (* Everything checkpointed to this node's disk is authoritatively
        passive if it was active here at the crash: conservatively mark
        all local snapshots passive unless some other node currently
@@ -3507,6 +3643,113 @@ let set_disk_failed cl i failed =
   end
 
 let disk_ok cl i = (node_of cl i).nd_disk_ok
+
+(* -------------------------------------------------------------------- *)
+(* Online reconfiguration: epoch-stamped membership.
+
+   The membership table is a pair (epoch, member list).  Every change
+   — a spare joining, a member decommissioning — bumps the epoch,
+   caches the new epoch's ring, journals the initiator's [Epoch_bump]
+   and broadcasts an [Epoch_announce]; other nodes adopt the view when
+   the announce lands (or at their next power-on).  Nothing blocks on
+   the announce: a node serving through an old view resolves against
+   that view's cached ring, and the consistent ring's minimal-remap
+   property bounds the churn — one membership step moves about 1/n of
+   the name space, and invariant 7 pins that a lagging view can cost a
+   detour or a broadcast, never a stranded locate. *)
+
+let epoch cl = cl.c_epoch
+let members cl = cl.c_members
+let is_member cl i = List.mem (node_of cl i).nd_id cl.c_members
+let is_draining cl i = (node_of cl i).nd_draining
+
+let bump_epoch cl node ~members =
+  cl.c_epoch <- cl.c_epoch + 1;
+  cl.c_members <- members;
+  Hashtbl.replace cl.c_rings cl.c_epoch (Directory.make ~nodes:members ());
+  node.nd_epoch <- cl.c_epoch;
+  Metrics.incr (nm cl node).m_epoch_bumps;
+  let ev = jrecord cl node (Journal.Epoch_bump { epoch = cl.c_epoch }) in
+  bcast_msg ~ctx:(Tracectx.root ev) cl node
+    (Message.Epoch_announce { epoch = cl.c_epoch; members })
+
+let join_node cl i =
+  let node = node_of cl i in
+  if List.mem i cl.c_members then
+    Error (Printf.sprintf "node %d is already a member" i)
+  else if not node.nd_up then
+    Error (Printf.sprintf "node %d is powered off" i)
+  else begin
+    tracef cl Trace.Kern "node %d: joins at epoch %d" i (cl.c_epoch + 1);
+    bump_epoch cl node ~members:(List.sort Int.compare (i :: cl.c_members));
+    Ok ()
+  end
+
+(* The drain destination for one evacuated object: the least-loaded
+   live member that is neither leaving nor itself draining, lowest id
+   on ties — deterministic, so same-seed runs evacuate identically. *)
+let drain_target cl ~leaving =
+  List.fold_left
+    (fun best m ->
+      if m = leaving || (not cl.nodes.(m).nd_up) || cl.nodes.(m).nd_draining
+      then best
+      else
+        let load = Name.Table.length cl.nodes.(m).nd_active in
+        match best with
+        | Some (_, bl) when bl <= load -> best
+        | Some _ | None -> Some (m, load))
+    None cl.c_members
+
+(* Blocking.  Drain, then leave: checkpoint and move every object
+   homed here to surviving members (each move republishes the new
+   home to the name's registry shard), bump the epoch without this
+   node, and only then power off.  Traffic keeps flowing throughout —
+   requests during a move queue and forward as usual.  An object whose
+   move fails stays put and relies on its fresh checkpoint for
+   reincarnation after the power-off. *)
+let decommission_node cl i =
+  let node = node_of cl i in
+  if not (List.mem i cl.c_members) then
+    Error (Printf.sprintf "node %d is not a member" i)
+  else if not node.nd_up then
+    Error (Printf.sprintf "node %d is powered off" i)
+  else if List.length cl.c_members <= 1 then
+    Error "cannot decommission the last member"
+  else begin
+    node.nd_draining <- true;
+    tracef cl Trace.Kern "node %d: draining for decommission" i;
+    let victims =
+      Name.Table.fold (fun _ o acc -> o :: acc) node.nd_active []
+      |> List.filter (fun o ->
+             o.ob_status <> Dead && Typemgr.name o.ob_type <> "eden_node")
+      |> List.sort (fun a b -> Name.compare a.ob_name b.ob_name)
+    in
+    List.iter
+      (fun obj ->
+        (* Re-check per object: traffic is live, so an earlier victim
+           may have died or been moved away while we drained. *)
+        if obj.ob_status <> Dead && obj.ob_home = i then
+          match drain_target cl ~leaving:i with
+          | None -> () (* no live destination; the checkpoint covers us *)
+          | Some (to_node, _) -> (
+            (* Checkpoint first so the state is durable whatever the
+               move does — and so the move's own post-transfer rounds
+               ride the delta pipeline against a fresh base. *)
+            ignore (do_checkpoint cl obj);
+            match do_move cl obj ~to_node ~self_inflight:false with
+            | Ok () ->
+              Metrics.incr (nm cl node).m_drain_moves;
+              ignore
+                (jrecord cl node
+                   (Journal.Drain_move
+                      { target = Name.to_string obj.ob_name; to_node }))
+            | Error _ -> ()))
+      victims;
+    bump_epoch cl node ~members:(List.filter (fun m -> m <> i) cl.c_members);
+    node.nd_draining <- false;
+    crash_node cl i;
+    Ok ()
+  end
 
 (* -------------------------------------------------------------------- *)
 (* Introspection *)

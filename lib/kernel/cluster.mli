@@ -88,11 +88,18 @@ val create :
   ?coalesce:Transport.coalesce ->
   ?journal_cap:int ->
   ?health:Eden_obs.Health.config ->
+  ?spares:int ->
   configs:Eden_hw.Machine.config list ->
   unit ->
   t
 (** Build a cluster with one node per machine config (node ids follow
     list order).  Raises [Invalid_argument] on an empty list.
+    [spares] (default 0) racks that many additional default-configured
+    machines ("spare0"..) after the configured ones: powered and on
+    the LAN from boot, but outside the membership (and the directory
+    ring) until {!join_node} admits them; they share the last network
+    segment.  [segments] sizes must sum to the {e configured} node
+    count, spares excluded.
     [options] disable individual location mechanisms for ablation
     studies (experiment E13).  [segments] partitions the nodes over
     bridged Ethernet segments in id order (e.g. [[3; 2]] puts nodes
@@ -118,6 +125,7 @@ val default :
   ?coalesce:Transport.coalesce ->
   ?journal_cap:int ->
   ?health:Eden_obs.Health.config ->
+  ?spares:int ->
   n_nodes:int ->
   unit ->
   t
@@ -266,6 +274,50 @@ val set_disk_failed : t -> node_id -> bool -> unit
 
 val disk_ok : t -> node_id -> bool
 
+(** {1 Online reconfiguration}
+
+    The membership table is an epoch-stamped member list.  {!join_node}
+    and {!decommission_node} bump the epoch, cache the new epoch's
+    directory ring and broadcast an [Epoch_announce]; other nodes adopt
+    the view when the announce lands (or at their next power-on), and a
+    node serving through an old view resolves against that view's
+    cached ring.  The consistent ring's minimal-remap property bounds
+    the churn to roughly 1/n of the name space per membership step, and
+    checker rule 7 ({e epoch-monotonic}) pins that views only move
+    forward and that a lagging view can cost a detour or a broadcast
+    but never a stranded locate. *)
+
+val epoch : t -> int
+(** The newest membership epoch any node has initiated (0 at boot). *)
+
+val members : t -> node_id list
+(** Current ring members, ascending.  Spares (and decommissioned
+    nodes) are powered but absent until {!join_node} admits them. *)
+
+val is_member : t -> node_id -> bool
+
+val is_draining : t -> node_id -> bool
+(** True while {!decommission_node} is evacuating the node: it still
+    serves traffic, but balancing must not pick it as a target. *)
+
+val join_node : t -> node_id -> (unit, string) result
+(** Admit a powered non-member (a spare, or a previously
+    decommissioned node after {!restart_node}) into the membership:
+    bumps the epoch, rebuilds the ring with the node in it and
+    broadcasts the announce.  Non-blocking; traffic keeps flowing —
+    names remapped to the newcomer miss at their old shard and are
+    lazily republished via the broadcast fallback. *)
+
+val decommission_node : t -> node_id -> (unit, string) result
+(** Blocking.  Drain, then leave: every object homed on the node is
+    checkpointed (the delta pipeline) and moved to the least-loaded
+    surviving member — each move republishing the new home to the
+    name's registry shard and journalled as [Drain_move] — then the
+    epoch is bumped without the node and it powers off.  Refused for
+    non-members, powered-off nodes and the last remaining member.  An
+    object whose move fails stays put and reincarnates from its fresh
+    checkpoint later. *)
+
 (** {1 Introspection} *)
 
 val where_is : t -> Capability.t -> node_id option
@@ -275,9 +327,12 @@ val where_is : t -> Capability.t -> node_id option
 val is_active : t -> Capability.t -> bool
 
 val directory_shard : t -> Name.t -> node_id
-(** The registry shard the locate directory assigns to [name] — a pure
-    function of the node set, meaningful whether or not
-    [use_directory] is on.  Non-blocking (for tests and tooling). *)
+(** The registry shard the locate directory assigns to [name] at the
+    current epoch — a pure function of the membership, meaningful
+    whether or not [use_directory] is on.  Non-blocking (for tests and
+    tooling).  The kernel's own routing additionally detours past
+    powered-off shards to the next live ring point; this accessor
+    reports the canonical owner. *)
 
 val set_dir_nack_fallback : t -> bool -> unit
 (** Test scaffolding: arm or disarm the NACK-on-wrong-home shard

@@ -18,7 +18,19 @@
    never reissued), so an evicted entry can only cause a duplicate to
    slip through — re-executing a read or re-queueing work the
    coordinator will serialise anyway — never a fresh request to be
-   wrongly dropped. *)
+   wrongly dropped.
+
+   Cancelled entries additionally carry a lease: a cancel that
+   overtakes its own request (urgent sends bypass the coalescer) notes
+   a tombstone for a request that may never arrive at all — the fault
+   injector can have dropped it.  Without expiry every such orphan
+   pins a slot until cap eviction, and a drop-heavy plan fills the
+   table with tombstones that crowd out live bookkeeping.  With a
+   [ttl], a tombstone still in [Cancelled] once its lease runs out is
+   reclaimed opportunistically on later operations; an entry that
+   progressed past [Cancelled] is never touched.  Expiring a tombstone
+   early is as harmless as cap eviction: the worst case is a very late
+   duplicate executing once. *)
 
 type state =
   | Queued
@@ -29,33 +41,86 @@ type key = int * int
 
 type t = {
   cap : int;
+  ttl : int;  (* lease for Cancelled-only entries, ns; 0 = never expire *)
+  now : unit -> Eden_util.Time.t;
   tbl : (key, state) Hashtbl.t;
   order : key Queue.t;
+  (* Orphan-cancel leases, expiry order = push order (the clock is
+     monotonic).  A key may appear here while its table entry has
+     moved on; the state is re-checked at reclaim time. *)
+  tombs : (int * key) Queue.t;
 }
 
-let create ~cap =
+let create ?(ttl = Eden_util.Time.zero) ?(now = fun () -> Eden_util.Time.zero)
+    ~cap () =
   if cap <= 0 then invalid_arg "Dedup.create: cap must be positive";
-  { cap; tbl = Hashtbl.create (min cap 256); order = Queue.create () }
+  if Eden_util.Time.to_ns ttl < 0 then
+    invalid_arg "Dedup.create: negative ttl";
+  {
+    cap;
+    ttl = Eden_util.Time.to_ns ttl;
+    now;
+    tbl = Hashtbl.create (min cap 256);
+    order = Queue.create ();
+    tombs = Queue.create ();
+  }
 
 let key (id : Message.request_id) = (id.Message.origin, id.Message.seq)
 
-(* [order] holds each live key exactly once, oldest first: keys are
-   enqueued only on first insertion and leave the table only here. *)
+(* Reclaim expired tombstones.  Amortised O(1): each lease is pushed
+   once and popped once, and the queue is expiry-ordered, so the loop
+   stops at the first live lease. *)
+let sweep t =
+  if t.ttl > 0 then begin
+    let now_ns = Eden_util.Time.to_ns (t.now ()) in
+    let rec go () =
+      match Queue.peek_opt t.tombs with
+      | Some (expiry, k) when expiry <= now_ns ->
+        ignore (Queue.pop t.tombs);
+        (match Hashtbl.find_opt t.tbl k with
+        | Some Cancelled -> Hashtbl.remove t.tbl k
+        | Some (Queued | Started) | None -> ());
+        go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  end
+
+let lease t k =
+  if t.ttl > 0 then
+    Queue.push (Eden_util.Time.to_ns (t.now ()) + t.ttl, k) t.tombs
+
+(* Eviction pops until it removes a key still present: expired
+   tombstones leave stale keys behind in [order], and treating a
+   stale pop as the eviction would let the table creep past the
+   cap. *)
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some oldest ->
+    if Hashtbl.mem t.tbl oldest then Hashtbl.remove t.tbl oldest
+    else evict_one t
+
+(* [order] holds each live key at least once, oldest first: keys are
+   enqueued on insertion and leave the table via eviction, or via a
+   tombstone lease running out. *)
 let set t k st =
   if not (Hashtbl.mem t.tbl k) then begin
-    if Hashtbl.length t.tbl >= t.cap then (
-      match Queue.take_opt t.order with
-      | Some oldest -> Hashtbl.remove t.tbl oldest
-      | None -> ());
+    if Hashtbl.length t.tbl >= t.cap then evict_one t;
     Queue.push k t.order
   end;
   Hashtbl.replace t.tbl k st
 
-let find t id = Hashtbl.find_opt t.tbl (key id)
+let find t id =
+  sweep t;
+  Hashtbl.find_opt t.tbl (key id)
 
-let note_queued t id = set t (key id) Queued
+let note_queued t id =
+  sweep t;
+  set t (key id) Queued
 
 let start t id =
+  sweep t;
   let k = key id in
   match Hashtbl.find_opt t.tbl k with
   | Some Cancelled -> `Retracted
@@ -64,20 +129,27 @@ let start t id =
     `Run
 
 let cancel t id =
+  sweep t;
   let k = key id in
   match Hashtbl.find_opt t.tbl k with
   | Some Queued ->
     set t k Cancelled;
+    lease t k;
     `Retracted
   | Some (Started | Cancelled) -> `Too_late
   | None ->
     (* The cancel overtook its own request (urgent sends bypass the
-       coalescer); remember it so the request is dropped on arrival. *)
+       coalescer); remember it so the request is dropped on arrival.
+       The request may also never arrive — leased, not pinned. *)
     set t k Cancelled;
+    lease t k;
     `Noted
 
-let size t = Hashtbl.length t.tbl
+let size t =
+  sweep t;
+  Hashtbl.length t.tbl
 
 let reset t =
   Hashtbl.reset t.tbl;
-  Queue.clear t.order
+  Queue.clear t.order;
+  Queue.clear t.tombs

@@ -9,8 +9,15 @@
     eviction; because sequences are never reissued, eviction can only
     let a duplicate through, never drop a fresh request.
 
+    Cancelled entries additionally carry a lease: a cancel that
+    overtakes its own (possibly dropped) request would otherwise pin a
+    tombstone slot until cap eviction, and drop-heavy fault plans fill
+    the table with them.  With a [ttl], entries still [Cancelled] when
+    their lease expires are reclaimed opportunistically; entries that
+    progressed past [Cancelled] are never touched.
+
     One table per node, volatile: {!reset} on crash.  All operations
-    are O(1). *)
+    are amortised O(1). *)
 
 type t
 
@@ -19,8 +26,13 @@ type state =
   | Started  (** execution began; cancels arriving now are too late *)
   | Cancelled  (** retracted (or cancelled in advance of arrival) *)
 
-val create : cap:int -> t
-(** Raises [Invalid_argument] if [cap <= 0]. *)
+val create :
+  ?ttl:Eden_util.Time.t -> ?now:(unit -> Eden_util.Time.t) -> cap:int -> unit -> t
+(** [create ~cap ()] builds a bounded table.  [ttl] (default: no
+    expiry) is the lease granted to [Cancelled]-only entries, measured
+    against the monotonic clock [now] (default: constant zero — pass
+    the engine clock to arm expiry).  Raises [Invalid_argument] if
+    [cap <= 0] or [ttl] is negative. *)
 
 val find : t -> Message.request_id -> state option
 

@@ -106,3 +106,33 @@ let shard_of_hash t h =
   t.dir_owners.(if !lo = len then 0 else !lo)
 
 let shard t name = shard_of_hash t (hash_name name)
+
+(* Like [shard_of_hash], but walk past ring points whose owner the
+   caller reports down, wrapping round the circle.  The walk visits
+   each point at most once; if every owner is down the plain owner is
+   returned — the caller is about to fail anyway, and returning the
+   canonical shard keeps the answer a total function of (ring, down).
+   Publishers and readers that agree on the down set agree on the
+   detour shard, so a name's registry survives its shard crashing
+   without waiting for a membership change. *)
+let shard_of_hash_skipping t ~down h =
+  let hashes = t.dir_hashes in
+  let len = Array.length hashes in
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if hashes.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  let start = if !lo = len then 0 else !lo in
+  let rec walk i =
+    if i >= len then t.dir_owners.(start)
+    else
+      let at = start + i in
+      let at = if at >= len then at - len else at in
+      let owner = t.dir_owners.(at) in
+      if down owner then walk (i + 1) else owner
+  in
+  walk 0
+
+let shard_skipping t ~down name =
+  shard_of_hash_skipping t ~down (hash_name name)

@@ -32,6 +32,19 @@ val nodes : t -> int list
 val shard : t -> Name.t -> int
 (** The registry shard owning [name]. *)
 
+val shard_skipping : t -> down:(int -> bool) -> Name.t -> int
+(** Like {!shard}, but skip ring points whose owner [down] reports
+    unavailable and take the next live point on the circle (wrapping).
+    With no down nodes this is exactly {!shard}; when the canonical
+    shard is down, every caller that agrees on the down set computes
+    the same detour shard, so publishes and lookups keep meeting
+    without waiting for a membership change.  If {e every} node is
+    down the canonical shard is returned (the caller is about to fail
+    regardless, and the map stays total). *)
+
+val shard_of_hash_skipping : t -> down:(int -> bool) -> int -> int
+(** {!shard_skipping} from a pre-mixed ring position (for tests). *)
+
 val shard_of_hash : t -> int -> int
 (** Shard lookup from a pre-mixed ring position (exposed for tests). *)
 

@@ -99,6 +99,7 @@ type t =
     }
   | Dir_get of { req_id : request_id; target : Name.t; reply_to : int }
   | Dir_nack of { req_id : request_id; target : Name.t; home : int }
+  | Epoch_announce of { epoch : int; members : int list }
 
 let header_bytes = 32
 let name_bytes = 12
@@ -148,6 +149,7 @@ let size_bytes m =
   | Dir_put { replicas; _ } -> name_bytes + 12 + (4 * List.length replicas)
   | Dir_get _ -> name_bytes + 4
   | Dir_nack _ -> name_bytes + 4
+  | Epoch_announce { members; _ } -> 8 + (4 * List.length members)
 
 let describe = function
   | Inv_request { target; op; _ } ->
@@ -194,6 +196,8 @@ let describe = function
     Printf.sprintf "dir_put %s@%d" (Name.to_string target) home
   | Dir_get { target; _ } -> "dir? " ^ Name.to_string target
   | Dir_nack { target; _ } -> "dir_nack " ^ Name.to_string target
+  (* One string per epoch: the member list would re-spell the epoch. *)
+  | Epoch_announce { epoch; _ } -> Printf.sprintf "epoch e%d" epoch
 
 (* ------------------------------------------------------------------ *)
 (* Wire codec.
@@ -646,7 +650,12 @@ let encode ?ctx m =
     w_int b 24;
     w_req b req_id;
     w_name b target;
-    w_int b home);
+    w_int b home
+  | Epoch_announce { epoch; members } ->
+    w_int b 25;
+    w_int b epoch;
+    w_int b (List.length members);
+    List.iter (w_int b) members);
   Buffer.contents b
 
 let r_message r =
@@ -810,6 +819,13 @@ let r_message r =
     let target = r_name r in
     let home = r_int r in
     Dir_nack { req_id; target; home }
+  | 25 ->
+    let epoch = r_int r in
+    let n = r_int r in
+    if n < 0 || n > 4096 then r_fail r "bad member count"
+    else
+      let members = List.init n (fun _ -> r_int r) in
+      Epoch_announce { epoch; members }
   | n -> r_fail r (Printf.sprintf "bad message tag %d" n)
 
 let r_ctx r =

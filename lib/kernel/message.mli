@@ -174,6 +174,13 @@ type t =
           stale [home] — the lazy NACK-on-wrong-home invalidation:
           the shard drops its entry only if it still names that
           home *)
+  | Epoch_announce of { epoch : int; members : int list }
+      (** membership changed: the cluster's view advanced to [epoch]
+          with exactly [members] (ascending) in the ring.  Broadcast
+          by the reconfiguration initiator; a receiver whose own view
+          is older adopts it (and journals the bump), a newer or equal
+          view ignores it — epochs are totally ordered, so the highest
+          one wins regardless of delivery order. *)
 
 val size_bytes : t -> int
 (** Approximate marshalled size, including a fixed per-message

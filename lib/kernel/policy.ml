@@ -1,5 +1,15 @@
 open Eden_sim
 
+(* Only live, non-draining members take part in balancing.  A spare
+   (powered but outside the membership) must never look like an idle
+   cold target, and a draining node is being emptied by decommission —
+   treating it as cold sets up a cross-round oscillation where the
+   balancer refills the very node the drain is evacuating. *)
+let eligible cl i =
+  Cluster.node_up cl i
+  && Cluster.is_member cl i
+  && not (Cluster.is_draining cl i)
+
 let managed_load cl ~managed =
   let n = Cluster.node_count cl in
   let counts = Array.make n 0 in
@@ -10,7 +20,7 @@ let managed_load cl ~managed =
       | None -> ())
     managed;
   List.filter_map
-    (fun i -> if Cluster.node_up cl i then Some (i, counts.(i)) else None)
+    (fun i -> if eligible cl i then Some (i, counts.(i)) else None)
     (List.init n Fun.id)
 
 let extremes loads =

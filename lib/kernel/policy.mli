@@ -9,7 +9,11 @@
 
 val managed_load : Cluster.t -> managed:Capability.t list -> (int * int) list
 (** Per-node counts of managed, currently-active objects, for every
-    node that is up: [(node_id, count)] sorted by node id. *)
+    node that is up, a current member and not draining: [(node_id,
+    count)] sorted by node id.  Spares and decommissioning nodes are
+    excluded on both sides — the balancer must never refill a node a
+    drain is emptying, nor treat an idle non-member as a cold
+    target. *)
 
 val balance_once : Cluster.t -> managed:Capability.t list -> int
 (** Blocking.  Migrate objects one at a time from the most- to the

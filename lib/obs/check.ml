@@ -9,7 +9,7 @@ let pp_violation fmt v =
     | None -> "")
     v.v_detail
 
-(* The five cross-node invariants.  [complete = false] (some journal
+(* The seven cross-node invariants.  [complete = false] (some journal
    ring wrapped) downgrades the rules that need every event to be
    present — a missing send or a missing trace tail would otherwise
    read as a violation. *)
@@ -223,5 +223,84 @@ let run ?(complete = true) (tl : Timeline.t) =
           resolved ~fallback_only:true "miss" target
         | _ -> ())
       events
+  end;
+
+  (* 7. Epoch-monotonic: membership views only move forward, and a
+     stale view never strands a locate.  Per node, successive
+     [Epoch_bump]s carry strictly increasing epochs (a view that went
+     backwards would resurrect a retired ring).  And a [Dir_hit]
+     consumed at a node whose view lags the newest epoch any node has
+     reached must still resolve — a later invocation end or an
+     explicit [Dir_fallback] in its trace — so serving through an old
+     ring can cost a detour or a broadcast, never a stranded attempt.
+     Vacuous on traces with no reconfiguration.  Needs complete
+     journals: a dropped bump or trace tail would read as a
+     violation. *)
+  if complete then begin
+    let last = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Inv_end _ | Journal.Dir_fallback _ ->
+          let fb, iv =
+            match Hashtbl.find_opt last e.ev_trace with
+            | Some x -> x
+            | None -> (0, 0)
+          in
+          let entry =
+            match e.ev_kind with
+            | Journal.Dir_fallback _ -> (max fb e.ev_id, iv)
+            | _ -> (fb, max iv e.ev_id)
+          in
+          Hashtbl.replace last e.ev_trace entry
+        | _ -> ())
+      events;
+    (* Event ids are allocated in engine execution order, so walking
+       by id replays the cluster's actual interleaving. *)
+    let ordered =
+      List.sort
+        (fun (a : Journal.event) (b : Journal.event) ->
+          Int.compare a.ev_id b.ev_id)
+        events
+    in
+    let view = Hashtbl.create 16 in
+    let newest = ref 0 in
+    List.iter
+      (fun (e : Journal.event) ->
+        match e.ev_kind with
+        | Journal.Epoch_bump { epoch } ->
+          let prev =
+            match Hashtbl.find_opt view e.ev_node with
+            | Some p -> p
+            | None -> 0
+          in
+          if epoch <= prev then
+            add "epoch-monotonic" (Some e.ev_id)
+              (Printf.sprintf
+                 "n%d bumped to epoch %d after already reaching epoch %d"
+                 e.ev_node epoch prev);
+          Hashtbl.replace view e.ev_node (max epoch prev);
+          if epoch > !newest then newest := epoch
+        | Journal.Dir_hit { target; _ } ->
+          let mine =
+            match Hashtbl.find_opt view e.ev_node with
+            | Some p -> p
+            | None -> 0
+          in
+          if mine < !newest then begin
+            let fb, iv =
+              match Hashtbl.find_opt last e.ev_trace with
+              | Some x -> x
+              | None -> (0, 0)
+            in
+            if not (fb > e.ev_id || iv > e.ev_id) then
+              add "epoch-monotonic" (Some e.ev_id)
+                (Printf.sprintf
+                   "dir hit for %s on n%d (view e%d, cluster at e%d) in \
+                    trace %d has no later inv_end or dir_fallback"
+                   target e.ev_node mine !newest e.ev_trace)
+          end
+        | _ -> ())
+      ordered
   end;
   List.rev !out

@@ -1,6 +1,6 @@
 (** Trace checker: cross-node invariants over an assembled timeline.
 
-    Six rules, each a causality audit the simulator's own unit tests
+    Seven rules, each a causality audit the simulator's own unit tests
     cannot express because no single node sees the whole story:
 
     - {b recv-matches-send}: every receive's causal parent exists, is
@@ -21,10 +21,16 @@
       answer may cost a nack round, never strand the attempt), and a
       [Dir_miss] is always followed by a [Dir_fallback] (a miss
       mandates the broadcast path).
+    - {b epoch-monotonic}: membership views only move forward — per
+      node, successive [Epoch_bump]s carry strictly increasing epochs
+      — and a [Dir_hit] consumed at a node whose view lags the newest
+      epoch any node has reached is still followed by the invocation's
+      end or an explicit [Dir_fallback]: a stale ring can cost a
+      detour, never a stranded attempt.
 
-    The first, third, fifth and sixth rules need the journals to be
-    complete; pass [complete:false] when any journal dropped events
-    and they are skipped. *)
+    The first, third, fifth, sixth and seventh rules need the journals
+    to be complete; pass [complete:false] when any journal dropped
+    events and they are skipped. *)
 
 type violation = { v_rule : string; v_event : int option; v_detail : string }
 

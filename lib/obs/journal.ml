@@ -23,6 +23,8 @@ type kind =
   | Dir_miss of { target : string }
   | Dir_fallback of { target : string }
   | Dir_publish of { target : string; home : int }
+  | Epoch_bump of { epoch : int }
+  | Drain_move of { target : string; to_node : int }
 
 let kind_name = function
   | Send _ -> "send"
@@ -47,6 +49,8 @@ let kind_name = function
   | Dir_miss _ -> "dir_miss"
   | Dir_fallback _ -> "dir_fallback"
   | Dir_publish _ -> "dir_publish"
+  | Epoch_bump _ -> "epoch_bump"
+  | Drain_move _ -> "drain_move"
 
 let pp_dst = function Some d -> Printf.sprintf "n%d" d | None -> "*"
 
@@ -84,6 +88,9 @@ let describe_kind = function
   | Dir_fallback { target } -> Printf.sprintf "dir fallback %s" target
   | Dir_publish { target; home } ->
     Printf.sprintf "dir publish %s@%d" target home
+  | Epoch_bump { epoch } -> Printf.sprintf "epoch bump -> e%d" epoch
+  | Drain_move { target; to_node } ->
+    Printf.sprintf "drain move %s -> n%d" target to_node
 
 type event = {
   ev_id : int;
@@ -166,7 +173,7 @@ let create sink ~node ~cap =
     jn_node = node;
     jn_cap = cap;
     jn_intern = Strtbl.create 64;
-    jn_memo = Array.make 19 "";
+    jn_memo = Array.make 20 "";
     jn_ints = make_ints 0;
     jn_strs = [||];
     jn_size = 0;
@@ -296,6 +303,12 @@ let store t ~slot ~id ~at ~trace ~parent kind =
   | Dir_publish { target; home } ->
     set t ~slot ~id ~at ~trace ~parent ~tag:21 ~a1:home ~a2:(-1)
       ~s1:(intern t 18 target) ~s2:""
+  | Epoch_bump { epoch } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:22 ~a1:epoch ~a2:(-1) ~s1:""
+      ~s2:""
+  | Drain_move { target; to_node } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:23 ~a1:to_node ~a2:(-1)
+      ~s1:(intern t 19 target) ~s2:""
 
 let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   match tag with
@@ -321,6 +334,8 @@ let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   | 19 -> Dir_miss { target = s1 }
   | 20 -> Dir_fallback { target = s1 }
   | 21 -> Dir_publish { target = s1; home = a1 }
+  | 22 -> Epoch_bump { epoch = a1 }
+  | 23 -> Drain_move { target = s1; to_node = a1 }
   | _ -> assert false
 
 let grow t =

@@ -56,6 +56,15 @@ type kind =
   | Dir_publish of { target : string; home : int }
       (** a lease-stamped location update for [target] left for its
           registry shard *)
+  | Epoch_bump of { epoch : int }
+      (** this node's membership view advanced to [epoch]; recorded by
+          the reconfiguration initiator and by every node applying an
+          [Epoch_announce].  Per node, epochs must strictly increase —
+          invariant 7 checks it. *)
+  | Drain_move of { target : string; to_node : int }
+      (** decommission drain evacuated [target] to [to_node] (and
+          republished the move to the registry shard) before the
+          draining node went dark *)
 
 val kind_name : kind -> string
 val describe_kind : kind -> string

@@ -352,7 +352,7 @@ let prop_dedup_exactly_once =
     ~gen:gen_dedup_ops ~shrink:shrink_dedup_ops
     ~show:(fun ops -> String.concat "; " (List.map show_dedup_op ops))
     (fun ops ->
-      let t = Dedup.create ~cap:64 in
+      let t = Dedup.create ~cap:64 () in
       let key (id : Message.request_id) = (id.Message.origin, id.Message.seq) in
       let exec = Hashtbl.create 16 in (* executions through the table *)
       let model = Hashtbl.create 16 in (* reference id states *)

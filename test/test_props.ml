@@ -88,7 +88,7 @@ let gen_delta rng =
   | _ -> Delta.Whole (gen_value 2 rng)
 
 let gen_message rng : Message.t =
-  match Splitmix.int rng 25 with
+  match Splitmix.int rng 26 with
   | 0 ->
     Message.Inv_request
       {
@@ -220,6 +220,12 @@ let gen_message rng : Message.t =
         req_id = gen_req rng;
         target = gen_name rng;
         home = (if Splitmix.bool rng then gen_node rng else -1);
+      }
+  | 25 ->
+    Message.Epoch_announce
+      {
+        epoch = Splitmix.int rng 1_000;
+        members = List.init (Splitmix.int rng 6) (fun _ -> gen_node rng);
       }
   | _ ->
     Message.Ckpt_delta
