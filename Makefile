@@ -2,8 +2,8 @@
 # `make help` lists them.
 
 .PHONY: all build check ci test test-props bench examples smoke chaos \
-  trace-check health-check tail-check dir-check reconfig-check determinism \
-  clean help
+  trace-check health-check tail-check dir-check reconfig-check \
+  profile-check determinism clean help
 
 all: build
 
@@ -13,15 +13,16 @@ help:
 	@echo "make test-props   - seeded property tests only (codecs, plans, laws)"
 	@echo "make check        - build + tests + metrics smoke + chaos determinism"
 	@echo "make ci           - the full gate: build, tests, chaos cmp, props x3 seeds"
-	@echo "make bench        - run the full experiment suite (E1..E18, M)"
+	@echo "make bench        - run the full experiment suite (E1..E25, M)"
 	@echo "make examples     - run the example programs"
 	@echo "make smoke        - exercise the edenctl CLI end to end"
 	@echo "make chaos        - fault-injection suite + same-seed snapshot cmp"
-	@echo "make trace-check  - chaos trace invariants + same-seed timeline cmp"
+	@echo "make trace-check  - chaos trace invariants (all eight) + same-seed timeline cmp"
 	@echo "make health-check - same-seed health reports must be byte-identical"
 	@echo "make tail-check   - speculation smoke: E22 tails + clone trace invariant"
 	@echo "make dir-check    - directory smoke: E23 scaling + dir trace invariant"
 	@echo "make reconfig-check - membership smoke: E24 join/drain/leave + reconfig chaos cmp"
+	@echo "make profile-check - profiler smoke: E25 attribution + same-seed profile cmp"
 	@echo "make determinism  - experiment output must be bit-reproducible"
 	@echo "make clean        - dune clean"
 
@@ -63,6 +64,7 @@ ci:
 	$(MAKE) tail-check
 	$(MAKE) dir-check
 	$(MAKE) reconfig-check
+	$(MAKE) profile-check
 	for off in 0 271828 3141592; do \
 	  echo "props @ seed offset $$off"; \
 	  EDEN_PROP_SEED_OFFSET=$$off dune exec test/test_props.exe || exit 1; \
@@ -194,6 +196,29 @@ reconfig-check:
 	  --check --text /tmp/eden_reconfig_b.txt
 	cmp /tmp/eden_reconfig_a.txt /tmp/eden_reconfig_b.txt
 	@echo "reconfig-check: OK (join/drain/leave live, invariants hold, deterministic)"
+
+# The critical-path profiler: the E25 smoke (three injected
+# bottlenecks — slow node, saturated wire, hot directory shard — each
+# attributed to the right category, < 5% overhead — asserted inside
+# the experiment), then the profile subcommand twice with the same
+# seed — report, flame stacks and JSON must all be byte-identical —
+# and once more under a chaotic fault plan with the checker armed, so
+# the attribution-complete invariant (every request's categories sum
+# exactly to its end-to-end latency) gates the run.
+profile-check:
+	dune exec bench/main.exe -- E25 --smoke
+	dune exec bin/edenctl.exe -- profile --nodes 5 --seed 11 \
+	  --out /tmp/eden_profile_a.txt --folded /tmp/eden_profile_a.folded \
+	  --json /tmp/eden_profile_a.json
+	dune exec bin/edenctl.exe -- profile --nodes 5 --seed 11 \
+	  --out /tmp/eden_profile_b.txt --folded /tmp/eden_profile_b.folded \
+	  --json /tmp/eden_profile_b.json
+	cmp /tmp/eden_profile_a.txt /tmp/eden_profile_b.txt
+	cmp /tmp/eden_profile_a.folded /tmp/eden_profile_b.folded
+	cmp /tmp/eden_profile_a.json /tmp/eden_profile_b.json
+	dune exec bin/edenctl.exe -- profile --nodes 5 --seed 11 --directory \
+	  --clone --hedge --check > /dev/null
+	@echo "profile-check: OK (bottlenecks named, attribution exact, deterministic)"
 
 # The whole experiment suite must be bit-reproducible.
 determinism:

@@ -70,7 +70,14 @@ let bench_type =
    experiment's numbers come with the kernel/network counters that
    produced them. *)
 let current_cluster : Cluster.t option ref = ref None
-let reset_metrics () = current_cluster := None
+
+(* Headline results an experiment publishes into its BENCH_<id>.json
+   summary (below); cleared between experiments by the harness. *)
+let summary_results : (string * Eden_obs.Json.t) list ref = ref []
+
+let reset_metrics () =
+  current_cluster := None;
+  summary_results := []
 
 let attach_metrics ~id () =
   match !current_cluster with
@@ -81,6 +88,65 @@ let attach_metrics ~id () =
     let snap = { snap with Eden_obs.Snapshot.spans = [] } in
     Printf.printf "METRICS %s %s\n" id
       (Eden_obs.Snapshot.to_string ~compact:true snap)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable run summaries: every experiment run ends with a
+   BENCH_<id>.json in the working directory — the experiment's id and
+   title, whatever headline results it published, and the cluster-wide
+   counter totals of the last cluster it built.  Field order is fixed
+   and counters arrive pre-sorted from the registry, so as long as an
+   experiment publishes virtual-time quantities (not host timings) a
+   same-seed rerun writes byte-identical files and downstream tooling
+   can diff two checkouts' results directly. *)
+
+let summary_note key v = summary_results := (key, v) :: !summary_results
+let summary_int key n = summary_note key (Eden_obs.Json.Int n)
+let summary_float key f = summary_note key (Eden_obs.Json.Float f)
+let summary_str key s = summary_note key (Eden_obs.Json.Str s)
+
+(* Counters summed across label sets (per-node counters roll up
+   cluster-wide); gauges and histograms are point-in-time or
+   host-dependent detail that belongs to the METRICS line, not the
+   summary. *)
+let counter_totals cl =
+  let snap = Cluster.metrics_snapshot cl in
+  let totals = Hashtbl.create 64 and order = ref [] in
+  List.iter
+    (fun s ->
+      match s.Eden_obs.Metrics.s_value with
+      | Eden_obs.Metrics.Counter n ->
+        let name = s.Eden_obs.Metrics.s_name in
+        if not (Hashtbl.mem totals name) then order := name :: !order;
+        Hashtbl.replace totals name
+          (n + Option.value ~default:0 (Hashtbl.find_opt totals name))
+      | _ -> ())
+    snap.Eden_obs.Snapshot.metrics;
+  List.rev_map
+    (fun name -> (name, Eden_obs.Json.Int (Hashtbl.find totals name)))
+    !order
+
+let write_summary ~id ~title () =
+  let json =
+    Eden_obs.Json.Obj
+      [
+        ("schema", Eden_obs.Json.Str "eden-bench/1");
+        ("id", Eden_obs.Json.Str id);
+        ("title", Eden_obs.Json.Str title);
+        ("results", Eden_obs.Json.Obj (List.rev !summary_results));
+        ( "counters",
+          Eden_obs.Json.Obj
+            (match !current_cluster with
+            | Some cl -> counter_totals cl
+            | None -> []) );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" id in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Eden_obs.Json.to_string ~compact:false json);
+      output_char oc '\n')
 
 let fresh_cluster ?(seed = 42L) ?options ?coalesce ?journal_cap ?health ~n ()
     =

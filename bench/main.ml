@@ -30,6 +30,7 @@ let experiments =
     ("E22", "tail latency: request cloning and hedged retries", Exp_tail.run);
     ("E23", "sharded locate directory vs broadcast scaling", Exp_directory.run);
     ("E24", "online reconfiguration: join, drain, leave under load", Exp_reconfig.run);
+    ("E25", "critical-path profiler: attribution under injected bottlenecks", Exp_profile.run);
     ("M", "substrate microbenchmarks (Bechamel)", Micro.run);
   ]
 
@@ -38,12 +39,14 @@ let list_experiments () =
     (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
     experiments
 
-(* Each experiment's output ends with a METRICS line: the registry
-   snapshot of the last cluster it built. *)
-let run_one (id, _, run) =
+(* Each experiment's output ends with a METRICS line (the registry
+   snapshot of the last cluster it built) and a BENCH_<id>.json
+   summary file (its headline results and counter totals). *)
+let run_one (id, title, run) =
   Common.reset_metrics ();
   run ();
-  Common.attach_metrics ~id ()
+  Common.attach_metrics ~id ();
+  Common.write_summary ~id ~title ()
 
 (* Pull [--trace-out FILE] and [--smoke] out of the argument list
    (they modify how E18 / E22 run rather than selecting an
@@ -60,6 +63,7 @@ let rec extract_trace_out = function
     Exp_tail.smoke := true;
     Exp_directory.smoke := true;
     Exp_reconfig.smoke := true;
+    Exp_profile.smoke := true;
     extract_trace_out rest
   | a :: rest -> a :: extract_trace_out rest
 

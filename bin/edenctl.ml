@@ -140,7 +140,7 @@ let spares_t =
            plan's 'join' action can admit them mid-run.")
 
 let cluster_options ?(clone = false) ?(hedge = false) ?(directory = false)
-    ~replica_cache ~ckpt_delta () =
+    ?(profiling = false) ~replica_cache ~ckpt_delta () =
   {
     Cluster.default_options with
     Cluster.use_replica_cache = replica_cache;
@@ -148,6 +148,7 @@ let cluster_options ?(clone = false) ?(hedge = false) ?(directory = false)
     Cluster.speculate =
       { Api.no_speculation with Api.sp_clone = clone; sp_hedge = hedge };
     Cluster.use_directory = directory;
+    Cluster.use_profiling = profiling;
   }
 
 let cluster_coalesce coalesce =
@@ -577,8 +578,9 @@ let chaos_horizon = Time.s 2
    deterministic fault plan, driven entirely by the virtual clock and
    the seed.  Returns the finished cluster for post-run inspection. *)
 let chaos_workload ?health ?(clone = false) ?(hedge = false)
-    ?(directory = false) ?(spares = 0) ~nodes ~seed ~fault_plan ~requests
-    ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async ~trace () =
+    ?(directory = false) ?(profiling = false) ?(spares = 0) ~nodes ~seed
+    ~fault_plan ~requests ~replica_cache ~coalesce ~ckpt_delta ~ckpt_async
+    ~trace () =
   if nodes < 2 then begin
     Printf.eprintf "chaos needs --nodes >= 2\n";
     exit 1
@@ -595,8 +597,8 @@ let chaos_workload ?health ?(clone = false) ?(hedge = false)
   let cl =
     Cluster.create ~seed:(Int64.of_int seed) ~segments ~spares
       ~options:
-        (cluster_options ~clone ~hedge ~directory ~replica_cache ~ckpt_delta
-           ())
+        (cluster_options ~clone ~hedge ~directory ~profiling ~replica_cache
+           ~ckpt_delta ())
       ?coalesce:(cluster_coalesce coalesce) ?health ~configs ()
   in
   Cluster.register_type cl (chaos_type ~async:ckpt_async);
@@ -1160,6 +1162,138 @@ let top_cmd =
       $ json_t)
 
 (* ------------------------------------------------------------------ *)
+(* profile: run the chaos workload with critical-path profiling armed
+   and attribute every request's end-to-end latency over its causal
+   trace.  The whole report is a function of the seed, so `make
+   profile-check` can cmp two same-seed runs byte for byte. *)
+
+let run_profile nodes seed fault_plan requests replica_cache coalesce
+    ckpt_delta ckpt_async clone hedge directory spares out json_out folded
+    chrome check =
+  let cl =
+    chaos_workload ~clone ~hedge ~directory ~profiling:true ~spares ~nodes
+      ~seed ~fault_plan ~requests ~replica_cache ~coalesce ~ckpt_delta
+      ~ckpt_async ~trace:false ()
+  in
+  let tl = Cluster.timeline cl in
+  let dropped = Cluster.journal_dropped cl in
+  let pf = Eden_obs.Profile.of_timeline tl in
+  print_string (Eden_obs.Profile.to_text pf);
+  if dropped > 0 then
+    Printf.printf
+      "(journal dropped %d events; %d request(s) skipped as incomplete)\n"
+      dropped
+      (Eden_obs.Profile.skipped pf);
+  (match out with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file (Eden_obs.Profile.to_text pf);
+    Printf.printf "profile written to %s\n" file);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file
+      (Json.to_string ~compact:false (Eden_obs.Profile.to_json pf));
+    Printf.printf "profile JSON written to %s\n" file);
+  (match folded with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file (Eden_obs.Profile.to_folded pf);
+    Printf.printf "folded stacks written to %s (flamegraph.pl input)\n" file);
+  (match chrome with
+  | None -> ()
+  | Some file ->
+    write_file ~path:file
+      (Eden_obs.Timeline.to_chrome_string
+         ~extra:(Eden_obs.Profile.chrome_extra pf)
+         tl);
+    Printf.printf
+      "chrome trace with attribution bars written to %s (load in \
+       chrome://tracing or Perfetto)\n"
+      file);
+  if check then begin
+    match Eden_obs.Check.run ~complete:(dropped = 0) tl with
+    | [] -> print_endline "profile-check: all invariants hold"
+    | violations ->
+      List.iter
+        (fun v ->
+          Printf.eprintf "%s\n"
+            (Format.asprintf "%a" Eden_obs.Check.pp_violation v))
+        violations;
+      Printf.eprintf "%s\n"
+        (Json.to_string ~compact:true
+           (Eden_obs.Check.violations_to_json violations));
+      Printf.eprintf "profile-check: %d violation(s)\n"
+        (List.length violations);
+      exit 1
+  end;
+  summary cl
+
+let profile_cmd =
+  let requests_t =
+    Arg.(
+      value & opt int 220
+      & info [ "requests" ] ~docv:"R"
+          ~doc:"Requests in the stream (one every 10ms of virtual time).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile report (the same text as stdout) to $(docv); \
+             byte-identical across same-seed runs.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the profile as JSON to $(docv).")
+  in
+  let folded_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded flame-graph stacks \
+             (target.op;category count-in-ns per line) to $(docv), ready \
+             for flamegraph.pl or speedscope.")
+  in
+  let chrome_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the causal timeline as Chrome trace_event JSON with one \
+             attribution bar per request to $(docv).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Audit the trace against all eight invariants, including \
+             attribution-complete (every request's category breakdown must \
+             sum exactly to its end-to-end latency); exit non-zero on any \
+             violation.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the chaos workload with critical-path profiling and \
+          attribute each request's latency across \
+          service/queue/wire/directory/backoff categories.")
+    Term.(
+      const run_profile $ nodes_t $ seed_t $ fault_plan_t $ requests_t
+      $ replica_cache_t $ coalesce_t $ ckpt_delta_t $ ckpt_async_t
+      $ clone_t $ hedge_t $ directory_t $ spares_t $ out_t $ json_t
+      $ folded_t $ chrome_t $ check_t)
+
+(* ------------------------------------------------------------------ *)
 (* edit: the interactive object editor (the paper's editing paradigm:
    every interaction is an edit of an object's structured visual
    representation) *)
@@ -1522,6 +1656,7 @@ let () =
             chaos_cmd;
             reconfig_cmd;
             trace_cmd;
+            profile_cmd;
             health_cmd;
             top_cmd;
             stats_cmd;

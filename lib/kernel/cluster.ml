@@ -26,9 +26,12 @@ type work = {
   w_presented : Rights.t;
   w_route : reply_route;
   w_span : Span.t option;
-  w_ctx : Tracectx.t option;
+  mutable w_ctx : Tracectx.t option;
       (* the trace context the request arrived with, so the reply (and
-         anything else this work causes) extends the same causal chain *)
+         anything else this work causes) extends the same causal chain.
+         Mutable only for profiling: Work_start / Drain_stall journal
+         events re-parent the chain through themselves so queue and
+         drain residency are visible as gaps on the causal path. *)
 }
 
 type obj_status = Running | Draining | Dead
@@ -208,6 +211,7 @@ type options = {
   use_ckpt_delta : bool;
   speculate : Api.speculate;
   use_directory : bool;
+  use_profiling : bool;
 }
 
 let default_options =
@@ -219,6 +223,7 @@ let default_options =
     use_ckpt_delta = false;
     speculate = Api.no_speculation;
     use_directory = false;
+    use_profiling = false;
   }
 
 (* Owned per-node counters on the invocation hot path (the sampled
@@ -300,6 +305,18 @@ type hedge_state = {
   mutable hs_prev_over : int;
 }
 
+(* Cluster-level critical-path counters (profiling only): per-category
+   nanoseconds from finished request spans, mapped phase-by-phase so
+   [Health.Share_of_latency] watchdogs can fire online, without
+   assembling a timeline. *)
+type profile_counters = {
+  pc_service : Metrics.counter;
+  pc_queue : Metrics.counter;
+  pc_wire : Metrics.counter;
+  pc_directory : Metrics.counter;
+  pc_total : Metrics.counter;
+}
+
 type t = {
   eng : Engine.t;
   tr : Trace.t;
@@ -322,6 +339,7 @@ type t = {
   c_jsink : Journal.sink;  (* shared event-id allocator for all journals *)
   mutable c_health : health_plane option;
   c_hedge : hedge_state option;  (* present iff hedging is enabled *)
+  c_profile : profile_counters option;  (* present iff profiling is on *)
   c_dir : Directory.t;
       (* the consistent-hash ring mapping names to registry shards at
          the boot membership (epoch 0); a pure function of the member
@@ -936,6 +954,18 @@ and start_invocation_admitted cl obj spec w =
         Fun.protect
           ~finally:(fun () -> finish_invocation cl obj spec self)
           (fun () ->
+            (* Profiling: mark the instant execution actually begins —
+               the gap back to the triggering receive (or stall) is
+               queue residency — and re-parent the work's causal chain
+               through the mark so the reply extends it. *)
+            (if cl.opts.use_profiling then
+               match w.w_ctx with
+               | Some c ->
+                 let ws =
+                   jrecord cl node ~ctx:c (Journal.Work_start { op = w.w_op })
+                 in
+                 w.w_ctx <- Some (Tracectx.with_parent c ~parent:ws)
+               | None -> ());
             Hashtbl.replace obj.ob_inflight
               (Engine.Pid.to_int self)
               w;
@@ -979,7 +1009,20 @@ let coordinator_admit cl obj w =
   consume node (costs node).Costs.invoke_dispatch_cpu;
   match obj.ob_status with
   | Dead -> fail_work cl obj w Error.Object_crashed
-  | Draining -> Fifo.push_exn obj.ob_stash w
+  | Draining ->
+    (* Profiling: the request is about to sit behind a draining
+       object; mark the stall (and re-parent through it) so the wait
+       until reactivation is attributed to drain, not plain queueing. *)
+    (if cl.opts.use_profiling then
+       match w.w_ctx with
+       | Some c ->
+         let ds =
+           jrecord cl node ~ctx:c
+             (Journal.Drain_stall { target = Name.to_string obj.ob_name })
+         in
+         w.w_ctx <- Some (Tracectx.with_parent c ~parent:ds)
+       | None -> ());
+    Fifo.push_exn obj.ob_stash w
   | Running -> (
     match Typemgr.find_operation obj.ob_type w.w_op with
     | None -> fail_work cl obj w (Error.No_such_operation w.w_op)
@@ -2429,6 +2472,19 @@ let do_invoke cl ~from ?timeout ?(retry = Api.no_retry) ?parent cap ~op args =
     ignore (jrecord cl node ~ctx:ictx (Journal.Inv_end { op; outcome }));
     Span.finish sp ~outcome ~at:(Engine.now cl.eng);
     Metrics.observe_time cl.c_lat (Span.duration sp);
+    (* Online profile feed: fold the finished span's phase times into
+       the cluster-wide category counters the latency-share watchdogs
+       read.  Coarser than the journal walk (a span cannot split wire
+       from coalesce) but available every tick. *)
+    (match cl.c_profile with
+    | None -> ()
+    | Some pc ->
+      let ns p = Time.to_ns (Span.phase_time sp p) in
+      Metrics.add pc.pc_directory (ns Span.Locate);
+      Metrics.add pc.pc_wire (ns Span.Transport + ns Span.Reply);
+      Metrics.add pc.pc_queue (ns Span.Queue + ns Span.Dispatch);
+      Metrics.add pc.pc_service (ns Span.Execute);
+      Metrics.add pc.pc_total (Time.to_ns (Span.duration sp)));
     r
   end
 
@@ -3212,6 +3268,18 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
                hs_prev_over = 0;
              }
          else None);
+      c_profile =
+        (if options.use_profiling then
+           Some
+             {
+               pc_service = Metrics.counter reg "eden.profile.service_ns";
+               pc_queue = Metrics.counter reg "eden.profile.queue_ns";
+               pc_wire = Metrics.counter reg "eden.profile.wire_ns";
+               pc_directory =
+                 Metrics.counter reg "eden.profile.directory_ns";
+               pc_total = Metrics.counter reg "eden.profile.total_ns";
+             }
+         else None);
       (* The shard map is a pure function of the member set: every
          node computes the same ring, no coordination.  Spares are
          excluded until a join bumps the epoch. *)
@@ -3254,6 +3322,30 @@ let create ?(seed = 42L) ?net ?(options = default_options) ?segments ?coalesce
            record src (Journal.Delay { dst; msgs })
          | Transport.Ev_coalesce { src; dst; msgs } ->
            record src (Journal.Coalesce { dst; msgs })));
+  (* Per-payload wire journaling for the profiler.  Unlike the hook
+     above these events carry each payload's trace context, so the
+     attribution walk can split coalescer hold and injected hold out
+     of a request's wire time.  Strictly profiling-gated: unarmed, the
+     net layer's only overhead is a [None] test. *)
+  if options.use_profiling then
+    Transport.set_wire_hook lan
+      (Some
+         (fun ev ->
+           let record src ctx kind =
+             if src >= 0 && src < Array.length nodes then
+               ignore (jrecord cl nodes.(src) ?ctx kind)
+           in
+           match ev with
+           | Transport.Wv_depart { src; dst; msgs; items } ->
+             List.iter
+               (fun (m : Message.traced) ->
+                 record src m.Message.tr_ctx (Journal.Net_flush { dst; msgs }))
+               items
+           | Transport.Wv_hold { src; dst; by; items } ->
+             List.iter
+               (fun (m : Message.traced) ->
+                 record src m.Message.tr_ctx (Journal.Net_hold { dst; by }))
+               items));
   Hashtbl.replace cl.types "eden_node" (node_type_for cl);
   cl.c_node_objects <-
     Array.map

@@ -74,6 +74,20 @@ type options = {
           journal kinds [Dir_hit]/[Dir_miss]/[Dir_fallback]/
           [Dir_publish]; checker rule 6 pins the
           resolve-or-fall-back discipline. *)
+  use_profiling : bool;
+      (** critical-path profiling (default false).  Arms the
+          per-payload wire tap and the extra journal kinds the
+          attribution walk sharpens its categories with —
+          [Work_start] (queue residency), [Net_flush] (coalescer
+          hold), [Net_hold] (injected sender-side hold),
+          [Drain_stall] (parked behind a draining object) — and
+          publishes per-category latency counters
+          ([eden.profile.{service,queue,wire,directory,total}_ns],
+          fed from finished spans) for
+          {!Eden_obs.Health.Share_of_latency} watchdogs.  Off, the
+          journal stream, cost profile and metric set are exactly
+          those of earlier releases; {!Eden_obs.Critical} still
+          attributes exactly, just with coarser categories. *)
 }
 
 val default_options : options

@@ -41,6 +41,17 @@ type event = Internet.event =
   | Ev_coalesce of { src : int; dst : int; msgs : int }
 
 let set_event_hook = Internet.set_event_hook
+
+type 'a wire_event = 'a Internet.wire_event =
+  | Wv_depart of { src : int; dst : int; msgs : int; items : 'a list }
+  | Wv_hold of {
+      src : int;
+      dst : int option;
+      by : Eden_util.Time.t;
+      items : 'a list;
+    }
+
+let set_wire_hook = Internet.set_wire_hook
 let attach net ~segment ~name = Internet.attach net ~segment ~name
 let address = Internet.address
 let segment = Internet.segment_of_endpoint

@@ -75,6 +75,22 @@ val set_event_hook : net -> (event -> unit) option -> unit
     {!Eden_net.Internet.set_event_hook}.  The cluster installs one to
     journal fault verdicts and coalesced flushes at the sending node. *)
 
+type 'a wire_event = 'a Eden_net.Internet.wire_event =
+  | Wv_depart of { src : int; dst : int; msgs : int; items : 'a list }
+  | Wv_hold of {
+      src : int;
+      dst : int option;
+      by : Eden_util.Time.t;
+      items : 'a list;
+    }
+
+val set_wire_hook :
+  net -> (Message.traced wire_event -> unit) option -> unit
+(** Per-payload wire tap for the critical-path profiler; see
+    {!Eden_net.Internet.set_wire_hook}.  The cluster installs one
+    (only with profiling on) to journal coalescer departures and
+    injected holds against each payload's trace. *)
+
 type t
 (** A node's transport endpoint. *)
 

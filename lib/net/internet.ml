@@ -28,6 +28,17 @@ type event =
   | Ev_delay of { src : int; dst : int option; msgs : int; by : Time.t }
   | Ev_coalesce of { src : int; dst : int; msgs : int }
 
+(* Per-payload wire happenings for the critical-path profiler.  The
+   [event] hook above reports counts only; attribution needs the
+   payloads themselves (each carries its trace context) so a held or
+   flushed span can be charged to the requests it delayed.  A separate
+   parametric hook keeps that cost strictly opt-in. *)
+type 'a wire_event =
+  | Wv_depart of { src : int; dst : int; msgs : int; items : 'a list }
+      (* a queued batch (possibly of one) left the coalescing queue *)
+  | Wv_hold of { src : int; dst : int option; by : Time.t; items : 'a list }
+      (* a Delay verdict held these payloads at the sender for [by] *)
+
 type coalesce = {
   co_max_bytes : int;
   co_max_msgs : int;
@@ -66,6 +77,7 @@ type 'a t = {
   partitioned : bool array;
   mutable injector : (src:int -> dst:int option -> fault) option;
   mutable event_hook : (event -> unit) option;
+  mutable wire_hook : ('a wire_event -> unit) option;
 }
 
 type 'a endpoint = {
@@ -155,6 +167,7 @@ let create ?params ?(bridge_latency = Time.us 500) ?coalesce eng ~segments
       partitioned = Array.make segments false;
       injector = None;
       event_hook = None;
+      wire_hook = None;
     }
   in
   if segments > 1 then begin
@@ -225,7 +238,10 @@ let on_message ep f = ep.ep_handler <- Some f
 let emit net ev =
   match net.event_hook with None -> () | Some f -> f ev
 
-let apply_fault net ~src ~dst ~msgs transmit =
+let emit_wire net ev =
+  match net.wire_hook with None -> () | Some f -> f ev
+
+let apply_fault net ~src ~dst ~msgs ?(items = []) transmit =
   match net.injector with
   | None -> transmit ()
   | Some f -> (
@@ -238,6 +254,7 @@ let apply_fault net ~src ~dst ~msgs transmit =
       transmit ()
     | Delay d ->
       emit net (Ev_delay { src; dst; msgs; by = d });
+      emit_wire net (Wv_hold { src; dst; by = d; items });
       Engine.schedule net.eng ~after:d transmit)
 
 let transmit_unicast ep ~dst cargo =
@@ -276,8 +293,13 @@ let flush_to ep dst =
           net.n_coalesced_messages <- net.n_coalesced_messages + count;
           emit net (Ev_coalesce { src = ep.ep_global; dst; msgs = count })
         end;
+        (* Reported for every flush, batch or not: a lone message
+           released by the delay timer spent the full budget queued,
+           and the profiler charges that span to the coalescer. *)
+        emit_wire net
+          (Wv_depart { src = ep.ep_global; dst; msgs = count; items });
         let cargo = match items with [ p ] -> One p | ps -> Batch ps in
-        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:count
+        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:count ~items
           (fun () -> transmit_unicast ep ~dst cargo)
       end
     end
@@ -295,7 +317,8 @@ let send ep ~dst payload =
        queue is bypassed too.  Delivery is still asynchronous (next
        engine step) so callers observe the same send-then-return
        discipline as for remote destinations. *)
-    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1
+      ~items:[ payload ] (fun () ->
         Engine.schedule net.eng (fun () ->
             if Msglink.is_up ep.ep_link then
               match ep.ep_handler with
@@ -304,15 +327,16 @@ let send ep ~dst payload =
   else
     match net.coalesce with
     | None ->
-      apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
-          transmit_unicast ep ~dst (One payload))
+      apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1
+        ~items:[ payload ] (fun () -> transmit_unicast ep ~dst (One payload))
     | Some co ->
       let sz = net.size payload in
       if sz >= co.co_max_bytes then begin
         (* Oversized messages travel alone; flushing first preserves
            per-destination FIFO order. *)
         flush_to ep dst;
-        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
+        apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1
+          ~items:[ payload ] (fun () ->
             transmit_unicast ep ~dst (One payload))
       end
       else begin
@@ -351,7 +375,8 @@ let send_now ep ~dst payload =
   if dst < 0 || dst >= Array.length net.directory then
     invalid_arg "Internet.send_now: unknown destination";
   if dst = ep.ep_global then
-    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1
+      ~items:[ payload ] (fun () ->
         Engine.schedule net.eng (fun () ->
             if Msglink.is_up ep.ep_link then
               match ep.ep_handler with
@@ -359,14 +384,15 @@ let send_now ep ~dst payload =
               | None -> ()))
   else begin
     flush_to ep dst;
-    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1 (fun () ->
-        transmit_unicast ep ~dst (One payload))
+    apply_fault net ~src:ep.ep_global ~dst:(Some dst) ~msgs:1
+      ~items:[ payload ] (fun () -> transmit_unicast ep ~dst (One payload))
   end
 
 let broadcast ep payload =
   (* A broadcast is a barrier: anything queued must not overtake it. *)
   flush ep;
-  apply_fault ep.ep_net ~src:ep.ep_global ~dst:None ~msgs:1 (fun () ->
+  apply_fault ep.ep_net ~src:ep.ep_global ~dst:None ~msgs:1
+    ~items:[ payload ] (fun () ->
       Msglink.broadcast ep.ep_link
         { env_src = ep.ep_global; env_dst = None; env_bridged = false;
           env_cargo = One payload })
@@ -414,3 +440,4 @@ let partitioned net seg =
 
 let set_fault_injector net f = net.injector <- f
 let set_event_hook net f = net.event_hook <- f
+let set_wire_hook net f = net.wire_hook <- f

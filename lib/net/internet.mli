@@ -164,3 +164,24 @@ type event =
 val set_event_hook : 'a t -> (event -> unit) option -> unit
 (** At most one hook; [None] removes it.  Called synchronously at the
     decision point, before any transmission it describes. *)
+
+(** {2 Per-payload wire hook}
+
+    The critical-path profiler needs to know {e which} payloads a
+    coalescing hold or an injected delay affected — each payload
+    carries its own trace context — so a second, parametric hook
+    reports the payload lists.  Strictly opt-in: unset, the only cost
+    is one [None] test per flush and per injector verdict. *)
+
+type 'a wire_event =
+  | Wv_depart of { src : int; dst : int; msgs : int; items : 'a list }
+      (** a batch left a per-destination coalescing queue; reported
+          for {e every} flush, even of a single message (that message
+          spent the delay budget queued) *)
+  | Wv_hold of { src : int; dst : int option; by : Eden_util.Time.t; items : 'a list }
+      (** a [Delay] verdict held [items] at the sender for [by]
+          before transmitting; [dst = None] means broadcast *)
+
+val set_wire_hook : 'a t -> ('a wire_event -> unit) option -> unit
+(** At most one hook; [None] removes it.  Called synchronously at the
+    flush or verdict point, before the transmission it describes. *)

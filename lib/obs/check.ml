@@ -9,7 +9,21 @@ let pp_violation fmt v =
     | None -> "")
     v.v_detail
 
-(* The seven cross-node invariants.  [complete = false] (some journal
+(* Failures carry their rule *names* in machine-readable form too, so
+   downstream tooling never has to map positional indexes back to
+   rules. *)
+let violation_json v =
+  Json.Obj
+    [
+      ("rule", Json.Str v.v_rule);
+      ( "event",
+        match v.v_event with Some id -> Json.Int id | None -> Json.Null );
+      ("detail", Json.Str v.v_detail);
+    ]
+
+let violations_to_json vs = Json.List (List.map violation_json vs)
+
+(* The eight cross-node invariants.  [complete = false] (some journal
    ring wrapped) downgrades the rules that need every event to be
    present — a missing send or a missing trace tail would otherwise
    read as a violation. *)
@@ -303,4 +317,24 @@ let run ?(complete = true) (tl : Timeline.t) =
         | _ -> ())
       ordered
   end;
+
+  (* 8. Attribution-complete: for every trace bracketing a whole
+     request, the critical-path profiler's per-category nanoseconds
+     must sum to the request's end-to-end latency exactly.  The walk
+     telescopes consecutive inter-event gaps, so this holds by
+     construction when the classifier is sound — the rule is a
+     tripwire for classifier drift (a hold-split that stops summing, a
+     gap double-counted between branches).  Needs complete journals: a
+     truncated trace has no well-defined end-to-end latency. *)
+  if complete then
+    List.iter
+      (fun (bd : Critical.breakdown) ->
+        let sum = Critical.sum_parts bd in
+        if sum <> bd.bd_total_ns then
+          add "attribution-complete" None
+            (Printf.sprintf
+               "trace %d (%s.%s): categories sum to %dns but end-to-end \
+                latency is %dns"
+               bd.bd_trace bd.bd_target bd.bd_op sum bd.bd_total_ns))
+      (Critical.breakdowns events);
   List.rev !out

@@ -1,6 +1,6 @@
 (** Trace checker: cross-node invariants over an assembled timeline.
 
-    Seven rules, each a causality audit the simulator's own unit tests
+    Eight rules, each a causality audit the simulator's own unit tests
     cannot express because no single node sees the whole story:
 
     - {b recv-matches-send}: every receive's causal parent exists, is
@@ -27,14 +27,25 @@
       epoch any node has reached is still followed by the invocation's
       end or an explicit [Dir_fallback]: a stale ring can cost a
       detour, never a stranded attempt.
+    - {b attribution-complete}: for every trace bracketing a whole
+      request, the critical-path profiler's per-category nanoseconds
+      ({!Critical.breakdowns}) sum to the request's end-to-end
+      latency, exactly — attribution never loses or double-counts a
+      nanosecond.
 
-    The first, third, fifth, sixth and seventh rules need the journals
-    to be complete; pass [complete:false] when any journal dropped
-    events and they are skipped. *)
+    The first, third, fifth, sixth, seventh and eighth rules need the
+    journals to be complete; pass [complete:false] when any journal
+    dropped events and they are skipped. *)
 
 type violation = { v_rule : string; v_event : int option; v_detail : string }
+(** [v_rule] is the invariant's {e name} (e.g. ["attribution-complete"]),
+    in both the text rendering and the JSON export — downstream
+    tooling never sees a bare positional index. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val violation_json : violation -> Json.t
+val violations_to_json : violation list -> Json.t
 
 val run : ?complete:bool -> Timeline.t -> violation list
 (** Empty list = all invariants hold. *)

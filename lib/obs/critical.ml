@@ -1,0 +1,237 @@
+open Eden_util
+
+type category =
+  | Service
+  | Queue
+  | Wire
+  | Coalesce
+  | Directory
+  | Backoff
+  | Spec_wait
+  | Drain
+  | Wait
+
+let categories =
+  [ Service; Queue; Wire; Coalesce; Directory; Backoff; Spec_wait; Drain;
+    Wait ]
+
+let category_name = function
+  | Service -> "service"
+  | Queue -> "queue"
+  | Wire -> "wire"
+  | Coalesce -> "coalesce"
+  | Directory -> "directory"
+  | Backoff -> "backoff"
+  | Spec_wait -> "spec-wait"
+  | Drain -> "drain"
+  | Wait -> "wait"
+
+let category_index = function
+  | Service -> 0
+  | Queue -> 1
+  | Wire -> 2
+  | Coalesce -> 3
+  | Directory -> 4
+  | Backoff -> 5
+  | Spec_wait -> 6
+  | Drain -> 7
+  | Wait -> 8
+
+let n_categories = 9
+
+type breakdown = {
+  bd_trace : int;
+  bd_node : int;
+  bd_op : string;
+  bd_target : string;
+  bd_outcome : string;
+  bd_begin : Time.t;
+  bd_total_ns : int;
+  bd_parts : int array;
+}
+
+let part bd c = bd.bd_parts.(category_index c)
+
+let dominant bd =
+  let best = ref Service in
+  List.iter (fun c -> if part bd c > part bd !best then best := c) categories;
+  !best
+
+(* Location-machinery traffic: locate broadcasts and replies, registry
+   lookups/publishes/nacks, proactive hints, and the stale-location
+   nacks that send a requester back to locate.  (Prefixes of
+   [Message.describe] output; see message.ml.) *)
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let directory_message msg =
+  has_prefix "locate" msg || has_prefix "dir" msg || has_prefix "hint" msg
+  || has_prefix "inv_nack" msg
+
+(* One attributed span of a gap: every gap maps to spans whose
+   nanoseconds sum to the gap exactly, so the per-trace category sums
+   telescope to (end - begin) by construction. *)
+
+(* Holds recorded against a Send (the hold event's parent is the send
+   id) let the Recv gap be split: the held span is the sender sitting
+   on the message — endpoint degradation, charged to service — and
+   only the remainder is wire time. *)
+let hold_overlap holds ~parent ~t0 ~t1 =
+  match Hashtbl.find_opt holds parent with
+  | None -> 0
+  | Some spans ->
+    List.fold_left
+      (fun acc (h0, h1) ->
+        let lo = max t0 h0 and hi = min t1 h1 in
+        acc + max 0 (hi - lo))
+      0 spans
+
+let classify ~holds prev cur =
+  let t0 = Time.to_ns prev.Journal.ev_at
+  and t1 = Time.to_ns cur.Journal.ev_at in
+  let gap = t1 - t0 in
+  match prev.Journal.ev_kind with
+  | Journal.Retry _ -> [ (Backoff, gap) ]
+  | _ -> (
+    match cur.Journal.ev_kind with
+    | Journal.Net_flush _ -> [ (Coalesce, gap) ]
+    | Journal.Net_hold _ -> [ (Wire, gap) ]
+    | Journal.Recv { msg; _ } ->
+      let held =
+        match cur.Journal.ev_parent with
+        | None -> 0
+        | Some send_id -> min gap (hold_overlap holds ~parent:send_id ~t0 ~t1)
+      in
+      let carry = if directory_message msg then Directory else Wire in
+      if held = 0 then [ (carry, gap) ]
+      else [ (Service, held); (carry, gap - held) ]
+    | Journal.Send { msg; _ } ->
+      [ ((if directory_message msg then Directory else Service), gap) ]
+    | Journal.Work_start _ ->
+      let c =
+        match prev.Journal.ev_kind with
+        | Journal.Drain_stall _ -> Drain
+        | _ -> Queue
+      in
+      [ (c, gap) ]
+    | Journal.Drain_stall _ -> [ (Queue, gap) ]
+    | Journal.Dir_hit _ | Journal.Dir_miss _ | Journal.Dir_fallback _
+    | Journal.Dir_publish _ ->
+      [ (Directory, gap) ]
+    | Journal.Retry _ | Journal.Hedge _ -> [ (Wait, gap) ]
+    | Journal.Clone_win _ -> [ (Spec_wait, gap) ]
+    | Journal.Inv_end _ ->
+      let c =
+        match prev.Journal.ev_kind with
+        | Journal.Recv _ | Journal.Inv_begin _ | Journal.Clone_win _ ->
+          Service
+        | _ -> Wait
+      in
+      [ (c, gap) ]
+    | _ -> [ (Service, gap) ])
+
+(* Attribute one trace.  [events] must be that trace's events sorted
+   by id; returns [None] unless the trace brackets a whole request
+   (an [Inv_begin] and a later [Inv_end]).  Event ids are allocated
+   in engine execution order, which never runs ahead of virtual time,
+   so the id-sorted walk visits events in nondecreasing [ev_at]: the
+   consecutive gaps tile [begin, end] exactly and the category sums
+   telescope to the end-to-end latency — the attribution-complete
+   invariant (checker rule 8) re-verifies this on every trace. *)
+let attribute events =
+  let begin_ev =
+    List.find_opt
+      (fun e -> match e.Journal.ev_kind with Journal.Inv_begin _ -> true | _ -> false)
+      events
+  in
+  match begin_ev with
+  | None -> None
+  | Some b -> (
+    let end_ev =
+      List.fold_left
+        (fun acc e ->
+          match e.Journal.ev_kind with
+          | Journal.Inv_end _ when e.Journal.ev_id > b.Journal.ev_id -> Some e
+          | _ -> acc)
+        None events
+    in
+    match end_ev with
+    | None -> None
+    | Some e ->
+      let window =
+        List.filter
+          (fun ev ->
+            ev.Journal.ev_id >= b.Journal.ev_id
+            && ev.Journal.ev_id <= e.Journal.ev_id)
+          events
+      in
+      let holds = Hashtbl.create 7 in
+      List.iter
+        (fun ev ->
+          match (ev.Journal.ev_kind, ev.Journal.ev_parent) with
+          | Journal.Net_hold { by; _ }, Some parent ->
+            let h0 = Time.to_ns ev.Journal.ev_at in
+            let span = (h0, h0 + Time.to_ns by) in
+            let prior =
+              Option.value (Hashtbl.find_opt holds parent) ~default:[]
+            in
+            Hashtbl.replace holds parent (span :: prior)
+          | _ -> ())
+        window;
+      let parts = Array.make n_categories 0 in
+      let rec walk = function
+        | prev :: (cur :: _ as rest) ->
+          List.iter
+            (fun (c, ns) ->
+              parts.(category_index c) <- parts.(category_index c) + ns)
+            (classify ~holds prev cur);
+          walk rest
+        | _ -> ()
+      in
+      walk window;
+      let op, target =
+        match b.Journal.ev_kind with
+        | Journal.Inv_begin { op; target } -> (op, target)
+        | _ -> assert false
+      in
+      let outcome =
+        match e.Journal.ev_kind with
+        | Journal.Inv_end { outcome; _ } -> outcome
+        | _ -> assert false
+      in
+      Some
+        {
+          bd_trace = b.Journal.ev_trace;
+          bd_node = b.Journal.ev_node;
+          bd_op = op;
+          bd_target = target;
+          bd_outcome = outcome;
+          bd_begin = b.Journal.ev_at;
+          bd_total_ns =
+            Time.to_ns e.Journal.ev_at - Time.to_ns b.Journal.ev_at;
+          bd_parts = parts;
+        })
+
+(* Group a merged event list (a {!Timeline.t}) by trace and attribute
+   every complete request, in ascending trace-id order. *)
+let breakdowns events =
+  let by_trace : (int, Journal.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let tr = ev.Journal.ev_trace in
+      let prior = Option.value (Hashtbl.find_opt by_trace tr) ~default:[] in
+      Hashtbl.replace by_trace tr (ev :: prior))
+    events;
+  let traces = Hashtbl.fold (fun tr evs acc -> (tr, evs) :: acc) by_trace [] in
+  let traces = List.sort (fun (a, _) (b, _) -> Int.compare a b) traces in
+  List.filter_map
+    (fun (_, evs) ->
+      let evs =
+        List.sort
+          (fun a b -> Int.compare a.Journal.ev_id b.Journal.ev_id)
+          evs
+      in
+      attribute evs)
+    traces
+
+let sum_parts bd = Array.fold_left ( + ) 0 bd.bd_parts

@@ -33,6 +33,15 @@ type signal =
       (** Maximum of the gauge across label sets and across the ticks
           of the window — depth-style signals (queues, in-flight
           checkpoints) alert on their recent worst case. *)
+  | Share_of_latency of string
+      (** A critical-path category's share of attributed latency over
+          the window: the windowed delta of
+          [eden.profile.<category>_ns] divided by that of
+          [eden.profile.total_ns] (the counters the cluster feeds from
+          finished spans with [use_profiling] on; [nan] while no
+          requests finish).  Lets a watchdog fire on attribution
+          shifts — wire time suddenly dominating, directory hops
+          blowing up — rather than on raw latency alone. *)
 
 type cmp = Above | Below
 
@@ -54,6 +63,14 @@ val default_rules : rule list
 (** Watchdogs over the standard cluster metrics: p99 invocation
     latency, retry ratio, replica-cache hit share, async-checkpoint
     lag, object queue depth and pending remote requests. *)
+
+val profile_rules : rule list
+(** Watchdogs over the profiler's latency attribution: wire or queue
+    share above one half, directory share above 0.4, backoff share
+    above 0.3.  Separate from {!default_rules} because the
+    [eden.profile.*] counters exist only with
+    [Cluster.options.use_profiling]; append to [hc_rules] when
+    profiling is on. *)
 
 val default_config : config
 (** [default_rules] sampled every 250 virtual ms, short window 4 ticks

@@ -25,6 +25,10 @@ type kind =
   | Dir_publish of { target : string; home : int }
   | Epoch_bump of { epoch : int }
   | Drain_move of { target : string; to_node : int }
+  | Work_start of { op : string }
+  | Net_flush of { dst : int; msgs : int }
+  | Net_hold of { dst : int option; by : Time.t }
+  | Drain_stall of { target : string }
 
 let kind_name = function
   | Send _ -> "send"
@@ -51,6 +55,10 @@ let kind_name = function
   | Dir_publish _ -> "dir_publish"
   | Epoch_bump _ -> "epoch_bump"
   | Drain_move _ -> "drain_move"
+  | Work_start _ -> "work_start"
+  | Net_flush _ -> "net_flush"
+  | Net_hold _ -> "net_hold"
+  | Drain_stall _ -> "drain_stall"
 
 let pp_dst = function Some d -> Printf.sprintf "n%d" d | None -> "*"
 
@@ -91,6 +99,12 @@ let describe_kind = function
   | Epoch_bump { epoch } -> Printf.sprintf "epoch bump -> e%d" epoch
   | Drain_move { target; to_node } ->
     Printf.sprintf "drain move %s -> n%d" target to_node
+  | Work_start { op } -> Printf.sprintf "work start %s" op
+  | Net_flush { dst; msgs } ->
+    Printf.sprintf "net flush %d msg(s) -> n%d" msgs dst
+  | Net_hold { dst; by } ->
+    Printf.sprintf "net hold %s by %s" (pp_dst dst) (Time.to_string by)
+  | Drain_stall { target } -> Printf.sprintf "drain stall %s" target
 
 type event = {
   ev_id : int;
@@ -173,7 +187,7 @@ let create sink ~node ~cap =
     jn_node = node;
     jn_cap = cap;
     jn_intern = Strtbl.create 64;
-    jn_memo = Array.make 20 "";
+    jn_memo = Array.make 22 "";
     jn_ints = make_ints 0;
     jn_strs = [||];
     jn_size = 0;
@@ -309,6 +323,17 @@ let store t ~slot ~id ~at ~trace ~parent kind =
   | Drain_move { target; to_node } ->
     set t ~slot ~id ~at ~trace ~parent ~tag:23 ~a1:to_node ~a2:(-1)
       ~s1:(intern t 19 target) ~s2:""
+  | Work_start { op } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:24 ~a1:(-1) ~a2:(-1)
+      ~s1:(intern t 20 op) ~s2:""
+  | Net_flush { dst; msgs } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:25 ~a1:dst ~a2:msgs ~s1:"" ~s2:""
+  | Net_hold { dst; by } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:26 ~a1:(enc_opt dst)
+      ~a2:(Time.to_ns by) ~s1:"" ~s2:""
+  | Drain_stall { target } ->
+    set t ~slot ~id ~at ~trace ~parent ~tag:27 ~a1:(-1) ~a2:(-1)
+      ~s1:(intern t 21 target) ~s2:""
 
 let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   match tag with
@@ -336,6 +361,10 @@ let decode ~tag ~a1 ~a2 ~s1 ~s2 =
   | 21 -> Dir_publish { target = s1; home = a1 }
   | 22 -> Epoch_bump { epoch = a1 }
   | 23 -> Drain_move { target = s1; to_node = a1 }
+  | 24 -> Work_start { op = s1 }
+  | 25 -> Net_flush { dst = a1; msgs = a2 }
+  | 26 -> Net_hold { dst = dec_opt a1; by = Time.ns a2 }
+  | 27 -> Drain_stall { target = s1 }
   | _ -> assert false
 
 let grow t =

@@ -65,6 +65,24 @@ type kind =
       (** decommission drain evacuated [target] to [to_node] (and
           republished the move to the registry shard) before the
           draining node went dark *)
+  | Work_start of { op : string }
+      (** the invocation process for [op] began executing at the
+          target; the gap from the triggering receive to this event is
+          queue residency.  Only recorded with
+          [Cluster.options.use_profiling] on. *)
+  | Net_flush of { dst : int; msgs : int }
+      (** this message left the per-destination coalescing queue in a
+          batch of [msgs]; the gap from its send to this event is
+          coalescer hold.  Profiling-gated like {!Work_start}. *)
+  | Net_hold of { dst : int option; by : Time.t }
+      (** fault injection held this message at the sender for [by]
+          before transmitting; the profiler attributes the held span
+          to the service category (a slow endpoint, not a slow wire).
+          Profiling-gated. *)
+  | Drain_stall of { target : string }
+      (** the work item arrived while [target] was draining and was
+          stashed until reactivation elsewhere; subsequent queue time
+          is attributed to the drain category.  Profiling-gated. *)
 
 val kind_name : kind -> string
 val describe_kind : kind -> string

@@ -230,6 +230,8 @@ let duration t =
   | Some (_, at) -> Time.diff at t.sp_start
   | None -> invalid_arg "Span.duration: span not finished"
 
+let phase_time t p = t.sp_acc.(phase_index p)
+
 let started col = col.n_started
 let finished_count col = col.n_finished
 let late_events col = col.n_late

@@ -116,7 +116,7 @@ let process_name node =
       ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "node %d" node)) ]);
     ]
 
-let to_chrome_json t =
+let to_chrome_json ?(extra = []) t =
   let by_id = Hashtbl.create 256 in
   List.iter
     (fun (e : Journal.event) -> Hashtbl.replace by_id e.ev_id e)
@@ -138,6 +138,7 @@ let to_chrome_json t =
         | _ -> [])
       t
   in
-  Json.Obj [ ("traceEvents", Json.List (meta @ instants @ flows)) ]
+  Json.Obj [ ("traceEvents", Json.List (meta @ instants @ flows @ extra)) ]
 
-let to_chrome_string t = Json.to_string ~compact:true (to_chrome_json t)
+let to_chrome_string ?extra t =
+  Json.to_string ~compact:true (to_chrome_json ?extra t)

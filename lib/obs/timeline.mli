@@ -24,5 +24,9 @@ val traces : t -> int list
 (** Distinct trace roots, ascending. *)
 
 val to_text : t -> string
-val to_chrome_json : t -> Json.t
-val to_chrome_string : t -> string
+
+val to_chrome_json : ?extra:Json.t list -> t -> Json.t
+(** [extra] appends further trace_event objects (e.g. {!Profile}'s
+    per-request duration bars) to the [traceEvents] array. *)
+
+val to_chrome_string : ?extra:Json.t list -> t -> string

@@ -714,6 +714,11 @@ let test_journal_kind_roundtrip () =
       Journal.Activate { target = "obj#1"; version = 4 };
       Journal.Alert { rule = "inv-latency-p99"; firing = true };
       Journal.Alert { rule = "retry-ratio"; firing = false };
+      Journal.Work_start { op = "get" };
+      Journal.Net_flush { dst = 2; msgs = 3 };
+      Journal.Net_hold { dst = Some 1; by = Time.us 7 };
+      Journal.Net_hold { dst = None; by = Time.ms 2 };
+      Journal.Drain_stall { target = "obj#1" };
     ]
   in
   let j = Journal.create (Journal.sink ()) ~node:0 ~cap:64 in
@@ -874,6 +879,273 @@ let test_cluster_journal () =
   in
   Cluster.run cl0;
   check_int "cap 0 retains nothing" 0 (Timeline.length (Cluster.timeline cl0))
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path attribution: hand-built traces where every gap's
+   category is known in advance, then the profiler over real cluster
+   runs. *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+(* One remote request with a mid-flight injected hold: begin, request
+   out (held 3us of its flight), served, reply back, end.  The hold is
+   endpoint degradation, so those 3us belong to [service]; the rest of
+   both flights is [wire]; and the per-category sums must telescope to
+   the 31us end-to-end latency exactly. *)
+let test_attribution () =
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:64 in
+  let j1 = Journal.create sink ~node:1 ~cap:64 in
+  let b =
+    Journal.record j0 ~at:Time.zero
+      (Journal.Inv_begin { op = "get"; target = "obj<1.1>" })
+  in
+  let ctx = Tracectx.root b in
+  let s =
+    Journal.record j0 ~at:(Time.us 10) ~ctx
+      (Journal.Send { msg = "inv_request obj<1.1>.get"; dst = Some 1 })
+  in
+  let sctx = Tracectx.with_parent ctx ~parent:s in
+  ignore
+    (Journal.record j0 ~at:(Time.us 12) ~ctx:sctx
+       (Journal.Net_hold { dst = Some 1; by = Time.us 3 }));
+  let r =
+    Journal.record j1 ~at:(Time.us 20) ~ctx:sctx
+      (Journal.Recv { msg = "inv_request obj<1.1>.get"; src = 0 })
+  in
+  let q =
+    Journal.record j1 ~at:(Time.us 26)
+      ~ctx:(Tracectx.with_parent ctx ~parent:r)
+      (Journal.Send { msg = "inv_reply obj<1.1>"; dst = Some 0 })
+  in
+  let r2 =
+    Journal.record j0 ~at:(Time.us 30)
+      ~ctx:(Tracectx.with_parent ctx ~parent:q)
+      (Journal.Recv { msg = "inv_reply obj<1.1>"; src = 1 })
+  in
+  ignore
+    (Journal.record j0 ~at:(Time.us 31)
+       ~ctx:(Tracectx.with_parent ctx ~parent:r2)
+       (Journal.Inv_end { op = "get"; outcome = "ok" }));
+  let tl = Timeline.assemble [ j1; j0 ] in
+  let bds = Critical.breakdowns (Timeline.events tl) in
+  check_int "one complete request" 1 (List.length bds);
+  let bd = List.hd bds in
+  check_string "op" "get" bd.Critical.bd_op;
+  check_string "target" "obj<1.1>" bd.Critical.bd_target;
+  check_string "outcome" "ok" bd.Critical.bd_outcome;
+  check_int "origin node" 0 bd.Critical.bd_node;
+  check_int "end-to-end total" 31_000 bd.Critical.bd_total_ns;
+  check_int "parts telescope to the total" bd.Critical.bd_total_ns
+    (Critical.sum_parts bd);
+  (* service: send prep 10 + injected hold 3 + server 6 + delivery 1 *)
+  check_int "service" 20_000 (Critical.part bd Critical.Service);
+  (* wire: pre-hold 2 + request flight 5 + reply flight 4 *)
+  check_int "wire" 11_000 (Critical.part bd Critical.Wire);
+  check_bool "dominant is service" true
+    (Critical.dominant bd = Critical.Service);
+  (* All eight invariants hold on this trace — in particular rule 8
+     (attribution-complete) evaluated the breakdown above and agreed. *)
+  check_int "checker-clean incl. attribution-complete" 0
+    (List.length (Check.run tl))
+
+(* Directory-class messages, retry backoff, and the timed-out tail:
+   each gap lands in its documented category.  (Kept off the checker:
+   the events are fabricated on one journal, not a real exchange.) *)
+let test_attribution_categories () =
+  let sink = Journal.sink () in
+  let j = Journal.create sink ~node:0 ~cap:64 in
+  let b =
+    Journal.record j ~at:Time.zero
+      (Journal.Inv_begin { op = "get"; target = "obj<1.9>" })
+  in
+  let ctx = Tracectx.root b in
+  let d =
+    Journal.record j ~at:(Time.us 2) ~ctx
+      (Journal.Send { msg = "dir? obj<1.9>"; dst = Some 2 })
+  in
+  let dr =
+    Journal.record j ~at:(Time.us 5)
+      ~ctx:(Tracectx.with_parent ctx ~parent:d)
+      (Journal.Recv { msg = "dir! obj<1.9>@1"; src = 2 })
+  in
+  let t =
+    Journal.record j ~at:(Time.us 6)
+      ~ctx:(Tracectx.with_parent ctx ~parent:dr)
+      (Journal.Retry { op = "get"; attempt = 1 })
+  in
+  let s2 =
+    Journal.record j ~at:(Time.us 9)
+      ~ctx:(Tracectx.with_parent ctx ~parent:t)
+      (Journal.Send { msg = "inv_request obj<1.9>.get"; dst = Some 1 })
+  in
+  ignore
+    (Journal.record j ~at:(Time.us 10)
+       ~ctx:(Tracectx.with_parent ctx ~parent:s2)
+       (Journal.Inv_end { op = "get"; outcome = "timeout" }));
+  let bd =
+    match Critical.attribute (Journal.events j) with
+    | Some bd -> bd
+    | None -> Alcotest.fail "trace did not attribute"
+  in
+  check_int "locate question + answer -> directory" 5_000
+    (Critical.part bd Critical.Directory);
+  check_int "post-retry sleep -> backoff" 3_000
+    (Critical.part bd Critical.Backoff);
+  check_int "retry decision + timed-out tail -> wait" 2_000
+    (Critical.part bd Critical.Wait);
+  check_int "still telescopes" bd.Critical.bd_total_ns
+    (Critical.sum_parts bd);
+  check_int "total" 10_000 bd.Critical.bd_total_ns;
+  check_bool "dominant is directory" true
+    (Critical.dominant bd = Critical.Directory)
+
+(* Profile aggregation over several traces: counts, nearest-rank
+   quantiles, folded stacks, and the skipped tally for a request that
+   never completed. *)
+let test_profile_unit () =
+  let sink = Journal.sink () in
+  let j = Journal.create sink ~node:0 ~cap:64 in
+  let request ~start ~dur =
+    let b =
+      Journal.record j ~at:start
+        (Journal.Inv_begin { op = "get"; target = "obj<0.1>" })
+    in
+    ignore
+      (Journal.record j
+         ~at:(Time.add start dur)
+         ~ctx:(Tracectx.root b)
+         (Journal.Inv_end { op = "get"; outcome = "ok" }))
+  in
+  request ~start:Time.zero ~dur:(Time.us 10);
+  request ~start:(Time.us 100) ~dur:(Time.us 20);
+  request ~start:(Time.us 200) ~dur:(Time.us 30);
+  (* A begun-but-never-finished request is skipped, not guessed at. *)
+  ignore
+    (Journal.record j ~at:(Time.us 300)
+       (Journal.Inv_begin { op = "get"; target = "obj<0.1>" }));
+  let pf = Profile.of_events (Journal.events j) in
+  check_int "requests" 3 (Profile.requests pf);
+  check_int "skipped" 1 (Profile.skipped pf);
+  check_int "total" 60_000 (Profile.total_ns pf);
+  check_bool "all service" true (Profile.share pf Critical.Service = 1.0);
+  check_bool "dominant" true (Profile.dominant pf = Critical.Service);
+  let total_at q =
+    match Profile.quantile pf q with
+    | Some bd -> bd.Critical.bd_total_ns
+    | None -> Alcotest.fail "quantile empty"
+  in
+  (* Nearest-rank over {10, 20, 30}us: a selection, never an
+     interpolation. *)
+  check_int "p50 selects the middle request" 20_000 (total_at 0.5);
+  check_int "p95 selects the slowest" 30_000 (total_at 0.95);
+  check_int "p999 too" 30_000 (total_at 0.999);
+  check_string "folded stacks aggregate per target.op and category"
+    "eden;obj<0.1>.get;service 60000"
+    (String.trim (Profile.to_folded pf));
+  let json = Json.to_string ~compact:true (Profile.to_json pf) in
+  check_bool "json carries the counts" true (contains json "\"requests\":3");
+  (* Same events, same bytes. *)
+  check_string "rendering is deterministic" (Profile.to_text pf)
+    (Profile.to_text (Profile.of_events (Journal.events j)))
+
+(* A profiled cluster run: the gated kinds appear in the journals, the
+   profiler attributes real requests, and all eight invariants —
+   attribution-complete included — hold over the kernel's own trace. *)
+let test_profiled_cluster_invariants () =
+  let options = { Cluster.default_options with Cluster.use_profiling = true } in
+  let cl = Cluster.default ~seed:7L ~options ~n_nodes:3 () in
+  Cluster.register_type cl relay_type;
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let cap =
+          ok_or_fail "create"
+            (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+               (Value.Int 7))
+        in
+        for i = 1 to 6 do
+          ignore
+            (ok_or_fail "get"
+               (Cluster.invoke cl ~from:(i mod 3) cap ~op:"get" []))
+        done)
+  in
+  Cluster.run cl;
+  let tl = Cluster.timeline cl in
+  check_int "nothing dropped" 0 (Cluster.journal_dropped cl);
+  check_bool "profiling kinds recorded" true
+    (List.exists
+       (fun e ->
+         match e.Journal.ev_kind with
+         | Journal.Work_start _ | Journal.Net_flush _ -> true
+         | _ -> false)
+       (Timeline.events tl));
+  let bds = Critical.breakdowns (Timeline.events tl) in
+  check_bool "requests attributed" true (bds <> []);
+  check_int "all eight invariants hold" 0 (List.length (Check.run tl))
+
+(* Cap pressure: wrap the ring mid-run and the machinery degrades
+   honestly — completeness gating skips the dependent rules (so
+   nothing false-fires on the truncated record), truncated requests
+   are skipped rather than misattributed, and whatever survives whole
+   still attributes exactly. *)
+let test_journal_cap_pressure () =
+  let options = { Cluster.default_options with Cluster.use_profiling = true } in
+  let cl =
+    Cluster.default ~seed:11L ~options ~journal_cap:24 ~n_nodes:3 ()
+  in
+  Cluster.register_type cl relay_type;
+  let _ =
+    Cluster.in_process cl (fun () ->
+        let cap =
+          ok_or_fail "create"
+            (Cluster.create_object cl ~node:1 ~type_name:"obs_relay"
+               (Value.Int 7))
+        in
+        for _ = 1 to 12 do
+          ignore (ok_or_fail "get" (Cluster.invoke cl ~from:0 cap ~op:"get" []))
+        done)
+  in
+  Cluster.run cl;
+  let tl = Cluster.timeline cl in
+  check_bool "ring wrapped" true (Cluster.journal_dropped cl > 0);
+  check_int "no false positives on a truncated record" 0
+    (List.length (Check.run ~complete:false tl));
+  let pf = Profile.of_timeline tl in
+  check_bool "profile still renders" true
+    (String.length (Profile.to_text pf) > 0);
+  List.iter
+    (fun bd ->
+      check_int "survivors attribute exactly" bd.Critical.bd_total_ns
+        (Critical.sum_parts bd))
+    (Critical.breakdowns (Timeline.events tl))
+
+(* Failed invariants are reported by name, in both renderings — a CI
+   log or a JSON consumer can tell *which* rule broke without counting
+   lines against the documentation. *)
+let test_check_violation_names () =
+  let sink = Journal.sink () in
+  let j0 = Journal.create sink ~node:0 ~cap:16 in
+  let j1 = Journal.create sink ~node:1 ~cap:16 in
+  let p =
+    Journal.record j0 ~at:(Time.us 1) (Journal.Retry { op = "x"; attempt = 1 })
+  in
+  ignore
+    (Journal.record j1 ~at:(Time.us 2) ~ctx:(Tracectx.root p)
+       (Journal.Recv { msg = "m"; src = 0 }));
+  let vs = Check.run (Timeline.assemble [ j0; j1 ]) in
+  check_bool "violations found" true (vs <> []);
+  List.iter
+    (fun v ->
+      let txt = Format.asprintf "%a" Check.pp_violation v in
+      check_bool "text names the rule" true
+        (contains txt ("[" ^ v.Check.v_rule ^ "]")))
+    vs;
+  let json = Json.to_string ~compact:true (Check.violations_to_json vs) in
+  check_bool "json names the rule" true
+    (contains json "\"rule\":\"recv-matches-send\"")
 
 (* ------------------------------------------------------------------ *)
 (* The health plane wired through a cluster: sampler ticks on virtual
@@ -1039,6 +1311,20 @@ let () =
           Alcotest.test_case "timeline assembly" `Quick
             test_timeline_assemble;
           Alcotest.test_case "checker verdicts" `Quick test_checker;
+          Alcotest.test_case "violations named in text and JSON" `Quick
+            test_check_violation_names;
           Alcotest.test_case "cluster journals" `Quick test_cluster_journal;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "attribution telescopes" `Quick
+            test_attribution;
+          Alcotest.test_case "category classification" `Quick
+            test_attribution_categories;
+          Alcotest.test_case "profile aggregation" `Quick test_profile_unit;
+          Alcotest.test_case "profiled cluster invariants" `Quick
+            test_profiled_cluster_invariants;
+          Alcotest.test_case "cap pressure degrades honestly" `Quick
+            test_journal_cap_pressure;
         ] );
     ]
